@@ -1,0 +1,106 @@
+//! End-to-end pipeline benchmarks: preprocessing, theme detection, map
+//! construction and the explorer's per-action latency (C7's backing
+//! measurements and the S1–S3 latency rows).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use blaeu_bench::{blob_columns, blobs, oecd_small};
+use blaeu_core::{
+    build_map, detect_themes, preprocess, Explorer, ExplorerConfig, MapperConfig,
+    PreprocessConfig, ThemeConfig,
+};
+
+fn bench_preprocess(c: &mut Criterion) {
+    let (table, _) = oecd_small();
+    let columns: Vec<&str> = table.attribute_columns();
+    c.bench_function("mapper/preprocess_1200x36", |b| {
+        b.iter(|| {
+            preprocess(
+                black_box(&table),
+                black_box(&columns),
+                &PreprocessConfig::default(),
+            )
+            .expect("columns exist")
+        })
+    });
+}
+
+fn bench_themes(c: &mut Criterion) {
+    let (table, _) = oecd_small();
+    let mut group = c.benchmark_group("mapper/detect_themes");
+    group.sample_size(10);
+    group.bench_function("oecd_1200x36", |b| {
+        b.iter(|| detect_themes(black_box(&table), &ThemeConfig::default()).expect("themes"))
+    });
+    group.finish();
+}
+
+fn bench_build_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapper/build_map");
+    group.sample_size(10);
+    for &n in &[2_000usize, 20_000, 200_000] {
+        let (table, truth) = blobs(n, 3);
+        let columns = blob_columns(&truth);
+        group.bench_with_input(BenchmarkId::new("sample2000", n), &n, |b, _| {
+            b.iter(|| {
+                build_map(black_box(&table), black_box(&columns), &MapperConfig::default())
+                    .expect("mappable")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_explorer_actions(c: &mut Criterion) {
+    let (table, _) = oecd_small();
+    let mut group = c.benchmark_group("mapper/explorer");
+    group.sample_size(10);
+    group.bench_function("select_theme", |b| {
+        b.iter_batched(
+            || Explorer::open(table.clone(), ExplorerConfig::default()).expect("openable"),
+            |mut ex| {
+                ex.select_theme(0).expect("theme exists");
+                ex
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("zoom", |b| {
+        b.iter_batched(
+            || {
+                let mut ex =
+                    Explorer::open(table.clone(), ExplorerConfig::default()).expect("openable");
+                ex.select_theme(0).expect("theme exists");
+                let biggest = ex
+                    .map()
+                    .expect("map")
+                    .leaves()
+                    .iter()
+                    .max_by_key(|r| r.count)
+                    .unwrap()
+                    .id;
+                (ex, biggest)
+            },
+            |(mut ex, region)| {
+                ex.zoom(region).expect("zoomable");
+                ex
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("highlight", |b| {
+        let mut ex = Explorer::open(table.clone(), ExplorerConfig::default()).expect("openable");
+        ex.select_theme(0).expect("theme exists");
+        b.iter(|| ex.highlight("country").expect("column exists"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_preprocess,
+    bench_themes,
+    bench_build_map,
+    bench_explorer_actions
+);
+criterion_main!(benches);

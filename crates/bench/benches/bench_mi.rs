@@ -1,0 +1,69 @@
+//! Mutual-information benchmarks: the cost of building dependency graphs
+//! (theme detection's inner loop; supports F1a/S2 latency rows).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use blaeu_bench::oecd_small;
+use blaeu_stats::{
+    dependency_matrix, discretize, entropy, BinRule, BinStrategy, ContingencyTable,
+    DependencyOptions,
+};
+
+fn bench_discretize(c: &mut Criterion) {
+    let (table, _) = oecd_small();
+    let col = table
+        .column_by_name("pct_employees_long_hours")
+        .expect("exists");
+    c.bench_function("mi/discretize_1200_rows", |b| {
+        b.iter(|| {
+            discretize(
+                black_box(col),
+                BinStrategy::EqualFrequency,
+                BinRule::SqrtCapped,
+            )
+        })
+    });
+}
+
+fn bench_pair(c: &mut Criterion) {
+    let (table, _) = oecd_small();
+    let x = discretize(
+        table.column_by_name("pct_employees_long_hours").expect("exists"),
+        BinStrategy::EqualFrequency,
+        BinRule::SqrtCapped,
+    );
+    let y = discretize(
+        table.column_by_name("avg_annual_income_kusd").expect("exists"),
+        BinStrategy::EqualFrequency,
+        BinRule::SqrtCapped,
+    );
+    c.bench_function("mi/single_pair_1200_rows", |b| {
+        b.iter(|| {
+            let ct = ContingencyTable::from_codes(black_box(&x), black_box(&y));
+            blaeu_stats::normalized_mutual_information(&ct, blaeu_stats::MiNormalization::Sqrt)
+        })
+    });
+    c.bench_function("mi/entropy_1200_rows", |b| {
+        b.iter(|| entropy(black_box(&x)))
+    });
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    let (table, _) = oecd_small();
+    let all: Vec<&str> = table.attribute_columns();
+    let mut group = c.benchmark_group("mi/dependency_matrix");
+    group.sample_size(10);
+    for &m in &[8usize, 16, 36] {
+        let cols = &all[..m.min(all.len())];
+        group.bench_with_input(BenchmarkId::new("columns", m), &cols, |b, cols| {
+            b.iter(|| {
+                dependency_matrix(black_box(&table), cols, &DependencyOptions::default())
+                    .expect("columns exist")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_discretize, bench_pair, bench_matrix);
+criterion_main!(benches);

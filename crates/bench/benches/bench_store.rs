@@ -1,0 +1,65 @@
+//! Storage-layer benchmarks: scans, predicate evaluation, gathers,
+//! sampling, CSV ingestion. These bound every interactive action
+//! (supports C7 in EXPERIMENTS.md).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use blaeu_bench::{blob_columns, blobs, SEED};
+use blaeu_store::{
+    read_csv_str, uniform_sample, write_csv_string, CsvOptions, MultiScaleSampler, Predicate,
+};
+
+fn bench_predicates(c: &mut Criterion) {
+    let (table, truth) = blobs(100_000, 3);
+    let col = blob_columns(&truth)[0];
+    let mut group = c.benchmark_group("store/predicate");
+    group.bench_function("numeric_range_100k", |b| {
+        b.iter(|| {
+            Predicate::range_co(col, -1.0, 1.0)
+                .select(black_box(&table))
+                .expect("valid predicate")
+        })
+    });
+    group.bench_function("conjunction_100k", |b| {
+        let cols = blob_columns(&truth);
+        let p = Predicate::And(vec![
+            Predicate::ge(cols[0], 0.0),
+            Predicate::lt(cols[1], 2.0),
+            Predicate::ge(cols[2], -3.0),
+        ]);
+        b.iter(|| p.select(black_box(&table)).expect("valid predicate"))
+    });
+    group.finish();
+}
+
+fn bench_take(c: &mut Criterion) {
+    let (table, _) = blobs(100_000, 3);
+    let rows = uniform_sample(100_000, 10_000, SEED);
+    c.bench_function("store/take_10k_of_100k", |b| {
+        b.iter(|| black_box(&table).take(black_box(&rows)).expect("in bounds"))
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/sample");
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        group.bench_with_input(BenchmarkId::new("multiscale_build", n), &n, |b, &n| {
+            b.iter(|| MultiScaleSampler::new(black_box(n), SEED))
+        });
+        group.bench_with_input(BenchmarkId::new("uniform_2k", n), &n, |b, &n| {
+            b.iter(|| uniform_sample(black_box(n), 2000, SEED))
+        });
+    }
+    group.finish();
+}
+
+fn bench_csv(c: &mut Criterion) {
+    let (table, _) = blobs(5_000, 3);
+    let rendered = write_csv_string(&table, &CsvOptions::default()).expect("in-memory");
+    c.bench_function("store/csv_parse_5k_rows", |b| {
+        b.iter(|| read_csv_str("t", black_box(&rendered), &CsvOptions::default()).expect("valid"))
+    });
+}
+
+criterion_group!(benches, bench_predicates, bench_take, bench_sampling, bench_csv);
+criterion_main!(benches);

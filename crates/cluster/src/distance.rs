@@ -1,0 +1,354 @@
+//! Distance metrics and point sets.
+//!
+//! Blaeu's preprocessing turns tuples into numeric vectors (normalized
+//! continuous variables + dummy-coded categories), then clusters them. The
+//! metrics here operate on such vectors, with `NaN` marking missing
+//! coordinates: distances are averaged over the observed dimensions
+//! (Gower-style), so rows with a few missing cells remain comparable.
+
+/// A distance metric over `f64` vectors with optional missing (`NaN`) cells.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Euclidean (L2). Missing dims are skipped and the sum re-scaled by
+    /// `dims / observed` before the square root.
+    Euclidean,
+    /// Manhattan (L1), same missing-dim policy (no square root).
+    Manhattan,
+    /// Gower dissimilarity for mixed data: per-dimension distances in
+    /// `[0, 1]` — numeric dims are |Δ| / range, categorical dims are 0/1 —
+    /// averaged over observed dimensions.
+    Gower {
+        /// Per-dimension value ranges for numeric dims (ignored for
+        /// categorical dims); zero ranges contribute 0 distance.
+        ranges: Vec<f64>,
+        /// True for dims holding category codes compared by equality.
+        categorical: Vec<bool>,
+    },
+}
+
+impl Metric {
+    /// Fits a Gower metric to data: per-dimension ranges from observed
+    /// values; `categorical` flags supplied by the caller.
+    pub fn fit_gower(rows: &[Vec<f64>], categorical: Vec<bool>) -> Metric {
+        let dims = rows.first().map_or(0, Vec::len);
+        assert_eq!(categorical.len(), dims, "flag per dimension");
+        let mut lo = vec![f64::INFINITY; dims];
+        let mut hi = vec![f64::NEG_INFINITY; dims];
+        for row in rows {
+            for (d, &v) in row.iter().enumerate() {
+                if v.is_finite() {
+                    lo[d] = lo[d].min(v);
+                    hi[d] = hi[d].max(v);
+                }
+            }
+        }
+        let ranges = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| if h > l { h - l } else { 0.0 })
+            .collect();
+        Metric::Gower {
+            ranges,
+            categorical,
+        }
+    }
+
+    /// Distance between two vectors of equal length.
+    ///
+    /// Pairs with **no** commonly observed dimension are maximally
+    /// uncertain, not identical: treating them as distance 0 would make
+    /// near-empty rows magnetic medoids (they would sit "at distance 0"
+    /// from everything). Such pairs get a pessimistic default instead —
+    /// the distance of a typical random pair: `1.0` for Gower,
+    /// `sqrt(2·dims)` for Euclidean and `dims` for Manhattan on
+    /// standardized features.
+    pub fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Metric::Euclidean => {
+                let mut sum = 0.0;
+                let mut observed = 0usize;
+                for (x, y) in a.iter().zip(b) {
+                    if x.is_finite() && y.is_finite() {
+                        sum += (x - y) * (x - y);
+                        observed += 1;
+                    }
+                }
+                if observed == 0 {
+                    (2.0 * a.len() as f64).sqrt()
+                } else {
+                    (sum * a.len() as f64 / observed as f64).sqrt()
+                }
+            }
+            Metric::Manhattan => {
+                let mut sum = 0.0;
+                let mut observed = 0usize;
+                for (x, y) in a.iter().zip(b) {
+                    if x.is_finite() && y.is_finite() {
+                        sum += (x - y).abs();
+                        observed += 1;
+                    }
+                }
+                if observed == 0 {
+                    a.len() as f64
+                } else {
+                    sum * a.len() as f64 / observed as f64
+                }
+            }
+            Metric::Gower {
+                ranges,
+                categorical,
+            } => {
+                let mut sum = 0.0;
+                let mut observed = 0usize;
+                for (d, (x, y)) in a.iter().zip(b).enumerate() {
+                    if x.is_finite() && y.is_finite() {
+                        observed += 1;
+                        if categorical[d] {
+                            if x != y {
+                                sum += 1.0;
+                            }
+                        } else if ranges[d] > 0.0 {
+                            sum += (x - y).abs() / ranges[d];
+                        }
+                    }
+                }
+                if observed == 0 {
+                    1.0
+                } else {
+                    sum / observed as f64
+                }
+            }
+        }
+    }
+}
+
+/// A dense row-major point set paired with a metric.
+///
+/// This is the clustering engine's working representation: preprocessing
+/// produces it from a table sample, PAM/CLARA/k-means consume it.
+#[derive(Debug, Clone)]
+pub struct Points {
+    data: Vec<f64>,
+    n: usize,
+    dims: usize,
+    metric: Metric,
+}
+
+impl Points {
+    /// Builds a point set from rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn new(rows: Vec<Vec<f64>>, metric: Metric) -> Self {
+        let n = rows.len();
+        let dims = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n * dims);
+        for row in &rows {
+            assert_eq!(row.len(), dims, "ragged point set");
+            data.extend_from_slice(row);
+        }
+        Points {
+            data,
+            n,
+            dims,
+            metric,
+        }
+    }
+
+    /// Builds from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n * dims`.
+    pub fn from_flat(data: Vec<f64>, n: usize, dims: usize, metric: Metric) -> Self {
+        assert_eq!(data.len(), n * dims, "flat buffer size mismatch");
+        Points {
+            data,
+            n,
+            dims,
+            metric,
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the set holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> &Metric {
+        &self.metric
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Distance between points `i` and `j`.
+    #[inline]
+    pub fn dist(&self, i: usize, j: usize) -> f64 {
+        self.metric.dist(self.row(i), self.row(j))
+    }
+
+    /// Gathers a subset of points (by index) into a new set.
+    pub fn subset(&self, indices: &[usize]) -> Points {
+        let mut data = Vec::with_capacity(indices.len() * self.dims);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Points {
+            data,
+            n: indices.len(),
+            dims: self.dims,
+            metric: self.metric.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basics() {
+        let m = Metric::Euclidean;
+        assert_eq!(m.dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(m.dist(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn manhattan_basics() {
+        let m = Metric::Manhattan;
+        assert_eq!(m.dist(&[0.0, 0.0], &[3.0, 4.0]), 7.0);
+    }
+
+    #[test]
+    fn missing_dims_rescaled() {
+        let m = Metric::Euclidean;
+        // One of two dims observed: distance scales up by sqrt(2/1).
+        let d = m.dist(&[3.0, f64::NAN], &[0.0, 5.0]);
+        assert!((d - (9.0f64 * 2.0).sqrt()).abs() < 1e-12);
+        let m = Metric::Manhattan;
+        let d = m.dist(&[3.0, f64::NAN], &[0.0, 5.0]);
+        assert!((d - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unobservable_pairs_are_pessimistic_not_identical() {
+        // No common observed dimension: the pair must NOT look identical,
+        // or near-empty rows would become magnetic medoids.
+        assert!((Metric::Euclidean.dist(&[f64::NAN], &[1.0]) - 2.0f64.sqrt()).abs() < 1e-12);
+        assert!(
+            (Metric::Euclidean.dist(&[f64::NAN, 2.0], &[1.0, f64::NAN]) - 2.0).abs() < 1e-12
+        );
+        assert_eq!(Metric::Manhattan.dist(&[f64::NAN, f64::NAN], &[1.0, 2.0]), 2.0);
+        let g = Metric::Gower {
+            ranges: vec![1.0, 1.0],
+            categorical: vec![false, false],
+        };
+        assert_eq!(g.dist(&[f64::NAN, f64::NAN], &[1.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    fn gower_mixed() {
+        let rows = vec![vec![0.0, 0.0], vec![10.0, 1.0], vec![5.0, 0.0]];
+        let m = Metric::fit_gower(&rows, vec![false, true]);
+        // dims: numeric range 10, categorical.
+        // d(0,1) = (10/10 + 1)/2 = 1.0
+        assert!((m.dist(&rows[0], &rows[1]) - 1.0).abs() < 1e-12);
+        // d(0,2) = (5/10 + 0)/2 = 0.25
+        assert!((m.dist(&rows[0], &rows[2]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gower_zero_range_ignored() {
+        let rows = vec![vec![7.0, 0.0], vec![7.0, 3.0]];
+        let m = Metric::fit_gower(&rows, vec![false, false]);
+        // First dim constant → contributes 0; second: 3/3 = 1; avg over 2.
+        assert!((m.dist(&rows[0], &rows[1]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gower_in_unit_interval() {
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i % 3) as f64, (i * 7 % 5) as f64])
+            .collect();
+        let m = Metric::fit_gower(&rows, vec![false, true, false]);
+        for i in 0..rows.len() {
+            for j in 0..rows.len() {
+                let d = m.dist(&rows[i], &rows[j]);
+                assert!((0.0..=1.0).contains(&d), "gower({i},{j}) = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn points_layout() {
+        let p = Points::new(
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+            Metric::Euclidean,
+        );
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.dims(), 2);
+        assert_eq!(p.row(1), &[3.0, 4.0]);
+        assert!((p.dist(0, 1) - 8.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_gathers() {
+        let p = Points::new(
+            vec![vec![1.0], vec![2.0], vec![3.0]],
+            Metric::Manhattan,
+        );
+        let s = p.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0), &[3.0]);
+        assert_eq!(s.row(1), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Points::new(vec![vec![1.0], vec![1.0, 2.0]], Metric::Euclidean);
+    }
+
+    #[test]
+    fn from_flat_roundtrip() {
+        let p = Points::from_flat(vec![1.0, 2.0, 3.0, 4.0], 2, 2, Metric::Euclidean);
+        assert_eq!(p.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn metric_symmetry_and_identity() {
+        let rows: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![(i as f64).sin(), (i as f64).cos(), i as f64])
+            .collect();
+        for metric in [
+            Metric::Euclidean,
+            Metric::Manhattan,
+            Metric::fit_gower(&rows, vec![false, false, false]),
+        ] {
+            for i in 0..rows.len() {
+                assert_eq!(metric.dist(&rows[i], &rows[i]), 0.0);
+                for j in 0..rows.len() {
+                    let dij = metric.dist(&rows[i], &rows[j]);
+                    let dji = metric.dist(&rows[j], &rows[i]);
+                    assert!((dij - dji).abs() < 1e-12);
+                    assert!(dij >= 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! External cluster validation: comparing a clustering to ground truth (or
+//! to another clustering). Used throughout the experiment harness to turn
+//! the paper's qualitative claims into numbers.
+
+/// A contingency (confusion) matrix between two labelings.
+fn contingency(a: &[usize], b: &[usize]) -> (Vec<Vec<u64>>, Vec<u64>, Vec<u64>) {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same points");
+    let ka = a.iter().copied().max().map_or(0, |m| m + 1);
+    let kb = b.iter().copied().max().map_or(0, |m| m + 1);
+    let mut table = vec![vec![0u64; kb]; ka];
+    for (&x, &y) in a.iter().zip(b) {
+        table[x][y] += 1;
+    }
+    let row_sums: Vec<u64> = table.iter().map(|r| r.iter().sum()).collect();
+    let col_sums: Vec<u64> = (0..kb)
+        .map(|j| table.iter().map(|r| r[j]).sum())
+        .collect();
+    (table, row_sums, col_sums)
+}
+
+fn choose2(n: u64) -> f64 {
+    (n as f64) * (n as f64 - 1.0) / 2.0
+}
+
+/// Adjusted Rand Index (Hubert & Arabie): 1 for identical partitions
+/// (up to label permutation), ~0 for independent ones, can go negative.
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    if a.is_empty() {
+        return 1.0;
+    }
+    let (table, rows, cols) = contingency(a, b);
+    let sum_cells: f64 = table
+        .iter()
+        .flat_map(|r| r.iter())
+        .map(|&c| choose2(c))
+        .sum();
+    let sum_rows: f64 = rows.iter().map(|&r| choose2(r)).sum();
+    let sum_cols: f64 = cols.iter().map(|&c| choose2(c)).sum();
+    let total = choose2(a.len() as u64);
+    if total == 0.0 {
+        return 1.0;
+    }
+    let expected = sum_rows * sum_cols / total;
+    let max_index = (sum_rows + sum_cols) / 2.0;
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate: both partitions trivial (all-one-cluster or all
+        // singletons). Same partition structure (up to label permutation)
+        // ⇒ 1, else 0.
+        return if same_partition(&table) { 1.0 } else { 0.0 };
+    }
+    (sum_cells - expected) / (max_index - expected)
+}
+
+/// True when the contingency table is a (partial) permutation matrix:
+/// every non-empty row and column has exactly one non-zero cell, i.e. the
+/// two labelings induce the same partition.
+fn same_partition(table: &[Vec<u64>]) -> bool {
+    let kb = table.first().map_or(0, Vec::len);
+    for row in table {
+        if row.iter().filter(|&&c| c > 0).count() > 1 {
+            return false;
+        }
+    }
+    for j in 0..kb {
+        if table.iter().filter(|row| row[j] > 0).count() > 1 {
+            return false;
+        }
+    }
+    true
+}
+
+fn entropy_of(counts: &[u64], total: f64) -> f64 {
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / total;
+            h -= p * p.ln();
+        }
+    }
+    h
+}
+
+/// Normalized mutual information between two labelings
+/// (sqrt normalization), in `[0, 1]`.
+pub fn label_nmi(a: &[usize], b: &[usize]) -> f64 {
+    if a.is_empty() {
+        return 1.0;
+    }
+    let (table, rows, cols) = contingency(a, b);
+    let n = a.len() as f64;
+    let ha = entropy_of(&rows, n);
+    let hb = entropy_of(&cols, n);
+    if ha < 1e-12 && hb < 1e-12 {
+        return 1.0; // both constant: identical structure
+    }
+    let mut mi = 0.0;
+    for (i, row) in table.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            if c > 0 {
+                let pij = c as f64 / n;
+                let pi = rows[i] as f64 / n;
+                let pj = cols[j] as f64 / n;
+                mi += pij * (pij / (pi * pj)).ln();
+            }
+        }
+    }
+    let denom = (ha * hb).sqrt();
+    if denom < 1e-12 {
+        0.0
+    } else {
+        (mi / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// Purity: fraction of points whose cluster's majority truth label matches
+/// their own. In `(0, 1]`; 1 means every cluster is label-pure.
+pub fn purity(clusters: &[usize], truth: &[usize]) -> f64 {
+    if clusters.is_empty() {
+        return 1.0;
+    }
+    let (table, _, _) = contingency(clusters, truth);
+    let majority_sum: u64 = table
+        .iter()
+        .map(|row| row.iter().copied().max().unwrap_or(0))
+        .sum();
+    majority_sum as f64 / clusters.len() as f64
+}
+
+/// Plain accuracy between two label vectors (no permutation matching):
+/// useful when labels share an encoding, e.g. decision-tree predictions
+/// against the clustering that trained them.
+pub fn accuracy(predicted: &[usize], actual: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), actual.len());
+    if predicted.is_empty() {
+        return 1.0;
+    }
+    let hits = predicted
+        .iter()
+        .zip(actual)
+        .filter(|(p, a)| p == a)
+        .count();
+    hits as f64 / predicted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ari_identical_is_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        // Label permutation does not matter.
+        let b = vec![2, 2, 0, 0, 1, 1];
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_independent_near_zero() {
+        // Interleaved labels share no structure with blocked labels.
+        let a: Vec<usize> = (0..400).map(|i| i / 100).collect();
+        let b: Vec<usize> = (0..400).map(|i| i % 4).collect();
+        assert!(adjusted_rand_index(&a, &b).abs() < 0.05);
+    }
+
+    #[test]
+    fn ari_partial_overlap_intermediate() {
+        let a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0, 0, 0, 1, 1, 1, 1, 1]; // one point moved
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari > 0.4 && ari < 1.0, "ari {ari}");
+    }
+
+    #[test]
+    fn ari_degenerate_partitions() {
+        let all_same = vec![0usize; 10];
+        assert_eq!(adjusted_rand_index(&all_same, &all_same), 1.0);
+        let singletons: Vec<usize> = (0..10).collect();
+        assert_eq!(adjusted_rand_index(&singletons, &singletons), 1.0);
+        assert_eq!(adjusted_rand_index(&all_same, &singletons), 0.0);
+        assert_eq!(adjusted_rand_index(&[], &[]), 1.0);
+        // Degenerate AND relabeled: still the same partition.
+        assert_eq!(adjusted_rand_index(&[0, 0], &[1, 1]), 1.0);
+        let relabeled: Vec<usize> = (0..10).map(|i| 9 - i).collect();
+        assert_eq!(adjusted_rand_index(&singletons, &relabeled), 1.0);
+    }
+
+    #[test]
+    fn nmi_identical_is_one() {
+        let a = vec![0, 1, 2, 0, 1, 2];
+        assert!((label_nmi(&a, &a) - 1.0).abs() < 1e-12);
+        let permuted = vec![1, 2, 0, 1, 2, 0];
+        assert!((label_nmi(&a, &permuted) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_independent_near_zero() {
+        let a: Vec<usize> = (0..1000).map(|i| i / 500).collect();
+        let b: Vec<usize> = (0..1000).map(|i| i % 2).collect();
+        assert!(label_nmi(&a, &b) < 0.01);
+    }
+
+    #[test]
+    fn nmi_in_unit_interval() {
+        let a = vec![0, 0, 1, 1, 2, 2, 0, 1];
+        let b = vec![0, 1, 1, 1, 2, 0, 0, 2];
+        let v = label_nmi(&a, &b);
+        assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn purity_perfect_and_mixed() {
+        let truth = vec![0, 0, 1, 1];
+        assert_eq!(purity(&[0, 0, 1, 1], &truth), 1.0);
+        // One cluster holding everything: majority is 2/4.
+        assert_eq!(purity(&[0, 0, 0, 0], &truth), 0.5);
+        // Purity is 1 for singleton clusters regardless of truth.
+        assert_eq!(purity(&[0, 1, 2, 3], &truth), 1.0);
+    }
+
+    #[test]
+    fn accuracy_counts_exact_matches() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 2]), 1.0);
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 9, 2]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same points")]
+    fn mismatched_lengths_panic() {
+        let _ = adjusted_rand_index(&[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,276 @@
+//! k-means baseline (k-means++ seeding + Lloyd iterations).
+//!
+//! Not used by Blaeu itself — the paper chose k-medoids — but required as
+//! the comparison point for the ablation "why PAM instead of k-means?"
+//! (medoids are actual rows, so maps can display them; means are synthetic
+//! points, and k-means is notoriously sensitive to outliers).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::distance::Points;
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on total center movement.
+    pub tol: f64,
+    /// RNG seed for k-means++ seeding.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            max_iter: 100,
+            tol: 1e-6,
+            seed: 23,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centers (row-major, `k × dims`).
+    pub centers: Vec<Vec<f64>>,
+    /// Cluster label per point.
+    pub labels: Vec<usize>,
+    /// Sum of squared Euclidean distances to assigned centers.
+    pub inertia: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// True when the `tol` threshold stopped the loop.
+    pub converged: bool,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// k-means++ seeding: first center uniform, then proportional to squared
+/// distance from the nearest chosen center.
+fn seed_plus_plus(points: &Points, k: usize, rng: &mut ChaCha8Rng) -> Vec<Vec<f64>> {
+    let n = points.len();
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centers.push(points.row(rng.gen_range(0..n)).to_vec());
+    let mut d2: Vec<f64> = (0..n).map(|i| sq_dist(points.row(i), &centers[0])).collect();
+    while centers.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All points coincide with existing centers: take any row.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centers.push(points.row(next).to_vec());
+        for (i, slot) in d2.iter_mut().enumerate() {
+            let d = sq_dist(points.row(i), centers.last().expect("pushed"));
+            if d < *slot {
+                *slot = d;
+            }
+        }
+    }
+    centers
+}
+
+/// Runs k-means over a point set (squared-Euclidean objective; the set's
+/// metric is ignored — k-means is only defined for Euclidean geometry).
+/// Missing (`NaN`) coordinates are not supported: impute first.
+///
+/// # Panics
+/// Panics if `points` is empty, `k == 0`, or data contains NaN.
+pub fn kmeans(points: &Points, k: usize, config: &KMeansConfig) -> KMeansResult {
+    let n = points.len();
+    assert!(n > 0, "cannot cluster an empty point set");
+    assert!(k > 0, "k must be positive");
+    let k = k.min(n);
+    let dims = points.dims();
+    for i in 0..n {
+        assert!(
+            points.row(i).iter().all(|v| v.is_finite()),
+            "k-means requires dense data; impute missing values first"
+        );
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut centers = seed_plus_plus(points, k, &mut rng);
+    let mut labels = vec![0usize; n];
+    let mut converged = false;
+    let mut iterations = 0usize;
+
+    for it in 0..config.max_iter {
+        iterations = it + 1;
+        // Assignment step.
+        for (i, label) in labels.iter_mut().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, center) in centers.iter().enumerate() {
+                let d = sq_dist(points.row(i), center);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            *label = best;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f64; dims]; k];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[labels[i]] += 1;
+            for (d, &v) in points.row(i).iter().enumerate() {
+                sums[labels[i]][d] += v;
+            }
+        }
+        let mut movement = 0.0f64;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Empty cluster: re-seed at the point farthest from its center.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        sq_dist(points.row(a), &centers[labels[a]])
+                            .total_cmp(&sq_dist(points.row(b), &centers[labels[b]]))
+                    })
+                    .expect("nonempty");
+                let new_center = points.row(far).to_vec();
+                movement += sq_dist(&centers[c], &new_center).sqrt();
+                centers[c] = new_center;
+                continue;
+            }
+            let new_center: Vec<f64> = sums[c]
+                .iter()
+                .map(|s| s / counts[c] as f64)
+                .collect();
+            movement += sq_dist(&centers[c], &new_center).sqrt();
+            centers[c] = new_center;
+        }
+        if movement < config.tol {
+            converged = true;
+            break;
+        }
+    }
+
+    // Final assignment + inertia against the last centers.
+    let mut inertia = 0.0f64;
+    for (i, label) in labels.iter_mut().enumerate() {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (c, center) in centers.iter().enumerate() {
+            let d = sq_dist(points.row(i), center);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        *label = best;
+        inertia += best_d;
+    }
+
+    KMeansResult {
+        centers,
+        labels,
+        inertia,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Metric;
+
+    fn blobs() -> Points {
+        let mut rows = Vec::new();
+        for c in 0..3 {
+            for i in 0..20 {
+                let jitter = ((i * 2654435761usize) % 100) as f64 / 100.0;
+                rows.push(vec![c as f64 * 40.0 + jitter, c as f64 * -25.0 + jitter]);
+            }
+        }
+        Points::new(rows, Metric::Euclidean)
+    }
+
+    #[test]
+    fn recovers_blobs() {
+        let p = blobs();
+        let r = kmeans(&p, 3, &KMeansConfig::default());
+        assert!(r.converged);
+        for c in 0..3 {
+            let base = r.labels[c * 20];
+            for i in 0..20 {
+                assert_eq!(r.labels[c * 20 + i], base);
+            }
+        }
+        let distinct: std::collections::HashSet<usize> = r.labels.iter().copied().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let p = blobs();
+        let mut prev = f64::INFINITY;
+        for k in 1..=5 {
+            let r = kmeans(&p, k, &KMeansConfig::default());
+            assert!(r.inertia <= prev + 1e-6, "inertia rose at k={k}");
+            prev = r.inertia;
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = blobs();
+        let a = kmeans(&p, 3, &KMeansConfig::default());
+        let b = kmeans(&p, 3, &KMeansConfig::default());
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn centers_are_blob_means() {
+        let p = blobs();
+        let r = kmeans(&p, 3, &KMeansConfig::default());
+        // Each center's first coordinate should be near 0, 40 or 80.
+        let mut firsts: Vec<f64> = r.centers.iter().map(|c| c[0]).collect();
+        firsts.sort_by(f64::total_cmp);
+        assert!((firsts[0] - 0.5).abs() < 1.0);
+        assert!((firsts[1] - 40.5).abs() < 1.0);
+        assert!((firsts[2] - 80.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let p = Points::new(vec![vec![0.0], vec![1.0]], Metric::Euclidean);
+        let r = kmeans(&p, 5, &KMeansConfig::default());
+        assert_eq!(r.centers.len(), 2);
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense data")]
+    fn nan_rejected() {
+        let p = Points::new(vec![vec![f64::NAN]], Metric::Euclidean);
+        let _ = kmeans(&p, 1, &KMeansConfig::default());
+    }
+
+    #[test]
+    fn identical_points_handled() {
+        let p = Points::new(vec![vec![2.0]; 10], Metric::Euclidean);
+        let r = kmeans(&p, 3, &KMeansConfig::default());
+        assert!(r.inertia < 1e-12);
+        assert_eq!(r.labels.len(), 10);
+    }
+}

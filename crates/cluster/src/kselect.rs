@@ -1,0 +1,235 @@
+//! Choosing the number of clusters with the silhouette coefficient.
+//!
+//! "We generate several partitionings with different numbers of clusters,
+//! and keep the one with the best score." This module sweeps a k range,
+//! clusters at each k (PAM on the exact matrix, or CLARA beyond a size
+//! threshold), scores with the (optionally Monte-Carlo) silhouette, and
+//! returns the winning partition plus the whole score profile.
+
+use crate::clara::{clara, ClaraConfig};
+use crate::distance::Points;
+use crate::matrix::DistanceMatrix;
+use crate::pam::{pam, PamConfig, PamResult};
+use crate::silhouette::{mc_silhouette, silhouette_score, McSilhouetteConfig};
+
+/// Configuration for [`select_k`].
+#[derive(Debug, Clone)]
+pub struct KSelectConfig {
+    /// Smallest k to try (≥ 2; k = 1 has no silhouette).
+    pub k_min: usize,
+    /// Largest k to try (inclusive).
+    pub k_max: usize,
+    /// Beyond this many points, cluster with CLARA instead of exact PAM.
+    pub clara_threshold: usize,
+    /// PAM settings.
+    pub pam: PamConfig,
+    /// CLARA settings (used past the threshold).
+    pub clara: ClaraConfig,
+    /// Monte-Carlo silhouette settings; `None` scores exactly.
+    pub mc: Option<McSilhouetteConfig>,
+}
+
+impl Default for KSelectConfig {
+    fn default() -> Self {
+        KSelectConfig {
+            k_min: 2,
+            k_max: 8,
+            clara_threshold: 1000,
+            pam: PamConfig::default(),
+            clara: ClaraConfig::default(),
+            mc: Some(McSilhouetteConfig::default()),
+        }
+    }
+}
+
+/// Outcome of a k sweep.
+#[derive(Debug, Clone)]
+pub struct KSelection {
+    /// Winning number of clusters.
+    pub k: usize,
+    /// Partition at the winning k.
+    pub result: PamResult,
+    /// Average silhouette of the winning partition.
+    pub silhouette: f64,
+    /// `(k, silhouette)` for every k tried, ascending k.
+    pub profile: Vec<(usize, f64)>,
+}
+
+/// Sweeps `k_min..=k_max`, returning the silhouette-best partition.
+///
+/// Ties break toward smaller k (simpler maps are easier to read).
+///
+/// # Panics
+/// Panics if the point set is empty or the k range is invalid.
+pub fn select_k(points: &Points, config: &KSelectConfig) -> KSelection {
+    let n = points.len();
+    assert!(n > 0, "cannot select k on an empty point set");
+    let k_min = config.k_min.max(2);
+    let k_max = config.k_max.max(k_min).min(n.saturating_sub(1).max(2));
+    assert!(k_min <= k_max, "invalid k range [{k_min}, {k_max}]");
+
+    // The exact matrix is shared across the sweep when PAM is in play.
+    let matrix = if n <= config.clara_threshold {
+        Some(DistanceMatrix::from_points(points))
+    } else {
+        None
+    };
+
+    let mut best: Option<(usize, PamResult, f64)> = None;
+    let mut profile = Vec::with_capacity(k_max - k_min + 1);
+
+    for k in k_min..=k_max {
+        let result = match &matrix {
+            Some(m) => pam(m, k, &config.pam),
+            None => clara(points, k, &config.clara),
+        };
+        let score = match (&config.mc, &matrix) {
+            // Exact silhouette when we already paid for the matrix and the
+            // caller did not ask for Monte-Carlo.
+            (None, Some(m)) => silhouette_score(m, &result.labels),
+            (None, None) => mc_silhouette(points, &result.labels, &McSilhouetteConfig::default()),
+            (Some(mc), _) => mc_silhouette(points, &result.labels, mc),
+        };
+        profile.push((k, score));
+        let better = match &best {
+            None => true,
+            Some((_, _, best_score)) => score > *best_score + 1e-12,
+        };
+        if better {
+            best = Some((k, result, score));
+        }
+    }
+
+    let (k, result, silhouette) = best.expect("at least one k tried");
+    KSelection {
+        k,
+        result,
+        silhouette,
+        profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Metric;
+
+    fn blobs(k: usize, per: usize, sep: f64) -> Points {
+        let mut rows = Vec::new();
+        for c in 0..k {
+            for i in 0..per {
+                let jitter = ((i * 2654435761usize) % 1000) as f64 / 1000.0;
+                rows.push(vec![c as f64 * sep + jitter, (i % 7) as f64 * 0.1]);
+            }
+        }
+        Points::new(rows, Metric::Euclidean)
+    }
+
+    #[test]
+    fn finds_planted_k3() {
+        let p = blobs(3, 30, 50.0);
+        let sel = select_k(
+            &p,
+            &KSelectConfig {
+                mc: None,
+                ..KSelectConfig::default()
+            },
+        );
+        assert_eq!(sel.k, 3, "profile: {:?}", sel.profile);
+        assert!(sel.silhouette > 0.9);
+        assert_eq!(sel.profile.len(), 7); // k = 2..=8
+    }
+
+    #[test]
+    fn finds_planted_k5() {
+        let p = blobs(5, 25, 40.0);
+        let sel = select_k(
+            &p,
+            &KSelectConfig {
+                mc: None,
+                ..KSelectConfig::default()
+            },
+        );
+        assert_eq!(sel.k, 5, "profile: {:?}", sel.profile);
+    }
+
+    #[test]
+    fn mc_scoring_also_finds_k() {
+        let p = blobs(3, 60, 80.0);
+        let sel = select_k(
+            &p,
+            &KSelectConfig {
+                mc: Some(McSilhouetteConfig {
+                    subsamples: 6,
+                    subsample_size: 60,
+                    seed: 1,
+                }),
+                ..KSelectConfig::default()
+            },
+        );
+        assert_eq!(sel.k, 3, "profile: {:?}", sel.profile);
+    }
+
+    #[test]
+    fn clara_path_used_beyond_threshold() {
+        let p = blobs(3, 120, 60.0);
+        let sel = select_k(
+            &p,
+            &KSelectConfig {
+                clara_threshold: 100, // force CLARA
+                k_max: 5,
+                mc: Some(McSilhouetteConfig::default()),
+                ..KSelectConfig::default()
+            },
+        );
+        assert_eq!(sel.k, 3, "profile: {:?}", sel.profile);
+    }
+
+    #[test]
+    fn k_range_clamped_to_n() {
+        let p = blobs(2, 3, 100.0); // 6 points
+        let sel = select_k(
+            &p,
+            &KSelectConfig {
+                k_min: 2,
+                k_max: 50,
+                mc: None,
+                ..KSelectConfig::default()
+            },
+        );
+        assert!(sel.k <= 5);
+        assert_eq!(sel.result.labels.len(), 6);
+    }
+
+    #[test]
+    fn profile_covers_requested_range() {
+        let p = blobs(3, 20, 30.0);
+        let sel = select_k(
+            &p,
+            &KSelectConfig {
+                k_min: 2,
+                k_max: 4,
+                mc: None,
+                ..KSelectConfig::default()
+            },
+        );
+        let ks: Vec<usize> = sel.profile.iter().map(|&(k, _)| k).collect();
+        assert_eq!(ks, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ties_prefer_smaller_k() {
+        // Two perfect blobs: k=2 scores ~1; k=3+ scores lower, but make sure
+        // equal scores would keep k=2 (strict improvement required).
+        let p = blobs(2, 20, 100.0);
+        let sel = select_k(
+            &p,
+            &KSelectConfig {
+                mc: None,
+                k_max: 6,
+                ..KSelectConfig::default()
+            },
+        );
+        assert_eq!(sel.k, 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Condensed symmetric distance matrices.
+
+use crate::distance::Points;
+
+/// A symmetric `n × n` distance matrix stored in condensed form
+/// (`n(n−1)/2` entries, zero diagonal implied).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds a matrix by evaluating `f(i, j)` for every pair `i < j`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                data.push(f(i, j));
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Builds a matrix from a point set, parallelizing across rows when the
+    /// set is large.
+    pub fn from_points(points: &Points) -> Self {
+        let n = points.len();
+        if n < 256 {
+            return DistanceMatrix::from_fn(n, |i, j| points.dist(i, j));
+        }
+        // Parallel: each worker fills the condensed rows of a band of i.
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let mut data = vec![0.0f64; n * (n - 1) / 2];
+        // Split the condensed buffer at row boundaries.
+        let row_start = |i: usize| i * n - i * (i + 1) / 2; // offset of (i, i+1)
+        let mut bands: Vec<(usize, usize)> = Vec::new(); // (i_begin, i_end)
+        let per = n.div_ceil(threads);
+        let mut begin = 0usize;
+        while begin < n {
+            bands.push((begin, (begin + per).min(n)));
+            begin += per;
+        }
+        let mut slices: Vec<&mut [f64]> = Vec::with_capacity(bands.len());
+        {
+            let mut rest: &mut [f64] = &mut data;
+            let mut consumed = 0usize;
+            for &(_, e) in &bands {
+                let end_off = if e >= n { rest.len() + consumed } else { row_start(e) };
+                let (head, tail) = rest.split_at_mut(end_off - consumed);
+                slices.push(head);
+                consumed = end_off;
+                rest = tail;
+            }
+        }
+        crossbeam::scope(|scope| {
+            for ((b, e), slice) in bands.iter().copied().zip(slices) {
+                scope.spawn(move |_| {
+                    let mut idx = 0usize;
+                    for i in b..e {
+                        for j in (i + 1)..n {
+                            slice[idx] = points.dist(i, j);
+                            idx += 1;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("distance workers panicked");
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between points `i` and `j` (0 on the diagonal).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        use std::cmp::Ordering;
+        match i.cmp(&j) {
+            Ordering::Equal => 0.0,
+            Ordering::Less => self.data[i * self.n - i * (i + 1) / 2 + j - i - 1],
+            Ordering::Greater => self.data[j * self.n - j * (j + 1) / 2 + i - j - 1],
+        }
+    }
+
+    /// Restricts the matrix to a subset of points (by index).
+    pub fn subset(&self, indices: &[usize]) -> DistanceMatrix {
+        DistanceMatrix::from_fn(indices.len(), |a, b| self.get(indices[a], indices[b]))
+    }
+
+    /// Mean pairwise distance (0 for fewer than two points).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f64>() / self.data.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Metric;
+
+    #[test]
+    fn from_fn_indexing() {
+        let m = DistanceMatrix::from_fn(4, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0, "symmetric access");
+        assert_eq!(m.get(2, 3), 23.0);
+        assert_eq!(m.get(3, 3), 0.0, "zero diagonal");
+    }
+
+    #[test]
+    fn from_points_small_matches_direct() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let p = Points::new(rows, Metric::Euclidean);
+        let m = DistanceMatrix::from_points(&p);
+        for i in 0..10 {
+            for j in 0..10 {
+                assert!((m.get(i, j) - p.dist(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn from_points_parallel_matches_serial() {
+        // Force the parallel path (n >= 256) and compare with from_fn.
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![(i as f64).sin(), (i as f64 * 0.7).cos()])
+            .collect();
+        let p = Points::new(rows, Metric::Manhattan);
+        let par = DistanceMatrix::from_points(&p);
+        let ser = DistanceMatrix::from_fn(300, |i, j| p.dist(i, j));
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn subset_restricts() {
+        let m = DistanceMatrix::from_fn(5, |i, j| (i + j) as f64);
+        let s = m.subset(&[0, 2, 4]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(0, 1), m.get(0, 2));
+        assert_eq!(s.get(1, 2), m.get(2, 4));
+    }
+
+    #[test]
+    fn mean_distance() {
+        let m = DistanceMatrix::from_fn(3, |_, _| 2.0);
+        assert_eq!(m.mean(), 2.0);
+        let empty = DistanceMatrix::from_fn(1, |_, _| unreachable!());
+        assert_eq!(empty.mean(), 0.0);
+    }
+}

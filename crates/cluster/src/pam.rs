@@ -1,0 +1,382 @@
+//! PAM — Partitioning Around Medoids (Kaufman & Rousseeuw 1990).
+//!
+//! The paper's clustering algorithm for both themes and maps: "it is
+//! accurate, well established and fast enough". PAM is a k-medoid method: it
+//! picks k data points as cluster centers (medoids) minimizing the total
+//! distance from every point to its medoid. Implemented as the classic
+//! BUILD (greedy seeding) + SWAP (steepest-descent exchange) with cached
+//! nearest / second-nearest medoid distances.
+
+use crate::matrix::DistanceMatrix;
+
+/// Configuration for [`pam`].
+#[derive(Debug, Clone)]
+pub struct PamConfig {
+    /// Maximum SWAP iterations (each performs the single best swap).
+    pub max_iter: usize,
+}
+
+impl Default for PamConfig {
+    fn default() -> Self {
+        PamConfig { max_iter: 200 }
+    }
+}
+
+/// Result of a PAM (or CLARA) run.
+#[derive(Debug, Clone)]
+pub struct PamResult {
+    /// Indices of the medoid points (into the clustered data), one per
+    /// cluster, in cluster-label order.
+    pub medoids: Vec<usize>,
+    /// Cluster label per point (`labels[i] < medoids.len()`).
+    pub labels: Vec<usize>,
+    /// Sum over points of the distance to their medoid.
+    pub total_deviation: f64,
+    /// Number of swaps performed.
+    pub swaps: usize,
+    /// False when `max_iter` stopped the descent early.
+    pub converged: bool,
+}
+
+/// Per-point nearest/second-nearest medoid cache.
+struct Cache {
+    /// Index into `medoids` of the nearest medoid.
+    nearest: Vec<usize>,
+    /// Distance to the nearest medoid.
+    d_nearest: Vec<f64>,
+    /// Distance to the second-nearest medoid (`INFINITY` when k = 1).
+    d_second: Vec<f64>,
+}
+
+fn rebuild_cache(matrix: &DistanceMatrix, medoids: &[usize]) -> Cache {
+    let n = matrix.len();
+    let mut nearest = vec![0usize; n];
+    let mut d_nearest = vec![f64::INFINITY; n];
+    let mut d_second = vec![f64::INFINITY; n];
+    for j in 0..n {
+        for (mi, &m) in medoids.iter().enumerate() {
+            let d = matrix.get(j, m);
+            if d < d_nearest[j] {
+                d_second[j] = d_nearest[j];
+                d_nearest[j] = d;
+                nearest[j] = mi;
+            } else if d < d_second[j] {
+                d_second[j] = d;
+            }
+        }
+    }
+    Cache {
+        nearest,
+        d_nearest,
+        d_second,
+    }
+}
+
+/// Greedy BUILD phase: start from the most central point, then repeatedly
+/// add the point with the largest aggregate distance reduction.
+fn build(matrix: &DistanceMatrix, k: usize) -> Vec<usize> {
+    let n = matrix.len();
+    let mut medoids = Vec::with_capacity(k);
+
+    // First medoid: minimizes total distance to all points.
+    let mut best = 0usize;
+    let mut best_total = f64::INFINITY;
+    for c in 0..n {
+        let total: f64 = (0..n).map(|j| matrix.get(c, j)).sum();
+        if total < best_total {
+            best_total = total;
+            best = c;
+        }
+    }
+    medoids.push(best);
+
+    let mut d_nearest: Vec<f64> = (0..n).map(|j| matrix.get(best, j)).collect();
+    while medoids.len() < k {
+        let mut best_c = usize::MAX;
+        let mut best_gain = f64::NEG_INFINITY;
+        for c in 0..n {
+            if medoids.contains(&c) {
+                continue;
+            }
+            let mut gain = 0.0;
+            for (j, &dn) in d_nearest.iter().enumerate() {
+                let d = matrix.get(c, j);
+                if d < dn {
+                    gain += dn - d;
+                }
+            }
+            if gain > best_gain {
+                best_gain = gain;
+                best_c = c;
+            }
+        }
+        medoids.push(best_c);
+        for (j, dn) in d_nearest.iter_mut().enumerate() {
+            let d = matrix.get(best_c, j);
+            if d < *dn {
+                *dn = d;
+            }
+        }
+    }
+    medoids
+}
+
+/// Runs PAM over a distance matrix.
+///
+/// `k` is clamped to `[1, n]`; when `k == n` every point becomes a medoid.
+/// Deterministic: BUILD and SWAP break ties toward lower indices.
+///
+/// # Panics
+/// Panics if the matrix is empty or `k == 0`.
+pub fn pam(matrix: &DistanceMatrix, k: usize, config: &PamConfig) -> PamResult {
+    let n = matrix.len();
+    assert!(n > 0, "cannot cluster an empty matrix");
+    assert!(k > 0, "k must be positive");
+    let k = k.min(n);
+
+    let mut medoids = build(matrix, k);
+    let mut cache = rebuild_cache(matrix, &medoids);
+    let mut swaps = 0usize;
+    let mut converged = false;
+
+    let is_medoid = |medoids: &[usize], j: usize| medoids.contains(&j);
+
+    for _ in 0..config.max_iter {
+        // Find the best (medoid, candidate) swap by total-deviation delta.
+        let mut best_delta = -1e-12;
+        let mut best_swap: Option<(usize, usize)> = None; // (medoid slot, candidate)
+        for slot in 0..medoids.len() {
+            for h in 0..n {
+                if is_medoid(&medoids, h) {
+                    continue;
+                }
+                let mut delta = 0.0;
+                for j in 0..n {
+                    if j == h || is_medoid(&medoids, j) {
+                        continue;
+                    }
+                    let d_jh = matrix.get(j, h);
+                    if cache.nearest[j] == slot {
+                        // j loses its medoid: moves to h or its second choice.
+                        delta += d_jh.min(cache.d_second[j]) - cache.d_nearest[j];
+                    } else if d_jh < cache.d_nearest[j] {
+                        // j defects to the new medoid h.
+                        delta += d_jh - cache.d_nearest[j];
+                    }
+                }
+                // h itself: was a regular point at d_nearest[h], becomes a
+                // medoid at distance 0. The outgoing medoid becomes a regular
+                // point assigned to its nearest remaining medoid.
+                delta -= cache.d_nearest[h];
+                let old_m = medoids[slot];
+                let mut d_old = f64::INFINITY;
+                for (s2, &m2) in medoids.iter().enumerate() {
+                    if s2 != slot {
+                        d_old = d_old.min(matrix.get(old_m, m2));
+                    }
+                }
+                d_old = d_old.min(matrix.get(old_m, h));
+                if d_old.is_finite() {
+                    delta += d_old;
+                }
+                if delta < best_delta {
+                    best_delta = delta;
+                    best_swap = Some((slot, h));
+                }
+            }
+        }
+        match best_swap {
+            Some((slot, h)) => {
+                medoids[slot] = h;
+                cache = rebuild_cache(matrix, &medoids);
+                swaps += 1;
+            }
+            None => {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    let labels = cache.nearest;
+    let total_deviation = cache.d_nearest.iter().sum();
+    PamResult {
+        medoids,
+        labels,
+        total_deviation,
+        swaps,
+        converged,
+    }
+}
+
+/// Assigns every point to its nearest medoid, returning labels and the
+/// total deviation. Ties break toward the lower medoid slot.
+pub fn assign_to_medoids(matrix: &DistanceMatrix, medoids: &[usize]) -> (Vec<usize>, f64) {
+    let cache = rebuild_cache(matrix, medoids);
+    let total = cache.d_nearest.iter().sum();
+    (cache.nearest, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{Metric, Points};
+
+    /// Three well-separated 1-D blobs.
+    fn blobs() -> Points {
+        let mut rows = Vec::new();
+        for c in 0..3 {
+            for i in 0..10 {
+                rows.push(vec![c as f64 * 100.0 + i as f64]);
+            }
+        }
+        Points::new(rows, Metric::Euclidean)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let p = blobs();
+        let m = DistanceMatrix::from_points(&p);
+        let r = pam(&m, 3, &PamConfig::default());
+        assert!(r.converged);
+        assert_eq!(r.medoids.len(), 3);
+        // All points of one blob share a label, blobs get distinct labels.
+        for blob in 0..3 {
+            let first = r.labels[blob * 10];
+            for i in 0..10 {
+                assert_eq!(r.labels[blob * 10 + i], first, "blob {blob} split");
+            }
+        }
+        let distinct: std::collections::HashSet<usize> = r.labels.iter().copied().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn medoids_are_members_and_labeled_to_themselves() {
+        let p = blobs();
+        let m = DistanceMatrix::from_points(&p);
+        let r = pam(&m, 3, &PamConfig::default());
+        for (slot, &med) in r.medoids.iter().enumerate() {
+            assert!(med < p.len());
+            assert_eq!(r.labels[med], slot, "medoid belongs to its own cluster");
+        }
+    }
+
+    #[test]
+    fn total_deviation_matches_assignment() {
+        let p = blobs();
+        let m = DistanceMatrix::from_points(&p);
+        let r = pam(&m, 3, &PamConfig::default());
+        let (labels, total) = assign_to_medoids(&m, &r.medoids);
+        assert_eq!(labels, r.labels);
+        assert!((total - r.total_deviation).abs() < 1e-9);
+        // Every point is genuinely at its nearest medoid.
+        for j in 0..p.len() {
+            let assigned = m.get(j, r.medoids[r.labels[j]]);
+            for &med in &r.medoids {
+                assert!(assigned <= m.get(j, med) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn k_one_picks_most_central() {
+        let p = Points::new(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0]],
+            Metric::Euclidean,
+        );
+        let m = DistanceMatrix::from_points(&p);
+        let r = pam(&m, 1, &PamConfig::default());
+        // Point 1 (value 1.0) minimizes total deviation (1+0+1+9=11)
+        // vs point 2 (2+1+0+8=11)... both tie at 11; BUILD breaks toward
+        // the lower index.
+        assert!((r.total_deviation - 11.0).abs() < 1e-12);
+        assert!(r.medoids[0] == 1 || r.medoids[0] == 2);
+        assert!(r.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn k_equals_n_zero_deviation() {
+        let p = blobs();
+        let m = DistanceMatrix::from_points(&p);
+        let r = pam(&m, p.len(), &PamConfig::default());
+        assert_eq!(r.medoids.len(), p.len());
+        assert!(r.total_deviation.abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_n_clamped() {
+        let p = Points::new(vec![vec![0.0], vec![5.0]], Metric::Euclidean);
+        let m = DistanceMatrix::from_points(&p);
+        let r = pam(&m, 10, &PamConfig::default());
+        assert_eq!(r.medoids.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let m = DistanceMatrix::from_fn(2, |_, _| 1.0);
+        let _ = pam(&m, 0, &PamConfig::default());
+    }
+
+    #[test]
+    fn swap_improves_over_build() {
+        // Construct a case where BUILD's greedy seeds are suboptimal:
+        // two tight pairs and one far singleton, k=2.
+        let p = Points::new(
+            vec![
+                vec![0.0],
+                vec![0.1],
+                vec![10.0],
+                vec![10.1],
+                vec![5.0],
+            ],
+            Metric::Euclidean,
+        );
+        let m = DistanceMatrix::from_points(&p);
+        let r = pam(&m, 2, &PamConfig::default());
+        assert!(r.converged);
+        // Optimal: medoids in each pair; 5.0 joins either side.
+        assert!(
+            r.total_deviation <= 5.0 + 0.2 + 1e-9,
+            "deviation {}",
+            r.total_deviation
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = blobs();
+        let m = DistanceMatrix::from_points(&p);
+        let a = pam(&m, 3, &PamConfig::default());
+        let b = pam(&m, 3, &PamConfig::default());
+        assert_eq!(a.medoids, b.medoids);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn max_iter_caps_swaps() {
+        let p = blobs();
+        let m = DistanceMatrix::from_points(&p);
+        let r = pam(&m, 3, &PamConfig { max_iter: 0 });
+        // No swaps allowed: BUILD result returned, not converged.
+        assert_eq!(r.swaps, 0);
+        assert!(!r.converged);
+        assert_eq!(r.labels.len(), p.len());
+    }
+
+    #[test]
+    fn deviation_never_increases_with_k() {
+        let p = blobs();
+        let m = DistanceMatrix::from_points(&p);
+        let mut prev = f64::INFINITY;
+        for k in 1..=6 {
+            let r = pam(&m, k, &PamConfig::default());
+            assert!(
+                r.total_deviation <= prev + 1e-9,
+                "deviation increased at k={k}"
+            );
+            prev = r.total_deviation;
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Silhouette coefficients — Blaeu's cluster-quality measure.
+//!
+//! The silhouette of point *i* is `s(i) = (b − a) / max(a, b)` where `a` is
+//! the mean distance to the other members of its own cluster and `b` the
+//! lowest mean distance to any other cluster. The paper uses the average
+//! silhouette both to report cluster quality to the user and to pick the
+//! number of clusters, and it estimates it "in a Monte-Carlo fashion": the
+//! score of several sub-samples is averaged instead of computing the exact
+//! O(n²) value.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::distance::Points;
+use crate::matrix::DistanceMatrix;
+
+/// Per-point silhouette values from a distance matrix and labels.
+///
+/// Conventions: points in singleton clusters get silhouette 0 (Kaufman &
+/// Rousseeuw); a single cluster overall yields all-zero silhouettes.
+///
+/// # Panics
+/// Panics if `labels.len() != matrix.len()`.
+pub fn silhouette_samples(matrix: &DistanceMatrix, labels: &[usize]) -> Vec<f64> {
+    let n = matrix.len();
+    assert_eq!(labels.len(), n, "one label per point");
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = labels.iter().copied().max().unwrap_or(0) + 1;
+    let mut cluster_sizes = vec![0usize; k];
+    for &l in labels {
+        cluster_sizes[l] += 1;
+    }
+
+    let mut out = vec![0.0f64; n];
+    // Mean distance from i to every cluster, computed per point.
+    let mut sums = vec![0.0f64; k];
+    for i in 0..n {
+        sums.iter_mut().for_each(|s| *s = 0.0);
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += matrix.get(i, j);
+            }
+        }
+        let own = labels[i];
+        if cluster_sizes[own] <= 1 {
+            out[i] = 0.0;
+            continue;
+        }
+        let a = sums[own] / (cluster_sizes[own] - 1) as f64;
+        let mut b = f64::INFINITY;
+        for c in 0..k {
+            if c != own && cluster_sizes[c] > 0 {
+                b = b.min(sums[c] / cluster_sizes[c] as f64);
+            }
+        }
+        if !b.is_finite() {
+            out[i] = 0.0; // single non-empty cluster
+        } else {
+            let denom = a.max(b);
+            out[i] = if denom > 0.0 { (b - a) / denom } else { 0.0 };
+        }
+    }
+    out
+}
+
+/// Average silhouette width over all points.
+pub fn silhouette_score(matrix: &DistanceMatrix, labels: &[usize]) -> f64 {
+    let s = silhouette_samples(matrix, labels);
+    if s.is_empty() {
+        0.0
+    } else {
+        s.iter().sum::<f64>() / s.len() as f64
+    }
+}
+
+/// Configuration for the Monte-Carlo silhouette estimator.
+#[derive(Debug, Clone)]
+pub struct McSilhouetteConfig {
+    /// Number of sub-samples to average.
+    pub subsamples: usize,
+    /// Rows per sub-sample.
+    pub subsample_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for McSilhouetteConfig {
+    fn default() -> Self {
+        McSilhouetteConfig {
+            subsamples: 4,
+            subsample_size: 256,
+            seed: 17,
+        }
+    }
+}
+
+/// Monte-Carlo estimate of the average silhouette: draw sub-samples of the
+/// points, compute each sub-sample's exact silhouette (restricted to the
+/// labels it carries), and average. Cost is
+/// `O(subsamples · subsample_size²)` instead of `O(n²)`.
+///
+/// # Panics
+/// Panics if `labels.len() != points.len()`.
+pub fn mc_silhouette(points: &Points, labels: &[usize], config: &McSilhouetteConfig) -> f64 {
+    let n = points.len();
+    assert_eq!(labels.len(), n, "one label per point");
+    if n == 0 {
+        return 0.0;
+    }
+    let size = config.subsample_size.min(n);
+    if size >= n {
+        // Degenerates to the exact computation on the full set.
+        let matrix = DistanceMatrix::from_points(points);
+        return silhouette_score(&matrix, labels);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut scores = Vec::with_capacity(config.subsamples.max(1));
+    for _ in 0..config.subsamples.max(1) {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(size);
+        let sub_points = points.subset(&idx);
+        let sub_labels: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+        let matrix = DistanceMatrix::from_points(&sub_points);
+        scores.push(silhouette_score(&matrix, &sub_labels));
+    }
+    scores.iter().sum::<f64>() / scores.len() as f64
+}
+
+/// Cheap medoid-based silhouette: `a` is the distance to the point's own
+/// medoid, `b` the distance to the nearest other medoid. An O(nk)
+/// approximation used for quick per-region quality hints.
+pub fn medoid_silhouette(points: &Points, medoids: &[usize], labels: &[usize]) -> f64 {
+    let n = points.len();
+    assert_eq!(labels.len(), n, "one label per point");
+    if n == 0 || medoids.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let a = points.dist(i, medoids[labels[i]]);
+        let mut b = f64::INFINITY;
+        for (slot, &m) in medoids.iter().enumerate() {
+            if slot != labels[i] {
+                b = b.min(points.dist(i, m));
+            }
+        }
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Metric;
+
+    fn blob_points(per: usize, centers: &[f64]) -> (Points, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (c, &center) in centers.iter().enumerate() {
+            for i in 0..per {
+                let jitter = ((i * 2654435761usize) % 100) as f64 / 100.0;
+                rows.push(vec![center + jitter]);
+                labels.push(c);
+            }
+        }
+        (Points::new(rows, Metric::Euclidean), labels)
+    }
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let (p, labels) = blob_points(20, &[0.0, 100.0, 200.0]);
+        let m = DistanceMatrix::from_points(&p);
+        let s = silhouette_score(&m, &labels);
+        assert!(s > 0.95, "separated blobs should score near 1, got {s}");
+    }
+
+    #[test]
+    fn random_labels_score_low() {
+        let (p, _) = blob_points(20, &[0.0, 100.0, 200.0]);
+        let m = DistanceMatrix::from_points(&p);
+        let bad: Vec<usize> = (0..60).map(|i| i % 3).collect();
+        let s = silhouette_score(&m, &bad);
+        assert!(s < 0.1, "shuffled labels should score poorly, got {s}");
+    }
+
+    #[test]
+    fn values_in_unit_interval() {
+        let (p, labels) = blob_points(15, &[0.0, 5.0]);
+        let m = DistanceMatrix::from_points(&p);
+        for s in silhouette_samples(&m, &labels) {
+            assert!((-1.0..=1.0).contains(&s), "silhouette {s} out of range");
+        }
+    }
+
+    #[test]
+    fn singleton_and_single_cluster_conventions() {
+        let (p, _) = blob_points(5, &[0.0]);
+        let m = DistanceMatrix::from_points(&p);
+        // Single cluster: all zeros.
+        assert_eq!(silhouette_score(&m, &[0, 0, 0, 0, 0]), 0.0);
+        // Singleton cluster: its point scores 0.
+        let labels = vec![0, 0, 0, 0, 1];
+        let s = silhouette_samples(&m, &labels);
+        assert_eq!(s[4], 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let p = Points::new(vec![], Metric::Euclidean);
+        let m = DistanceMatrix::from_points(&p);
+        assert_eq!(silhouette_score(&m, &[]), 0.0);
+        assert_eq!(mc_silhouette(&p, &[], &McSilhouetteConfig::default()), 0.0);
+    }
+
+    #[test]
+    fn mc_estimate_converges_to_exact() {
+        let (p, labels) = blob_points(150, &[0.0, 30.0, 60.0]);
+        let m = DistanceMatrix::from_points(&p);
+        let exact = silhouette_score(&m, &labels);
+        let mc = mc_silhouette(
+            &p,
+            &labels,
+            &McSilhouetteConfig {
+                subsamples: 8,
+                subsample_size: 120,
+                seed: 3,
+            },
+        );
+        assert!(
+            (mc - exact).abs() < 0.05,
+            "MC {mc} should be close to exact {exact}"
+        );
+    }
+
+    #[test]
+    fn mc_with_oversized_subsample_is_exact() {
+        let (p, labels) = blob_points(20, &[0.0, 50.0]);
+        let m = DistanceMatrix::from_points(&p);
+        let exact = silhouette_score(&m, &labels);
+        let mc = mc_silhouette(
+            &p,
+            &labels,
+            &McSilhouetteConfig {
+                subsamples: 3,
+                subsample_size: 10_000,
+                seed: 5,
+            },
+        );
+        assert!((mc - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mc_error_shrinks_with_more_subsamples() {
+        let (p, labels) = blob_points(300, &[0.0, 10.0, 20.0]);
+        let m = DistanceMatrix::from_points(&p);
+        let exact = silhouette_score(&m, &labels);
+        let err = |subsamples: usize, size: usize| {
+            let mc = mc_silhouette(
+                &p,
+                &labels,
+                &McSilhouetteConfig {
+                    subsamples,
+                    subsample_size: size,
+                    seed: 11,
+                },
+            );
+            (mc - exact).abs()
+        };
+        // Not strictly monotone per-seed, but 16×200 must beat 1×30 clearly.
+        assert!(err(16, 200) <= err(1, 30) + 0.02);
+    }
+
+    #[test]
+    fn medoid_silhouette_tracks_exact_ordering() {
+        let (p, good) = blob_points(25, &[0.0, 100.0]);
+        let bad: Vec<usize> = (0..50).map(|i| i % 2).collect();
+        // Medoids: centers of each blob (index 0 block and 25 block).
+        let med = vec![12, 37];
+        let s_good = medoid_silhouette(&p, &med, &good);
+        let s_bad = medoid_silhouette(&p, &med, &bad);
+        assert!(s_good > s_bad, "good {s_good} vs bad {s_bad}");
+        assert!(s_good > 0.9);
+    }
+
+    #[test]
+    fn medoid_silhouette_single_medoid_zero() {
+        let (p, labels) = blob_points(5, &[0.0]);
+        assert_eq!(medoid_silhouette(&p, &[0], &labels), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for the Blaeu core.
+
+use std::fmt;
+
+use blaeu_store::StoreError;
+
+/// Errors raised by the exploration engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlaeuError {
+    /// A storage-layer error.
+    Store(StoreError),
+    /// The requested theme index does not exist.
+    UnknownTheme(usize),
+    /// The requested region id does not exist in the current map.
+    UnknownRegion(usize),
+    /// An action needs a map, but none has been built yet.
+    NoActiveMap,
+    /// The current selection has no rows (or too few for the operation).
+    EmptySelection,
+    /// Nothing to roll back to.
+    HistoryEmpty,
+    /// The requested session does not exist (or was closed).
+    UnknownSession(u64),
+    /// Invalid parameter or state, with an explanation.
+    Invalid(String),
+}
+
+impl fmt::Display for BlaeuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlaeuError::Store(e) => write!(f, "storage error: {e}"),
+            BlaeuError::UnknownTheme(i) => write!(f, "unknown theme index: {i}"),
+            BlaeuError::UnknownRegion(i) => write!(f, "unknown region id: {i}"),
+            BlaeuError::NoActiveMap => f.write_str("no active map (select a theme first)"),
+            BlaeuError::EmptySelection => f.write_str("the current selection holds no rows"),
+            BlaeuError::HistoryEmpty => f.write_str("nothing to roll back to"),
+            BlaeuError::UnknownSession(id) => write!(f, "unknown session: {id}"),
+            BlaeuError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BlaeuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BlaeuError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for BlaeuError {
+    fn from(e: StoreError) -> Self {
+        BlaeuError::Store(e)
+    }
+}
+
+impl BlaeuError {
+    /// Wraps an I/O error (for callers writing exports).
+    pub fn from_io(e: std::io::Error) -> Self {
+        BlaeuError::Store(StoreError::from(e))
+    }
+}
+
+/// Result alias for the core crate.
+pub type Result<T> = std::result::Result<T, BlaeuError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(BlaeuError::NoActiveMap.to_string().contains("theme"));
+        assert!(BlaeuError::UnknownRegion(3).to_string().contains('3'));
+        let e: BlaeuError = StoreError::ColumnNotFound("x".into()).into();
+        assert!(e.to_string().contains("storage error"));
+    }
+
+    #[test]
+    fn source_chains_store_errors() {
+        use std::error::Error;
+        let e: BlaeuError = StoreError::ColumnNotFound("x".into()).into();
+        assert!(e.source().is_some());
+        assert!(BlaeuError::HistoryEmpty.source().is_none());
+    }
+}

@@ -1,0 +1,473 @@
+//! The mapping engine — Blaeu's three-stage pipeline (Figure 3).
+//!
+//! `sample → preprocess → cluster (PAM/CLARA, k by silhouette) → describe
+//! (CART) → data map`. Each zoom re-runs the pipeline on the rows of the
+//! zoomed region; sampling keeps every stage at interactive latency
+//! regardless of the size of the underlying selection.
+
+use blaeu_cluster::{
+    clara, pam, select_k, silhouette_score, ClaraConfig, DistanceMatrix, KSelectConfig,
+    McSilhouetteConfig, PamConfig, PamResult, Points,
+};
+use blaeu_store::{MultiScaleSampler, Table};
+use blaeu_tree::{accuracy, CartConfig, DecisionTree, Node, PathConstraints};
+
+use crate::error::{BlaeuError, Result};
+use crate::map::{DataMap, Region};
+use crate::preprocess::{preprocess, MetricChoice, PreprocessConfig};
+
+/// How the number of clusters is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KChoice {
+    /// Sweep `min..=max` and keep the best silhouette (the paper's method).
+    Auto {
+        /// Smallest k tried.
+        min: usize,
+        /// Largest k tried.
+        max: usize,
+    },
+    /// Fixed k.
+    Fixed(usize),
+}
+
+/// Configuration for [`build_map`].
+#[derive(Debug, Clone)]
+pub struct MapperConfig {
+    /// Rows sampled from the view before clustering ("a few thousand
+    /// samples" in the paper).
+    pub sample_size: usize,
+    /// Cluster-count policy.
+    pub k: KChoice,
+    /// Preprocessing settings.
+    pub preprocess: PreprocessConfig,
+    /// Distance metric for clustering.
+    pub metric: MetricChoice,
+    /// Above this many sampled rows, CLARA replaces exact PAM.
+    pub clara_threshold: usize,
+    /// CLARA settings (when used).
+    pub clara: ClaraConfig,
+    /// PAM settings.
+    pub pam: PamConfig,
+    /// Monte-Carlo silhouette settings (`None` = exact scoring).
+    pub mc: Option<McSilhouetteConfig>,
+    /// Decision-tree settings (depth bounds map readability).
+    pub cart: CartConfig,
+    /// Seed for sampling.
+    pub seed: u64,
+}
+
+impl Default for MapperConfig {
+    fn default() -> Self {
+        MapperConfig {
+            sample_size: 2000,
+            k: KChoice::Auto { min: 2, max: 6 },
+            preprocess: PreprocessConfig::default(),
+            metric: MetricChoice::Gower,
+            clara_threshold: 1000,
+            clara: ClaraConfig::default(),
+            pam: PamConfig::default(),
+            mc: Some(McSilhouetteConfig::default()),
+            cart: CartConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Clusters the sampled points per the configuration.
+fn cluster_sample(points: &Points, config: &MapperConfig) -> (PamResult, f64, usize) {
+    match config.k {
+        KChoice::Fixed(k) => {
+            let k = k.clamp(1, points.len());
+            let result = if points.len() > config.clara_threshold {
+                clara(points, k, &config.clara)
+            } else {
+                let matrix = DistanceMatrix::from_points(points);
+                let r = pam(&matrix, k, &config.pam);
+                let sil = silhouette_score(&matrix, &r.labels);
+                return (r, sil, k);
+            };
+            let sil = match &config.mc {
+                Some(mc) => blaeu_cluster::mc_silhouette(points, &result.labels, mc),
+                None => {
+                    let matrix = DistanceMatrix::from_points(points);
+                    silhouette_score(&matrix, &result.labels)
+                }
+            };
+            (result, sil, k)
+        }
+        KChoice::Auto { min, max } => {
+            let selection = select_k(
+                points,
+                &KSelectConfig {
+                    k_min: min,
+                    k_max: max,
+                    clara_threshold: config.clara_threshold,
+                    pam: config.pam.clone(),
+                    clara: config.clara.clone(),
+                    mc: config.mc.clone(),
+                },
+            );
+            let k = selection.k;
+            (selection.result, selection.silhouette, k)
+        }
+    }
+}
+
+/// Walks the fitted tree, emitting one [`Region`] per node in depth-first
+/// pre-order, with counts from the full-view leaf assignment.
+fn build_regions(
+    tree: &DecisionTree,
+    leaf_counts: &[usize],
+    view_rows: usize,
+) -> Vec<Region> {
+    struct Walker<'a> {
+        regions: Vec<Region>,
+        leaf_counts: &'a [usize],
+        view_rows: usize,
+        next_leaf: usize,
+    }
+
+    impl Walker<'_> {
+        /// Returns (region id, count).
+        fn visit(
+            &mut self,
+            node: &Node,
+            parent: Option<usize>,
+            depth: usize,
+            edge_label: String,
+            constraints: &PathConstraints,
+        ) -> (usize, usize) {
+            let id = self.regions.len();
+            // Reserve the slot so children get higher ids (pre-order).
+            self.regions.push(Region {
+                id,
+                parent,
+                children: Vec::new(),
+                depth,
+                edge_label,
+                predicate: constraints.predicate(),
+                description: constraints.describe(),
+                count: 0,
+                fraction: 0.0,
+                cluster: node.majority_class(),
+                leaf: None,
+            });
+            match node {
+                Node::Leaf { .. } => {
+                    let leaf = self.next_leaf;
+                    self.next_leaf += 1;
+                    let count = self.leaf_counts[leaf];
+                    self.regions[id].leaf = Some(leaf);
+                    self.regions[id].count = count;
+                    self.regions[id].fraction = if self.view_rows > 0 {
+                        count as f64 / self.view_rows as f64
+                    } else {
+                        0.0
+                    };
+                    (id, count)
+                }
+                Node::Internal {
+                    rule, left, right, ..
+                } => {
+                    let mut count = 0usize;
+                    let mut children = Vec::with_capacity(2);
+                    for (child, went_left) in [(left, true), (right, false)] {
+                        let mut next = constraints.clone();
+                        next.apply(rule, went_left);
+                        let label = if went_left {
+                            rule.describe_left()
+                        } else {
+                            rule.describe_right()
+                        };
+                        let (cid, ccount) =
+                            self.visit(child, Some(id), depth + 1, label, &next);
+                        children.push(cid);
+                        count += ccount;
+                    }
+                    self.regions[id].children = children;
+                    self.regions[id].count = count;
+                    self.regions[id].fraction = if self.view_rows > 0 {
+                        count as f64 / self.view_rows as f64
+                    } else {
+                        0.0
+                    };
+                    (id, count)
+                }
+            }
+        }
+    }
+
+    let mut walker = Walker {
+        regions: Vec::new(),
+        leaf_counts,
+        view_rows,
+        next_leaf: 0,
+    };
+    walker.visit(
+        tree.root(),
+        None,
+        0,
+        String::new(),
+        &PathConstraints::new(),
+    );
+    walker.regions
+}
+
+/// Builds a data map for the given columns of the (already filtered) view.
+///
+/// # Errors
+/// Fails on empty views, unknown columns, or degenerate inputs the
+/// pipeline cannot cluster.
+pub fn build_map(view: &Table, columns: &[&str], config: &MapperConfig) -> Result<DataMap> {
+    if view.nrows() == 0 {
+        return Err(BlaeuError::EmptySelection);
+    }
+    if columns.is_empty() {
+        return Err(BlaeuError::Invalid(
+            "a map needs at least one column".to_owned(),
+        ));
+    }
+    for &c in columns {
+        view.column_by_name(c)?;
+    }
+    let n = view.nrows();
+
+    // Stage 0: multi-scale sample of the view.
+    let sampler = MultiScaleSampler::new(n, config.seed);
+    let sample_rows = sampler.sample(config.sample_size.max(1));
+    let sample = view.take(&sample_rows)?;
+
+    // Stage 1: preprocess into vectors.
+    let features = preprocess(&sample, columns, &config.preprocess)?;
+    let points = features.into_points(config.metric);
+
+    // Degenerate micro-selections: one cluster, single-region map.
+    if points.len() < 4 {
+        let labels = vec![0usize; sample.nrows()];
+        let tree = DecisionTree::fit(&sample, columns, &labels, &config.cart)?;
+        let assignments = tree.leaf_assignments(view)?;
+        let leaf_rows = split_rows(&assignments, tree.n_leaves());
+        let leaf_counts: Vec<usize> = leaf_rows.iter().map(Vec::len).collect();
+        let regions = build_regions(&tree, &leaf_counts, n);
+        return Ok(DataMap::new(
+            columns.iter().map(|&s| s.to_owned()).collect(),
+            1,
+            0.0,
+            sample.nrows(),
+            n,
+            1.0,
+            Vec::new(),
+            regions,
+            leaf_rows,
+            tree,
+        ));
+    }
+
+    // Stage 2: cluster the sample; k by silhouette.
+    let (clustering, silhouette, k) = cluster_sample(&points, config);
+
+    // Stage 3: describe with a decision tree trained on the ORIGINAL
+    // sampled tuples, cluster ids as classes.
+    let tree = DecisionTree::fit(&sample, columns, &clustering.labels, &config.cart)?;
+    let tree_fidelity = accuracy(&tree.predict(&sample)?, &clustering.labels);
+
+    // Route every row of the full view through the tree.
+    let assignments = tree.leaf_assignments(view)?;
+    let leaf_rows = split_rows(&assignments, tree.n_leaves());
+    let leaf_counts: Vec<usize> = leaf_rows.iter().map(Vec::len).collect();
+    let regions = build_regions(&tree, &leaf_counts, n);
+
+    // Medoids: sample-local indices → view rows.
+    let medoid_rows: Vec<u32> = clustering
+        .medoids
+        .iter()
+        .map(|&m| sample_rows[m])
+        .collect();
+
+    Ok(DataMap::new(
+        columns.iter().map(|&s| s.to_owned()).collect(),
+        k,
+        silhouette,
+        sample.nrows(),
+        n,
+        tree_fidelity,
+        medoid_rows,
+        regions,
+        leaf_rows,
+        tree,
+    ))
+}
+
+fn split_rows(assignments: &[usize], n_leaves: usize) -> Vec<Vec<u32>> {
+    let mut out = vec![Vec::new(); n_leaves];
+    for (row, &leaf) in assignments.iter().enumerate() {
+        out[leaf].push(row as u32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blaeu_store::generate::{planted, PlantedConfig};
+    use blaeu_store::{Column, TableBuilder};
+
+    fn blob_table(n_per: usize) -> Table {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for c in 0..3 {
+            for i in 0..n_per {
+                let jitter = ((i * 2654435761usize) % 100) as f64 / 100.0;
+                x.push(c as f64 * 50.0 + jitter);
+                y.push(c as f64 * -20.0 + jitter * 2.0);
+            }
+        }
+        TableBuilder::new("blobs")
+            .column("x", Column::dense_f64(x))
+            .unwrap()
+            .column("y", Column::dense_f64(y))
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_three_blob_regions() {
+        let t = blob_table(80);
+        let map = build_map(&t, &["x", "y"], &MapperConfig::default()).unwrap();
+        assert_eq!(map.k, 3, "silhouette should pick k=3");
+        assert_eq!(map.leaves().len(), 3);
+        assert!(map.silhouette > 0.7, "silhouette {}", map.silhouette);
+        assert!(map.tree_fidelity > 0.98, "fidelity {}", map.tree_fidelity);
+        let total: usize = map.leaves().iter().map(|r| r.count).sum();
+        assert_eq!(total, t.nrows());
+    }
+
+    #[test]
+    fn fixed_k_respected() {
+        let t = blob_table(50);
+        let map = build_map(
+            &t,
+            &["x", "y"],
+            &MapperConfig {
+                k: KChoice::Fixed(2),
+                ..MapperConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(map.k, 2);
+        assert!(map.leaves().len() <= 2);
+    }
+
+    #[test]
+    fn sampling_still_covers_full_view() {
+        let t = blob_table(300); // 900 rows, sample 200
+        let map = build_map(
+            &t,
+            &["x", "y"],
+            &MapperConfig {
+                sample_size: 200,
+                ..MapperConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(map.sample_size, 200);
+        assert_eq!(map.view_rows, 900);
+        let total: usize = map.leaves().iter().map(|r| r.count).sum();
+        assert_eq!(total, 900, "every view row lands in exactly one leaf");
+    }
+
+    #[test]
+    fn medoids_are_view_rows() {
+        let t = blob_table(60);
+        let map = build_map(&t, &["x", "y"], &MapperConfig::default()).unwrap();
+        assert_eq!(map.medoid_rows.len(), map.k);
+        for &m in &map.medoid_rows {
+            assert!((m as usize) < t.nrows());
+        }
+    }
+
+    #[test]
+    fn tiny_view_single_region() {
+        let t = blob_table(1); // 3 rows
+        let map = build_map(&t, &["x", "y"], &MapperConfig::default()).unwrap();
+        assert_eq!(map.k, 1);
+        assert_eq!(map.root().count, 3);
+    }
+
+    #[test]
+    fn empty_view_errors() {
+        let t = TableBuilder::new("e")
+            .column("x", Column::dense_f64(vec![]))
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(matches!(
+            build_map(&t, &["x"], &MapperConfig::default()),
+            Err(BlaeuError::EmptySelection)
+        ));
+    }
+
+    #[test]
+    fn no_columns_errors() {
+        let t = blob_table(10);
+        assert!(build_map(&t, &[], &MapperConfig::default()).is_err());
+        assert!(build_map(&t, &["ghost"], &MapperConfig::default()).is_err());
+    }
+
+    #[test]
+    fn recovers_planted_clusters_on_generated_data() {
+        let (table, truth) = planted(&PlantedConfig {
+            nrows: 600,
+            clusters: 3,
+            cluster_sep: 5.0,
+            ..PlantedConfig::default()
+        })
+        .unwrap();
+        let columns: Vec<&str> = truth
+            .theme_of_column
+            .iter()
+            .filter(|(_, t)| *t == 0)
+            .map(|(c, _)| c.as_str())
+            .collect();
+        let map = build_map(&table, &columns, &MapperConfig::default()).unwrap();
+        // Region assignment should align with the planted labels.
+        let mut region_labels = vec![0usize; table.nrows()];
+        for leaf in map.leaves() {
+            for row in map.rows_of(leaf.id).unwrap() {
+                region_labels[row as usize] = leaf.cluster;
+            }
+        }
+        let ari = blaeu_cluster::adjusted_rand_index(&region_labels, &truth.labels);
+        assert!(ari > 0.8, "map should recover planted clusters, ARI {ari}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = blob_table(40);
+        let a = build_map(&t, &["x", "y"], &MapperConfig::default()).unwrap();
+        let b = build_map(&t, &["x", "y"], &MapperConfig::default()).unwrap();
+        assert_eq!(a.k, b.k);
+        assert_eq!(a.silhouette, b.silhouette);
+        assert_eq!(a.regions().len(), b.regions().len());
+    }
+
+    #[test]
+    fn map_on_mixed_types() {
+        let n = 200;
+        let nums: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 100.0 })
+            .collect();
+        let cats: Vec<&str> = (0..n).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect();
+        let t = TableBuilder::new("mix")
+            .column("num", Column::dense_f64(nums))
+            .unwrap()
+            .column("cat", Column::from_strs(cats.into_iter().map(Some)))
+            .unwrap()
+            .build()
+            .unwrap();
+        let map = build_map(&t, &["num", "cat"], &MapperConfig::default()).unwrap();
+        assert_eq!(map.k, 2);
+        assert_eq!(map.leaves().len(), 2);
+    }
+}

@@ -1,0 +1,484 @@
+//! Preprocessing — stage one of the mapping pipeline (Figure 3).
+//!
+//! "Blaeu removes the primary keys, it normalizes the continuous variables,
+//! and it introduces dummy binary variables to represent the categorical
+//! data. The result of this operation is a set of vectors, where each
+//! vector represents a tuple in the database."
+//!
+//! Key columns are detected by role and by an all-distinct heuristic;
+//! continuous columns are z-scored; categorical columns are one-hot encoded
+//! (capped to the most frequent levels); missing values either propagate as
+//! `NaN` (the distance metrics average over observed dimensions) or are
+//! imputed with mean / mode.
+
+use blaeu_cluster::{Metric, Points};
+use blaeu_store::{Column, ColumnRole, DataType, Table};
+
+use crate::error::{BlaeuError, Result};
+
+/// How missing cells reach the feature matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissingPolicy {
+    /// Keep missing as `NaN`; metrics average over observed dims.
+    Propagate,
+    /// Replace with the column mean (numeric) or mode (categorical).
+    Impute,
+}
+
+/// Which metric the produced [`Points`] carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricChoice {
+    /// Gower dissimilarity (mixed data; the sensible default).
+    Gower,
+    /// Euclidean on the normalized features.
+    Euclidean,
+    /// Manhattan on the normalized features.
+    Manhattan,
+}
+
+/// Configuration for [`preprocess`].
+#[derive(Debug, Clone)]
+pub struct PreprocessConfig {
+    /// Missing-value policy.
+    pub missing: MissingPolicy,
+    /// Metric attached to the output points.
+    pub metric: MetricChoice,
+    /// Keep at most this many levels per categorical column (most frequent
+    /// first); remaining levels collapse into one overflow dummy.
+    pub max_categories: usize,
+    /// Drop columns whose distinct count equals the row count (key
+    /// heuristic) even when their role is `Attribute`.
+    pub drop_unique_columns: bool,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            missing: MissingPolicy::Propagate,
+            metric: MetricChoice::Gower,
+            max_categories: 12,
+            drop_unique_columns: true,
+        }
+    }
+}
+
+/// One output feature's provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureInfo {
+    /// Feature name (e.g. `income` or `country=NL`).
+    pub name: String,
+    /// Source column in the table.
+    pub source: String,
+    /// True for dummy features born from categorical levels.
+    pub categorical: bool,
+}
+
+/// The vector form of a table sample: `n × dims` features plus provenance.
+#[derive(Debug, Clone)]
+pub struct FeatureMatrix {
+    /// Per-feature metadata, in dimension order.
+    pub features: Vec<FeatureInfo>,
+    /// Row-major data (`nrows × features.len()`).
+    pub data: Vec<f64>,
+    /// Number of rows.
+    pub nrows: usize,
+}
+
+impl FeatureMatrix {
+    /// Number of feature dimensions.
+    pub fn dims(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dims()..(i + 1) * self.dims()]
+    }
+
+    /// Converts into a clusterable point set with the configured metric.
+    pub fn into_points(self, metric: MetricChoice) -> Points {
+        let categorical: Vec<bool> = self.features.iter().map(|f| f.categorical).collect();
+        let dims = self.features.len();
+        let nrows = self.nrows;
+        let metric = match metric {
+            MetricChoice::Euclidean => Metric::Euclidean,
+            MetricChoice::Manhattan => Metric::Manhattan,
+            MetricChoice::Gower => {
+                // Fit ranges from the data itself.
+                let mut lo = vec![f64::INFINITY; dims];
+                let mut hi = vec![f64::NEG_INFINITY; dims];
+                for r in 0..nrows {
+                    for d in 0..dims {
+                        let v = self.data[r * dims + d];
+                        if v.is_finite() {
+                            lo[d] = lo[d].min(v);
+                            hi[d] = hi[d].max(v);
+                        }
+                    }
+                }
+                let ranges = lo
+                    .iter()
+                    .zip(&hi)
+                    .map(|(&l, &h)| if h > l { h - l } else { 0.0 })
+                    .collect();
+                Metric::Gower {
+                    ranges,
+                    categorical,
+                }
+            }
+        };
+        Points::from_flat(self.data, nrows, dims, metric)
+    }
+}
+
+/// Columns selected for analysis: attributes that are neither keys nor
+/// labels, minus all-distinct pseudo-keys when configured.
+pub fn analyzable_columns<'t>(table: &'t Table, config: &PreprocessConfig) -> Vec<&'t str> {
+    table
+        .schema()
+        .fields()
+        .iter()
+        .filter(|f| f.role == ColumnRole::Attribute)
+        .filter(|f| {
+            if !config.drop_unique_columns {
+                return true;
+            }
+            let col = table.column_by_name(&f.name).expect("schema-listed");
+            let n = table.nrows();
+            // All-distinct integer or categorical columns are keys in
+            // disguise; all-distinct floats are usually measures, keep them.
+            !(n > 1
+                && matches!(f.dtype, DataType::Int64 | DataType::Categorical)
+                && col.null_count() == 0
+                && col.distinct_count() == n)
+        })
+        .map(|f| f.name.as_str())
+        .collect()
+}
+
+fn numeric_stats(col: &Column) -> (f64, f64) {
+    let vals: Vec<f64> = (0..col.len()).filter_map(|i| col.numeric_at(i)).collect();
+    if vals.is_empty() {
+        return (0.0, 1.0);
+    }
+    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+    let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+    let std = var.sqrt();
+    (mean, if std > 1e-12 { std } else { 1.0 })
+}
+
+/// Runs the preprocessing pipeline over the named columns of `table`.
+///
+/// # Errors
+/// Returns an error for unknown columns or an empty table.
+pub fn preprocess(
+    table: &Table,
+    columns: &[&str],
+    config: &PreprocessConfig,
+) -> Result<FeatureMatrix> {
+    if table.nrows() == 0 {
+        return Err(BlaeuError::EmptySelection);
+    }
+    let n = table.nrows();
+    let mut features: Vec<FeatureInfo> = Vec::new();
+    let mut columns_data: Vec<Vec<f64>> = Vec::new(); // per-feature column
+
+    for &name in columns {
+        let col = table.column_by_name(name)?;
+        match col.data_type() {
+            DataType::Float64 | DataType::Int64 | DataType::Bool => {
+                let (mean, std) = numeric_stats(col);
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    match col.numeric_at(i) {
+                        Some(v) => out.push((v - mean) / std),
+                        None => out.push(match config.missing {
+                            MissingPolicy::Propagate => f64::NAN,
+                            MissingPolicy::Impute => 0.0, // z-scored mean
+                        }),
+                    }
+                }
+                features.push(FeatureInfo {
+                    name: name.to_owned(),
+                    source: name.to_owned(),
+                    categorical: false,
+                });
+                columns_data.push(out);
+            }
+            DataType::Categorical => {
+                let (_, dict, _) = col.categorical_parts().expect("categorical");
+                // Rank levels by frequency, keep the top `max_categories`.
+                let mut counts = vec![0usize; dict.len()];
+                for i in 0..n {
+                    if let Some(c) = col.code_at(i) {
+                        counts[c as usize] += 1;
+                    }
+                }
+                let mut order: Vec<usize> = (0..dict.len()).collect();
+                order.sort_by(|&a, &b| counts[b].cmp(&counts[a]).then(a.cmp(&b)));
+                let kept: Vec<usize> = order
+                    .into_iter()
+                    .filter(|&c| counts[c] > 0)
+                    .take(config.max_categories.max(1))
+                    .collect();
+                let overflow = kept.iter().map(|&c| counts[c]).sum::<usize>()
+                    < counts.iter().sum::<usize>();
+
+                // Mode for imputation = most frequent kept level.
+                let mode = kept.first().copied();
+
+                for &cat in &kept {
+                    let mut out = Vec::with_capacity(n);
+                    for i in 0..n {
+                        match col.code_at(i) {
+                            Some(c) => out.push(f64::from(c as usize == cat)),
+                            None => out.push(match config.missing {
+                                MissingPolicy::Propagate => f64::NAN,
+                                MissingPolicy::Impute => {
+                                    f64::from(mode == Some(cat))
+                                }
+                            }),
+                        }
+                    }
+                    features.push(FeatureInfo {
+                        name: format!("{name}={}", dict[cat]),
+                        source: name.to_owned(),
+                        categorical: true,
+                    });
+                    columns_data.push(out);
+                }
+                if overflow {
+                    let mut out = Vec::with_capacity(n);
+                    for i in 0..n {
+                        match col.code_at(i) {
+                            Some(c) => {
+                                out.push(f64::from(!kept.contains(&(c as usize))))
+                            }
+                            None => out.push(match config.missing {
+                                MissingPolicy::Propagate => f64::NAN,
+                                MissingPolicy::Impute => 0.0,
+                            }),
+                        }
+                    }
+                    features.push(FeatureInfo {
+                        name: format!("{name}=<other>"),
+                        source: name.to_owned(),
+                        categorical: true,
+                    });
+                    columns_data.push(out);
+                }
+            }
+        }
+    }
+
+    // Interleave per-feature columns into row-major layout.
+    let dims = features.len();
+    let mut data = vec![0.0f64; n * dims];
+    for (d, colv) in columns_data.iter().enumerate() {
+        for (r, &v) in colv.iter().enumerate() {
+            data[r * dims + d] = v;
+        }
+    }
+    Ok(FeatureMatrix {
+        features,
+        data,
+        nrows: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blaeu_store::TableBuilder;
+
+    fn table() -> Table {
+        TableBuilder::new("t")
+            .column_with_role(
+                "id",
+                Column::dense_i64(vec![1, 2, 3, 4, 5, 6]),
+                ColumnRole::Key,
+            )
+            .unwrap()
+            .column_with_role(
+                "name",
+                Column::from_strs(["a", "b", "c", "d", "e", "f"].map(Some)),
+                ColumnRole::Label,
+            )
+            .unwrap()
+            .column(
+                "income",
+                Column::from_f64s([
+                    Some(10.0),
+                    Some(20.0),
+                    Some(30.0),
+                    Some(40.0),
+                    None,
+                    Some(50.0),
+                ]),
+            )
+            .unwrap()
+            .column(
+                "city",
+                Column::from_strs([
+                    Some("ams"),
+                    Some("ams"),
+                    Some("nyc"),
+                    Some("ams"),
+                    Some("nyc"),
+                    None,
+                ]),
+            )
+            .unwrap()
+            .column(
+                "code",
+                Column::dense_i64(vec![101, 102, 103, 104, 105, 106]), // pseudo-key
+            )
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn analyzable_excludes_keys_labels_and_pseudokeys() {
+        let t = table();
+        let cols = analyzable_columns(&t, &PreprocessConfig::default());
+        assert_eq!(cols, vec!["income", "city"]);
+        // Without the heuristic, the pseudo-key survives.
+        let loose = analyzable_columns(
+            &t,
+            &PreprocessConfig {
+                drop_unique_columns: false,
+                ..PreprocessConfig::default()
+            },
+        );
+        assert_eq!(loose, vec!["income", "city", "code"]);
+    }
+
+    #[test]
+    fn zscore_normalization() {
+        let t = table();
+        let fm = preprocess(&t, &["income"], &PreprocessConfig::default()).unwrap();
+        assert_eq!(fm.dims(), 1);
+        // Observed values {10,20,30,40,50}: mean 30, population std sqrt(200).
+        let std = 200f64.sqrt();
+        assert!((fm.row(0)[0] - (10.0 - 30.0) / std).abs() < 1e-12);
+        assert!((fm.row(3)[0] - (40.0 - 30.0) / std).abs() < 1e-12);
+        assert!(fm.row(4)[0].is_nan(), "missing propagates as NaN");
+    }
+
+    #[test]
+    fn imputation_fills_mean_and_mode() {
+        let t = table();
+        let config = PreprocessConfig {
+            missing: MissingPolicy::Impute,
+            ..PreprocessConfig::default()
+        };
+        let fm = preprocess(&t, &["income", "city"], &config).unwrap();
+        // Income NaN → z-scored mean = 0.
+        assert_eq!(fm.row(4)[0], 0.0);
+        // City NULL (row 5) → mode "ams" dummy = 1.
+        let ams_dim = fm
+            .features
+            .iter()
+            .position(|f| f.name == "city=ams")
+            .unwrap();
+        assert_eq!(fm.row(5)[ams_dim], 1.0);
+        assert!(fm.data.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn one_hot_encoding() {
+        let t = table();
+        let fm = preprocess(&t, &["city"], &PreprocessConfig::default()).unwrap();
+        let names: Vec<&str> = fm.features.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["city=ams", "city=nyc"]);
+        assert!(fm.features.iter().all(|f| f.categorical));
+        assert_eq!(fm.row(0), &[1.0, 0.0]);
+        assert_eq!(fm.row(2), &[0.0, 1.0]);
+        assert!(fm.row(5)[0].is_nan());
+    }
+
+    #[test]
+    fn category_cap_creates_overflow_dummy() {
+        let labels: Vec<String> = (0..20).map(|i| format!("c{}", i % 6)).collect();
+        let t = TableBuilder::new("t")
+            .column(
+                "cat",
+                Column::from_strs(labels.iter().map(|s| Some(s.as_str()))),
+            )
+            .unwrap()
+            .build()
+            .unwrap();
+        let config = PreprocessConfig {
+            max_categories: 3,
+            ..PreprocessConfig::default()
+        };
+        let fm = preprocess(&t, &["cat"], &config).unwrap();
+        assert_eq!(fm.dims(), 4, "3 kept + overflow");
+        assert!(fm.features.last().unwrap().name.ends_with("<other>"));
+        // Every row has exactly one dummy set.
+        for r in 0..fm.nrows {
+            let ones: f64 = fm.row(r).iter().sum();
+            assert_eq!(ones, 1.0);
+        }
+    }
+
+    #[test]
+    fn constant_column_does_not_blow_up() {
+        let t = TableBuilder::new("t")
+            .column("c", Column::dense_f64(vec![5.0; 10]))
+            .unwrap()
+            .build()
+            .unwrap();
+        let fm = preprocess(&t, &["c"], &PreprocessConfig::default()).unwrap();
+        assert!(fm.data.iter().all(|v| v.is_finite()));
+        assert!(fm.data.iter().all(|&v| v == 0.0), "constant → all zeros");
+    }
+
+    #[test]
+    fn into_points_gower_ranges() {
+        let t = table();
+        let config = PreprocessConfig {
+            missing: MissingPolicy::Impute,
+            ..PreprocessConfig::default()
+        };
+        let fm = preprocess(&t, &["income", "city"], &config).unwrap();
+        let points = fm.into_points(MetricChoice::Gower);
+        assert_eq!(points.len(), 6);
+        assert_eq!(points.dims(), 3);
+        // Gower distances live in [0, 1].
+        for i in 0..6 {
+            for j in 0..6 {
+                let d = points.dist(i, j);
+                assert!((0.0..=1.0 + 1e-12).contains(&d), "d({i},{j}) = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_table_errors() {
+        let t = TableBuilder::new("e").build().unwrap();
+        assert!(matches!(
+            preprocess(&t, &[], &PreprocessConfig::default()),
+            Err(BlaeuError::EmptySelection)
+        ));
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = table();
+        assert!(preprocess(&t, &["ghost"], &PreprocessConfig::default()).is_err());
+    }
+
+    #[test]
+    fn bool_treated_as_numeric_feature() {
+        let t = TableBuilder::new("t")
+            .column("flag", Column::from_bools([Some(true), Some(false), Some(true)]))
+            .unwrap()
+            .build()
+            .unwrap();
+        let fm = preprocess(&t, &["flag"], &PreprocessConfig::default()).unwrap();
+        assert_eq!(fm.dims(), 1);
+        assert!(!fm.features[0].categorical);
+    }
+}

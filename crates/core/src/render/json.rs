@@ -1,0 +1,145 @@
+//! JSON export — the wire format a web client (the paper's NodeJS → D3
+//! pipeline) would consume.
+
+use serde_json::{json, Value};
+
+use crate::explorer::{Explorer, Highlight};
+use crate::map::{DataMap, Region};
+use crate::themes::ThemeSet;
+
+fn region_to_json(map: &DataMap, region: &Region) -> Value {
+    json!({
+        "id": region.id,
+        "edge": region.edge_label,
+        "description": region.description,
+        "predicate": region.predicate.to_string(),
+        "count": region.count,
+        "fraction": region.fraction,
+        "cluster": region.cluster,
+        "leaf": region.leaf,
+        "children": region.children.iter()
+            .map(|&c| region_to_json(map, map.region(c).expect("child exists")))
+            .collect::<Vec<_>>(),
+    })
+}
+
+/// Serializes a data map (nested region tree).
+pub fn map_to_json(map: &DataMap) -> Value {
+    json!({
+        "columns": map.columns,
+        "k": map.k,
+        "silhouette": map.silhouette,
+        "tree_fidelity": map.tree_fidelity,
+        "sample_size": map.sample_size,
+        "view_rows": map.view_rows,
+        "root": region_to_json(map, map.root()),
+    })
+}
+
+/// Serializes a theme set.
+pub fn themes_to_json(themes: &ThemeSet) -> Value {
+    json!({
+        "silhouette": themes.silhouette,
+        "themes": themes.themes.iter().map(|t| json!({
+            "name": t.name,
+            "cohesion": t.cohesion,
+            "columns": t.columns,
+        })).collect::<Vec<_>>(),
+    })
+}
+
+/// Serializes a highlight result.
+pub fn highlight_to_json(highlight: &Highlight) -> Value {
+    json!({
+        "column": highlight.column,
+        "regions": highlight.regions.iter().map(|r| json!({
+            "region": r.region,
+            "count": r.count,
+            "examples": r.examples,
+        })).collect::<Vec<_>>(),
+    })
+}
+
+/// Serializes the explorer's current state (what the session tier would
+/// push to the browser after each action).
+pub fn state_to_json(explorer: &Explorer) -> Value {
+    let state = explorer.current();
+    json!({
+        "table": explorer.base().name(),
+        "rows": state.view.nrows(),
+        "columns": state.columns,
+        "breadcrumbs": state.breadcrumbs,
+        "sql": explorer.sql(),
+        "map": state.map.as_deref().map(map_to_json),
+        "themes": themes_to_json(explorer.theme_set()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::ExplorerConfig;
+    use blaeu_store::generate::{oecd, OecdConfig};
+
+    fn explorer() -> Explorer {
+        let (table, _) = oecd(&OecdConfig {
+            nrows: 300,
+            ncols: 24,
+            missing_rate: 0.0,
+            ..OecdConfig::default()
+        })
+        .unwrap();
+        Explorer::open(table, ExplorerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn map_json_roundtrips_counts() {
+        let mut ex = explorer();
+        ex.select_theme(0).unwrap();
+        let v = map_to_json(ex.map().unwrap());
+        assert_eq!(v["view_rows"], 300);
+        assert_eq!(v["root"]["count"], 300);
+        // Children counts sum to the root count.
+        let children = v["root"]["children"].as_array().unwrap();
+        if !children.is_empty() {
+            let sum: u64 = children.iter().map(|c| c["count"].as_u64().unwrap()).sum();
+            assert_eq!(sum, 300);
+        }
+        // Serializes to a string cleanly.
+        let rendered = serde_json::to_string(&v).unwrap();
+        assert!(rendered.contains("\"silhouette\""));
+    }
+
+    #[test]
+    fn themes_json_lists_all() {
+        let ex = explorer();
+        let v = themes_to_json(ex.theme_set());
+        assert_eq!(
+            v["themes"].as_array().unwrap().len(),
+            ex.themes().len()
+        );
+    }
+
+    #[test]
+    fn state_json_before_and_after_theme() {
+        let mut ex = explorer();
+        let v = state_to_json(&ex);
+        assert!(v["map"].is_null());
+        assert_eq!(v["rows"], 300);
+
+        ex.select_theme(0).unwrap();
+        let v = state_to_json(&ex);
+        assert!(v["map"].is_object());
+        assert!(v["sql"].as_str().unwrap().starts_with("SELECT"));
+    }
+
+    #[test]
+    fn highlight_json() {
+        let mut ex = explorer();
+        ex.select_theme(0).unwrap();
+        let hl = ex.highlight("country").unwrap();
+        let v = highlight_to_json(&hl);
+        assert_eq!(v["column"], "country");
+        assert!(!v["regions"].as_array().unwrap().is_empty());
+    }
+}

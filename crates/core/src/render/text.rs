@@ -1,0 +1,200 @@
+//! Terminal renderings — the stand-in for the D3 web client.
+//!
+//! [`render_themes`] reproduces the *theme view* (Figure 5): a numbered
+//! list of column groups. [`render_map`] reproduces the *map view*
+//! (Figures 1b–1d and 6): an indented region tree with count bars whose
+//! length is proportional to the number of tuples (the paper's leaf area).
+
+use blaeu_stats::ColumnSummary;
+
+use crate::explorer::Highlight;
+use crate::map::{DataMap, Region};
+use crate::themes::ThemeSet;
+
+/// Renders the theme list (theme view, Figure 5).
+pub fn render_themes(themes: &ThemeSet, max_columns_shown: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Themes ({}; partition silhouette {:.2})\n",
+        themes.themes.len(),
+        themes.silhouette
+    ));
+    for (i, theme) in themes.themes.iter().enumerate() {
+        let shown: Vec<&str> = theme
+            .columns
+            .iter()
+            .take(max_columns_shown)
+            .map(String::as_str)
+            .collect();
+        let ellipsis = if theme.columns.len() > max_columns_shown {
+            format!(", … (+{})", theme.columns.len() - max_columns_shown)
+        } else {
+            String::new()
+        };
+        let bar = "█".repeat(1 + (theme.cohesion * 10.0) as usize);
+        out.push_str(&format!(
+            "  [{i}] {:<30} cohesion {bar} {:.2}\n      {}{}\n",
+            theme.name,
+            theme.cohesion,
+            shown.join(", "),
+            ellipsis
+        ));
+    }
+    out
+}
+
+fn region_line(region: &Region, bar_width: usize) -> String {
+    let bar = "█".repeat((region.fraction * bar_width as f64).round() as usize);
+    let label = if region.edge_label.is_empty() {
+        "(all rows)".to_owned()
+    } else {
+        region.edge_label.clone()
+    };
+    let marker = if region.is_leaf() {
+        format!("cluster {}", region.cluster)
+    } else {
+        "·".to_owned()
+    };
+    format!(
+        "#{:<3} {label:<44} {:>7} rows {bar:<20} [{marker}]",
+        region.id, region.count
+    )
+}
+
+fn render_region(map: &DataMap, id: usize, indent: usize, out: &mut String) {
+    let region = map.region(id).expect("walked ids exist");
+    out.push_str(&"  ".repeat(indent));
+    out.push_str(&region_line(region, 20));
+    out.push('\n');
+    for &child in &region.children {
+        render_region(map, child, indent + 1, out);
+    }
+}
+
+/// Renders the data map (map view, Figures 1b and 6).
+pub fn render_map(map: &DataMap) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Data map over [{}]\n  k = {} clusters, silhouette {:.2}, tree fidelity {:.2}, {} regions ({} rows, sample {})\n",
+        map.columns.join(", "),
+        map.k,
+        map.silhouette,
+        map.tree_fidelity,
+        map.n_regions(),
+        map.view_rows,
+        map.sample_size,
+    ));
+    render_region(map, 0, 1, &mut out);
+    out
+}
+
+/// Renders a highlight (the paper's left info panel, Figure 6).
+pub fn render_highlight(highlight: &Highlight) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Highlight: \"{}\"\n", highlight.column));
+    for r in &highlight.regions {
+        out.push_str(&format!("  region #{} ({} rows): ", r.region, r.count));
+        match &r.summary {
+            ColumnSummary::Numeric(s) => {
+                if s.count == 0 {
+                    out.push_str("all NULL\n");
+                } else {
+                    out.push_str(&format!(
+                        "mean {:.2}, sd {:.2}, median {:.2}, range [{:.2}, {:.2}]\n",
+                        s.mean, s.std, s.median, s.min, s.max
+                    ));
+                }
+            }
+            ColumnSummary::Categorical(s) => {
+                let tops: Vec<String> = s
+                    .top
+                    .iter()
+                    .map(|(label, count)| format!("{label} ({count})"))
+                    .collect();
+                out.push_str(&format!(
+                    "{} distinct: {}\n",
+                    s.distinct,
+                    tops.join(", ")
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders breadcrumbs + SQL as a compact status footer.
+pub fn render_status(breadcrumbs: &[String], sql: &str) -> String {
+    let mut out = String::new();
+    out.push_str("Trail:\n");
+    for (i, crumb) in breadcrumbs.iter().enumerate() {
+        out.push_str(&format!("  {}{}\n", "  ".repeat(i), crumb));
+    }
+    out.push_str(&format!("Query: {sql}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::{Explorer, ExplorerConfig};
+    use blaeu_store::generate::{oecd, OecdConfig};
+
+    fn explorer() -> Explorer {
+        let (table, _) = oecd(&OecdConfig {
+            nrows: 300,
+            ncols: 24,
+            missing_rate: 0.0,
+            ..OecdConfig::default()
+        })
+        .unwrap();
+        Explorer::open(table, ExplorerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn themes_rendering_lists_all() {
+        let ex = explorer();
+        let text = render_themes(ex.theme_set(), 4);
+        assert!(text.starts_with("Themes ("));
+        for (i, _) in ex.themes().iter().enumerate() {
+            assert!(text.contains(&format!("[{i}]")));
+        }
+        assert!(text.contains("cohesion"));
+    }
+
+    #[test]
+    fn map_rendering_shows_hierarchy() {
+        let mut ex = explorer();
+        ex.select_theme(0).unwrap();
+        let text = render_map(ex.map().unwrap());
+        assert!(text.contains("Data map over ["));
+        assert!(text.contains("(all rows)"));
+        assert!(text.contains("cluster"));
+        assert!(text.contains("rows"));
+        // Indentation grows with depth.
+        assert!(text.lines().count() > ex.map().unwrap().n_regions());
+    }
+
+    #[test]
+    fn highlight_rendering() {
+        let mut ex = explorer();
+        ex.select_theme(0).unwrap();
+        let hl = ex.highlight("country").unwrap();
+        let text = render_highlight(&hl);
+        assert!(text.contains("Highlight: \"country\""));
+        assert!(text.contains("distinct"));
+
+        let col = ex.current().columns[0].clone();
+        let hl = ex.highlight(&col).unwrap();
+        let text = render_highlight(&hl);
+        assert!(text.contains("mean"));
+    }
+
+    #[test]
+    fn status_footer() {
+        let mut ex = explorer();
+        ex.select_theme(0).unwrap();
+        let text = render_status(ex.breadcrumbs(), &ex.sql());
+        assert!(text.contains("Trail:"));
+        assert!(text.contains("Query: SELECT"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Session management — the NodeJS tier of the paper's architecture
+//! (Figure 4), reduced to its essence: a thread-safe registry of
+//! concurrently usable exploration sessions.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use blaeu_store::Table;
+
+use crate::error::{BlaeuError, Result};
+use crate::explorer::{Explorer, ExplorerConfig};
+
+/// Opaque session identifier.
+pub type SessionId = u64;
+
+/// A registry of live exploration sessions.
+///
+/// Sessions are independently lockable, so concurrent clients exploring
+/// different sessions never contend; the registry lock is held only for
+/// lookup and bookkeeping.
+#[derive(Debug, Default)]
+pub struct SessionManager {
+    next_id: AtomicU64,
+    sessions: RwLock<HashMap<SessionId, Arc<Mutex<Explorer>>>>,
+}
+
+impl SessionManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        SessionManager::default()
+    }
+
+    /// Opens a new session over `table`, returning its id.
+    ///
+    /// # Errors
+    /// Propagates [`Explorer::open`] failures (e.g. too few columns).
+    pub fn create(&self, table: Table, config: ExplorerConfig) -> Result<SessionId> {
+        let explorer = Explorer::open(table, config)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sessions
+            .write()
+            .insert(id, Arc::new(Mutex::new(explorer)));
+        Ok(id)
+    }
+
+    /// Runs `f` with exclusive access to the session's explorer.
+    ///
+    /// # Errors
+    /// Returns [`BlaeuError::UnknownSession`] for closed or bogus ids.
+    pub fn with<R>(&self, id: SessionId, f: impl FnOnce(&mut Explorer) -> R) -> Result<R> {
+        let handle = self
+            .sessions
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(BlaeuError::UnknownSession(id))?;
+        let mut guard = handle.lock();
+        Ok(f(&mut guard))
+    }
+
+    /// Closes a session.
+    ///
+    /// # Errors
+    /// Returns [`BlaeuError::UnknownSession`] when absent.
+    pub fn close(&self, id: SessionId) -> Result<()> {
+        self.sessions
+            .write()
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(BlaeuError::UnknownSession(id))
+    }
+
+    /// Ids of all live sessions (unordered).
+    pub fn ids(&self) -> Vec<SessionId> {
+        self.sessions.read().keys().copied().collect()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.read().len()
+    }
+
+    /// True when no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blaeu_store::generate::{oecd, OecdConfig};
+
+    fn table() -> Table {
+        oecd(&OecdConfig {
+            nrows: 250,
+            ncols: 24,
+            missing_rate: 0.0,
+            ..OecdConfig::default()
+        })
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn create_use_close() {
+        let mgr = SessionManager::new();
+        assert!(mgr.is_empty());
+        let id = mgr.create(table(), ExplorerConfig::default()).unwrap();
+        assert_eq!(mgr.len(), 1);
+
+        let n_themes = mgr.with(id, |ex| ex.themes().len()).unwrap();
+        assert!(n_themes >= 2);
+
+        mgr.close(id).unwrap();
+        assert!(mgr.is_empty());
+        assert!(matches!(
+            mgr.with(id, |_| ()),
+            Err(BlaeuError::UnknownSession(_))
+        ));
+        assert!(matches!(mgr.close(id), Err(BlaeuError::UnknownSession(_))));
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let mgr = SessionManager::new();
+        let a = mgr.create(table(), ExplorerConfig::default()).unwrap();
+        let b = mgr.create(table(), ExplorerConfig::default()).unwrap();
+        assert_ne!(a, b);
+
+        mgr.with(a, |ex| {
+            ex.select_theme(0).unwrap();
+        })
+        .unwrap();
+
+        let depth_a = mgr.with(a, |ex| ex.depth()).unwrap();
+        let depth_b = mgr.with(b, |ex| ex.depth()).unwrap();
+        assert_eq!(depth_a, 2);
+        assert_eq!(depth_b, 1, "session b untouched");
+    }
+
+    #[test]
+    fn concurrent_sessions() {
+        let mgr = Arc::new(SessionManager::new());
+        let base = table();
+        let mut ids = Vec::new();
+        for _ in 0..4 {
+            ids.push(mgr.create(base.clone(), ExplorerConfig::default()).unwrap());
+        }
+        crossbeam::scope(|scope| {
+            for &id in &ids {
+                let mgr = Arc::clone(&mgr);
+                scope.spawn(move |_| {
+                    for _ in 0..3 {
+                        mgr.with(id, |ex| {
+                            ex.select_theme(0).unwrap();
+                            ex.rollback().unwrap();
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(mgr.len(), 4);
+        for &id in &ids {
+            assert_eq!(mgr.with(id, |ex| ex.depth()).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn ids_lists_sessions() {
+        let mgr = SessionManager::new();
+        let a = mgr.create(table(), ExplorerConfig::default()).unwrap();
+        let b = mgr.create(table(), ExplorerConfig::default()).unwrap();
+        let mut ids = mgr.ids();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![a, b]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Discretization of continuous columns.
+//!
+//! Mutual information over mixed data needs discrete symbols. Numeric
+//! columns are discretized with equal-width or equal-frequency bins;
+//! categorical and boolean columns already carry discrete codes.
+
+use blaeu_store::{Column, DataType};
+
+/// Rule for choosing the number of bins when the caller does not fix it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinRule {
+    /// Fixed number of bins.
+    Fixed(usize),
+    /// Sturges' rule: `ceil(log2 n) + 1`.
+    Sturges,
+    /// Square-root rule capped at 32 bins (robust default for MI).
+    SqrtCapped,
+}
+
+impl BinRule {
+    /// Number of bins for `n` observations (always ≥ 2).
+    pub fn bins(self, n: usize) -> usize {
+        let b = match self {
+            BinRule::Fixed(b) => b,
+            BinRule::Sturges => (n.max(1) as f64).log2().ceil() as usize + 1,
+            BinRule::SqrtCapped => ((n.max(1) as f64).sqrt() as usize).min(32),
+        };
+        b.max(2)
+    }
+}
+
+/// Binning strategy for numeric data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinStrategy {
+    /// Bins of equal value width between min and max.
+    EqualWidth,
+    /// Bins holding (approximately) equal numbers of observations.
+    /// Robust to skew and outliers; the default for MI.
+    EqualFrequency,
+}
+
+/// A fitted discretizer mapping `f64` values to bin codes `0..nbins`.
+#[derive(Debug, Clone)]
+pub struct Discretizer {
+    /// Upper edge of each bin except the last (length `nbins - 1`),
+    /// ascending. A value `v` lands in the first bin whose edge exceeds it.
+    edges: Vec<f64>,
+}
+
+impl Discretizer {
+    /// Fits a discretizer on the non-NULL values of a column sample.
+    ///
+    /// Degenerate inputs (constant or empty data) yield a single bin.
+    pub fn fit(values: &[f64], strategy: BinStrategy, nbins: usize) -> Self {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(f64::total_cmp);
+        if sorted.is_empty() || sorted[0] == sorted[sorted.len() - 1] {
+            return Discretizer { edges: Vec::new() };
+        }
+        let nbins = nbins.max(2);
+        let mut edges = Vec::with_capacity(nbins - 1);
+        match strategy {
+            BinStrategy::EqualWidth => {
+                let lo = sorted[0];
+                let hi = sorted[sorted.len() - 1];
+                let width = (hi - lo) / nbins as f64;
+                for b in 1..nbins {
+                    edges.push(lo + width * b as f64);
+                }
+            }
+            BinStrategy::EqualFrequency => {
+                let n = sorted.len();
+                for b in 1..nbins {
+                    let q = sorted[(b * n / nbins).min(n - 1)];
+                    // Skip duplicate edges caused by heavy ties.
+                    if edges.last().is_none_or(|&last| q > last) {
+                        edges.push(q);
+                    }
+                }
+            }
+        }
+        Discretizer { edges }
+    }
+
+    /// Number of bins this discretizer produces.
+    pub fn nbins(&self) -> usize {
+        self.edges.len() + 1
+    }
+
+    /// Bin code for a value.
+    #[inline]
+    pub fn code(&self, v: f64) -> u32 {
+        // Binary search: first edge strictly greater than v.
+        self.edges.partition_point(|&e| e <= v) as u32
+    }
+}
+
+/// Discrete view of a column: per-row `Option<u32>` codes plus the code
+/// cardinality. This is the common currency of the entropy/MI machinery.
+#[derive(Debug, Clone)]
+pub struct DiscreteColumn {
+    /// Per-row code; `None` where the source cell is NULL.
+    pub codes: Vec<Option<u32>>,
+    /// Number of distinct codes (`codes` values are `< cardinality`).
+    pub cardinality: usize,
+}
+
+/// Discretizes any column into symbol codes.
+///
+/// * Numeric columns are binned with `strategy` / `rule` (fitted on their
+///   own non-NULL values).
+/// * Categorical columns reuse their dictionary codes.
+/// * Boolean columns map to codes {0, 1}.
+pub fn discretize(column: &Column, strategy: BinStrategy, rule: BinRule) -> DiscreteColumn {
+    match column.data_type() {
+        DataType::Categorical => {
+            let (_, dict, _) = column.categorical_parts().expect("categorical");
+            let codes = (0..column.len()).map(|i| column.code_at(i)).collect();
+            DiscreteColumn {
+                codes,
+                cardinality: dict.len().max(1),
+            }
+        }
+        DataType::Bool => {
+            let codes = (0..column.len())
+                .map(|i| column.numeric_at(i).map(|v| v as u32))
+                .collect();
+            DiscreteColumn {
+                codes,
+                cardinality: 2,
+            }
+        }
+        DataType::Float64 | DataType::Int64 => {
+            let valid: Vec<f64> = (0..column.len())
+                .filter_map(|i| column.numeric_at(i))
+                .collect();
+            let disc = Discretizer::fit(&valid, strategy, rule.bins(valid.len()));
+            let codes = (0..column.len())
+                .map(|i| column.numeric_at(i).map(|v| disc.code(v)))
+                .collect();
+            DiscreteColumn {
+                codes,
+                cardinality: disc.nbins(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_rules() {
+        assert_eq!(BinRule::Fixed(5).bins(1000), 5);
+        assert_eq!(BinRule::Fixed(0).bins(1000), 2, "clamped to 2");
+        assert_eq!(BinRule::Sturges.bins(1024), 11);
+        assert_eq!(BinRule::SqrtCapped.bins(100), 10);
+        assert_eq!(BinRule::SqrtCapped.bins(100_000), 32, "capped");
+    }
+
+    #[test]
+    fn equal_width_splits_range() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = Discretizer::fit(&vals, BinStrategy::EqualWidth, 4);
+        assert_eq!(d.nbins(), 4);
+        assert_eq!(d.code(0.0), 0);
+        assert_eq!(d.code(30.0), 1);
+        assert_eq!(d.code(60.0), 2);
+        assert_eq!(d.code(99.0), 3);
+        // Out-of-range values clamp into the edge bins.
+        assert_eq!(d.code(-100.0), 0);
+        assert_eq!(d.code(1e9), 3);
+    }
+
+    #[test]
+    fn equal_frequency_balances_counts() {
+        // Heavily skewed data: equal-width would put nearly everything in
+        // bin 0; equal-frequency must balance.
+        let vals: Vec<f64> = (0..1000).map(|i| (i as f64 / 10.0).exp()).collect();
+        let d = Discretizer::fit(&vals, BinStrategy::EqualFrequency, 4);
+        let mut counts = vec![0usize; d.nbins()];
+        for &v in &vals {
+            counts[d.code(v) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (200..=300).contains(&c),
+                "equal-frequency bins should hold ~250 each, got {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_data_single_bin() {
+        let d = Discretizer::fit(&[5.0; 10], BinStrategy::EqualFrequency, 4);
+        assert_eq!(d.nbins(), 1);
+        assert_eq!(d.code(5.0), 0);
+        let d = Discretizer::fit(&[], BinStrategy::EqualWidth, 4);
+        assert_eq!(d.nbins(), 1);
+    }
+
+    #[test]
+    fn ties_collapse_duplicate_edges() {
+        // 90% of the data is the same value; equal-frequency quantiles tie.
+        let mut vals = vec![1.0; 90];
+        vals.extend((0..10).map(|i| 10.0 + i as f64));
+        let d = Discretizer::fit(&vals, BinStrategy::EqualFrequency, 4);
+        assert!(d.nbins() >= 2);
+        assert!(d.nbins() <= 4);
+        // All tied values land in one bin.
+        assert_eq!(d.code(1.0), d.code(1.0));
+    }
+
+    #[test]
+    fn discretize_numeric_column() {
+        let col = Column::from_f64s((0..50).map(|i| Some(i as f64)).chain([None]));
+        let dc = discretize(&col, BinStrategy::EqualFrequency, BinRule::Fixed(5));
+        assert_eq!(dc.codes.len(), 51);
+        assert_eq!(dc.cardinality, 5);
+        assert_eq!(dc.codes[50], None);
+        assert!(dc.codes[..50].iter().all(|c| c.unwrap() < 5));
+    }
+
+    #[test]
+    fn discretize_categorical_passthrough() {
+        let col = Column::from_strs([Some("a"), Some("b"), None, Some("a")]);
+        let dc = discretize(&col, BinStrategy::EqualFrequency, BinRule::Fixed(5));
+        assert_eq!(dc.cardinality, 2);
+        assert_eq!(dc.codes, vec![Some(0), Some(1), None, Some(0)]);
+    }
+
+    #[test]
+    fn discretize_bool() {
+        let col = Column::from_bools([Some(true), Some(false), None]);
+        let dc = discretize(&col, BinStrategy::EqualWidth, BinRule::Sturges);
+        assert_eq!(dc.cardinality, 2);
+        assert_eq!(dc.codes, vec![Some(1), Some(0), None]);
+    }
+
+    #[test]
+    fn codes_monotone_in_value() {
+        let vals: Vec<f64> = (0..200).map(|i| (i as f64).sin() * 10.0).collect();
+        let d = Discretizer::fit(&vals, BinStrategy::EqualFrequency, 8);
+        let mut sorted = vals.clone();
+        sorted.sort_by(f64::total_cmp);
+        let codes: Vec<u32> = sorted.iter().map(|&v| d.code(v)).collect();
+        assert!(codes.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,146 @@
+//! Contingency tables over pairs of discrete columns.
+
+use crate::binning::DiscreteColumn;
+
+/// A two-way contingency table of joint symbol counts.
+///
+/// Built from two [`DiscreteColumn`]s; rows where either side is NULL are
+/// dropped (pairwise-complete observations).
+#[derive(Debug, Clone)]
+pub struct ContingencyTable {
+    counts: Vec<u64>,
+    nx: usize,
+    ny: usize,
+    total: u64,
+}
+
+impl ContingencyTable {
+    /// Cross-tabulates two discrete columns of equal length.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or a code exceeds its declared cardinality.
+    pub fn from_codes(x: &DiscreteColumn, y: &DiscreteColumn) -> Self {
+        assert_eq!(x.codes.len(), y.codes.len(), "column length mismatch");
+        let nx = x.cardinality.max(1);
+        let ny = y.cardinality.max(1);
+        let mut counts = vec![0u64; nx * ny];
+        let mut total = 0u64;
+        for (cx, cy) in x.codes.iter().zip(&y.codes) {
+            if let (Some(a), Some(b)) = (cx, cy) {
+                let (a, b) = (*a as usize, *b as usize);
+                assert!(a < nx && b < ny, "code out of declared cardinality");
+                counts[a * ny + b] += 1;
+                total += 1;
+            }
+        }
+        ContingencyTable {
+            counts,
+            nx,
+            ny,
+            total,
+        }
+    }
+
+    /// Number of rows counted (pairwise-complete).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Dimensions `(x cardinality, y cardinality)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Joint count for `(x, y)`.
+    pub fn count(&self, x: usize, y: usize) -> u64 {
+        self.counts[x * self.ny + y]
+    }
+
+    /// Marginal counts of the x side.
+    pub fn x_marginals(&self) -> Vec<u64> {
+        let mut m = vec![0u64; self.nx];
+        for (x, out) in m.iter_mut().enumerate() {
+            for y in 0..self.ny {
+                *out += self.count(x, y);
+            }
+        }
+        m
+    }
+
+    /// Marginal counts of the y side.
+    pub fn y_marginals(&self) -> Vec<u64> {
+        let mut m = vec![0u64; self.ny];
+        for x in 0..self.nx {
+            for (y, out) in m.iter_mut().enumerate() {
+                *out += self.count(x, y);
+            }
+        }
+        m
+    }
+
+    /// Iterates over non-zero joint cells as `(x, y, count)`.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
+        self.counts.iter().enumerate().filter_map(move |(i, &c)| {
+            (c > 0).then_some((i / self.ny, i % self.ny, c))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dc(codes: Vec<Option<u32>>, cardinality: usize) -> DiscreteColumn {
+        DiscreteColumn { codes, cardinality }
+    }
+
+    #[test]
+    fn cross_tabulation() {
+        let x = dc(vec![Some(0), Some(0), Some(1), Some(1), None], 2);
+        let y = dc(vec![Some(0), Some(1), Some(1), Some(1), Some(0)], 2);
+        let ct = ContingencyTable::from_codes(&x, &y);
+        assert_eq!(ct.total(), 4, "NULL row dropped");
+        assert_eq!(ct.shape(), (2, 2));
+        assert_eq!(ct.count(0, 0), 1);
+        assert_eq!(ct.count(0, 1), 1);
+        assert_eq!(ct.count(1, 1), 2);
+        assert_eq!(ct.count(1, 0), 0);
+    }
+
+    #[test]
+    fn marginals_sum_to_total() {
+        let x = dc(vec![Some(0), Some(1), Some(2), Some(1)], 3);
+        let y = dc(vec![Some(1), Some(0), Some(1), Some(1)], 2);
+        let ct = ContingencyTable::from_codes(&x, &y);
+        assert_eq!(ct.x_marginals(), vec![1, 2, 1]);
+        assert_eq!(ct.y_marginals(), vec![1, 3]);
+        assert_eq!(ct.x_marginals().iter().sum::<u64>(), ct.total());
+        assert_eq!(ct.y_marginals().iter().sum::<u64>(), ct.total());
+    }
+
+    #[test]
+    fn iter_nonzero_lists_cells() {
+        let x = dc(vec![Some(0), Some(1)], 2);
+        let y = dc(vec![Some(0), Some(1)], 2);
+        let ct = ContingencyTable::from_codes(&x, &y);
+        let cells: Vec<(usize, usize, u64)> = ct.iter_nonzero().collect();
+        assert_eq!(cells, vec![(0, 0, 1), (1, 1, 1)]);
+    }
+
+    #[test]
+    fn all_null_is_empty() {
+        let x = dc(vec![None, None], 3);
+        let y = dc(vec![Some(0), Some(1)], 2);
+        let ct = ContingencyTable::from_codes(&x, &y);
+        assert_eq!(ct.total(), 0);
+        assert_eq!(ct.iter_nonzero().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let x = dc(vec![Some(0)], 1);
+        let y = dc(vec![Some(0), Some(0)], 1);
+        let _ = ContingencyTable::from_codes(&x, &y);
+    }
+}

@@ -1,0 +1,162 @@
+//! Linear and rank correlation (the dependency measures the paper
+//! *considered* before choosing mutual information).
+
+/// Pearson correlation over pairwise-complete observations.
+///
+/// Returns `None` when fewer than two complete pairs exist or either side
+/// has zero variance.
+pub fn pearson(x: &[Option<f64>], y: &[Option<f64>]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "column length mismatch");
+    let pairs: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y)
+        .filter_map(|(a, b)| Some(((*a)?, (*b)?)))
+        .collect();
+    pearson_dense(&pairs)
+}
+
+fn pearson_dense(pairs: &[(f64, f64)]) -> Option<f64> {
+    let n = pairs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = pairs.iter().map(|p| p.0).sum::<f64>() / nf;
+    let my = pairs.iter().map(|p| p.1).sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for &(a, b) in pairs {
+        let dx = a - mx;
+        let dy = b - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= f64::EPSILON || vy <= f64::EPSILON {
+        return None;
+    }
+    Some((cov / (vx.sqrt() * vy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Average ranks with ties sharing the mean rank (fractional ranking).
+pub fn ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut out = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Mean rank of the tie run [i, j] (1-based ranks).
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = mean_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation over pairwise-complete observations.
+///
+/// Returns `None` under the same degeneracies as [`pearson`].
+pub fn spearman(x: &[Option<f64>], y: &[Option<f64>]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "column length mismatch");
+    let pairs: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y)
+        .filter_map(|(a, b)| Some(((*a)?, (*b)?)))
+        .collect();
+    if pairs.len() < 2 {
+        return None;
+    }
+    let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    let rx = ranks(&xs);
+    let ry = ranks(&ys);
+    let ranked: Vec<(f64, f64)> = rx.into_iter().zip(ry).collect();
+    pearson_dense(&ranked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn some(v: &[f64]) -> Vec<Option<f64>> {
+        v.iter().map(|&x| Some(x)).collect()
+    }
+
+    #[test]
+    fn perfect_linear_correlation() {
+        let x = some(&[1.0, 2.0, 3.0, 4.0]);
+        let y = some(&[2.0, 4.0, 6.0, 8.0]);
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let neg = some(&[8.0, 6.0, 4.0, 2.0]);
+        assert!((pearson(&x, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_data_near_zero() {
+        let x: Vec<Option<f64>> = (0..1000).map(|i| Some((i % 10) as f64)).collect();
+        let y: Vec<Option<f64>> = (0..1000).map(|i| Some((i / 10 % 10) as f64)).collect();
+        assert!(pearson(&x, &y).unwrap().abs() < 0.05);
+    }
+
+    #[test]
+    fn nulls_dropped_pairwise() {
+        let x = vec![Some(1.0), None, Some(3.0), Some(4.0)];
+        let y = vec![Some(2.0), Some(9.0), None, Some(8.0)];
+        // Complete pairs: (1,2), (4,8) → perfect correlation.
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_none() {
+        assert_eq!(pearson(&[Some(1.0)], &[Some(2.0)]), None);
+        let constant = vec![Some(5.0); 10];
+        let varying: Vec<Option<f64>> = (0..10).map(|i| Some(i as f64)).collect();
+        assert_eq!(pearson(&constant, &varying), None);
+        assert_eq!(spearman(&constant, &varying), None);
+        let empty: Vec<Option<f64>> = vec![None; 4];
+        assert_eq!(pearson(&empty, &varying[..4]), None);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+        let r = ranks(&[5.0, 5.0, 5.0]);
+        assert_eq!(r, vec![2.0, 2.0, 2.0]);
+        assert_eq!(ranks(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn spearman_catches_monotone_nonlinear() {
+        // y = exp(x) is monotone: Spearman = 1, Pearson < 1.
+        let x: Vec<Option<f64>> = (0..50).map(|i| Some(i as f64 / 5.0)).collect();
+        let y: Vec<Option<f64>> = (0..50).map(|i| Some((i as f64 / 5.0).exp())).collect();
+        let s = spearman(&x, &y).unwrap();
+        let p = pearson(&x, &y).unwrap();
+        assert!((s - 1.0).abs() < 1e-12, "spearman {s}");
+        assert!(p < 0.95, "pearson {p}");
+    }
+
+    #[test]
+    fn both_miss_even_functions() {
+        // y = x² on symmetric x: both correlations ≈ 0 (motivates MI).
+        let x: Vec<Option<f64>> = (-50..=50).map(|i| Some(i as f64 / 10.0)).collect();
+        let y: Vec<Option<f64>> = (-50..=50).map(|i| Some((i as f64 / 10.0).powi(2))).collect();
+        assert!(pearson(&x, &y).unwrap().abs() < 0.05);
+        assert!(spearman(&x, &y).unwrap().abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = pearson(&[Some(1.0)], &[Some(1.0), Some(2.0)]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Shannon entropy over discrete distributions (natural log).
+
+use crate::binning::DiscreteColumn;
+use crate::contingency::ContingencyTable;
+
+/// Entropy (in nats) of a discrete distribution given by counts.
+///
+/// Zero counts contribute nothing; an empty or single-symbol distribution
+/// has zero entropy.
+pub fn entropy_from_counts(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total_f = total as f64;
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / total_f;
+            h -= p * p.ln();
+        }
+    }
+    h.max(0.0)
+}
+
+/// Entropy (in nats) of a discrete column, ignoring NULL rows.
+pub fn entropy(column: &DiscreteColumn) -> f64 {
+    let mut counts = vec![0u64; column.cardinality.max(1)];
+    for code in column.codes.iter().flatten() {
+        counts[*code as usize] += 1;
+    }
+    entropy_from_counts(&counts)
+}
+
+/// Joint entropy H(X, Y) (in nats) from a contingency table.
+pub fn joint_entropy(table: &ContingencyTable) -> f64 {
+    let total = table.total();
+    if total == 0 {
+        return 0.0;
+    }
+    let total_f = total as f64;
+    let mut h = 0.0;
+    for (_, _, c) in table.iter_nonzero() {
+        let p = c as f64 / total_f;
+        h -= p * p.ln();
+    }
+    h.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dc(codes: Vec<Option<u32>>, cardinality: usize) -> DiscreteColumn {
+        DiscreteColumn { codes, cardinality }
+    }
+
+    #[test]
+    fn uniform_distribution_has_log_k_entropy() {
+        let counts = [10u64, 10, 10, 10];
+        let h = entropy_from_counts(&counts);
+        assert!((h - 4f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_distribution_zero_entropy() {
+        assert_eq!(entropy_from_counts(&[42]), 0.0);
+        assert_eq!(entropy_from_counts(&[42, 0, 0]), 0.0);
+        assert_eq!(entropy_from_counts(&[]), 0.0);
+        assert_eq!(entropy_from_counts(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn entropy_ignores_nulls() {
+        let col = dc(vec![Some(0), Some(1), None, None], 2);
+        let h = entropy(&col);
+        assert!((h - 2f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_reduces_entropy() {
+        let balanced = entropy_from_counts(&[50, 50]);
+        let skewed = entropy_from_counts(&[90, 10]);
+        assert!(balanced > skewed);
+        assert!(skewed > 0.0);
+    }
+
+    #[test]
+    fn joint_entropy_independent_adds() {
+        // X uniform over {0,1}, Y uniform over {0,1}, independent:
+        // H(X,Y) = H(X) + H(Y) = 2 ln 2.
+        let mut xc = Vec::new();
+        let mut yc = Vec::new();
+        for x in 0..2u32 {
+            for y in 0..2u32 {
+                for _ in 0..25 {
+                    xc.push(Some(x));
+                    yc.push(Some(y));
+                }
+            }
+        }
+        let ct = ContingencyTable::from_codes(&dc(xc, 2), &dc(yc, 2));
+        assert!((joint_entropy(&ct) - 2.0 * 2f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_entropy_functional_dependence_equals_marginal() {
+        // Y = X ⇒ H(X,Y) = H(X).
+        let xs: Vec<Option<u32>> = (0..100).map(|i| Some(i % 4)).collect();
+        let ct = ContingencyTable::from_codes(&dc(xs.clone(), 4), &dc(xs, 4));
+        assert!((joint_entropy(&ct) - 4f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_zero_joint_entropy() {
+        let ct = ContingencyTable::from_codes(&dc(vec![None], 1), &dc(vec![Some(0)], 1));
+        assert_eq!(joint_entropy(&ct), 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Histograms — the univariate visualizations of the *highlight* action.
+
+use blaeu_store::{Column, DataType};
+
+use crate::binning::{BinStrategy, Discretizer};
+
+/// A univariate histogram over one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Histogram {
+    /// Numeric histogram with explicit bin edges.
+    Numeric {
+        /// Bin boundaries, length `bins + 1`, ascending.
+        edges: Vec<f64>,
+        /// Count per bin, length `bins`.
+        counts: Vec<usize>,
+        /// Number of NULL rows.
+        nulls: usize,
+    },
+    /// Categorical bar chart.
+    Categorical {
+        /// Category label and count, most frequent first.
+        bars: Vec<(String, usize)>,
+        /// Number of NULL rows.
+        nulls: usize,
+    },
+}
+
+impl Histogram {
+    /// Total non-NULL observations.
+    pub fn total(&self) -> usize {
+        match self {
+            Histogram::Numeric { counts, .. } => counts.iter().sum(),
+            Histogram::Categorical { bars, .. } => bars.iter().map(|b| b.1).sum(),
+        }
+    }
+
+    /// Renders the histogram as terminal text with unicode bars.
+    pub fn render(&self, width: usize) -> String {
+        let width = width.max(8);
+        let mut out = String::new();
+        match self {
+            Histogram::Numeric { edges, counts, .. } => {
+                let max = counts.iter().copied().max().unwrap_or(0).max(1);
+                for (i, &c) in counts.iter().enumerate() {
+                    let bar = "█".repeat(c * width / max);
+                    out.push_str(&format!(
+                        "[{:>9.3}, {:>9.3}) {:>6} {}\n",
+                        edges[i],
+                        edges[i + 1],
+                        c,
+                        bar
+                    ));
+                }
+            }
+            Histogram::Categorical { bars, .. } => {
+                let max = bars.iter().map(|b| b.1).max().unwrap_or(0).max(1);
+                for (label, c) in bars {
+                    let bar = "█".repeat(c * width / max);
+                    out.push_str(&format!("{label:>20} {c:>6} {bar}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds a histogram for a column. Numeric columns get `bins` equal-width
+/// bins over their observed range; categorical columns get up to `bins`
+/// bars (most frequent first, remainder folded into `"<other>"`).
+pub fn histogram(column: &Column, bins: usize) -> Histogram {
+    let bins = bins.max(1);
+    match column.data_type() {
+        DataType::Float64 | DataType::Int64 => {
+            let vals: Vec<f64> = (0..column.len())
+                .filter_map(|i| column.numeric_at(i))
+                .collect();
+            let nulls = column.len() - vals.len();
+            if vals.is_empty() {
+                return Histogram::Numeric {
+                    edges: vec![0.0, 1.0],
+                    counts: vec![0],
+                    nulls,
+                };
+            }
+            let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if lo == hi {
+                return Histogram::Numeric {
+                    edges: vec![lo, hi],
+                    counts: vec![vals.len()],
+                    nulls,
+                };
+            }
+            let disc = Discretizer::fit(&vals, BinStrategy::EqualWidth, bins);
+            let nbins = disc.nbins();
+            let mut counts = vec![0usize; nbins];
+            for &v in &vals {
+                counts[disc.code(v) as usize] += 1;
+            }
+            let width = (hi - lo) / nbins as f64;
+            let edges: Vec<f64> = (0..=nbins).map(|i| lo + width * i as f64).collect();
+            Histogram::Numeric {
+                edges,
+                counts,
+                nulls,
+            }
+        }
+        DataType::Categorical | DataType::Bool => {
+            let mut counts: std::collections::HashMap<String, usize> =
+                std::collections::HashMap::new();
+            let mut nulls = 0usize;
+            for i in 0..column.len() {
+                let v = column.get(i);
+                if v.is_null() {
+                    nulls += 1;
+                } else {
+                    *counts.entry(v.to_string()).or_insert(0) += 1;
+                }
+            }
+            let mut bars: Vec<(String, usize)> = counts.into_iter().collect();
+            bars.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            if bars.len() > bins {
+                let rest: usize = bars[bins..].iter().map(|b| b.1).sum();
+                bars.truncate(bins);
+                bars.push(("<other>".to_owned(), rest));
+            }
+            Histogram::Categorical { bars, nulls }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_histogram_counts_sum() {
+        let col = Column::from_f64s((0..100).map(|i| Some(i as f64)).chain([None, None]));
+        let h = histogram(&col, 10);
+        let Histogram::Numeric { edges, counts, nulls } = &h else {
+            panic!("expected numeric");
+        };
+        assert_eq!(edges.len(), counts.len() + 1);
+        assert_eq!(h.total(), 100);
+        assert_eq!(*nulls, 2);
+        // Equal-width over uniform data: every bin holds 10.
+        assert!(counts.iter().all(|&c| c == 10), "{counts:?}");
+    }
+
+    #[test]
+    fn constant_column_single_bin() {
+        let col = Column::from_f64s([Some(3.0), Some(3.0)]);
+        let Histogram::Numeric { counts, .. } = histogram(&col, 5) else {
+            panic!("expected numeric");
+        };
+        assert_eq!(counts, vec![2]);
+    }
+
+    #[test]
+    fn empty_numeric_column() {
+        let col = Column::from_f64s([None, None]);
+        let h = histogram(&col, 4);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn categorical_histogram_folds_tail() {
+        let labels = ["a", "a", "a", "b", "b", "c", "d", "e"];
+        let col = Column::from_strs(labels.iter().map(|&s| Some(s)));
+        let Histogram::Categorical { bars, .. } = histogram(&col, 2) else {
+            panic!("expected categorical");
+        };
+        assert_eq!(bars[0], ("a".to_owned(), 3));
+        assert_eq!(bars[1], ("b".to_owned(), 2));
+        assert_eq!(bars[2], ("<other>".to_owned(), 3));
+    }
+
+    #[test]
+    fn render_produces_bars() {
+        let col = Column::from_f64s((0..50).map(|i| Some(i as f64)));
+        let text = histogram(&col, 5).render(20);
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.contains('█'));
+
+        let cat = Column::from_strs([Some("x"), Some("x"), Some("y")]);
+        let text = histogram(&cat, 5).render(10);
+        assert!(text.contains('x'));
+        assert!(text.contains("██"));
+    }
+}

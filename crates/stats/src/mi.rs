@@ -1,0 +1,532 @@
+//! Mutual information and the pairwise dependency matrix.
+//!
+//! The paper measures the statistical dependency between columns with
+//! mutual information "because it is very flexible: it copes with mixed
+//! values and it is sensitive to non-linear relationships". Continuous
+//! columns are discretized (equal-frequency by default), then
+//! `I(X;Y) = H(X) + H(Y) − H(X,Y)` over the contingency table. Dependency
+//! graphs use a normalized variant so edge weights are comparable across
+//! column pairs with different cardinalities.
+
+use blaeu_store::{uniform_sample, Result, StoreError, Table};
+
+use crate::binning::{discretize, BinRule, BinStrategy, DiscreteColumn};
+use crate::chi2::chi2_test;
+use crate::contingency::ContingencyTable;
+use crate::correlation::{pearson, spearman};
+use crate::entropy::{entropy_from_counts, joint_entropy};
+
+/// Mutual information I(X;Y) in nats from a contingency table.
+pub fn mutual_information(table: &ContingencyTable) -> f64 {
+    let hx = entropy_from_counts(&table.x_marginals());
+    let hy = entropy_from_counts(&table.y_marginals());
+    let hxy = joint_entropy(table);
+    (hx + hy - hxy).max(0.0)
+}
+
+/// How to normalize mutual information into `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MiNormalization {
+    /// No normalization (raw nats).
+    None,
+    /// `I / min(H(X), H(Y))` — 1 when one variable determines the other.
+    Min,
+    /// `I / max(H(X), H(Y))` — stricter; 1 only for a bijection.
+    Max,
+    /// `I / sqrt(H(X)·H(Y))` — geometric mean (the common "NMI").
+    Sqrt,
+}
+
+/// Normalized mutual information in `[0, 1]` (except [`MiNormalization::None`]).
+///
+/// Pairs where either variable has zero entropy (constant columns) score 0:
+/// a constant carries no information about anything.
+pub fn normalized_mutual_information(
+    table: &ContingencyTable,
+    norm: MiNormalization,
+) -> f64 {
+    let hx = entropy_from_counts(&table.x_marginals());
+    let hy = entropy_from_counts(&table.y_marginals());
+    let mi = mutual_information(table);
+    let denom = match norm {
+        MiNormalization::None => return mi,
+        MiNormalization::Min => hx.min(hy),
+        MiNormalization::Max => hx.max(hy),
+        MiNormalization::Sqrt => (hx * hy).sqrt(),
+    };
+    if denom <= f64::EPSILON {
+        0.0
+    } else {
+        (mi / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// Dependency measure for column pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DependencyMeasure {
+    /// Normalized mutual information (the paper's choice).
+    Nmi,
+    /// Absolute Pearson correlation (linear only; numeric columns only —
+    /// categorical pairs fall back to NMI).
+    PearsonAbs,
+    /// Absolute Spearman rank correlation (monotone only; same fallback).
+    SpearmanAbs,
+}
+
+/// Options for [`dependency_matrix`].
+#[derive(Debug, Clone)]
+pub struct DependencyOptions {
+    /// Dependency measure (default NMI with sqrt normalization).
+    pub measure: DependencyMeasure,
+    /// NMI normalization (ignored for correlation measures).
+    pub normalization: MiNormalization,
+    /// Binning strategy for numeric columns.
+    pub strategy: BinStrategy,
+    /// Bin-count rule.
+    pub rule: BinRule,
+    /// Row-sample cap: tables larger than this are sampled down before
+    /// measuring (the paper computes dependencies on samples for latency).
+    pub sample: Option<usize>,
+    /// Seed for the row sample.
+    pub seed: u64,
+    /// Worker threads for the pairwise sweep (0 = all available cores).
+    pub threads: usize,
+    /// When set, edges whose chi-squared independence test is NOT
+    /// significant at this level are zeroed — spurious dependencies
+    /// measured on small samples disappear from the graph.
+    pub significance_alpha: Option<f64>,
+}
+
+impl Default for DependencyOptions {
+    fn default() -> Self {
+        DependencyOptions {
+            measure: DependencyMeasure::Nmi,
+            normalization: MiNormalization::Sqrt,
+            strategy: BinStrategy::EqualFrequency,
+            rule: BinRule::SqrtCapped,
+            sample: Some(2000),
+            seed: 7,
+            threads: 0,
+            significance_alpha: None,
+        }
+    }
+}
+
+/// Symmetric matrix of pairwise column dependencies in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct DependencyMatrix {
+    names: Vec<String>,
+    values: Vec<f64>, // row-major full matrix, diagonal = 1
+}
+
+impl DependencyMatrix {
+    /// Column names, in matrix order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Dependency between columns `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.names.len() + j]
+    }
+
+    /// Dependency by column names, if both exist.
+    pub fn get_by_name(&self, a: &str, b: &str) -> Option<f64> {
+        let i = self.names.iter().position(|n| n == a)?;
+        let j = self.names.iter().position(|n| n == b)?;
+        Some(self.get(i, j))
+    }
+
+    /// Converts dependency to distance: `d = 1 − dependency`, clamped to
+    /// `[0, 1]`. This is the matrix Blaeu clusters to find themes.
+    pub fn to_distances(&self) -> Vec<f64> {
+        self.values.iter().map(|&v| (1.0 - v).clamp(0.0, 1.0)).collect()
+    }
+
+    /// Strongest `k` edges (i < j) by weight, descending.
+    pub fn top_edges(&self, k: usize) -> Vec<(usize, usize, f64)> {
+        let n = self.names.len();
+        let mut edges: Vec<(usize, usize, f64)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .map(|(i, j)| (i, j, self.get(i, j)))
+            .collect();
+        edges.sort_by(|a, b| b.2.total_cmp(&a.2));
+        edges.truncate(k);
+        edges
+    }
+}
+
+fn measure_pair(
+    x: &DiscreteColumn,
+    y: &DiscreteColumn,
+    xn: Option<&[Option<f64>]>,
+    yn: Option<&[Option<f64>]>,
+    opts: &DependencyOptions,
+) -> f64 {
+    match opts.measure {
+        DependencyMeasure::Nmi => {
+            let ct = ContingencyTable::from_codes(x, y);
+            if let Some(alpha) = opts.significance_alpha {
+                if !chi2_test(&ct).significant(alpha) {
+                    return 0.0;
+                }
+            }
+            normalized_mutual_information(&ct, opts.normalization)
+        }
+        DependencyMeasure::PearsonAbs => match (xn, yn) {
+            (Some(a), Some(b)) => pearson(a, b).unwrap_or(0.0).abs(),
+            _ => {
+                let ct = ContingencyTable::from_codes(x, y);
+                normalized_mutual_information(&ct, opts.normalization)
+            }
+        },
+        DependencyMeasure::SpearmanAbs => match (xn, yn) {
+            (Some(a), Some(b)) => spearman(a, b).unwrap_or(0.0).abs(),
+            _ => {
+                let ct = ContingencyTable::from_codes(x, y);
+                normalized_mutual_information(&ct, opts.normalization)
+            }
+        },
+    }
+}
+
+/// Computes the pairwise dependency matrix over the named columns.
+///
+/// The sweep over the `m·(m−1)/2` pairs is parallelized with scoped threads;
+/// discretization happens once per column.
+///
+/// # Errors
+/// Returns an error for unknown column names.
+pub fn dependency_matrix(
+    table: &Table,
+    columns: &[&str],
+    opts: &DependencyOptions,
+) -> Result<DependencyMatrix> {
+    let m = columns.len();
+    // Validate all names up front.
+    for &c in columns {
+        table.column_by_name(c)?;
+    }
+
+    // Sample rows once, shared by every pair.
+    let sampled;
+    let view: &Table = match opts.sample {
+        Some(cap) if table.nrows() > cap => {
+            let rows = uniform_sample(table.nrows(), cap, opts.seed);
+            sampled = table.take(&rows)?;
+            &sampled
+        }
+        _ => table,
+    };
+
+    // Discretize each column once; keep numeric views for correlation modes.
+    let mut discs = Vec::with_capacity(m);
+    let mut numerics: Vec<Option<Vec<Option<f64>>>> = Vec::with_capacity(m);
+    for &c in columns {
+        let col = view.column_by_name(c)?;
+        discs.push(discretize(col, opts.strategy, opts.rule));
+        numerics.push(if col.data_type().is_numeric() {
+            Some(col.to_f64_vec())
+        } else {
+            None
+        });
+    }
+
+    let pairs: Vec<(usize, usize)> = (0..m)
+        .flat_map(|i| ((i + 1)..m).map(move |j| (i, j)))
+        .collect();
+
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        opts.threads
+    }
+    .min(pairs.len().max(1));
+
+    let mut values = vec![0.0f64; m * m];
+    for i in 0..m {
+        values[i * m + i] = 1.0;
+    }
+
+    if pairs.is_empty() {
+        return Ok(DependencyMatrix {
+            names: columns.iter().map(|&s| s.to_owned()).collect(),
+            values,
+        });
+    }
+
+    let chunk = pairs.len().div_ceil(threads);
+    let mut results: Vec<Vec<(usize, usize, f64)>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for batch in pairs.chunks(chunk) {
+            let discs = &discs;
+            let numerics = &numerics;
+            handles.push(scope.spawn(move |_| {
+                batch
+                    .iter()
+                    .map(|&(i, j)| {
+                        let v = measure_pair(
+                            &discs[i],
+                            &discs[j],
+                            numerics[i].as_deref(),
+                            numerics[j].as_deref(),
+                            opts,
+                        );
+                        (i, j, v)
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("dependency worker panicked"));
+        }
+    })
+    .map_err(|_| StoreError::InvalidArgument("dependency sweep panicked".into()))?;
+
+    for batch in results {
+        for (i, j, v) in batch {
+            values[i * m + j] = v;
+            values[j * m + i] = v;
+        }
+    }
+
+    Ok(DependencyMatrix {
+        names: columns.iter().map(|&s| s.to_owned()).collect(),
+        values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blaeu_store::{Column, TableBuilder};
+
+    fn dc(codes: Vec<Option<u32>>, cardinality: usize) -> DiscreteColumn {
+        DiscreteColumn { codes, cardinality }
+    }
+
+    #[test]
+    fn identical_variables_have_full_nmi() {
+        let xs: Vec<Option<u32>> = (0..200).map(|i| Some(i % 4)).collect();
+        let ct = ContingencyTable::from_codes(&dc(xs.clone(), 4), &dc(xs, 4));
+        for norm in [
+            MiNormalization::Min,
+            MiNormalization::Max,
+            MiNormalization::Sqrt,
+        ] {
+            let v = normalized_mutual_information(&ct, norm);
+            assert!((v - 1.0).abs() < 1e-12, "norm {norm:?} gave {v}");
+        }
+        assert!((mutual_information(&ct) - 4f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_variables_have_zero_mi() {
+        let mut xc = Vec::new();
+        let mut yc = Vec::new();
+        for x in 0..4u32 {
+            for y in 0..4u32 {
+                for _ in 0..10 {
+                    xc.push(Some(x));
+                    yc.push(Some(y));
+                }
+            }
+        }
+        let ct = ContingencyTable::from_codes(&dc(xc, 4), &dc(yc, 4));
+        assert!(mutual_information(&ct).abs() < 1e-12);
+        assert!(normalized_mutual_information(&ct, MiNormalization::Sqrt) < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_scores_zero() {
+        let xs: Vec<Option<u32>> = vec![Some(0); 50];
+        let ys: Vec<Option<u32>> = (0..50).map(|i| Some(i % 2)).collect();
+        let ct = ContingencyTable::from_codes(&dc(xs, 1), &dc(ys, 2));
+        assert_eq!(
+            normalized_mutual_information(&ct, MiNormalization::Sqrt),
+            0.0
+        );
+    }
+
+    fn toy_table(n: usize) -> Table {
+        // a ~ b (linear), c independent, d = a² (non-linear).
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 / n as f64) * 6.0 - 3.0).collect();
+        let b: Vec<f64> = a.iter().map(|&v| 2.0 * v + 1.0).collect();
+        let c: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % n) as f64).collect();
+        let d: Vec<f64> = a.iter().map(|&v| v * v).collect();
+        TableBuilder::new("toy")
+            .column("a", Column::dense_f64(a))
+            .unwrap()
+            .column("b", Column::dense_f64(b))
+            .unwrap()
+            .column("c", Column::dense_f64(c))
+            .unwrap()
+            .column("d", Column::dense_f64(d))
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dependency_matrix_finds_linear_dependency() {
+        let t = toy_table(600);
+        let dm = dependency_matrix(&t, &["a", "b", "c"], &DependencyOptions::default()).unwrap();
+        assert_eq!(dm.len(), 3);
+        assert!((dm.get(0, 0) - 1.0).abs() < 1e-12);
+        let ab = dm.get_by_name("a", "b").unwrap();
+        let ac = dm.get_by_name("a", "c").unwrap();
+        assert!(ab > 0.8, "a~b dependency should be strong, got {ab}");
+        assert!(ac < 0.35, "a~c dependency should be weak, got {ac}");
+        assert_eq!(dm.get(0, 1), dm.get(1, 0), "symmetric");
+    }
+
+    #[test]
+    fn nmi_detects_nonlinear_where_pearson_fails() {
+        let t = toy_table(600);
+        let nmi = dependency_matrix(&t, &["a", "d"], &DependencyOptions::default()).unwrap();
+        let pea = dependency_matrix(
+            &t,
+            &["a", "d"],
+            &DependencyOptions {
+                measure: DependencyMeasure::PearsonAbs,
+                ..DependencyOptions::default()
+            },
+        )
+        .unwrap();
+        let nmi_ad = nmi.get(0, 1);
+        let pea_ad = pea.get(0, 1);
+        assert!(
+            nmi_ad > 0.5,
+            "NMI should detect the quadratic dependency, got {nmi_ad}"
+        );
+        assert!(
+            pea_ad < 0.2,
+            "Pearson should miss the even function, got {pea_ad}"
+        );
+    }
+
+    #[test]
+    fn sampling_keeps_estimates_stable() {
+        let t = toy_table(5000);
+        let full = dependency_matrix(
+            &t,
+            &["a", "b"],
+            &DependencyOptions {
+                sample: None,
+                ..DependencyOptions::default()
+            },
+        )
+        .unwrap();
+        let sampled = dependency_matrix(
+            &t,
+            &["a", "b"],
+            &DependencyOptions {
+                sample: Some(500),
+                ..DependencyOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            (full.get(0, 1) - sampled.get(0, 1)).abs() < 0.15,
+            "sampled {} vs full {}",
+            sampled.get(0, 1),
+            full.get(0, 1)
+        );
+    }
+
+    #[test]
+    fn top_edges_sorted_descending() {
+        let t = toy_table(400);
+        let dm = dependency_matrix(&t, &["a", "b", "c", "d"], &DependencyOptions::default())
+            .unwrap();
+        let edges = dm.top_edges(3);
+        assert_eq!(edges.len(), 3);
+        assert!(edges.windows(2).all(|w| w[0].2 >= w[1].2));
+        // Strongest edge should be a-b.
+        assert_eq!((edges[0].0, edges[0].1), (0, 1));
+    }
+
+    #[test]
+    fn distances_complement_dependencies() {
+        let t = toy_table(300);
+        let dm = dependency_matrix(&t, &["a", "b"], &DependencyOptions::default()).unwrap();
+        let d = dm.to_distances();
+        assert!((d[0] - 0.0).abs() < 1e-12, "diagonal distance is 0");
+        assert!((d[1] - (1.0 - dm.get(0, 1))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = toy_table(50);
+        assert!(dependency_matrix(&t, &["a", "ghost"], &DependencyOptions::default()).is_err());
+    }
+
+    #[test]
+    fn single_column_matrix() {
+        let t = toy_table(50);
+        let dm = dependency_matrix(&t, &["a"], &DependencyOptions::default()).unwrap();
+        assert_eq!(dm.len(), 1);
+        assert_eq!(dm.get(0, 0), 1.0);
+        assert!(dm.top_edges(5).is_empty());
+    }
+
+    #[test]
+    fn significance_filter_prunes_noise_edges() {
+        // Two independent columns on a small sample: raw NMI is a small
+        // positive number (estimation noise); the chi-squared filter
+        // zeroes it, while a genuinely dependent pair survives.
+        let n = 120;
+        let a: Vec<f64> = (0..n).map(|i| ((i * 7919 + 13) % 97) as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 104729 + 7) % 89) as f64).collect();
+        let c: Vec<f64> = a.iter().map(|v| v * 2.0 + 1.0).collect();
+        let t = TableBuilder::new("sig")
+            .column("a", Column::dense_f64(a))
+            .unwrap()
+            .column("b", Column::dense_f64(b))
+            .unwrap()
+            .column("c", Column::dense_f64(c))
+            .unwrap()
+            .build()
+            .unwrap();
+        let opts = DependencyOptions {
+            significance_alpha: Some(0.01),
+            ..DependencyOptions::default()
+        };
+        let filtered = dependency_matrix(&t, &["a", "b", "c"], &opts).unwrap();
+        let raw = dependency_matrix(&t, &["a", "b", "c"], &DependencyOptions::default()).unwrap();
+        assert!(raw.get(0, 1) > 0.0, "raw noise edge is nonzero");
+        assert_eq!(filtered.get(0, 1), 0.0, "noise edge pruned");
+        assert!(filtered.get(0, 2) > 0.5, "real edge survives");
+    }
+
+    #[test]
+    fn mixed_categorical_numeric_pair() {
+        // Categorical column that tracks sign(a) should have high NMI with a.
+        let n = 400;
+        let a: Vec<f64> = (0..n).map(|i| i as f64 - n as f64 / 2.0).collect();
+        let lab: Vec<String> = a
+            .iter()
+            .map(|&v| if v < 0.0 { "neg".to_owned() } else { "pos".to_owned() })
+            .collect();
+        let t = TableBuilder::new("mix")
+            .column("a", Column::dense_f64(a))
+            .unwrap()
+            .column("sign", Column::from_strs(lab.iter().map(|s| Some(s.as_str()))))
+            .unwrap()
+            .build()
+            .unwrap();
+        let dm = dependency_matrix(&t, &["a", "sign"], &DependencyOptions::default()).unwrap();
+        assert!(dm.get(0, 1) > 0.3, "got {}", dm.get(0, 1));
+    }
+}

@@ -1,0 +1,209 @@
+//! Bivariate summaries — the scatter-plots of the *highlight* action.
+//!
+//! "For more details, our prototype provides classic univariate and
+//! bivariate visualization methods, such as histograms and scatter-plots."
+//! A [`ScatterGrid`] is a 2-D binned density over two numeric columns,
+//! renderable as a terminal density plot.
+
+use blaeu_store::Column;
+
+/// A 2-D histogram (density grid) over two numeric columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatterGrid {
+    /// Grid counts, row-major: `counts[y * xbins + x]`, y increasing
+    /// upward in value space.
+    counts: Vec<usize>,
+    xbins: usize,
+    ybins: usize,
+    /// Value range of the x axis.
+    pub x_range: (f64, f64),
+    /// Value range of the y axis.
+    pub y_range: (f64, f64),
+    /// Rows skipped because either coordinate was NULL.
+    pub dropped: usize,
+}
+
+impl ScatterGrid {
+    /// Bins the pairwise-complete values of two columns into an
+    /// `xbins × ybins` grid.
+    ///
+    /// Degenerate inputs (no complete pairs, or zero range) produce a grid
+    /// with all mass in one cell.
+    ///
+    /// # Panics
+    /// Panics if column lengths differ or a bin count is zero.
+    pub fn build(x: &Column, y: &Column, xbins: usize, ybins: usize) -> ScatterGrid {
+        assert_eq!(x.len(), y.len(), "column length mismatch");
+        assert!(xbins > 0 && ybins > 0, "bins must be positive");
+        let pairs: Vec<(f64, f64)> = (0..x.len())
+            .filter_map(|i| Some((x.numeric_at(i)?, y.numeric_at(i)?)))
+            .collect();
+        let dropped = x.len() - pairs.len();
+        if pairs.is_empty() {
+            return ScatterGrid {
+                counts: vec![0; xbins * ybins],
+                xbins,
+                ybins,
+                x_range: (0.0, 1.0),
+                y_range: (0.0, 1.0),
+                dropped,
+            };
+        }
+        let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(a, b) in &pairs {
+            x_lo = x_lo.min(a);
+            x_hi = x_hi.max(a);
+            y_lo = y_lo.min(b);
+            y_hi = y_hi.max(b);
+        }
+        let x_span = if x_hi > x_lo { x_hi - x_lo } else { 1.0 };
+        let y_span = if y_hi > y_lo { y_hi - y_lo } else { 1.0 };
+        let mut counts = vec![0usize; xbins * ybins];
+        for &(a, b) in &pairs {
+            let cx = (((a - x_lo) / x_span) * xbins as f64) as usize;
+            let cy = (((b - y_lo) / y_span) * ybins as f64) as usize;
+            let cx = cx.min(xbins - 1);
+            let cy = cy.min(ybins - 1);
+            counts[cy * xbins + cx] += 1;
+        }
+        ScatterGrid {
+            counts,
+            xbins,
+            ybins,
+            x_range: (x_lo, x_hi),
+            y_range: (y_lo, y_hi),
+            dropped,
+        }
+    }
+
+    /// Grid dimensions `(xbins, ybins)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.xbins, self.ybins)
+    }
+
+    /// Count in cell `(x, y)`.
+    pub fn count(&self, x: usize, y: usize) -> usize {
+        self.counts[y * self.xbins + x]
+    }
+
+    /// Total binned observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Renders the grid as a terminal density plot (top row = largest y).
+    ///
+    /// Density glyphs: ` `, `·`, `▪`, `▓`, `█` by quartile of the maximum
+    /// cell count.
+    pub fn render(&self, x_label: &str, y_label: &str) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        let glyph = |c: usize| -> char {
+            if c == 0 || max == 0 {
+                ' '
+            } else {
+                let q = (c * 4).div_ceil(max);
+                match q {
+                    1 => '·',
+                    2 => '▪',
+                    3 => '▓',
+                    _ => '█',
+                }
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{y_label} ({:.2}..{:.2}) vs {x_label} ({:.2}..{:.2}), {} points\n",
+            self.y_range.0, self.y_range.1, self.x_range.0, self.x_range.1,
+            self.total()
+        ));
+        for y in (0..self.ybins).rev() {
+            out.push_str("  |");
+            for x in 0..self.xbins {
+                out.push(glyph(self.count(x, y)));
+            }
+            out.push('\n');
+        }
+        out.push_str("  +");
+        out.push_str(&"-".repeat(self.xbins));
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_cover_all_pairs() {
+        let x = Column::dense_f64((0..100).map(f64::from).collect());
+        let y = Column::dense_f64((0..100).map(|i| f64::from(i) * 2.0).collect());
+        let g = ScatterGrid::build(&x, &y, 10, 8);
+        assert_eq!(g.total(), 100);
+        assert_eq!(g.dropped, 0);
+        assert_eq!(g.shape(), (10, 8));
+        assert_eq!(g.x_range, (0.0, 99.0));
+        assert_eq!(g.y_range, (0.0, 198.0));
+    }
+
+    #[test]
+    fn linear_relation_fills_diagonal() {
+        let x = Column::dense_f64((0..400).map(|i| f64::from(i) / 4.0).collect());
+        let y = Column::dense_f64((0..400).map(|i| f64::from(i) / 4.0).collect());
+        let g = ScatterGrid::build(&x, &y, 8, 8);
+        // All mass on the diagonal, nothing off it.
+        for cy in 0..8 {
+            for cx in 0..8 {
+                if cx == cy {
+                    assert!(g.count(cx, cy) > 0);
+                } else {
+                    assert_eq!(g.count(cx, cy), 0, "off-diagonal ({cx},{cy})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nulls_dropped_pairwise() {
+        let x = Column::from_f64s([Some(1.0), None, Some(3.0)]);
+        let y = Column::from_f64s([Some(1.0), Some(2.0), None]);
+        let g = ScatterGrid::build(&x, &y, 4, 4);
+        assert_eq!(g.total(), 1);
+        assert_eq!(g.dropped, 2);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        // All NULL.
+        let x = Column::from_f64s([None, None]);
+        let y = Column::from_f64s([None, None]);
+        let g = ScatterGrid::build(&x, &y, 3, 3);
+        assert_eq!(g.total(), 0);
+        // Constant values: everything in one cell.
+        let x = Column::dense_f64(vec![5.0; 10]);
+        let y = Column::dense_f64(vec![7.0; 10]);
+        let g = ScatterGrid::build(&x, &y, 3, 3);
+        assert_eq!(g.total(), 10);
+        assert_eq!(g.count(0, 0), 10);
+    }
+
+    #[test]
+    fn render_shows_density() {
+        let x = Column::dense_f64((0..200).map(|i| f64::from(i % 20)).collect());
+        let y = Column::dense_f64((0..200).map(|i| f64::from(i / 20)).collect());
+        let text = ScatterGrid::build(&x, &y, 12, 6).render("xcol", "ycol");
+        assert!(text.contains("ycol"));
+        assert!(text.contains("xcol"));
+        assert!(text.lines().count() >= 8, "{text}");
+        assert!(text.contains('█') || text.contains('▓') || text.contains('▪'));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let x = Column::dense_f64(vec![1.0]);
+        let y = Column::dense_f64(vec![1.0, 2.0]);
+        let _ = ScatterGrid::build(&x, &y, 2, 2);
+    }
+}

@@ -1,0 +1,314 @@
+//! Packed validity bitmap.
+//!
+//! Every nullable column carries a [`Bitmap`] with one bit per row: a set bit
+//! means the value is present (valid), a clear bit means NULL. The same
+//! structure doubles as a cheap set-of-rows for predicate evaluation before
+//! materializing a selection vector.
+
+/// A fixed-length packed bitmap with one bit per row.
+///
+/// Bits beyond `len` inside the last word are kept at zero so that word-wise
+/// operations (`count_ones`, `and`, `or`) need no masking on the hot path.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+impl Bitmap {
+    /// Creates a bitmap of `len` bits, all clear (all NULL / empty set).
+    pub fn new_clear(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Creates a bitmap of `len` bits, all set (no NULLs / full set).
+    pub fn new_set(len: usize) -> Self {
+        let mut words = vec![u64::MAX; len.div_ceil(WORD_BITS)];
+        let tail = len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        Bitmap { words, len }
+    }
+
+    /// Builds a bitmap from a boolean slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut bm = Bitmap::new_clear(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                bm.set(i);
+            }
+        }
+        bm
+    }
+
+    /// Number of bits (rows) covered by this bitmap.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the bit at `index`.
+    ///
+    /// # Panics
+    /// Panics if `index >= len`.
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of bounds ({})", self.len);
+        (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets the bit at `index`.
+    #[inline]
+    pub fn set(&mut self, index: usize) {
+        assert!(index < self.len, "bit index {index} out of bounds ({})", self.len);
+        self.words[index / WORD_BITS] |= 1u64 << (index % WORD_BITS);
+    }
+
+    /// Clears the bit at `index`.
+    #[inline]
+    pub fn clear(&mut self, index: usize) {
+        assert!(index < self.len, "bit index {index} out of bounds ({})", self.len);
+        self.words[index / WORD_BITS] &= !(1u64 << (index % WORD_BITS));
+    }
+
+    /// Writes `value` to the bit at `index`.
+    #[inline]
+    pub fn put(&mut self, index: usize, value: bool) {
+        if value {
+            self.set(index);
+        } else {
+            self.clear(index);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of clear bits.
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// True when every bit is set.
+    pub fn all_set(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// True when no bit is set.
+    pub fn none_set(&self) -> bool {
+        self.count_ones() == 0
+    }
+
+    /// In-place intersection with another bitmap of the same length.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union with another bitmap of the same length.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place complement (respecting the tail mask).
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter {
+            bitmap: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the indices of set bits into a selection vector.
+    pub fn to_indices(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count_ones());
+        out.extend(self.iter_ones().map(|i| i as u32));
+        out
+    }
+
+    /// Builds a bitmap of length `len` with the given sorted indices set.
+    pub fn from_indices(len: usize, indices: &[u32]) -> Self {
+        let mut bm = Bitmap::new_clear(len);
+        for &i in indices {
+            bm.set(i as usize);
+        }
+        bm
+    }
+}
+
+impl std::fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bitmap({}/{} set)", self.count_ones(), self.len)
+    }
+}
+
+/// Iterator over set-bit indices of a [`Bitmap`].
+pub struct OnesIter<'a> {
+    bitmap: &'a Bitmap,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.bitmap.words.len() {
+                return None;
+            }
+            self.current = self.bitmap.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_clear_has_no_bits() {
+        let bm = Bitmap::new_clear(100);
+        assert_eq!(bm.len(), 100);
+        assert_eq!(bm.count_ones(), 0);
+        assert!(bm.none_set());
+        assert!(!bm.all_set());
+    }
+
+    #[test]
+    fn new_set_has_all_bits() {
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 200] {
+            let bm = Bitmap::new_set(len);
+            assert_eq!(bm.count_ones(), len, "len={len}");
+            assert!(bm.all_set());
+        }
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut bm = Bitmap::new_clear(130);
+        bm.set(0);
+        bm.set(64);
+        bm.set(129);
+        assert!(bm.get(0) && bm.get(64) && bm.get(129));
+        assert!(!bm.get(1) && !bm.get(63) && !bm.get(128));
+        assert_eq!(bm.count_ones(), 3);
+        bm.clear(64);
+        assert!(!bm.get(64));
+        assert_eq!(bm.count_ones(), 2);
+    }
+
+    #[test]
+    fn put_writes_both_values() {
+        let mut bm = Bitmap::new_clear(10);
+        bm.put(3, true);
+        assert!(bm.get(3));
+        bm.put(3, false);
+        assert!(!bm.get(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let bm = Bitmap::new_clear(10);
+        bm.get(10);
+    }
+
+    #[test]
+    fn and_or_not() {
+        let a = Bitmap::from_bools(&[true, true, false, false, true]);
+        let b = Bitmap::from_bools(&[true, false, true, false, true]);
+
+        let mut and = a.clone();
+        and.and_assign(&b);
+        assert_eq!(and.to_indices(), vec![0, 4]);
+
+        let mut or = a.clone();
+        or.or_assign(&b);
+        assert_eq!(or.to_indices(), vec![0, 1, 2, 4]);
+
+        let mut not = a.clone();
+        not.not_assign();
+        assert_eq!(not.to_indices(), vec![2, 3]);
+        // Tail bits must stay clear: complement twice returns the original.
+        not.not_assign();
+        assert_eq!(not, a);
+    }
+
+    #[test]
+    fn iter_ones_crosses_word_boundaries() {
+        let mut bm = Bitmap::new_clear(200);
+        let idx = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        for &i in &idx {
+            bm.set(i);
+        }
+        let collected: Vec<usize> = bm.iter_ones().collect();
+        assert_eq!(collected, idx);
+    }
+
+    #[test]
+    fn indices_roundtrip() {
+        let indices = vec![2u32, 5, 64, 65, 99];
+        let bm = Bitmap::from_indices(100, &indices);
+        assert_eq!(bm.to_indices(), indices);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let bm = Bitmap::new_clear(0);
+        assert!(bm.is_empty());
+        assert_eq!(bm.iter_ones().count(), 0);
+        assert!(bm.all_set(), "vacuously true");
+    }
+
+    #[test]
+    fn from_bools_matches() {
+        let bools = [true, false, true];
+        let bm = Bitmap::from_bools(&bools);
+        for (i, &b) in bools.iter().enumerate() {
+            assert_eq!(bm.get(i), b);
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! CSV ingestion and export (RFC 4180 subset) with type inference.
+//!
+//! Blaeu's demo loads external CSV files into the DBMS before exploration
+//! (Figure 4 of the paper). This module is that loader: a hand-rolled parser
+//! (quoted fields, embedded separators/newlines/quotes), a type-inference
+//! pass and a writer for round-tripping.
+
+use std::io::{BufRead, Write};
+
+use crate::column::Column;
+use crate::error::{Result, StoreError};
+use crate::table::{Table, TableBuilder};
+use crate::value::DataType;
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: u8,
+    /// Whether the first record holds column names (default true).
+    pub has_header: bool,
+    /// Strings treated as NULL in addition to the empty string
+    /// (default: `NA`, `NaN`, `null`, `NULL`).
+    pub null_tokens: Vec<String>,
+    /// Maximum number of distinct values for an all-string column to be kept
+    /// categorical; beyond this the column still loads but is flagged
+    /// high-cardinality by callers (default: unlimited).
+    pub max_rows: Option<usize>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: b',',
+            has_header: true,
+            null_tokens: vec![
+                "NA".to_owned(),
+                "NaN".to_owned(),
+                "null".to_owned(),
+                "NULL".to_owned(),
+            ],
+            max_rows: None,
+        }
+    }
+}
+
+/// Splits raw CSV text into records of fields, honoring quotes.
+fn parse_records(input: &str, delim: u8) -> Result<Vec<Vec<String>>> {
+    let delim = delim as char;
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = input.chars().peekable();
+    let mut saw_any = false;
+
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(StoreError::CsvParse {
+                            line,
+                            message: "quote inside unquoted field".to_owned(),
+                        });
+                    }
+                }
+                '\r' => {
+                    // Swallow; `\r\n` terminates via the `\n` branch.
+                }
+                '\n' => {
+                    line += 1;
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                c if c == delim => {
+                    record.push(std::mem::take(&mut field));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(StoreError::CsvParse {
+            line,
+            message: "unterminated quoted field".to_owned(),
+        });
+    }
+    if saw_any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    // Fully blank lines carry no record (common CSV convention).
+    records.retain(|r| !(r.len() == 1 && r[0].is_empty()));
+    Ok(records)
+}
+
+fn is_null_token(s: &str, opts: &CsvOptions) -> bool {
+    s.is_empty() || opts.null_tokens.iter().any(|t| t == s)
+}
+
+fn parse_i64(s: &str) -> Option<i64> {
+    let t = s.trim();
+    if t.is_empty() {
+        return None;
+    }
+    t.parse::<i64>().ok()
+}
+
+fn parse_f64(s: &str) -> Option<f64> {
+    let t = s.trim();
+    if t.is_empty() {
+        return None;
+    }
+    t.parse::<f64>().ok().filter(|v| v.is_finite())
+}
+
+fn parse_bool(s: &str) -> Option<bool> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+/// Infers the narrowest [`DataType`] that fits every non-NULL cell of a
+/// column: Bool ⊂ Int64 ⊂ Float64, with Categorical as the fallback.
+fn infer_type(cells: &[&str], opts: &CsvOptions) -> DataType {
+    let mut any = false;
+    let mut all_bool = true;
+    let mut all_int = true;
+    let mut all_float = true;
+    for &cell in cells {
+        if is_null_token(cell, opts) {
+            continue;
+        }
+        any = true;
+        if all_bool && parse_bool(cell).is_none() {
+            all_bool = false;
+        }
+        if all_int && parse_i64(cell).is_none() {
+            all_int = false;
+        }
+        if all_float && parse_f64(cell).is_none() {
+            all_float = false;
+        }
+        if !all_bool && !all_int && !all_float {
+            return DataType::Categorical;
+        }
+    }
+    if !any {
+        // An all-NULL column carries no evidence; float is the most useful
+        // default for downstream numeric handling.
+        return DataType::Float64;
+    }
+    if all_bool {
+        DataType::Bool
+    } else if all_int {
+        DataType::Int64
+    } else if all_float {
+        DataType::Float64
+    } else {
+        DataType::Categorical
+    }
+}
+
+/// Parses CSV text into a [`Table`] with inferred column types.
+///
+/// # Errors
+/// Returns [`StoreError::CsvParse`] for malformed input (ragged rows,
+/// unterminated quotes) and propagates table-construction errors.
+pub fn read_csv_str(name: &str, input: &str, opts: &CsvOptions) -> Result<Table> {
+    let mut records = parse_records(input, opts.delimiter)?;
+    if records.is_empty() {
+        return TableBuilder::new(name).build();
+    }
+    let header: Vec<String> = if opts.has_header {
+        records.remove(0)
+    } else {
+        (0..records[0].len()).map(|i| format!("col_{i}")).collect()
+    };
+    if let Some(cap) = opts.max_rows {
+        records.truncate(cap);
+    }
+    let ncols = header.len();
+    for (i, rec) in records.iter().enumerate() {
+        if rec.len() != ncols {
+            return Err(StoreError::CsvParse {
+                line: i + 1 + usize::from(opts.has_header),
+                message: format!("expected {ncols} fields, found {}", rec.len()),
+            });
+        }
+    }
+
+    let mut builder = TableBuilder::new(name);
+    for (c, col_name) in header.iter().enumerate() {
+        let cells: Vec<&str> = records.iter().map(|r| r[c].as_str()).collect();
+        let dtype = infer_type(&cells, opts);
+        let column = match dtype {
+            DataType::Bool => Column::from_bools(cells.iter().map(|&s| {
+                if is_null_token(s, opts) {
+                    None
+                } else {
+                    parse_bool(s)
+                }
+            })),
+            DataType::Int64 => Column::from_i64s(cells.iter().map(|&s| {
+                if is_null_token(s, opts) {
+                    None
+                } else {
+                    parse_i64(s)
+                }
+            })),
+            DataType::Float64 => Column::from_f64s(cells.iter().map(|&s| {
+                if is_null_token(s, opts) {
+                    None
+                } else {
+                    parse_f64(s)
+                }
+            })),
+            DataType::Categorical => Column::from_strs(cells.iter().map(|&s| {
+                if is_null_token(s, opts) {
+                    None
+                } else {
+                    Some(s)
+                }
+            })),
+        };
+        builder = builder.column(col_name.clone(), column)?;
+    }
+    builder.build()
+}
+
+/// Reads CSV from any buffered reader.
+///
+/// # Errors
+/// Propagates I/O and parse errors.
+pub fn read_csv<R: BufRead>(name: &str, mut reader: R, opts: &CsvOptions) -> Result<Table> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    read_csv_str(name, &buf, opts)
+}
+
+/// Reads a CSV file from disk.
+///
+/// # Errors
+/// Propagates I/O and parse errors.
+pub fn read_csv_file(path: &std::path::Path, opts: &CsvOptions) -> Result<Table> {
+    let file = std::fs::File::open(path)?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("table")
+        .to_owned();
+    read_csv(&name, std::io::BufReader::new(file), opts)
+}
+
+fn needs_quoting(s: &str, delim: u8) -> bool {
+    s.bytes()
+        .any(|b| b == delim || b == b'"' || b == b'\n' || b == b'\r')
+}
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('"', "\"\""))
+}
+
+/// Writes a table as CSV.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_csv<W: Write>(table: &Table, mut writer: W, opts: &CsvOptions) -> Result<()> {
+    let delim = opts.delimiter as char;
+    if opts.has_header {
+        let header: Vec<String> = table
+            .schema()
+            .names()
+            .iter()
+            .map(|n| {
+                if needs_quoting(n, opts.delimiter) {
+                    quote(n)
+                } else {
+                    (*n).to_owned()
+                }
+            })
+            .collect();
+        writeln!(writer, "{}", header.join(&delim.to_string()))?;
+    }
+    for row in 0..table.nrows() {
+        let mut fields = Vec::with_capacity(table.ncols());
+        for col in table.columns() {
+            let v = col.get(row);
+            let s = if v.is_null() {
+                String::new()
+            } else {
+                v.to_string()
+            };
+            fields.push(if needs_quoting(&s, opts.delimiter) {
+                quote(&s)
+            } else {
+                s
+            });
+        }
+        writeln!(writer, "{}", fields.join(&delim.to_string()))?;
+    }
+    Ok(())
+}
+
+/// Renders a table as a CSV string.
+///
+/// # Errors
+/// Never fails in practice (in-memory writer); kept fallible for symmetry.
+pub fn write_csv_string(table: &Table, opts: &CsvOptions) -> Result<String> {
+    let mut buf = Vec::new();
+    write_csv(table, &mut buf, opts)?;
+    String::from_utf8(buf).map_err(|e| StoreError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn parses_simple_csv() {
+        let t = read_csv_str(
+            "t",
+            "a,b,c\n1,2.5,x\n2,3.5,y\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.schema().field(0).dtype, DataType::Int64);
+        assert_eq!(t.schema().field(1).dtype, DataType::Float64);
+        assert_eq!(t.schema().field(2).dtype, DataType::Categorical);
+        assert_eq!(t.value(1, "c").unwrap(), Value::Str("y".into()));
+    }
+
+    #[test]
+    fn infers_bool() {
+        let t = read_csv_str("t", "flag\ntrue\nfalse\nTRUE\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.schema().field(0).dtype, DataType::Bool);
+        assert_eq!(t.value(2, "flag").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn null_tokens_become_nulls() {
+        let t = read_csv_str("t", "x\n1.5\nNA\n\n2.5\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.value(1, "x").unwrap(), Value::Null);
+        assert_eq!(t.column_by_name("x").unwrap().null_count(), 1);
+    }
+
+    #[test]
+    fn int_column_with_nulls_stays_int() {
+        let t = read_csv_str("t", "n\n1\nNA\n3\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.schema().field(0).dtype, DataType::Int64);
+        assert_eq!(t.value(1, "n").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn quoted_fields_with_delimiters_and_newlines() {
+        let input = "name,notes\n\"Doe, John\",\"line1\nline2\"\nplain,\"say \"\"hi\"\"\"\n";
+        let t = read_csv_str("t", input, &CsvOptions::default()).unwrap();
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.value(0, "name").unwrap(), Value::Str("Doe, John".into()));
+        assert_eq!(
+            t.value(0, "notes").unwrap(),
+            Value::Str("line1\nline2".into())
+        );
+        assert_eq!(t.value(1, "notes").unwrap(), Value::Str("say \"hi\"".into()));
+    }
+
+    #[test]
+    fn ragged_rows_error() {
+        let err = read_csv_str("t", "a,b\n1\n", &CsvOptions::default());
+        assert!(matches!(err, Err(StoreError::CsvParse { .. })));
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        let err = read_csv_str("t", "a\n\"oops\n", &CsvOptions::default());
+        assert!(matches!(err, Err(StoreError::CsvParse { .. })));
+    }
+
+    #[test]
+    fn headerless_mode_names_columns() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let t = read_csv_str("t", "1,2\n3,4\n", &opts).unwrap();
+        assert_eq!(t.schema().names(), vec!["col_0", "col_1"]);
+        assert_eq!(t.nrows(), 2);
+    }
+
+    #[test]
+    fn max_rows_truncates() {
+        let opts = CsvOptions {
+            max_rows: Some(1),
+            ..CsvOptions::default()
+        };
+        let t = read_csv_str("t", "a\n1\n2\n3\n", &opts).unwrap();
+        assert_eq!(t.nrows(), 1);
+    }
+
+    #[test]
+    fn missing_final_newline_ok() {
+        let t = read_csv_str("t", "a\n1\n2", &CsvOptions::default()).unwrap();
+        assert_eq!(t.nrows(), 2);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = read_csv_str("t", "a,b\r\n1,x\r\n2,y\r\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.value(0, "b").unwrap(), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_table() {
+        let t = read_csv_str("t", "", &CsvOptions::default()).unwrap();
+        assert_eq!(t.nrows(), 0);
+        assert_eq!(t.ncols(), 0);
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let original = read_csv_str(
+            "t",
+            "name,score,tag\nalice,1.5,x\n\"b,ob\",NA,\"q\"\"t\"\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        let rendered = write_csv_string(&original, &CsvOptions::default()).unwrap();
+        let reparsed = read_csv_str("t", &rendered, &CsvOptions::default()).unwrap();
+        assert_eq!(reparsed.nrows(), original.nrows());
+        for row in 0..original.nrows() {
+            assert_eq!(reparsed.row(row).unwrap(), original.row(row).unwrap());
+        }
+    }
+
+    #[test]
+    fn all_null_column_defaults_to_float() {
+        let t = read_csv_str("t", "x\nNA\nNA\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.schema().field(0).dtype, DataType::Float64);
+        assert_eq!(t.column_by_name("x").unwrap().null_count(), 2);
+    }
+
+    #[test]
+    fn scientific_notation_floats() {
+        let t = read_csv_str("t", "x\n1e3\n-2.5E-2\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.schema().field(0).dtype, DataType::Float64);
+        assert_eq!(t.value(0, "x").unwrap(), Value::Float(1000.0));
+    }
+}

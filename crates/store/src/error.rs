@@ -1,0 +1,140 @@
+//! Error types for the storage engine.
+
+use std::fmt;
+
+/// Errors raised by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A column name was not found in the schema.
+    ColumnNotFound(String),
+    /// A column with this name already exists in the table under construction.
+    DuplicateColumn(String),
+    /// An operation expected a column of one type but found another.
+    TypeMismatch {
+        /// Column involved in the operation.
+        column: String,
+        /// Type the operation expected.
+        expected: &'static str,
+        /// Type actually stored.
+        found: &'static str,
+    },
+    /// Columns appended to a table do not agree on row count.
+    LengthMismatch {
+        /// Expected number of rows (from the first column).
+        expected: usize,
+        /// Number of rows in the offending column.
+        found: usize,
+        /// Name of the offending column.
+        column: String,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Requested row index.
+        index: usize,
+        /// Number of rows in the table or column.
+        nrows: usize,
+    },
+    /// CSV input could not be parsed.
+    CsvParse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A query or sampling parameter was invalid.
+    InvalidArgument(String),
+    /// An I/O error, carried as a string to keep the error type `Clone`.
+    Io(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
+            StoreError::DuplicateColumn(name) => write!(f, "duplicate column: {name:?}"),
+            StoreError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch on column {column:?}: expected {expected}, found {found}"
+            ),
+            StoreError::LengthMismatch {
+                expected,
+                found,
+                column,
+            } => write!(
+                f,
+                "length mismatch: column {column:?} has {found} rows, expected {expected}"
+            ),
+            StoreError::RowOutOfBounds { index, nrows } => {
+                write!(f, "row index {index} out of bounds for {nrows} rows")
+            }
+            StoreError::CsvParse { line, message } => {
+                write!(f, "CSV parse error at line {line}: {message}")
+            }
+            StoreError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            StoreError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(err: std::io::Error) -> Self {
+        StoreError::Io(err.to_string())
+    }
+}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_column_not_found() {
+        let e = StoreError::ColumnNotFound("salary".into());
+        assert_eq!(e.to_string(), "column not found: \"salary\"");
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let e = StoreError::TypeMismatch {
+            column: "age".into(),
+            expected: "float64",
+            found: "categorical",
+        };
+        assert!(e.to_string().contains("age"));
+        assert!(e.to_string().contains("float64"));
+        assert!(e.to_string().contains("categorical"));
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = StoreError::LengthMismatch {
+            expected: 10,
+            found: 5,
+            column: "x".into(),
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: StoreError = io.into();
+        assert!(matches!(e, StoreError::Io(_)));
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn errors_are_cloneable_and_comparable() {
+        let e = StoreError::RowOutOfBounds { index: 3, nrows: 2 };
+        assert_eq!(e.clone(), e);
+    }
+}

@@ -1,0 +1,233 @@
+//! The Hollywood dataset: ~900 movies × 12 columns (demo scenario 1).
+//!
+//! Planted structure: three market segments —
+//! `0` blockbusters (high budget, high gross), `1` indie darlings (low
+//! budget, strong reviews, high profitability), `2` flops (mid budget, weak
+//! gross and reviews). Two column themes: *commercial* (budget, gross,
+//! opening weekend, theaters, profitability) and *reception* (critic and
+//! audience scores), with release metadata independent of both.
+
+use rand::Rng;
+
+use crate::column::Column;
+use crate::error::Result;
+use crate::sample::rng_from_seed;
+use crate::schema::ColumnRole;
+use crate::table::{Table, TableBuilder};
+
+use super::{gauss, weighted_index, PlantedTruth};
+
+/// Configuration for [`hollywood`].
+#[derive(Debug, Clone)]
+pub struct HollywoodConfig {
+    /// Number of movies (the paper's dataset has 900).
+    pub nrows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HollywoodConfig {
+    fn default() -> Self {
+        HollywoodConfig {
+            nrows: 900,
+            seed: 2007,
+        }
+    }
+}
+
+const STUDIOS: &[&str] = &[
+    "Universal",
+    "Warner",
+    "Paramount",
+    "Sony",
+    "Disney",
+    "Fox",
+    "Lionsgate",
+    "A24",
+];
+
+const GENRES: &[&str] = &[
+    "Action",
+    "Comedy",
+    "Drama",
+    "Animation",
+    "Horror",
+    "Romance",
+    "Thriller",
+];
+
+const RATINGS: &[&str] = &["G", "PG", "PG-13", "R"];
+
+/// Generates the Hollywood table and its planted segment labels.
+///
+/// # Errors
+/// Propagates table-construction errors (not expected for valid configs).
+pub fn hollywood(config: &HollywoodConfig) -> Result<(Table, PlantedTruth)> {
+    let mut rng = rng_from_seed(config.seed);
+    let n = config.nrows;
+    // Segment mix: a few blockbusters, many mid-tier flops, a solid indie slate.
+    let weights = [0.25, 0.35, 0.40];
+    let labels: Vec<usize> = (0..n)
+        .map(|_| weighted_index(&mut rng, &weights))
+        .collect();
+
+    let mut film = Vec::with_capacity(n);
+    let mut studio = Vec::with_capacity(n);
+    let mut genre = Vec::with_capacity(n);
+    let mut rating = Vec::with_capacity(n);
+    let mut year = Vec::with_capacity(n);
+    let mut budget = Vec::with_capacity(n);
+    let mut gross = Vec::with_capacity(n);
+    let mut opening = Vec::with_capacity(n);
+    let mut theaters = Vec::with_capacity(n);
+    let mut profitability = Vec::with_capacity(n);
+    let mut critics = Vec::with_capacity(n);
+    let mut audience = Vec::with_capacity(n);
+
+    for (i, &seg) in labels.iter().enumerate() {
+        film.push(format!("Film #{i:04}"));
+        studio.push(STUDIOS[rng.gen_range(0..STUDIOS.len())].to_owned());
+        genre.push(GENRES[rng.gen_range(0..GENRES.len())].to_owned());
+        rating.push(RATINGS[rng.gen_range(0..RATINGS.len())].to_owned());
+        year.push(2007 + rng.gen_range(0..7i64));
+
+        // Commercial theme driven by a shared latent per film.
+        let commercial = gauss(&mut rng);
+        // Reception theme latent (independent of commercial except through
+        // the segment).
+        let buzz = gauss(&mut rng);
+
+        let (b, multiplier, score_base) = match seg {
+            0 => (120.0 + 40.0 * commercial, 2.8, 58.0), // blockbusters
+            1 => (8.0 + 3.0 * commercial, 5.5, 76.0),    // indies
+            _ => (45.0 + 15.0 * commercial, 0.8, 40.0),  // flops
+        };
+        let b = b.max(0.5);
+        let g = (b * multiplier * (1.0 + 0.25 * gauss(&mut rng))).max(0.1);
+        budget.push(Some(b));
+        gross.push(Some(g));
+        opening.push(Some((g * (0.28 + 0.05 * gauss(&mut rng))).max(0.05)));
+        theaters.push(Some(((g * 18.0).sqrt() * 45.0 + 40.0 * gauss(&mut rng)).max(1.0).round() as i64));
+        profitability.push(Some(g / b));
+
+        let c = (score_base + 12.0 * buzz + 4.0 * gauss(&mut rng)).clamp(0.0, 100.0);
+        let a = (score_base + 4.0 + 10.0 * buzz + 5.0 * gauss(&mut rng)).clamp(0.0, 100.0);
+        critics.push(Some(c));
+        audience.push(Some(a));
+    }
+
+    let table = TableBuilder::new("hollywood")
+        .column_with_role(
+            "film",
+            Column::from_strs(film.iter().map(|s| Some(s.as_str()))),
+            ColumnRole::Label,
+        )?
+        .column(
+            "studio",
+            Column::from_strs(studio.iter().map(|s| Some(s.as_str()))),
+        )?
+        .column(
+            "genre",
+            Column::from_strs(genre.iter().map(|s| Some(s.as_str()))),
+        )?
+        .column(
+            "rating",
+            Column::from_strs(rating.iter().map(|s| Some(s.as_str()))),
+        )?
+        .column("year", Column::dense_i64(year))?
+        .column("budget_musd", Column::from_f64s(budget))?
+        .column("worldwide_gross_musd", Column::from_f64s(gross))?
+        .column("opening_weekend_musd", Column::from_f64s(opening))?
+        .column("theaters", Column::from_i64s(theaters))?
+        .column("profitability", Column::from_f64s(profitability))?
+        .column("critics_score", Column::from_f64s(critics))?
+        .column("audience_score", Column::from_f64s(audience))?
+        .build()?;
+
+    let commercial_cols = [
+        "budget_musd",
+        "worldwide_gross_musd",
+        "opening_weekend_musd",
+        "theaters",
+        "profitability",
+    ];
+    let reception_cols = ["critics_score", "audience_score"];
+    let metadata_cols = ["studio", "genre", "rating", "year"];
+    let mut theme_of_column = Vec::new();
+    for c in commercial_cols {
+        theme_of_column.push((c.to_owned(), 0));
+    }
+    for c in reception_cols {
+        theme_of_column.push((c.to_owned(), 1));
+    }
+    for c in metadata_cols {
+        theme_of_column.push((c.to_owned(), 2));
+    }
+
+    Ok((
+        table,
+        PlantedTruth {
+            labels,
+            theme_of_column,
+            theme_names: vec![
+                "commercial".to_owned(),
+                "reception".to_owned(),
+                "metadata".to_owned(),
+            ],
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape() {
+        let (t, truth) = hollywood(&HollywoodConfig::default()).unwrap();
+        assert_eq!(t.nrows(), 900);
+        assert_eq!(t.ncols(), 12, "the paper's Hollywood table has 12 columns");
+        assert_eq!(truth.labels.len(), 900);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _) = hollywood(&HollywoodConfig::default()).unwrap();
+        let (b, _) = hollywood(&HollywoodConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn segments_have_expected_economics() {
+        let (t, truth) = hollywood(&HollywoodConfig::default()).unwrap();
+        let budget = t.column_by_name("budget_musd").unwrap();
+        let profit = t.column_by_name("profitability").unwrap();
+        let mean_by = |col: &crate::column::Column, seg: usize| {
+            let vals: Vec<f64> = truth
+                .labels
+                .iter()
+                .enumerate()
+                .filter(|&(_, &l)| l == seg)
+                .filter_map(|(i, _)| col.numeric_at(i))
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        assert!(mean_by(budget, 0) > mean_by(budget, 1) * 5.0, "blockbusters cost more than indies");
+        assert!(mean_by(profit, 1) > mean_by(profit, 2) * 2.0, "indies out-earn flops per dollar");
+    }
+
+    #[test]
+    fn years_in_paper_window() {
+        let (t, _) = hollywood(&HollywoodConfig::default()).unwrap();
+        let (years, _) = t.column_by_name("year").unwrap().i64_slice().unwrap();
+        assert!(years.iter().all(|&y| (2007..=2013).contains(&y)));
+    }
+
+    #[test]
+    fn no_missing_values() {
+        let (t, _) = hollywood(&HollywoodConfig::default()).unwrap();
+        for col in t.columns() {
+            assert_eq!(col.null_count(), 0);
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Generic generator with planted row clusters and column themes.
+//!
+//! Structure of the generated table:
+//!
+//! * Rows are drawn from `clusters` mixture components. Each (cluster,
+//!   theme) pair gets a latent offset; a row's latent value for theme *t* is
+//!   `offset[cluster][t] + N(0,1)`.
+//! * Every attribute column belongs to exactly one theme and is a noisy
+//!   (optionally non-linear) function of that theme's latent — so columns of
+//!   the same theme are mutually dependent while columns of different themes
+//!   are (nearly) independent given the weak coupling through the cluster
+//!   label. This is exactly the structure Blaeu's theme detector must find.
+//! * Categorical columns discretize the latent into labelled levels.
+//! * A `Key` column (`row_id`) and a `Label` column (entity name) mimic real
+//!   tables; preprocessing must drop/skip them.
+
+use rand::Rng;
+
+use crate::column::Column;
+use crate::error::Result;
+use crate::sample::rng_from_seed;
+use crate::schema::ColumnRole;
+use crate::table::{Table, TableBuilder};
+
+use super::{gauss, weighted_index};
+
+/// How an attribute column derives from its theme latent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnShape {
+    /// `a·z + b + noise` — linear in the latent.
+    Linear,
+    /// `a·z² + b + noise` — even function: correlation ≈ 0, MI high.
+    Quadratic,
+    /// `sin(2z) + noise` — oscillating non-linear dependency.
+    Sine,
+    /// Cycle Linear / Quadratic / Sine across the theme's columns, so the
+    /// theme holds together under MI but fragments under linear
+    /// correlation (the measure-ablation workload).
+    Mixed,
+}
+
+/// Specification of one column theme.
+#[derive(Debug, Clone)]
+pub struct ThemeSpec {
+    /// Theme name (used to derive column names: `<name>_0`, `<name>_1`, …).
+    pub name: String,
+    /// Number of numeric columns in the theme.
+    pub numeric_cols: usize,
+    /// Number of categorical columns in the theme.
+    pub categorical_cols: usize,
+    /// Number of category levels for categorical columns.
+    pub categories: usize,
+    /// Shape of the numeric columns' dependence on the latent.
+    pub shape: ColumnShape,
+}
+
+impl ThemeSpec {
+    /// A purely numeric, linear theme.
+    pub fn numeric(name: impl Into<String>, numeric_cols: usize) -> Self {
+        ThemeSpec {
+            name: name.into(),
+            numeric_cols,
+            categorical_cols: 0,
+            categories: 0,
+            shape: ColumnShape::Linear,
+        }
+    }
+
+    /// Total number of columns contributed by the theme.
+    pub fn ncols(&self) -> usize {
+        self.numeric_cols + self.categorical_cols
+    }
+}
+
+/// Configuration for [`planted`].
+#[derive(Debug, Clone)]
+pub struct PlantedConfig {
+    /// Table name.
+    pub name: String,
+    /// Number of rows.
+    pub nrows: usize,
+    /// Column themes.
+    pub themes: Vec<ThemeSpec>,
+    /// Number of planted row clusters.
+    pub clusters: usize,
+    /// Separation between cluster latent offsets, in standard deviations.
+    /// 0 disables row structure (pure theme structure).
+    pub cluster_sep: f64,
+    /// Relative cluster sizes; empty means equal sizes.
+    pub cluster_weights: Vec<f64>,
+    /// Standard deviation of per-column noise around the latent function.
+    pub noise: f64,
+    /// Probability that any attribute cell is NULL.
+    pub missing_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlantedConfig {
+    fn default() -> Self {
+        PlantedConfig {
+            name: "planted".to_owned(),
+            nrows: 1000,
+            themes: vec![
+                ThemeSpec::numeric("theme_a", 4),
+                ThemeSpec::numeric("theme_b", 4),
+                ThemeSpec::numeric("theme_c", 4),
+            ],
+            clusters: 3,
+            cluster_sep: 4.0,
+            cluster_weights: Vec::new(),
+            noise: 0.3,
+            missing_rate: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Ground truth emitted alongside a planted table.
+#[derive(Debug, Clone)]
+pub struct PlantedTruth {
+    /// Planted cluster label per row.
+    pub labels: Vec<usize>,
+    /// For every *attribute* column (by name): index of its theme.
+    pub theme_of_column: Vec<(String, usize)>,
+    /// Theme names in index order.
+    pub theme_names: Vec<String>,
+}
+
+impl PlantedTruth {
+    /// Theme index of the named column, if it is an attribute column.
+    pub fn theme_of(&self, column: &str) -> Option<usize> {
+        self.theme_of_column
+            .iter()
+            .find(|(name, _)| name == column)
+            .map(|&(_, t)| t)
+    }
+}
+
+/// Generates a table with planted row clusters and column themes.
+///
+/// # Errors
+/// Propagates table-construction errors (only possible with degenerate
+/// configurations such as duplicate theme names).
+pub fn planted(config: &PlantedConfig) -> Result<(Table, PlantedTruth)> {
+    let mut rng = rng_from_seed(config.seed);
+    let n = config.nrows;
+    let k = config.clusters.max(1);
+    let t = config.themes.len();
+
+    // Cluster assignment per row.
+    let weights: Vec<f64> = if config.cluster_weights.is_empty() {
+        vec![1.0; k]
+    } else {
+        config.cluster_weights.clone()
+    };
+    let labels: Vec<usize> = (0..n).map(|_| weighted_index(&mut rng, &weights)).collect();
+
+    // Latent offsets per (cluster, theme): spread on a grid scaled by
+    // cluster_sep, with a small random jitter. The cluster order is
+    // rotated per theme so clusters are not identically ordered on every
+    // theme, while every cluster keeps a distinct center in each theme.
+    let mut offsets = vec![vec![0.0f64; t]; k];
+    for (c, row) in offsets.iter_mut().enumerate() {
+        for (theme, cell) in row.iter_mut().enumerate() {
+            let rotated = (c + theme) % k;
+            let base = rotated as f64 - (k as f64 - 1.0) / 2.0;
+            let jitter = 0.25 * gauss(&mut rng);
+            *cell = config.cluster_sep * base + jitter;
+        }
+    }
+
+    // Latent value per (row, theme).
+    let mut latents = vec![vec![0.0f64; t]; n];
+    for (row, lat) in latents.iter_mut().enumerate() {
+        for (theme, cell) in lat.iter_mut().enumerate() {
+            *cell = offsets[labels[row]][theme] + gauss(&mut rng);
+        }
+    }
+
+    let mut builder = TableBuilder::new(config.name.clone())
+        .column_with_role(
+            "row_id",
+            Column::dense_i64((0..n as i64).collect()),
+            ColumnRole::Key,
+        )?
+        .column_with_role(
+            "entity",
+            Column::from_strs((0..n).map(|i| format!("entity_{i}")).map(Some).collect::<Vec<_>>().iter().map(|s| s.as_deref())),
+            ColumnRole::Label,
+        )?;
+
+    let mut theme_of_column = Vec::new();
+    for (theme_idx, spec) in config.themes.iter().enumerate() {
+        // Numeric columns.
+        for c in 0..spec.numeric_cols {
+            let name = format!("{}_{c}", spec.name);
+            let scale = 0.8 + 0.4 * rng.gen::<f64>();
+            let shift = 2.0 * gauss(&mut rng);
+            let mut vals = Vec::with_capacity(n);
+            for lat in latents.iter().take(n) {
+                if config.missing_rate > 0.0 && rng.gen::<f64>() < config.missing_rate {
+                    vals.push(None);
+                    continue;
+                }
+                let z = lat[theme_idx];
+                let shape = match spec.shape {
+                    ColumnShape::Mixed => match c % 3 {
+                        0 => ColumnShape::Linear,
+                        1 => ColumnShape::Quadratic,
+                        _ => ColumnShape::Sine,
+                    },
+                    other => other,
+                };
+                let f = match shape {
+                    ColumnShape::Linear => scale * z + shift,
+                    ColumnShape::Quadratic => scale * z * z + shift,
+                    ColumnShape::Sine => (2.0 * z).sin() * scale + shift,
+                    ColumnShape::Mixed => unreachable!("resolved above"),
+                };
+                vals.push(Some(f + config.noise * gauss(&mut rng)));
+            }
+            builder = builder.column(name.clone(), Column::from_f64s(vals))?;
+            theme_of_column.push((name, theme_idx));
+        }
+        // Categorical columns: quantile-discretized latent with labels.
+        for c in 0..spec.categorical_cols {
+            let name = format!("{}_cat{c}", spec.name);
+            let levels = spec.categories.max(2);
+            // Thresholds on the latent; latents are roughly N(offset, 1) per
+            // cluster, so use global quantile-ish cuts from a sample.
+            let mut sorted: Vec<f64> = latents.iter().map(|l| l[theme_idx]).collect();
+            sorted.sort_by(f64::total_cmp);
+            let cuts: Vec<f64> = (1..levels)
+                .map(|q| sorted[(q * n / levels).min(n - 1)])
+                .collect();
+            let mut vals: Vec<Option<String>> = Vec::with_capacity(n);
+            for lat in latents.iter().take(n) {
+                if config.missing_rate > 0.0 && rng.gen::<f64>() < config.missing_rate {
+                    vals.push(None);
+                    continue;
+                }
+                let z = lat[theme_idx] + config.noise * gauss(&mut rng);
+                let level = cuts.iter().take_while(|&&cut| z > cut).count();
+                vals.push(Some(format!("{}_lvl{level}", spec.name)));
+            }
+            builder = builder.column(
+                name.clone(),
+                Column::from_strs(vals.iter().map(|o| o.as_deref())),
+            )?;
+            theme_of_column.push((name, theme_idx));
+        }
+    }
+
+    let table = builder.build()?;
+    let truth = PlantedTruth {
+        labels,
+        theme_of_column,
+        theme_names: config.themes.iter().map(|s| s.name.clone()).collect(),
+    };
+    Ok((table, truth))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    #[test]
+    fn shape_matches_config() {
+        let config = PlantedConfig {
+            nrows: 200,
+            ..PlantedConfig::default()
+        };
+        let (table, truth) = planted(&config).unwrap();
+        assert_eq!(table.nrows(), 200);
+        // row_id + entity + 3 themes × 4 columns.
+        assert_eq!(table.ncols(), 2 + 12);
+        assert_eq!(truth.labels.len(), 200);
+        assert_eq!(truth.theme_of_column.len(), 12);
+        assert_eq!(truth.theme_names.len(), 3);
+        assert!(truth.labels.iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = PlantedConfig {
+            nrows: 50,
+            ..PlantedConfig::default()
+        };
+        let (a, ta) = planted(&config).unwrap();
+        let (b, tb) = planted(&config).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ta.labels, tb.labels);
+
+        let config2 = PlantedConfig {
+            seed: 43,
+            ..config
+        };
+        let (c, _) = planted(&config2).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn key_and_label_roles_assigned() {
+        let (table, _) = planted(&PlantedConfig::default()).unwrap();
+        assert_eq!(
+            table.schema().field_by_name("row_id").unwrap().role,
+            ColumnRole::Key
+        );
+        assert_eq!(
+            table.schema().field_by_name("entity").unwrap().role,
+            ColumnRole::Label
+        );
+        assert_eq!(table.attribute_columns().len(), 12);
+    }
+
+    #[test]
+    fn within_theme_columns_correlate_more_than_across() {
+        let config = PlantedConfig {
+            nrows: 600,
+            cluster_sep: 0.0, // isolate theme structure from cluster structure
+            ..PlantedConfig::default()
+        };
+        let (table, _) = planted(&config).unwrap();
+        let a0: Vec<f64> = table
+            .column_by_name("theme_a_0")
+            .unwrap()
+            .to_f64_vec()
+            .into_iter()
+            .flatten()
+            .collect();
+        let a1: Vec<f64> = table
+            .column_by_name("theme_a_1")
+            .unwrap()
+            .to_f64_vec()
+            .into_iter()
+            .flatten()
+            .collect();
+        let b0: Vec<f64> = table
+            .column_by_name("theme_b_0")
+            .unwrap()
+            .to_f64_vec()
+            .into_iter()
+            .flatten()
+            .collect();
+        let corr = |x: &[f64], y: &[f64]| {
+            let n = x.len() as f64;
+            let mx = x.iter().sum::<f64>() / n;
+            let my = y.iter().sum::<f64>() / n;
+            let cov = x
+                .iter()
+                .zip(y)
+                .map(|(a, b)| (a - mx) * (b - my))
+                .sum::<f64>();
+            let vx = x.iter().map(|a| (a - mx).powi(2)).sum::<f64>();
+            let vy = y.iter().map(|b| (b - my).powi(2)).sum::<f64>();
+            cov / (vx.sqrt() * vy.sqrt())
+        };
+        let within = corr(&a0, &a1).abs();
+        let across = corr(&a0, &b0).abs();
+        assert!(
+            within > 0.8,
+            "within-theme correlation should be strong, got {within}"
+        );
+        assert!(
+            across < 0.2,
+            "cross-theme correlation should be weak, got {across}"
+        );
+    }
+
+    #[test]
+    fn categorical_columns_generated() {
+        let config = PlantedConfig {
+            nrows: 300,
+            themes: vec![ThemeSpec {
+                name: "mixed".into(),
+                numeric_cols: 1,
+                categorical_cols: 2,
+                categories: 3,
+                shape: ColumnShape::Linear,
+            }],
+            ..PlantedConfig::default()
+        };
+        let (table, _) = planted(&config).unwrap();
+        let cat = table.column_by_name("mixed_cat0").unwrap();
+        assert_eq!(cat.data_type(), DataType::Categorical);
+        assert!(cat.distinct_count() <= 3);
+        assert!(cat.distinct_count() >= 2);
+    }
+
+    #[test]
+    fn missing_rate_produces_nulls() {
+        let config = PlantedConfig {
+            nrows: 500,
+            missing_rate: 0.2,
+            ..PlantedConfig::default()
+        };
+        let (table, _) = planted(&config).unwrap();
+        let nulls = table.column_by_name("theme_a_0").unwrap().null_count();
+        assert!(
+            (50..=150).contains(&nulls),
+            "expected ~100 NULLs at rate 0.2, got {nulls}"
+        );
+    }
+
+    #[test]
+    fn cluster_weights_skew_sizes() {
+        let config = PlantedConfig {
+            nrows: 1000,
+            clusters: 2,
+            cluster_weights: vec![9.0, 1.0],
+            ..PlantedConfig::default()
+        };
+        let (_, truth) = planted(&config).unwrap();
+        let c0 = truth.labels.iter().filter(|&&l| l == 0).count();
+        assert!(c0 > 800, "cluster 0 should dominate, got {c0}");
+    }
+
+    #[test]
+    fn truth_theme_lookup() {
+        let (_, truth) = planted(&PlantedConfig::default()).unwrap();
+        assert_eq!(truth.theme_of("theme_b_2"), Some(1));
+        assert_eq!(truth.theme_of("row_id"), None);
+    }
+}

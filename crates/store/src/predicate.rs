@@ -1,0 +1,476 @@
+//! Row predicates for Select-Project queries.
+//!
+//! Blaeu's data maps quantize the query space: every region of a map is a
+//! conjunction of simple single-column predicates produced by the decision
+//! tree. This module is the evaluable (and SQL-renderable) form of those
+//! predicates.
+
+use std::fmt;
+
+use crate::bitmap::Bitmap;
+use crate::column::Column;
+use crate::error::{Result, StoreError};
+use crate::table::Table;
+
+/// Which side of a numeric threshold a range bound sits on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bound {
+    /// No bound on this side.
+    Unbounded,
+    /// Inclusive bound (`>=` / `<=`).
+    Inclusive(f64),
+    /// Exclusive bound (`>` / `<`).
+    Exclusive(f64),
+}
+
+impl Bound {
+    fn admits_lower(self, v: f64) -> bool {
+        match self {
+            Bound::Unbounded => true,
+            Bound::Inclusive(b) => v >= b,
+            Bound::Exclusive(b) => v > b,
+        }
+    }
+
+    fn admits_upper(self, v: f64) -> bool {
+        match self {
+            Bound::Unbounded => true,
+            Bound::Inclusive(b) => v <= b,
+            Bound::Exclusive(b) => v < b,
+        }
+    }
+}
+
+/// A predicate over one table's rows.
+///
+/// NULL semantics follow SQL: a NULL cell never satisfies a comparison, and
+/// `Not` therefore does *not* recover NULL rows (`NOT (x < 5)` excludes
+/// NULLs, like SQL's three-valued logic restricted to WHERE).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (selects every row).
+    True,
+    /// Numeric interval test on a numeric or boolean column.
+    NumRange {
+        /// Column name.
+        column: String,
+        /// Lower bound.
+        lo: Bound,
+        /// Upper bound.
+        hi: Bound,
+    },
+    /// Categorical membership test.
+    CatIn {
+        /// Column name.
+        column: String,
+        /// Accepted category labels.
+        categories: Vec<String>,
+    },
+    /// True where the column is NULL.
+    IsNull {
+        /// Column name.
+        column: String,
+    },
+    /// Logical negation (NULL rows remain excluded).
+    Not(Box<Predicate>),
+    /// Conjunction of predicates (empty = true).
+    And(Vec<Predicate>),
+    /// Disjunction of predicates (empty = false).
+    Or(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience: `column >= lo AND column < hi`.
+    pub fn range_co(column: impl Into<String>, lo: f64, hi: f64) -> Self {
+        Predicate::NumRange {
+            column: column.into(),
+            lo: Bound::Inclusive(lo),
+            hi: Bound::Exclusive(hi),
+        }
+    }
+
+    /// Convenience: `column < threshold`.
+    pub fn lt(column: impl Into<String>, threshold: f64) -> Self {
+        Predicate::NumRange {
+            column: column.into(),
+            lo: Bound::Unbounded,
+            hi: Bound::Exclusive(threshold),
+        }
+    }
+
+    /// Convenience: `column >= threshold`.
+    pub fn ge(column: impl Into<String>, threshold: f64) -> Self {
+        Predicate::NumRange {
+            column: column.into(),
+            lo: Bound::Inclusive(threshold),
+            hi: Bound::Unbounded,
+        }
+    }
+
+    /// Convenience: `column IN (categories...)`.
+    pub fn is_in<S: Into<String>>(
+        column: impl Into<String>,
+        categories: impl IntoIterator<Item = S>,
+    ) -> Self {
+        Predicate::CatIn {
+            column: column.into(),
+            categories: categories.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Conjunction helper that flattens nested `And`s and drops `True`s.
+    pub fn and(parts: impl IntoIterator<Item = Predicate>) -> Self {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Predicate::True => {}
+                Predicate::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Predicate::True,
+            1 => flat.pop().expect("len checked"),
+            _ => Predicate::And(flat),
+        }
+    }
+
+    /// Evaluates the predicate over a table, producing a bitmap with one bit
+    /// per row (set = row selected).
+    ///
+    /// # Errors
+    /// Returns an error for unknown columns or type-incompatible tests.
+    pub fn eval(&self, table: &Table) -> Result<Bitmap> {
+        let n = table.nrows();
+        match self {
+            Predicate::True => Ok(Bitmap::new_set(n)),
+            Predicate::NumRange { column, lo, hi } => {
+                let col = table.column_by_name(column)?;
+                if !col.data_type().is_numeric() && !matches!(col, Column::Bool { .. }) {
+                    return Err(StoreError::TypeMismatch {
+                        column: column.clone(),
+                        expected: "numeric",
+                        found: col.data_type().name(),
+                    });
+                }
+                let mut out = Bitmap::new_clear(n);
+                for row in 0..n {
+                    if let Some(v) = col.numeric_at(row) {
+                        if lo.admits_lower(v) && hi.admits_upper(v) {
+                            out.set(row);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Predicate::CatIn { column, categories } => {
+                let col = table.column_by_name(column)?;
+                let (codes, dict, validity) =
+                    col.categorical_parts().ok_or_else(|| StoreError::TypeMismatch {
+                        column: column.clone(),
+                        expected: "categorical",
+                        found: col.data_type().name(),
+                    })?;
+                // Translate accepted labels to a code mask once, then scan codes.
+                let mut accepted = vec![false; dict.len()];
+                for cat in categories {
+                    if let Some(pos) = dict.iter().position(|d| d == cat) {
+                        accepted[pos] = true;
+                    }
+                }
+                let mut out = Bitmap::new_clear(n);
+                for row in 0..n {
+                    if validity.get(row) && accepted[codes[row] as usize] {
+                        out.set(row);
+                    }
+                }
+                Ok(out)
+            }
+            Predicate::IsNull { column } => {
+                let col = table.column_by_name(column)?;
+                let mut out = col.validity().clone();
+                out.not_assign();
+                Ok(out)
+            }
+            Predicate::Not(inner) => {
+                let mut out = inner.eval(table)?;
+                out.not_assign();
+                // SQL semantics: NULL rows stay excluded under negation of a
+                // comparison. Null-ness is per-column, so intersect with the
+                // validity of every column the inner predicate touches.
+                for column in inner.columns() {
+                    if !matches!(**inner, Predicate::IsNull { .. }) {
+                        let col = table.column_by_name(&column)?;
+                        out.and_assign(col.validity());
+                    }
+                }
+                Ok(out)
+            }
+            Predicate::And(parts) => {
+                let mut out = Bitmap::new_set(n);
+                for p in parts {
+                    out.and_assign(&p.eval(table)?);
+                }
+                Ok(out)
+            }
+            Predicate::Or(parts) => {
+                let mut out = Bitmap::new_clear(n);
+                for p in parts {
+                    out.or_assign(&p.eval(table)?);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Evaluates and materializes the selected row indices in ascending order.
+    ///
+    /// # Errors
+    /// Propagates [`Predicate::eval`] errors.
+    pub fn select(&self, table: &Table) -> Result<Vec<u32>> {
+        Ok(self.eval(table)?.to_indices())
+    }
+
+    /// All column names referenced by this predicate (with duplicates).
+    pub fn columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Predicate::True => {}
+            Predicate::NumRange { column, .. }
+            | Predicate::CatIn { column, .. }
+            | Predicate::IsNull { column } => out.push(column.clone()),
+            Predicate::Not(inner) => inner.collect_columns(out),
+            Predicate::And(parts) | Predicate::Or(parts) => {
+                for p in parts {
+                    p.collect_columns(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => f.write_str("TRUE"),
+            Predicate::NumRange { column, lo, hi } => {
+                match (lo, hi) {
+                    (Bound::Unbounded, Bound::Unbounded) => {
+                        write!(f, "\"{column}\" IS NOT NULL")
+                    }
+                    (Bound::Unbounded, _) => {
+                        let (op, v) = upper_op(hi);
+                        write!(f, "\"{column}\" {op} {v}")
+                    }
+                    (_, Bound::Unbounded) => {
+                        let (op, v) = lower_op(lo);
+                        write!(f, "\"{column}\" {op} {v}")
+                    }
+                    (_, _) => {
+                        let (lop, lv) = lower_op(lo);
+                        let (uop, uv) = upper_op(hi);
+                        write!(f, "\"{column}\" {lop} {lv} AND \"{column}\" {uop} {uv}")
+                    }
+                }
+            }
+            Predicate::CatIn { column, categories } => {
+                let list: Vec<String> = categories
+                    .iter()
+                    .map(|c| format!("'{}'", c.replace('\'', "''")))
+                    .collect();
+                write!(f, "\"{column}\" IN ({})", list.join(", "))
+            }
+            Predicate::IsNull { column } => write!(f, "\"{column}\" IS NULL"),
+            Predicate::Not(inner) => write!(f, "NOT ({inner})"),
+            Predicate::And(parts) => {
+                if parts.is_empty() {
+                    return f.write_str("TRUE");
+                }
+                let rendered: Vec<String> = parts.iter().map(|p| format!("({p})")).collect();
+                f.write_str(&rendered.join(" AND "))
+            }
+            Predicate::Or(parts) => {
+                if parts.is_empty() {
+                    return f.write_str("FALSE");
+                }
+                let rendered: Vec<String> = parts.iter().map(|p| format!("({p})")).collect();
+                f.write_str(&rendered.join(" OR "))
+            }
+        }
+    }
+}
+
+fn lower_op(b: &Bound) -> (&'static str, f64) {
+    match b {
+        Bound::Inclusive(v) => (">=", *v),
+        Bound::Exclusive(v) => (">", *v),
+        Bound::Unbounded => unreachable!("caller checks unbounded"),
+    }
+}
+
+fn upper_op(b: &Bound) -> (&'static str, f64) {
+    match b {
+        Bound::Inclusive(v) => ("<=", *v),
+        Bound::Exclusive(v) => ("<", *v),
+        Bound::Unbounded => unreachable!("caller checks unbounded"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn table() -> Table {
+        TableBuilder::new("t")
+            .column(
+                "x",
+                Column::from_f64s([Some(1.0), Some(2.0), Some(3.0), None, Some(5.0)]),
+            )
+            .unwrap()
+            .column(
+                "cat",
+                Column::from_strs([Some("a"), Some("b"), Some("a"), Some("c"), None]),
+            )
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn true_selects_all() {
+        let t = table();
+        assert_eq!(Predicate::True.select(&t).unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn numeric_range_excludes_nulls() {
+        let t = table();
+        let p = Predicate::ge("x", 2.0);
+        assert_eq!(p.select(&t).unwrap(), vec![1, 2, 4]);
+        let p = Predicate::lt("x", 3.0);
+        assert_eq!(p.select(&t).unwrap(), vec![0, 1]);
+        let p = Predicate::range_co("x", 2.0, 5.0);
+        assert_eq!(p.select(&t).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn bound_inclusivity() {
+        let t = table();
+        let inclusive = Predicate::NumRange {
+            column: "x".into(),
+            lo: Bound::Inclusive(2.0),
+            hi: Bound::Inclusive(3.0),
+        };
+        assert_eq!(inclusive.select(&t).unwrap(), vec![1, 2]);
+        let exclusive = Predicate::NumRange {
+            column: "x".into(),
+            lo: Bound::Exclusive(2.0),
+            hi: Bound::Exclusive(3.0),
+        };
+        assert_eq!(exclusive.select(&t).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn categorical_membership() {
+        let t = table();
+        let p = Predicate::is_in("cat", ["a", "c"]);
+        assert_eq!(p.select(&t).unwrap(), vec![0, 2, 3]);
+        // Unknown categories are simply never matched.
+        let p = Predicate::is_in("cat", ["zz"]);
+        assert_eq!(p.select(&t).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn is_null() {
+        let t = table();
+        let p = Predicate::IsNull { column: "x".into() };
+        assert_eq!(p.select(&t).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn not_keeps_nulls_excluded() {
+        let t = table();
+        // NOT(x >= 2) should select x < 2 but NOT the NULL row (SQL semantics).
+        let p = Predicate::Not(Box::new(Predicate::ge("x", 2.0)));
+        assert_eq!(p.select(&t).unwrap(), vec![0]);
+        // Double negation over IsNull is fine.
+        let p = Predicate::Not(Box::new(Predicate::IsNull { column: "x".into() }));
+        assert_eq!(p.select(&t).unwrap(), vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn and_or_compose() {
+        let t = table();
+        let p = Predicate::And(vec![
+            Predicate::ge("x", 2.0),
+            Predicate::is_in("cat", ["a"]),
+        ]);
+        assert_eq!(p.select(&t).unwrap(), vec![2]);
+        let p = Predicate::Or(vec![
+            Predicate::lt("x", 2.0),
+            Predicate::is_in("cat", ["c"]),
+        ]);
+        assert_eq!(p.select(&t).unwrap(), vec![0, 3]);
+    }
+
+    #[test]
+    fn and_builder_flattens() {
+        let p = Predicate::and([
+            Predicate::True,
+            Predicate::and([Predicate::lt("x", 1.0), Predicate::ge("x", 0.0)]),
+        ]);
+        match &p {
+            Predicate::And(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected flattened And, got {other:?}"),
+        }
+        assert_eq!(Predicate::and([]), Predicate::True);
+        assert_eq!(
+            Predicate::and([Predicate::lt("x", 1.0)]),
+            Predicate::lt("x", 1.0)
+        );
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        let t = table();
+        assert!(matches!(
+            Predicate::ge("cat", 1.0).eval(&t),
+            Err(StoreError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            Predicate::is_in("x", ["a"]).eval(&t),
+            Err(StoreError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            Predicate::ge("ghost", 1.0).eval(&t),
+            Err(StoreError::ColumnNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn display_renders_sql() {
+        assert_eq!(Predicate::ge("x", 2.0).to_string(), "\"x\" >= 2");
+        assert_eq!(Predicate::lt("x", 2.5).to_string(), "\"x\" < 2.5");
+        assert_eq!(
+            Predicate::is_in("cat", ["a", "b'c"]).to_string(),
+            "\"cat\" IN ('a', 'b''c')"
+        );
+        let p = Predicate::And(vec![Predicate::ge("x", 2.0), Predicate::lt("x", 3.0)]);
+        assert_eq!(p.to_string(), "(\"x\" >= 2) AND (\"x\" < 3)");
+    }
+
+    #[test]
+    fn columns_collected() {
+        let p = Predicate::And(vec![
+            Predicate::ge("x", 2.0),
+            Predicate::Not(Box::new(Predicate::is_in("cat", ["a"]))),
+        ]);
+        assert_eq!(p.columns(), vec!["x".to_string(), "cat".to_string()]);
+    }
+}

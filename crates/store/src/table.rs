@@ -1,0 +1,387 @@
+//! Tables: a schema plus equally long columns.
+
+use crate::column::Column;
+use crate::error::{Result, StoreError};
+use crate::schema::{ColumnRole, Field, Schema};
+use crate::value::Value;
+
+#[cfg(test)]
+use crate::value::DataType;
+
+/// An immutable in-memory table.
+///
+/// All columns have exactly `nrows` rows. Tables are cheap to gather from
+/// (`take`) and project (`project`); mutation happens through
+/// [`TableBuilder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    nrows: usize,
+}
+
+impl Table {
+    /// Assembles a table from a schema and matching columns.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::LengthMismatch`] when column lengths disagree or
+    /// [`StoreError::InvalidArgument`] when the column count does not match
+    /// the schema.
+    pub fn new(name: impl Into<String>, schema: Schema, columns: Vec<Column>) -> Result<Self> {
+        if schema.len() != columns.len() {
+            return Err(StoreError::InvalidArgument(format!(
+                "schema has {} fields but {} columns were provided",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        let nrows = columns.first().map_or(0, Column::len);
+        for (field, col) in schema.fields().iter().zip(&columns) {
+            if col.len() != nrows {
+                return Err(StoreError::LengthMismatch {
+                    expected: nrows,
+                    found: col.len(),
+                    column: field.name.clone(),
+                });
+            }
+            if col.data_type() != field.dtype {
+                return Err(StoreError::TypeMismatch {
+                    column: field.name.clone(),
+                    expected: field.dtype.name(),
+                    found: col.data_type().name(),
+                });
+            }
+        }
+        Ok(Table {
+            name: name.into(),
+            schema,
+            columns,
+            nrows,
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column at position `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column named `name`.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::ColumnNotFound`] when absent.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| StoreError::ColumnNotFound(name.to_owned()))?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Cell at (`row`, column `name`).
+    ///
+    /// # Errors
+    /// Returns an error for unknown columns or out-of-bounds rows.
+    pub fn value(&self, row: usize, name: &str) -> Result<Value> {
+        if row >= self.nrows {
+            return Err(StoreError::RowOutOfBounds {
+                index: row,
+                nrows: self.nrows,
+            });
+        }
+        Ok(self.column_by_name(name)?.get(row))
+    }
+
+    /// Materializes row `row` as values in schema order.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::RowOutOfBounds`] for bad indices.
+    pub fn row(&self, row: usize) -> Result<Vec<Value>> {
+        if row >= self.nrows {
+            return Err(StoreError::RowOutOfBounds {
+                index: row,
+                nrows: self.nrows,
+            });
+        }
+        Ok(self.columns.iter().map(|c| c.get(row)).collect())
+    }
+
+    /// Gathers the rows at `indices` (in the given order) into a new table.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::RowOutOfBounds`] when an index exceeds `nrows`.
+    pub fn take(&self, indices: &[u32]) -> Result<Table> {
+        if let Some(&bad) = indices.iter().find(|&&i| (i as usize) >= self.nrows) {
+            return Err(StoreError::RowOutOfBounds {
+                index: bad as usize,
+                nrows: self.nrows,
+            });
+        }
+        let columns = self.columns.iter().map(|c| c.take(indices)).collect();
+        Ok(Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns,
+            nrows: indices.len(),
+        })
+    }
+
+    /// Keeps only the named columns, in the given order.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::ColumnNotFound`] for unknown names.
+    pub fn project(&self, names: &[&str]) -> Result<Table> {
+        let schema = self.schema.project(names)?;
+        let mut columns = Vec::with_capacity(names.len());
+        for &name in names {
+            let idx = self.schema.index_of(name).expect("validated by project");
+            columns.push(self.columns[idx].clone());
+        }
+        Ok(Table {
+            name: self.name.clone(),
+            schema,
+            columns,
+            nrows: self.nrows,
+        })
+    }
+
+    /// First `n` rows (or fewer), useful for previews.
+    pub fn head(&self, n: usize) -> Table {
+        let m = n.min(self.nrows) as u32;
+        let idx: Vec<u32> = (0..m).collect();
+        self.take(&idx).expect("indices in bounds")
+    }
+
+    /// Names of columns whose role is [`ColumnRole::Attribute`].
+    pub fn attribute_columns(&self) -> Vec<&str> {
+        self.schema
+            .fields()
+            .iter()
+            .filter(|f| f.role == ColumnRole::Attribute)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// Names of numeric attribute columns.
+    pub fn numeric_columns(&self) -> Vec<&str> {
+        self.schema
+            .fields()
+            .iter()
+            .filter(|f| f.dtype.is_numeric() && f.role == ColumnRole::Attribute)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+}
+
+/// Incremental table construction, column by column.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+}
+
+impl TableBuilder {
+    /// Starts a builder for a table called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableBuilder {
+            name: name.into(),
+            schema: Schema::empty(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// Appends a column with role [`ColumnRole::Attribute`].
+    ///
+    /// # Errors
+    /// Propagates duplicate-name and length-mismatch errors.
+    pub fn column(self, name: impl Into<String>, col: Column) -> Result<Self> {
+        self.column_with_role(name, col, ColumnRole::Attribute)
+    }
+
+    /// Appends a column with an explicit role.
+    ///
+    /// # Errors
+    /// Propagates duplicate-name and length-mismatch errors.
+    pub fn column_with_role(
+        mut self,
+        name: impl Into<String>,
+        col: Column,
+        role: ColumnRole,
+    ) -> Result<Self> {
+        let name = name.into();
+        if let Some(first) = self.columns.first() {
+            if first.len() != col.len() {
+                return Err(StoreError::LengthMismatch {
+                    expected: first.len(),
+                    found: col.len(),
+                    column: name,
+                });
+            }
+        }
+        self.schema
+            .push(Field::with_role(name, col.data_type(), role))?;
+        self.columns.push(col);
+        Ok(self)
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Errors
+    /// Propagates [`Table::new`] validation errors.
+    pub fn build(self) -> Result<Table> {
+        Table::new(self.name, self.schema, self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        TableBuilder::new("people")
+            .unwrap_chain(|b| {
+                b.column_with_role(
+                    "id",
+                    Column::dense_i64(vec![1, 2, 3, 4]),
+                    ColumnRole::Key,
+                )
+            })
+            .unwrap_chain(|b| b.column("age", Column::from_f64s([Some(30.0), Some(41.0), None, Some(25.0)])))
+            .unwrap_chain(|b| {
+                b.column(
+                    "city",
+                    Column::from_strs([Some("ams"), Some("nyc"), Some("ams"), None]),
+                )
+            })
+            .build()
+            .unwrap()
+    }
+
+    // Small helper so the fixture above reads linearly.
+    trait UnwrapChain: Sized {
+        fn unwrap_chain(self, f: impl FnOnce(Self) -> Result<Self>) -> Self;
+    }
+    impl UnwrapChain for TableBuilder {
+        fn unwrap_chain(self, f: impl FnOnce(Self) -> Result<Self>) -> Self {
+            f(self).unwrap()
+        }
+    }
+
+    #[test]
+    fn dimensions_and_lookup() {
+        let t = people();
+        assert_eq!(t.nrows(), 4);
+        assert_eq!(t.ncols(), 3);
+        assert_eq!(t.value(0, "age").unwrap(), Value::Float(30.0));
+        assert_eq!(t.value(2, "age").unwrap(), Value::Null);
+        assert!(t.value(9, "age").is_err());
+        assert!(t.column_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn row_materialization() {
+        let t = people();
+        let row = t.row(1).unwrap();
+        assert_eq!(
+            row,
+            vec![
+                Value::Int(2),
+                Value::Float(41.0),
+                Value::Str("nyc".into())
+            ]
+        );
+        assert!(t.row(4).is_err());
+    }
+
+    #[test]
+    fn take_reorders_rows() {
+        let t = people();
+        let sub = t.take(&[2, 0]).unwrap();
+        assert_eq!(sub.nrows(), 2);
+        assert_eq!(sub.value(0, "id").unwrap(), Value::Int(3));
+        assert_eq!(sub.value(1, "id").unwrap(), Value::Int(1));
+        assert!(t.take(&[4]).is_err());
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let t = people();
+        let p = t.project(&["city", "id"]).unwrap();
+        assert_eq!(p.ncols(), 2);
+        assert_eq!(p.schema().names(), vec!["city", "id"]);
+        assert_eq!(p.nrows(), 4);
+        assert!(t.project(&["ghost"]).is_err());
+    }
+
+    #[test]
+    fn head_truncates() {
+        let t = people();
+        assert_eq!(t.head(2).nrows(), 2);
+        assert_eq!(t.head(100).nrows(), 4);
+    }
+
+    #[test]
+    fn builder_rejects_mismatched_lengths() {
+        let res = TableBuilder::new("bad")
+            .column("a", Column::dense_i64(vec![1, 2]))
+            .unwrap()
+            .column("b", Column::dense_i64(vec![1]));
+        assert!(matches!(res, Err(StoreError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_names() {
+        let res = TableBuilder::new("bad")
+            .column("a", Column::dense_i64(vec![1]))
+            .unwrap()
+            .column("a", Column::dense_i64(vec![2]));
+        assert!(matches!(res, Err(StoreError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn new_validates_schema_column_agreement() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Float64)]).unwrap();
+        let res = Table::new("t", schema, vec![Column::dense_i64(vec![1])]);
+        assert!(matches!(res, Err(StoreError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn role_filters() {
+        let t = people();
+        assert_eq!(t.attribute_columns(), vec!["age", "city"]);
+        assert_eq!(t.numeric_columns(), vec!["age"]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TableBuilder::new("empty").build().unwrap();
+        assert_eq!(t.nrows(), 0);
+        assert_eq!(t.ncols(), 0);
+    }
+}

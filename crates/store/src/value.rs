@@ -1,0 +1,198 @@
+//! Scalar values and logical data types.
+
+use std::fmt;
+
+/// Logical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit IEEE-754 floating point (continuous variables).
+    Float64,
+    /// 64-bit signed integer (counts, years, identifiers).
+    Int64,
+    /// Dictionary-encoded string (categorical / nominal variables).
+    Categorical,
+    /// Boolean.
+    Bool,
+}
+
+impl DataType {
+    /// Short lowercase name, used in error messages and schema rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Float64 => "float64",
+            DataType::Int64 => "int64",
+            DataType::Categorical => "categorical",
+            DataType::Bool => "bool",
+        }
+    }
+
+    /// True for types ordered on the real line (`Float64`, `Int64`).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Float64 | DataType::Int64)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single scalar cell value.
+///
+/// `Value` is the row-oriented escape hatch of an otherwise columnar engine:
+/// it appears at ingestion (CSV cells), at row inspection (the *highlight*
+/// action shows example tuples) and in tests. Hot paths work on columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Missing value.
+    Null,
+    /// Floating point value.
+    Float(f64),
+    /// Integer value.
+    Int(i64),
+    /// String / categorical value.
+    Str(String),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// True when the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value: integers and booleans widen to `f64`,
+    /// NULL and strings yield `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The [`DataType`] this value naturally belongs to, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Float(_) => Some(DataType::Float64),
+            Value::Int(_) => Some(DataType::Int64),
+            Value::Str(_) => Some(DataType::Categorical),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(inner) => inner.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datatype_names() {
+        assert_eq!(DataType::Float64.name(), "float64");
+        assert_eq!(DataType::Categorical.to_string(), "categorical");
+    }
+
+    #[test]
+    fn numeric_types() {
+        assert!(DataType::Float64.is_numeric());
+        assert!(DataType::Int64.is_numeric());
+        assert!(!DataType::Categorical.is_numeric());
+        assert!(!DataType::Bool.is_numeric());
+    }
+
+    #[test]
+    fn as_f64_widens() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Null.as_f64(), None);
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(1.5), Value::Float(1.5));
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(4i64)), Value::Int(4));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Float(1.25).to_string(), "1.25");
+        assert_eq!(Value::Str("a b".into()).to_string(), "a b");
+    }
+
+    #[test]
+    fn value_datatype() {
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int64));
+        assert_eq!(Value::Str("x".into()).data_type(), Some(DataType::Categorical));
+    }
+}

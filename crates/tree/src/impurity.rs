@@ -1,0 +1,105 @@
+//! Impurity measures for classification trees.
+
+/// Impurity criterion for split scoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Criterion {
+    /// Gini impurity `1 − Σ pᵢ²` (CART's default).
+    Gini,
+    /// Shannon entropy `−Σ pᵢ ln pᵢ`.
+    Entropy,
+}
+
+impl Criterion {
+    /// Impurity of a class-count vector (0 for empty or pure nodes).
+    pub fn impurity(self, counts: &[usize]) -> f64 {
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let total_f = total as f64;
+        match self {
+            Criterion::Gini => {
+                let sum_sq: f64 = counts
+                    .iter()
+                    .map(|&c| {
+                        let p = c as f64 / total_f;
+                        p * p
+                    })
+                    .sum();
+                1.0 - sum_sq
+            }
+            Criterion::Entropy => {
+                let mut h = 0.0;
+                for &c in counts {
+                    if c > 0 {
+                        let p = c as f64 / total_f;
+                        h -= p * p.ln();
+                    }
+                }
+                h
+            }
+        }
+    }
+
+    /// Weighted impurity decrease of a parent split into (left, right).
+    ///
+    /// `Δ = I(parent) − (nₗ/n)·I(left) − (nᵣ/n)·I(right)`; never negative
+    /// for Gini/entropy up to floating-point noise.
+    pub fn decrease(self, parent: &[usize], left: &[usize], right: &[usize]) -> f64 {
+        let n: usize = parent.iter().sum();
+        if n == 0 {
+            return 0.0;
+        }
+        let nl: usize = left.iter().sum();
+        let nr: usize = right.iter().sum();
+        debug_assert_eq!(nl + nr, n, "split must partition the parent");
+        let nf = n as f64;
+        self.impurity(parent)
+            - (nl as f64 / nf) * self.impurity(left)
+            - (nr as f64 / nf) * self.impurity(right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_bounds() {
+        assert_eq!(Criterion::Gini.impurity(&[10, 0]), 0.0);
+        assert!((Criterion::Gini.impurity(&[5, 5]) - 0.5).abs() < 1e-12);
+        assert!((Criterion::Gini.impurity(&[5, 5, 5, 5]) - 0.75).abs() < 1e-12);
+        assert_eq!(Criterion::Gini.impurity(&[]), 0.0);
+        assert_eq!(Criterion::Gini.impurity(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        assert_eq!(Criterion::Entropy.impurity(&[7]), 0.0);
+        assert!((Criterion::Entropy.impurity(&[5, 5]) - 2f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_split_decrease_equals_parent_impurity() {
+        let parent = [10, 10];
+        let d = Criterion::Gini.decrease(&parent, &[10, 0], &[0, 10]);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn useless_split_zero_decrease() {
+        let parent = [10, 10];
+        let d = Criterion::Gini.decrease(&parent, &[5, 5], &[5, 5]);
+        assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn decrease_nonnegative() {
+        let parent = [8, 4, 3];
+        let left = [6, 1, 0];
+        let right = [2, 3, 3];
+        for crit in [Criterion::Gini, Criterion::Entropy] {
+            assert!(crit.decrease(&parent, &left, &right) >= -1e-12);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Tree nodes and split rules.
+
+use std::fmt;
+
+/// A binary split test on one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SplitRule {
+    /// Numeric test: rows with `value < threshold` go left.
+    Numeric {
+        /// Column tested.
+        column: String,
+        /// Split threshold.
+        threshold: f64,
+    },
+    /// Categorical test: rows whose label is in `left_categories` go left.
+    Categorical {
+        /// Column tested.
+        column: String,
+        /// Category labels routed to the left child.
+        left_categories: Vec<String>,
+    },
+}
+
+impl SplitRule {
+    /// Name of the tested column.
+    pub fn column(&self) -> &str {
+        match self {
+            SplitRule::Numeric { column, .. } | SplitRule::Categorical { column, .. } => column,
+        }
+    }
+
+    /// Human-readable description of the *left* branch condition
+    /// (e.g. `"Average Income" < 22`).
+    pub fn describe_left(&self) -> String {
+        match self {
+            SplitRule::Numeric { column, threshold } => {
+                format!("{column} < {}", format_threshold(*threshold))
+            }
+            SplitRule::Categorical {
+                column,
+                left_categories,
+            } => format!("{column} in {{{}}}", left_categories.join(", ")),
+        }
+    }
+
+    /// Human-readable description of the *right* branch condition.
+    pub fn describe_right(&self) -> String {
+        match self {
+            SplitRule::Numeric { column, threshold } => {
+                format!("{column} >= {}", format_threshold(*threshold))
+            }
+            SplitRule::Categorical {
+                column,
+                left_categories,
+            } => format!("{column} not in {{{}}}", left_categories.join(", ")),
+        }
+    }
+}
+
+/// Renders thresholds compactly (trim trailing zeros, keep 4 significant
+/// decimals) so map labels stay readable.
+fn format_threshold(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_owned()
+    }
+}
+
+impl fmt::Display for SplitRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe_left())
+    }
+}
+
+/// A node of a fitted decision tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// Terminal node predicting `class`.
+    Leaf {
+        /// Majority class at this leaf.
+        class: usize,
+        /// Training class counts at this leaf.
+        counts: Vec<usize>,
+    },
+    /// Internal split node.
+    Internal {
+        /// The split test.
+        rule: SplitRule,
+        /// Where rows with a missing test value go (majority direction
+        /// observed during training).
+        default_left: bool,
+        /// Training class counts at this node.
+        counts: Vec<usize>,
+        /// Left child (`rule` satisfied).
+        left: Box<Node>,
+        /// Right child.
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    /// Training row count at this node.
+    pub fn n(&self) -> usize {
+        match self {
+            Node::Leaf { counts, .. } | Node::Internal { counts, .. } => counts.iter().sum(),
+        }
+    }
+
+    /// Majority class at this node.
+    pub fn majority_class(&self) -> usize {
+        match self {
+            Node::Leaf { class, .. } => *class,
+            Node::Internal { counts, .. } => counts
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(&a.0)))
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Number of leaves under (and including) this node.
+    pub fn n_leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { left, right, .. } => left.n_leaves() + right.n_leaves(),
+        }
+    }
+
+    /// Depth of the subtree (a leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Internal { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> Node {
+        Node::Internal {
+            rule: SplitRule::Numeric {
+                column: "income".into(),
+                threshold: 22.0,
+            },
+            default_left: true,
+            counts: vec![6, 4],
+            left: Box::new(Node::Leaf {
+                class: 0,
+                counts: vec![5, 1],
+            }),
+            right: Box::new(Node::Internal {
+                rule: SplitRule::Categorical {
+                    column: "region".into(),
+                    left_categories: vec!["EU".into()],
+                },
+                default_left: false,
+                counts: vec![1, 3],
+                left: Box::new(Node::Leaf {
+                    class: 1,
+                    counts: vec![0, 2],
+                }),
+                right: Box::new(Node::Leaf {
+                    class: 0,
+                    counts: vec![1, 1],
+                }),
+            }),
+        }
+    }
+
+    #[test]
+    fn structure_metrics() {
+        let t = sample_tree();
+        assert_eq!(t.n(), 10);
+        assert_eq!(t.n_leaves(), 3);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.majority_class(), 0);
+    }
+
+    #[test]
+    fn describe_directions() {
+        let rule = SplitRule::Numeric {
+            column: "hours".into(),
+            threshold: 20.0,
+        };
+        assert_eq!(rule.describe_left(), "hours < 20");
+        assert_eq!(rule.describe_right(), "hours >= 20");
+        assert_eq!(rule.column(), "hours");
+
+        let rule = SplitRule::Categorical {
+            column: "country".into(),
+            left_categories: vec!["NL".into(), "CH".into()],
+        };
+        assert_eq!(rule.describe_left(), "country in {NL, CH}");
+        assert_eq!(rule.describe_right(), "country not in {NL, CH}");
+    }
+
+    #[test]
+    fn threshold_formatting() {
+        assert_eq!(format_threshold(22.0), "22");
+        assert_eq!(format_threshold(2.5), "2.5");
+        assert_eq!(format_threshold(1.0 / 3.0), "0.3333");
+        assert_eq!(format_threshold(-4.0), "-4");
+    }
+
+    #[test]
+    fn majority_ties_prefer_lower_class() {
+        let node = Node::Leaf {
+            class: 0,
+            counts: vec![3, 3],
+        };
+        assert_eq!(node.majority_class(), 0);
+        let internal = Node::Internal {
+            rule: SplitRule::Numeric {
+                column: "x".into(),
+                threshold: 0.0,
+            },
+            default_left: true,
+            counts: vec![2, 2],
+            left: Box::new(node.clone()),
+            right: Box::new(node),
+        };
+        assert_eq!(internal.majority_class(), 0);
+    }
+}

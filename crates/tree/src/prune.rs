@@ -1,0 +1,246 @@
+//! Cost-complexity (weakest-link) pruning — CART's pruning procedure
+//! (Breiman et al. 1984, ch. 3).
+//!
+//! For an internal node *t*, the link strength is
+//! `g(t) = (R(t) − R(T_t)) / (|leaves(T_t)| − 1)` where `R` counts
+//! training misclassifications: how much error one buys per leaf saved by
+//! collapsing *t*. Pruning at complexity `alpha` collapses every subtree
+//! whose weakest link is ≤ `alpha`, yielding the smallest subtree within
+//! `alpha` per-leaf error of the full tree. Blaeu's maps benefit directly:
+//! pruned maps are smaller without giving up real structure.
+
+use crate::cart::DecisionTree;
+use crate::node::Node;
+
+/// Training misclassifications at the node if it were a leaf.
+fn node_error(counts: &[usize]) -> usize {
+    let total: usize = counts.iter().sum();
+    total - counts.iter().copied().max().unwrap_or(0)
+}
+
+/// (subtree error, subtree leaves).
+fn subtree_stats(node: &Node) -> (usize, usize) {
+    match node {
+        Node::Leaf { counts, .. } => (node_error(counts), 1),
+        Node::Internal { left, right, .. } => {
+            let (el, ll) = subtree_stats(left);
+            let (er, lr) = subtree_stats(right);
+            (el + er, ll + lr)
+        }
+    }
+}
+
+/// Weakest link strength over the subtree (`None` for leaves).
+fn weakest_link(node: &Node) -> Option<f64> {
+    match node {
+        Node::Leaf { .. } => None,
+        Node::Internal {
+            counts, left, right, ..
+        } => {
+            let (sub_err, sub_leaves) = subtree_stats(node);
+            let own = (node_error(counts) as f64 - sub_err as f64)
+                / (sub_leaves as f64 - 1.0).max(1.0);
+            let mut weakest = own;
+            for child in [left, right] {
+                if let Some(w) = weakest_link(child) {
+                    weakest = weakest.min(w);
+                }
+            }
+            Some(weakest)
+        }
+    }
+}
+
+/// Collapses every internal node whose link strength is ≤ `alpha`
+/// (children first, so collapsing cascades bottom-up).
+fn prune_node(node: &Node, alpha: f64) -> Node {
+    match node {
+        Node::Leaf { class, counts } => Node::Leaf {
+            class: *class,
+            counts: counts.clone(),
+        },
+        Node::Internal {
+            rule,
+            default_left,
+            counts,
+            left,
+            right,
+        } => {
+            let left = prune_node(left, alpha);
+            let right = prune_node(right, alpha);
+            let rebuilt = Node::Internal {
+                rule: rule.clone(),
+                default_left: *default_left,
+                counts: counts.clone(),
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+            let (sub_err, sub_leaves) = subtree_stats(&rebuilt);
+            let g = (node_error(counts) as f64 - sub_err as f64)
+                / (sub_leaves as f64 - 1.0).max(1.0);
+            if g <= alpha {
+                Node::Leaf {
+                    class: rebuilt.majority_class(),
+                    counts: counts.clone(),
+                }
+            } else {
+                rebuilt
+            }
+        }
+    }
+}
+
+/// The increasing sequence of critical `alpha` values at which the tree
+/// loses at least one split (the cost-complexity path). Empty for stumps.
+pub fn alpha_path(tree: &DecisionTree) -> Vec<f64> {
+    let mut alphas = Vec::new();
+    let mut current = tree.clone();
+    while let Some(weakest) = weakest_link(current.root()) {
+        let alpha = weakest.max(0.0);
+        alphas.push(alpha);
+        let pruned = current.with_root(prune_node(current.root(), alpha));
+        if pruned.n_leaves() == current.n_leaves() {
+            break; // numerical safety; should not happen
+        }
+        current = pruned;
+    }
+    alphas.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    alphas
+}
+
+/// Returns the tree pruned at complexity `alpha ≥ 0`.
+pub fn prune(tree: &DecisionTree, alpha: f64) -> DecisionTree {
+    tree.with_root(prune_node(tree.root(), alpha.max(0.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cart::CartConfig;
+    use blaeu_store::{Column, Table, TableBuilder};
+
+    /// Two strong clusters plus a sprinkle of label noise that invites
+    /// overfit micro-splits.
+    fn noisy_dataset() -> (Table, Vec<usize>) {
+        let n = 200;
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let labels: Vec<usize> = (0..n)
+            .map(|i| {
+                if i % 37 == 0 {
+                    usize::from(i < n / 2) // flipped: noise
+                } else {
+                    usize::from(i >= n / 2)
+                }
+            })
+            .collect();
+        let t = TableBuilder::new("noisy")
+            .column("x", Column::dense_f64(xs))
+            .unwrap()
+            .build()
+            .unwrap();
+        (t, labels)
+    }
+
+    fn overfit_config() -> CartConfig {
+        CartConfig {
+            max_depth: 8,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            min_leaf_fraction: 0.0,
+            purity_stop: 1.0,
+            ..CartConfig::default()
+        }
+    }
+
+    #[test]
+    fn pruning_shrinks_overfit_trees() {
+        let (t, labels) = noisy_dataset();
+        let tree = DecisionTree::fit(&t, &["x"], &labels, &overfit_config()).unwrap();
+        assert!(tree.n_leaves() > 2, "tree should overfit the noise");
+        let pruned = prune(&tree, 2.0);
+        assert!(
+            pruned.n_leaves() < tree.n_leaves(),
+            "{} -> {}",
+            tree.n_leaves(),
+            pruned.n_leaves()
+        );
+        // The dominant split survives moderate pruning.
+        assert!(pruned.n_leaves() >= 2);
+        // Prediction still works.
+        let acc = crate::eval::accuracy(&pruned.predict(&t).unwrap(), &labels);
+        assert!(acc > 0.9, "acc {acc}");
+    }
+
+    #[test]
+    fn alpha_zero_only_removes_useless_splits() {
+        let (t, labels) = noisy_dataset();
+        let tree = DecisionTree::fit(&t, &["x"], &labels, &overfit_config()).unwrap();
+        let pruned = prune(&tree, 0.0);
+        // Training error must not change at alpha = 0.
+        let (e_before, _) = subtree_stats(tree.root());
+        let (e_after, _) = subtree_stats(pruned.root());
+        assert_eq!(e_before, e_after);
+        assert!(pruned.n_leaves() <= tree.n_leaves());
+    }
+
+    #[test]
+    fn huge_alpha_collapses_to_stump() {
+        let (t, labels) = noisy_dataset();
+        let tree = DecisionTree::fit(&t, &["x"], &labels, &overfit_config()).unwrap();
+        let stump = prune(&tree, f64::INFINITY);
+        assert_eq!(stump.n_leaves(), 1);
+        assert_eq!(stump.depth(), 0);
+        // Predicts the majority class everywhere.
+        let majority = tree.root().majority_class();
+        assert!(stump.predict(&t).unwrap().iter().all(|&p| p == majority));
+    }
+
+    #[test]
+    fn alpha_path_is_monotone_and_effective() {
+        let (t, labels) = noisy_dataset();
+        let tree = DecisionTree::fit(&t, &["x"], &labels, &overfit_config()).unwrap();
+        let path = alpha_path(&tree);
+        assert!(!path.is_empty());
+        assert!(
+            path.windows(2).all(|w| w[0] <= w[1] + 1e-9),
+            "path {path:?}"
+        );
+        // Leaf counts shrink monotonically along the path.
+        let mut prev_leaves = tree.n_leaves();
+        for &alpha in &path {
+            let leaves = prune(&tree, alpha + 1e-9).n_leaves();
+            assert!(leaves <= prev_leaves, "alpha {alpha}: {prev_leaves} -> {leaves}");
+            prev_leaves = leaves;
+        }
+        assert_eq!(prev_leaves, 1, "end of the path is the stump");
+    }
+
+    #[test]
+    fn pruning_preserves_row_partition() {
+        let (t, labels) = noisy_dataset();
+        let tree = DecisionTree::fit(&t, &["x"], &labels, &overfit_config()).unwrap();
+        let pruned = prune(&tree, 1.0);
+        let assign = pruned.leaf_assignments(&t).unwrap();
+        assert_eq!(assign.len(), t.nrows());
+        assert!(assign.iter().all(|&a| a < pruned.n_leaves()));
+        // Counts per leaf match rule extraction.
+        let rules = crate::rules::leaf_rules(&pruned);
+        for rule in &rules {
+            let routed = assign.iter().filter(|&&a| a == rule.leaf).count();
+            assert_eq!(routed, rule.n());
+        }
+    }
+
+    #[test]
+    fn pruning_a_stump_is_identity() {
+        let t = TableBuilder::new("t")
+            .column("x", Column::dense_f64(vec![1.0, 2.0, 3.0]))
+            .unwrap()
+            .build()
+            .unwrap();
+        let tree = DecisionTree::fit(&t, &["x"], &[0, 0, 0], &CartConfig::default()).unwrap();
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(prune(&tree, 5.0), tree);
+        assert!(alpha_path(&tree).is_empty());
+    }
+}

@@ -1,0 +1,389 @@
+//! Rule extraction: turning tree paths into predicates and descriptions.
+//!
+//! Every leaf of the map tree is an implicit Select-Project query. This
+//! module walks root-to-leaf paths, merges the interval constraints per
+//! column, and emits both a [`Predicate`] (evaluable / SQL-renderable) and
+//! human-readable descriptions for region labels.
+//!
+//! Note on NULLs: predicates follow SQL semantics (NULL never matches a
+//! comparison), while the tree routes missing values along default
+//! branches. Region membership therefore comes from
+//! [`DecisionTree::leaf_assignments`], and predicates are the *displayed*
+//! form of each region.
+
+use std::collections::BTreeMap;
+
+use blaeu_store::{Bound, Predicate};
+
+use crate::cart::DecisionTree;
+use crate::node::{Node, SplitRule};
+
+/// A fully described leaf region.
+#[derive(Debug, Clone)]
+pub struct LeafRule {
+    /// Index of the leaf in left-to-right order (matches
+    /// [`DecisionTree::leaf_assignments`]).
+    pub leaf: usize,
+    /// Merged predicate describing the root-to-leaf path.
+    pub predicate: Predicate,
+    /// One human-readable clause per constrained column.
+    pub description: Vec<String>,
+    /// Majority class at the leaf.
+    pub class: usize,
+    /// Training class counts at the leaf.
+    pub counts: Vec<usize>,
+}
+
+impl LeafRule {
+    /// Training rows at the leaf.
+    pub fn n(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+/// Per-column accumulated constraints along one path.
+#[derive(Debug, Clone, Default)]
+struct ColumnConstraint {
+    lo: Option<f64>,          // value >= lo (from going right)
+    hi: Option<f64>,          // value < hi  (from going left)
+    include: Option<Vec<String>>, // categorical: must be in this set
+    exclude: Vec<String>,     // categorical: must not be in these
+}
+
+/// Accumulated constraints of a root-to-node path, mergeable per column.
+///
+/// Use [`PathConstraints::apply`] while descending the tree; at any node,
+/// [`PathConstraints::predicate`] and [`PathConstraints::describe`] render
+/// the merged path (repeated tests on the same column collapse into
+/// intervals / set differences).
+#[derive(Debug, Clone, Default)]
+pub struct PathConstraints {
+    map: BTreeMap<String, ColumnConstraint>,
+}
+
+impl PathConstraints {
+    /// Empty constraint set (the root path).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records taking the `went_left` branch of `rule`.
+    pub fn apply(&mut self, rule: &SplitRule, went_left: bool) {
+        self.map
+            .entry(rule.column().to_owned())
+            .or_default()
+            .apply(rule, went_left);
+    }
+
+    /// Merged predicate for the whole path.
+    pub fn predicate(&self) -> Predicate {
+        let parts: Vec<Predicate> = self
+            .map
+            .iter()
+            .filter_map(|(column, c)| c.to_predicate(column))
+            .collect();
+        Predicate::and(parts)
+    }
+
+    /// One human-readable clause per constrained column.
+    pub fn describe(&self) -> Vec<String> {
+        self.map
+            .iter()
+            .filter_map(|(column, c)| c.describe(column))
+            .collect()
+    }
+}
+
+fn format_number(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_owned()
+    }
+}
+
+impl ColumnConstraint {
+    fn apply(&mut self, rule: &SplitRule, went_left: bool) {
+        match rule {
+            SplitRule::Numeric { threshold, .. } => {
+                if went_left {
+                    // value < threshold: tighten the upper bound.
+                    self.hi = Some(self.hi.map_or(*threshold, |h| h.min(*threshold)));
+                } else {
+                    self.lo = Some(self.lo.map_or(*threshold, |l| l.max(*threshold)));
+                }
+            }
+            SplitRule::Categorical {
+                left_categories, ..
+            } => {
+                if went_left {
+                    let new: Vec<String> = match &self.include {
+                        Some(existing) => existing
+                            .iter()
+                            .filter(|c| left_categories.contains(c))
+                            .cloned()
+                            .collect(),
+                        None => left_categories.clone(),
+                    };
+                    self.include = Some(new);
+                } else {
+                    for c in left_categories {
+                        if !self.exclude.contains(c) {
+                            self.exclude.push(c.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn to_predicate(&self, column: &str) -> Option<Predicate> {
+        let mut parts = Vec::new();
+        match (self.lo, self.hi) {
+            (None, None) => {}
+            (lo, hi) => parts.push(Predicate::NumRange {
+                column: column.to_owned(),
+                lo: lo.map_or(Bound::Unbounded, Bound::Inclusive),
+                hi: hi.map_or(Bound::Unbounded, Bound::Exclusive),
+            }),
+        }
+        if let Some(include) = &self.include {
+            // Included set minus later exclusions.
+            let cats: Vec<String> = include
+                .iter()
+                .filter(|c| !self.exclude.contains(c))
+                .cloned()
+                .collect();
+            parts.push(Predicate::is_in(column, cats));
+        } else if !self.exclude.is_empty() {
+            parts.push(Predicate::Not(Box::new(Predicate::is_in(
+                column,
+                self.exclude.clone(),
+            ))));
+        }
+        match parts.len() {
+            0 => None,
+            1 => Some(parts.pop().expect("len checked")),
+            _ => Some(Predicate::And(parts)),
+        }
+    }
+
+    fn describe(&self, column: &str) -> Option<String> {
+        if let Some(include) = &self.include {
+            let cats: Vec<String> = include
+                .iter()
+                .filter(|c| !self.exclude.contains(c))
+                .cloned()
+                .collect();
+            return Some(format!("{column} in {{{}}}", cats.join(", ")));
+        }
+        if !self.exclude.is_empty() {
+            return Some(format!("{column} not in {{{}}}", self.exclude.join(", ")));
+        }
+        match (self.lo, self.hi) {
+            (None, None) => None,
+            (Some(lo), None) => Some(format!("{column} >= {}", format_number(lo))),
+            (None, Some(hi)) => Some(format!("{column} < {}", format_number(hi))),
+            (Some(lo), Some(hi)) => Some(format!(
+                "{} <= {column} < {}",
+                format_number(lo),
+                format_number(hi)
+            )),
+        }
+    }
+}
+
+fn walk(
+    node: &Node,
+    constraints: &PathConstraints,
+    leaf_counter: &mut usize,
+    out: &mut Vec<LeafRule>,
+) {
+    match node {
+        Node::Leaf { class, counts } => {
+            out.push(LeafRule {
+                leaf: *leaf_counter,
+                predicate: constraints.predicate(),
+                description: constraints.describe(),
+                class: *class,
+                counts: counts.clone(),
+            });
+            *leaf_counter += 1;
+        }
+        Node::Internal {
+            rule, left, right, ..
+        } => {
+            for (child, went_left) in [(left, true), (right, false)] {
+                let mut next = constraints.clone();
+                next.apply(rule, went_left);
+                walk(child, &next, leaf_counter, out);
+            }
+        }
+    }
+}
+
+/// Extracts one [`LeafRule`] per leaf, in left-to-right leaf order.
+pub fn leaf_rules(tree: &DecisionTree) -> Vec<LeafRule> {
+    let mut out = Vec::with_capacity(tree.n_leaves());
+    let mut counter = 0usize;
+    walk(tree.root(), &PathConstraints::new(), &mut counter, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cart::CartConfig;
+    use blaeu_store::{Column, Table, TableBuilder};
+
+    fn two_split_table() -> (Table, Vec<usize>) {
+        // Three clusters describable as: x<10 & y<5 | x<10 & y>=5 | x>=10.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            xs.push(i as f64 / 4.0);
+            ys.push(0.0 + (i % 5) as f64 / 2.0);
+            labels.push(0);
+        }
+        for i in 0..20 {
+            xs.push(i as f64 / 4.0);
+            ys.push(8.0 + (i % 5) as f64 / 2.0);
+            labels.push(1);
+        }
+        for i in 0..20 {
+            xs.push(15.0 + i as f64 / 4.0);
+            ys.push(4.0 + (i % 5) as f64 / 2.0);
+            labels.push(2);
+        }
+        let t = TableBuilder::new("t")
+            .column("x", Column::dense_f64(xs))
+            .unwrap()
+            .column("y", Column::dense_f64(ys))
+            .unwrap()
+            .build()
+            .unwrap();
+        (t, labels)
+    }
+
+    #[test]
+    fn rules_reselect_leaf_rows() {
+        let (t, labels) = two_split_table();
+        let tree = DecisionTree::fit(&t, &["x", "y"], &labels, &CartConfig::default()).unwrap();
+        let rules = leaf_rules(&tree);
+        assert_eq!(rules.len(), tree.n_leaves());
+
+        // On NULL-free data, predicate selection == tree routing.
+        let assignments = tree.leaf_assignments(&t).unwrap();
+        for rule in &rules {
+            let selected = rule.predicate.select(&t).unwrap();
+            let routed: Vec<u32> = assignments
+                .iter()
+                .enumerate()
+                .filter(|&(_, &leaf)| leaf == rule.leaf)
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(selected, routed, "leaf {} mismatch", rule.leaf);
+        }
+    }
+
+    #[test]
+    fn rule_counts_match_training_rows() {
+        let (t, labels) = two_split_table();
+        let tree = DecisionTree::fit(&t, &["x", "y"], &labels, &CartConfig::default()).unwrap();
+        let rules = leaf_rules(&tree);
+        let total: usize = rules.iter().map(LeafRule::n).sum();
+        assert_eq!(total, t.nrows(), "leaves partition the training set");
+    }
+
+    #[test]
+    fn interval_constraints_merge() {
+        // Deep path on the same column: x < 8 then x < 4 then x >= 2
+        // should merge to 2 <= x < 4.
+        let xs: Vec<f64> = (0..64).map(|i| i as f64 / 4.0).collect();
+        let labels: Vec<usize> = xs
+            .iter()
+            .map(|&x| {
+                if x < 2.0 {
+                    0
+                } else if x < 4.0 {
+                    1
+                } else if x < 8.0 {
+                    2
+                } else {
+                    3
+                }
+            })
+            .collect();
+        let t = TableBuilder::new("t")
+            .column("x", Column::dense_f64(xs))
+            .unwrap()
+            .build()
+            .unwrap();
+        let config = CartConfig {
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            ..CartConfig::default()
+        };
+        let tree = DecisionTree::fit(&t, &["x"], &labels, &config).unwrap();
+        let rules = leaf_rules(&tree);
+        assert_eq!(rules.len(), 4);
+        // The class-1 leaf must describe a bounded interval, in one clause.
+        let r1 = rules.iter().find(|r| r.class == 1).expect("class 1 leaf");
+        assert_eq!(r1.description.len(), 1);
+        assert!(
+            r1.description[0].contains("<= x <"),
+            "got {:?}",
+            r1.description
+        );
+    }
+
+    #[test]
+    fn categorical_rules_extracted() {
+        let cats = ["a", "a", "a", "a", "b", "b", "b", "b", "c", "c", "c", "c"];
+        let labels = vec![0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1];
+        let t = TableBuilder::new("t")
+            .column("cat", Column::from_strs(cats.iter().map(|&s| Some(s))))
+            .unwrap()
+            .build()
+            .unwrap();
+        let config = CartConfig {
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            ..CartConfig::default()
+        };
+        let tree = DecisionTree::fit(&t, &["cat"], &labels, &config).unwrap();
+        let rules = leaf_rules(&tree);
+        assert_eq!(rules.len(), 2);
+        for rule in &rules {
+            let selected = rule.predicate.select(&t).unwrap();
+            assert!(!selected.is_empty());
+            assert_eq!(rule.description.len(), 1);
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree_has_true_predicate() {
+        let t = TableBuilder::new("t")
+            .column("x", Column::dense_f64(vec![1.0, 2.0]))
+            .unwrap()
+            .build()
+            .unwrap();
+        let tree = DecisionTree::fit(&t, &["x"], &[0, 0], &CartConfig::default()).unwrap();
+        let rules = leaf_rules(&tree);
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].predicate, Predicate::True);
+        assert!(rules[0].description.is_empty());
+        assert_eq!(rules[0].predicate.select(&t).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn leaf_order_matches_assignments() {
+        let (t, labels) = two_split_table();
+        let tree = DecisionTree::fit(&t, &["x", "y"], &labels, &CartConfig::default()).unwrap();
+        let rules = leaf_rules(&tree);
+        let leaf_ids: Vec<usize> = rules.iter().map(|r| r.leaf).collect();
+        assert_eq!(leaf_ids, (0..tree.n_leaves()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,97 @@
+//! Demo scenario 2 — Countries & Work (§4.2; the paper's running example).
+//!
+//! Reproduces the Figure 1 walkthrough: list themes (1a), map the labor
+//! theme (1b), zoom into the pleasant low-hours/high-income region and
+//! highlight country names — "Switzerland, Canada and Norway appear as
+//! countries with high incomes and relatively low working hours" (1c) —
+//! then project onto the unemployment theme (1d). Also answers the demo's
+//! promise: "our users will discover why working in Canada is generally a
+//! good idea".
+//!
+//! ```sh
+//! cargo run --release --example countries_work
+//! ```
+
+use blaeu::core::render::{render_map, render_status, render_themes};
+use blaeu::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's dataset: 6,823 regions, 378 indicators, 31 countries.
+    let (table, _truth) = oecd(&OecdConfig::default())?;
+    println!(
+        "Countries & Work: {} regions x {} columns\n",
+        table.nrows(),
+        table.ncols()
+    );
+
+    let mut explorer = Explorer::open(table, ExplorerConfig::default())?;
+
+    // Figure 1a: the list of themes.
+    println!("{}", render_themes(explorer.theme_set(), 4));
+
+    // Figure 1b: the data map of the labor theme.
+    let labor = explorer
+        .themes()
+        .iter()
+        .position(|t| t.columns.iter().any(|c| c == "pct_employees_long_hours"))
+        .expect("labor theme detected");
+    let map = explorer.select_theme(labor)?;
+    println!("{}", render_map(map));
+
+    // Figure 1c: zoom into the low-hours / high-income region and
+    // highlight the countries. Find the leaf whose description mentions a
+    // low long-hours bound and a high income bound.
+    let leaves = map.leaves();
+    let target = leaves
+        .iter()
+        .find(|r| {
+            r.description
+                .iter()
+                .any(|d| d.contains("pct_employees_long_hours <"))
+                && r.description
+                    .iter()
+                    .any(|d| d.contains("avg_annual_income_kusd >="))
+        })
+        .or_else(|| leaves.iter().max_by_key(|r| r.count))
+        .map(|r| r.id)
+        .expect("map has leaves");
+    explorer.zoom(target)?;
+    println!("{}", render_map(explorer.map()?));
+
+    let countries = explorer.highlight("country")?;
+    println!("Countries in the pleasant cluster:");
+    for region in &countries.regions {
+        println!(
+            "  region #{} ({} rows): {}",
+            region.region,
+            region.count,
+            region.examples.join(", ")
+        );
+    }
+    println!();
+
+    // Figure 1d: project onto the unemployment theme.
+    let unemployment = explorer
+        .themes()
+        .iter()
+        .position(|t| t.columns.iter().any(|c| c.contains("unemployment")))
+        .expect("unemployment theme detected");
+    explorer.project_theme(unemployment)?;
+    println!("{}", render_map(explorer.map()?));
+
+    // Why is working in Canada a good idea? Count Canadian regions in the
+    // zoomed (pleasant) selection vs the full table.
+    let view = &explorer.current().view;
+    let canada_in_selection = Predicate::is_in("country", ["Canada"])
+        .select(view)?
+        .len();
+    println!(
+        "Canadian regions in the pleasant selection: {} of {} selected rows",
+        canada_in_selection,
+        view.nrows()
+    );
+
+    println!();
+    println!("{}", render_status(explorer.breadcrumbs(), &explorer.sql()));
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Demo scenario 1 — the Hollywood dataset (§4.2 of the paper).
+//!
+//! "The Hollywood dataset presents data about 900 Hollywood movies
+//! released between 2007 and 2013. It contains 12 columns. Which films are
+//! the most profitable? Which are those that fail? How do critics and
+//! commercial success relate to each other?"
+//!
+//! ```sh
+//! cargo run --release --example hollywood_explore
+//! ```
+
+use blaeu::core::render::{render_highlight, render_map, render_themes};
+use blaeu::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (table, _truth) = hollywood(&HollywoodConfig::default())?;
+    println!(
+        "Hollywood: {} movies x {} columns\n",
+        table.nrows(),
+        table.ncols()
+    );
+
+    let mut explorer = Explorer::open(table, ExplorerConfig::default())?;
+    println!("{}", render_themes(explorer.theme_set(), 6));
+
+    // Question 1: which films are the most profitable? Map the commercial
+    // theme and look at the regions.
+    let commercial = explorer
+        .themes()
+        .iter()
+        .position(|t| t.columns.iter().any(|c| c == "profitability"))
+        .unwrap_or(0);
+    let map = explorer.select_theme(commercial)?;
+    println!("{}", render_map(map));
+
+    // Find the region with the highest mean profitability via highlight.
+    let profit = explorer.highlight("profitability")?;
+    println!("{}", render_highlight(&profit));
+    let best_region = profit
+        .regions
+        .iter()
+        .max_by(|a, b| {
+            let mean = |r: &blaeu::core::RegionHighlight| match &r.summary {
+                blaeu::stats::ColumnSummary::Numeric(s) => s.mean,
+                _ => f64::NEG_INFINITY,
+            };
+            mean(a).total_cmp(&mean(b))
+        })
+        .expect("has regions");
+    println!(
+        "most profitable region: #{} ({} films)\n",
+        best_region.region, best_region.count
+    );
+
+    // Zoom into it: what kind of films are these?
+    explorer.zoom(best_region.region)?;
+    let films = explorer.highlight("film")?;
+    for r in films.regions.iter().take(2) {
+        println!(
+            "sample titles in region #{}: {}",
+            r.region,
+            r.examples.join(", ")
+        );
+    }
+    let genres = explorer.highlight("genre")?;
+    println!("\n{}", render_highlight(&genres));
+
+    // Question 2: how do critics and commercial success relate? Project
+    // the same films onto the reception theme.
+    let reception = explorer
+        .themes()
+        .iter()
+        .position(|t| t.columns.iter().any(|c| c == "critics_score"))
+        .unwrap_or(0);
+    explorer.project_theme(reception)?;
+    println!("{}", render_map(explorer.map()?));
+    let critics = explorer.highlight("critics_score")?;
+    println!("{}", render_highlight(&critics));
+
+    println!("final query: {}", explorer.sql());
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Demo scenario 3 — the LOFAR catalogue at scale (§4.2).
+//!
+//! "Through this use case, our visitors will experience Blaeu with a
+//! large, complex dataset" — 100,000s of tuples, dozens of variables.
+//! This example measures the per-action latency that sampling + CLARA
+//! buy: every action stays interactive although the table has 200k rows.
+//!
+//! ```sh
+//! cargo run --release --example lofar_scale
+//! ```
+
+use std::time::Instant;
+
+use blaeu::core::render::{render_map, render_themes};
+use blaeu::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let t0 = Instant::now();
+    let (table, _truth) = lofar(&LofarConfig {
+        nrows: 200_000,
+        ..LofarConfig::default()
+    })?;
+    println!(
+        "LOFAR: {} sources x {} columns (generated in {:.1?})\n",
+        table.nrows(),
+        table.ncols(),
+        t0.elapsed()
+    );
+
+    let t = Instant::now();
+    let mut explorer = Explorer::open(table, ExplorerConfig::default())?;
+    println!("theme detection: {:.1?}", t.elapsed());
+    println!("{}", render_themes(explorer.theme_set(), 5));
+
+    // Map the spectral theme.
+    let spectral = explorer
+        .themes()
+        .iter()
+        .position(|t| t.columns.iter().any(|c| c.starts_with("flux_")))
+        .unwrap_or(0);
+    let t = Instant::now();
+    let map = explorer.select_theme(spectral)?;
+    println!(
+        "map construction over {} rows: {:.1?} (sampled {} rows)",
+        map.view_rows,
+        t.elapsed(),
+        map.sample_size
+    );
+    println!("{}", render_map(map));
+
+    // Zoom twice, timing each action.
+    for step in 0..2 {
+        let biggest = explorer
+            .map()?
+            .leaves()
+            .iter()
+            .max_by_key(|r| r.count)
+            .unwrap()
+            .id;
+        let t = Instant::now();
+        explorer.zoom(biggest)?;
+        println!(
+            "zoom {}: {:.1?} ({} rows remain)",
+            step + 1,
+            t.elapsed(),
+            explorer.current().view.nrows()
+        );
+    }
+
+    // Highlight a physical property inside the zoomed population.
+    let t = Instant::now();
+    let hl = explorer.highlight("spectral_index")?;
+    println!("highlight: {:.1?}", t.elapsed());
+    for r in hl.regions.iter().take(3) {
+        println!(
+            "  region #{}: {} rows, {}",
+            r.region,
+            r.count,
+            r.examples.join(", ")
+        );
+    }
+
+    let t = Instant::now();
+    explorer.rollback()?;
+    println!("rollback: {:.1?}", t.elapsed());
+    println!("\nfinal query: {}", explorer.sql());
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: open a table, browse themes, build a map, navigate.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use blaeu::core::render::{render_map, render_status, render_themes};
+use blaeu::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Load data. Any CSV works; here we use the built-in generator that
+    //    mimics the paper's OECD "Countries & Work" demo dataset.
+    let (table, _truth) = oecd(&OecdConfig {
+        nrows: 1500,
+        ncols: 40,
+        ..OecdConfig::default()
+    })?;
+    println!(
+        "Loaded \"{}\": {} rows x {} columns\n",
+        table.name(),
+        table.nrows(),
+        table.ncols()
+    );
+
+    // 2. Open the explorer. Theme detection runs immediately: columns are
+    //    grouped by mutual dependency (the paper's vertical clustering).
+    let mut explorer = Explorer::open(table, ExplorerConfig::default())?;
+    println!("{}", render_themes(explorer.theme_set(), 5));
+
+    // 3. Select the theme that holds the labor indicators: Blaeu builds a
+    //    data map — clusters of rows described by interpretable splits.
+    let labor = explorer
+        .themes()
+        .iter()
+        .position(|t| t.columns.iter().any(|c| c == "pct_employees_long_hours"))
+        .unwrap_or(0);
+    let map = explorer.select_theme(labor)?;
+    println!("{}", render_map(map));
+
+    // 4. Zoom into the largest region and highlight the country column —
+    //    which countries live in this cluster?
+    let biggest = map.leaves().iter().max_by_key(|r| r.count).unwrap().id;
+    explorer.zoom(biggest)?;
+    println!("{}", render_map(explorer.map()?));
+
+    let highlight = explorer.highlight("country")?;
+    for region in highlight.regions.iter().take(3) {
+        println!(
+            "region #{}: {} rows, typical countries: {}",
+            region.region,
+            region.count,
+            region.examples.join(", ")
+        );
+    }
+    println!();
+
+    // 5. Every exploration state is an implicit Select-Project query.
+    println!("{}", render_status(explorer.breadcrumbs(), &explorer.sql()));
+
+    // 6. Everything is reversible.
+    explorer.rollback()?;
+    println!("after rollback: {} rows selected", explorer.current().view.nrows());
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! The session tier (Figure 4): many users exploring concurrently.
+//!
+//! The paper's NodeJS layer "manages the sessions and relays the maps to
+//! the clients". This example runs four concurrent clients against one
+//! [`SessionManager`], each performing an independent explore loop, and
+//! prints the JSON payload a web client would receive.
+//!
+//! ```sh
+//! cargo run --release --example session_server
+//! ```
+
+use std::sync::Arc;
+
+use blaeu::core::render::state_to_json;
+use blaeu::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (table, _) = hollywood(&HollywoodConfig::default())?;
+    let manager = Arc::new(SessionManager::new());
+
+    // Four clients connect; each gets an isolated session on the same data.
+    let mut sessions = Vec::new();
+    for _ in 0..4 {
+        sessions.push(manager.create(table.clone(), ExplorerConfig::default())?);
+    }
+    println!("{} sessions open: {:?}", manager.len(), {
+        let mut ids = manager.ids();
+        ids.sort_unstable();
+        ids
+    });
+
+    // Clients act concurrently: theme → map → zoom → highlight → rollback.
+    crossbeam::scope(|scope| {
+        for (client, &id) in sessions.iter().enumerate() {
+            let manager = Arc::clone(&manager);
+            scope.spawn(move |_| {
+                let theme = client % 2; // clients look at different themes
+                manager
+                    .with(id, |ex| {
+                        ex.select_theme(theme).unwrap();
+                        let biggest = ex
+                            .map()
+                            .unwrap()
+                            .leaves()
+                            .iter()
+                            .max_by_key(|r| r.count)
+                            .unwrap()
+                            .id;
+                        ex.zoom(biggest).unwrap();
+                        let hl = ex.highlight("film").unwrap();
+                        println!(
+                            "client {client} (session {id}): {} regions after zoom, e.g. {}",
+                            hl.regions.len(),
+                            hl.regions
+                                .first()
+                                .map(|r| r.examples.join(", "))
+                                .unwrap_or_default()
+                        );
+                        ex.rollback().unwrap();
+                    })
+                    .unwrap();
+            });
+        }
+    })
+    .expect("clients run to completion");
+
+    // The JSON a web client would render (first session, current state).
+    let payload = manager.with(sessions[0], |ex| state_to_json(ex))?;
+    let rendered = serde_json::to_string_pretty(&payload)?;
+    println!(
+        "\nsession {} payload preview (truncated):\n{}",
+        sessions[0],
+        &rendered[..rendered.len().min(800)]
+    );
+
+    for id in sessions {
+        manager.close(id)?;
+    }
+    println!("\nall sessions closed; manager empty: {}", manager.is_empty());
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Interactive terminal explorer — the stand-in for the paper's web UI.
+//!
+//! ```sh
+//! cargo run --release --bin blaeu-repl -- path/to/table.csv
+//! cargo run --release --bin blaeu-repl -- --demo oecd|hollywood|lofar
+//! ```
+//!
+//! Type `help` at the prompt for the command language.
+
+use std::io::{BufRead, Write};
+
+use blaeu::core::{Explorer, ExplorerConfig};
+use blaeu::repl::{execute, parse, Outcome, HELP};
+use blaeu::store::generate::{hollywood, lofar, oecd, HollywoodConfig, LofarConfig, OecdConfig};
+use blaeu::store::{read_csv_file, CsvOptions, Table};
+
+fn load(args: &[String]) -> Result<Table, String> {
+    match args {
+        [flag, which] if flag == "--demo" => match which.as_str() {
+            "oecd" => Ok(oecd(&OecdConfig::default()).map_err(|e| e.to_string())?.0),
+            "hollywood" => Ok(hollywood(&HollywoodConfig::default())
+                .map_err(|e| e.to_string())?
+                .0),
+            "lofar" => Ok(lofar(&LofarConfig {
+                nrows: 100_000,
+                ..LofarConfig::default()
+            })
+            .map_err(|e| e.to_string())?
+            .0),
+            other => Err(format!(
+                "unknown demo {other:?}; pick oecd, hollywood or lofar"
+            )),
+        },
+        [path] => read_csv_file(std::path::Path::new(path), &CsvOptions::default())
+            .map_err(|e| e.to_string()),
+        _ => Err("usage: blaeu-repl <table.csv> | --demo oecd|hollywood|lofar".to_owned()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let table = match load(&args) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "loaded \"{}\": {} rows x {} columns; detecting themes…",
+        table.name(),
+        table.nrows(),
+        table.ncols()
+    );
+    let mut explorer = match Explorer::open(table, ExplorerConfig::default()) {
+        Ok(ex) => ex,
+        Err(e) => {
+            eprintln!("cannot open explorer: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("{} themes detected. {HELP}", explorer.themes().len());
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("blaeu> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse(line) {
+            Ok(cmd) => match execute(&mut explorer, cmd) {
+                Outcome::Continue(text) => print!("{text}"),
+                Outcome::Stop(text) => {
+                    print!("{text}");
+                    break;
+                }
+            },
+            Err(msg) => println!("{msg}"),
+        }
+    }
+}

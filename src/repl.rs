@@ -1,0 +1,398 @@
+//! Command interpreter for the interactive explorer binary.
+//!
+//! The paper demonstrates Blaeu as an interactive tool: visitors click
+//! through themes and maps. This module is the terminal equivalent — a
+//! small command language over [`Explorer`] — factored out of the binary
+//! so parsing and dispatch are unit-testable.
+
+use blaeu_core::render::{
+    render_highlight, render_map, render_status, render_themes, write_svg,
+};
+use blaeu_core::{BlaeuError, Explorer};
+
+/// A parsed REPL command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Show the theme list.
+    Themes,
+    /// Select a theme by index and build its map.
+    Theme(usize),
+    /// Show the current map.
+    Map,
+    /// Zoom into a region id.
+    Zoom(usize),
+    /// Highlight a column.
+    Highlight(String),
+    /// Bivariate scatter of two numeric columns, per region.
+    Scatter(String, String),
+    /// Project onto a theme index.
+    Project(usize),
+    /// Show details of one region.
+    Region(usize),
+    /// Roll back one step.
+    Back,
+    /// Show the action trail and SQL.
+    Status,
+    /// Export the current map as SVG to a path.
+    Svg(String),
+    /// Export the current selection as CSV to a path.
+    Export(String),
+    /// Show help.
+    Help,
+    /// Quit the session.
+    Quit,
+}
+
+/// Parses one input line into a [`Command`].
+///
+/// # Errors
+/// Returns a human-readable message for unknown or malformed input.
+pub fn parse(line: &str) -> Result<Command, String> {
+    let mut parts = line.split_whitespace();
+    let head = parts.next().unwrap_or("").to_ascii_lowercase();
+    let arg = parts.next();
+    let arg2 = parts.next();
+    if parts.next().is_some() {
+        return Err("too many arguments".to_owned());
+    }
+    if arg2.is_some() && head != "scatter" {
+        return Err("too many arguments (only 'scatter' takes two)".to_owned());
+    }
+    let need_index = |arg: Option<&str>, what: &str| -> Result<usize, String> {
+        arg.ok_or_else(|| format!("usage: {what} <number>"))?
+            .parse::<usize>()
+            .map_err(|_| format!("{what} expects a number"))
+    };
+    match head.as_str() {
+        "themes" | "t" => Ok(Command::Themes),
+        "theme" => Ok(Command::Theme(need_index(arg, "theme")?)),
+        "map" | "m" => Ok(Command::Map),
+        "zoom" | "z" => Ok(Command::Zoom(need_index(arg, "zoom")?)),
+        "highlight" | "h" => arg
+            .map(|c| Command::Highlight(c.to_owned()))
+            .ok_or_else(|| "usage: highlight <column>".to_owned()),
+        "scatter" => match (arg, arg2) {
+            (Some(x), Some(y)) => Ok(Command::Scatter(x.to_owned(), y.to_owned())),
+            _ => Err("usage: scatter <xcolumn> <ycolumn>".to_owned()),
+        },
+        "project" | "p" => Ok(Command::Project(need_index(arg, "project")?)),
+        "region" | "r" => Ok(Command::Region(need_index(arg, "region")?)),
+        "back" | "b" | "rollback" => Ok(Command::Back),
+        "status" | "s" | "sql" => Ok(Command::Status),
+        "svg" => arg
+            .map(|p| Command::Svg(p.to_owned()))
+            .ok_or_else(|| "usage: svg <path>".to_owned()),
+        "export" => arg
+            .map(|p| Command::Export(p.to_owned()))
+            .ok_or_else(|| "usage: export <path.csv>".to_owned()),
+        "help" | "?" => Ok(Command::Help),
+        "quit" | "q" | "exit" => Ok(Command::Quit),
+        "" => Err("empty command (try 'help')".to_owned()),
+        other => Err(format!("unknown command {other:?} (try 'help')")),
+    }
+}
+
+/// Help text for the command language.
+pub const HELP: &str = "\
+commands:
+  themes               list detected themes
+  theme <i>            select theme i and build its data map
+  map                  show the current map
+  zoom <region>        drill into a region (rebuilds the map)
+  highlight <column>   per-region distribution of a column
+  scatter <x> <y>      per-region density plot of two numeric columns
+  project <i>          re-map the same rows under theme i's columns
+  region <id>          details of one region (rule, counts, examples)
+  back                 roll back one action
+  status               action trail + the implicit SQL query
+  svg <path>           write the current map as an SVG treemap
+  export <path.csv>    write the current selection as CSV
+  help                 this text
+  quit                 leave
+";
+
+/// Outcome of executing a command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Text to print; the session continues.
+    Continue(String),
+    /// Text to print; the session ends.
+    Stop(String),
+}
+
+/// Executes one command against the explorer, rendering the result.
+pub fn execute(explorer: &mut Explorer, command: Command) -> Outcome {
+    let text = match command {
+        Command::Themes => render_themes(explorer.theme_set(), 6),
+        Command::Theme(i) => match explorer.select_theme(i) {
+            Ok(map) => render_map(map),
+            Err(e) => format!("error: {e}\n"),
+        },
+        Command::Map => match explorer.map() {
+            Ok(map) => render_map(map),
+            Err(e) => format!("error: {e}\n"),
+        },
+        Command::Zoom(region) => match explorer.zoom(region) {
+            Ok(map) => render_map(map),
+            Err(e) => format!("error: {e}\n"),
+        },
+        Command::Highlight(column) => match explorer.highlight(&column) {
+            Ok(hl) => render_highlight(&hl),
+            Err(e) => format!("error: {e}\n"),
+        },
+        Command::Scatter(x, y) => match explorer.scatter(&x, &y, 24) {
+            Ok(grids) => {
+                let mut out = String::new();
+                for (region, grid) in grids {
+                    out.push_str(&format!("region #{region}:\n"));
+                    out.push_str(&grid.render(&x, &y));
+                }
+                out
+            }
+            Err(e) => format!("error: {e}\n"),
+        },
+        Command::Project(i) => match explorer.project_theme(i) {
+            Ok(map) => render_map(map),
+            Err(e) => format!("error: {e}\n"),
+        },
+        Command::Region(id) => match explorer.region_detail(id, 5) {
+            Ok(detail) => {
+                let mut out = format!(
+                    "region #{}: {} rows ({:.1}%), cluster {}\n",
+                    detail.region.id,
+                    detail.region.count,
+                    detail.region.fraction * 100.0,
+                    detail.region.cluster
+                );
+                if !detail.region.description.is_empty() {
+                    out.push_str(&format!(
+                        "  where {}\n",
+                        detail.region.description.join(" and ")
+                    ));
+                }
+                out.push_str(&format!("  SQL: {}\n", detail.region.predicate));
+                out.push_str(&format!(
+                    "  {} example row(s) shown of {}\n",
+                    detail.examples.nrows(),
+                    detail.region.count
+                ));
+                for row in 0..detail.examples.nrows() {
+                    let vals = detail
+                        .examples
+                        .row(row)
+                        .unwrap_or_default()
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    out.push_str(&format!("    [{vals}]\n"));
+                }
+                out
+            }
+            Err(e) => format!("error: {e}\n"),
+        },
+        Command::Back => match explorer.rollback() {
+            Ok(()) => format!(
+                "rolled back; {} rows selected\n",
+                explorer.current().view.nrows()
+            ),
+            Err(BlaeuError::HistoryEmpty) => "already at the initial state\n".to_owned(),
+            Err(e) => format!("error: {e}\n"),
+        },
+        Command::Status => render_status(explorer.breadcrumbs(), &explorer.sql()),
+        Command::Svg(path) => match explorer.map() {
+            Ok(map) => match write_svg(map, std::path::Path::new(&path), 900, 540) {
+                Ok(()) => format!("wrote {path}\n"),
+                Err(e) => format!("error: {e}\n"),
+            },
+            Err(e) => format!("error: {e}\n"),
+        },
+        Command::Export(path) => {
+            match std::fs::File::create(&path)
+                .map_err(BlaeuError::from_io)
+                .and_then(|f| explorer.export_view_csv(std::io::BufWriter::new(f)))
+            {
+                Ok(()) => format!(
+                    "wrote {} rows to {path}\n",
+                    explorer.current().view.nrows()
+                ),
+                Err(e) => format!("error: {e}\n"),
+            }
+        }
+        Command::Help => HELP.to_owned(),
+        Command::Quit => return Outcome::Stop("bye\n".to_owned()),
+    };
+    Outcome::Continue(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blaeu_core::ExplorerConfig;
+    use blaeu_store::generate::{oecd, OecdConfig};
+
+    fn explorer() -> Explorer {
+        let (table, _) = oecd(&OecdConfig {
+            nrows: 300,
+            ncols: 24,
+            missing_rate: 0.0,
+            ..OecdConfig::default()
+        })
+        .unwrap();
+        Explorer::open(table, ExplorerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn parse_commands() {
+        assert_eq!(parse("themes"), Ok(Command::Themes));
+        assert_eq!(parse("t"), Ok(Command::Themes));
+        assert_eq!(parse("theme 2"), Ok(Command::Theme(2)));
+        assert_eq!(parse("zoom 5"), Ok(Command::Zoom(5)));
+        assert_eq!(parse("z 5"), Ok(Command::Zoom(5)));
+        assert_eq!(
+            parse("highlight country"),
+            Ok(Command::Highlight("country".into()))
+        );
+        assert_eq!(parse("project 1"), Ok(Command::Project(1)));
+        assert_eq!(parse("region 3"), Ok(Command::Region(3)));
+        assert_eq!(parse("back"), Ok(Command::Back));
+        assert_eq!(parse("sql"), Ok(Command::Status));
+        assert_eq!(parse("svg /tmp/map.svg"), Ok(Command::Svg("/tmp/map.svg".into())));
+        assert_eq!(parse("export /tmp/v.csv"), Ok(Command::Export("/tmp/v.csv".into())));
+        assert_eq!(parse("help"), Ok(Command::Help));
+        assert_eq!(parse("q"), Ok(Command::Quit));
+    }
+
+    #[test]
+    fn parse_scatter() {
+        assert_eq!(
+            parse("scatter income hours"),
+            Ok(Command::Scatter("income".into(), "hours".into()))
+        );
+        assert!(parse("scatter income").is_err());
+        assert!(parse("scatter a b c").is_err());
+    }
+
+    #[test]
+    fn execute_scatter() {
+        let mut ex = explorer();
+        execute(&mut ex, Command::Theme(0));
+        let cols = ex.current().columns.clone();
+        let Outcome::Continue(out) = execute(
+            &mut ex,
+            Command::Scatter(cols[0].clone(), cols[1].clone()),
+        ) else {
+            panic!("scatter should continue");
+        };
+        assert!(out.contains("region #"), "{out}");
+        let Outcome::Continue(out) =
+            execute(&mut ex, Command::Scatter("country".into(), cols[0].clone()))
+        else {
+            panic!("bad scatter should continue");
+        };
+        assert!(out.contains("error:"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse("").is_err());
+        assert!(parse("frobnicate").is_err());
+        assert!(parse("theme").is_err());
+        assert!(parse("theme x").is_err());
+        assert!(parse("zoom 1 2").is_err());
+        assert!(parse("highlight").is_err());
+    }
+
+    #[test]
+    fn execute_theme_map_zoom_back() {
+        let mut ex = explorer();
+        let Outcome::Continue(out) = execute(&mut ex, Command::Themes) else {
+            panic!("themes should continue");
+        };
+        assert!(out.contains("Themes ("));
+
+        let Outcome::Continue(out) = execute(&mut ex, Command::Theme(0)) else {
+            panic!("theme should continue");
+        };
+        assert!(out.contains("Data map over ["));
+
+        // Zoom into the first leaf region (find it from the map).
+        let leaf = ex.map().unwrap().leaves()[0].id;
+        let Outcome::Continue(out) = execute(&mut ex, Command::Zoom(leaf)) else {
+            panic!("zoom should continue");
+        };
+        assert!(out.contains("Data map over ["));
+
+        let Outcome::Continue(out) = execute(&mut ex, Command::Back) else {
+            panic!("back should continue");
+        };
+        assert!(out.contains("rolled back"));
+    }
+
+    #[test]
+    fn execute_errors_render_not_panic() {
+        let mut ex = explorer();
+        let Outcome::Continue(out) = execute(&mut ex, Command::Zoom(0)) else {
+            panic!("zoom error should continue");
+        };
+        assert!(out.contains("error:"));
+        let Outcome::Continue(out) = execute(&mut ex, Command::Theme(999)) else {
+            panic!("bad theme should continue");
+        };
+        assert!(out.contains("error:"));
+        let Outcome::Continue(out) = execute(&mut ex, Command::Highlight("ghost".into())) else {
+            panic!("bad column should continue");
+        };
+        assert!(out.contains("error:"));
+    }
+
+    #[test]
+    fn execute_region_detail_and_status() {
+        let mut ex = explorer();
+        execute(&mut ex, Command::Theme(0));
+        let leaf = ex.map().unwrap().leaves()[0].id;
+        let Outcome::Continue(out) = execute(&mut ex, Command::Region(leaf)) else {
+            panic!("region should continue");
+        };
+        assert!(out.contains("example row"));
+        let Outcome::Continue(out) = execute(&mut ex, Command::Status) else {
+            panic!("status should continue");
+        };
+        assert!(out.contains("Query: SELECT"));
+    }
+
+    #[test]
+    fn execute_quit_stops() {
+        let mut ex = explorer();
+        assert_eq!(
+            execute(&mut ex, Command::Quit),
+            Outcome::Stop("bye\n".to_owned())
+        );
+    }
+
+    #[test]
+    fn execute_exports() {
+        let mut ex = explorer();
+        execute(&mut ex, Command::Theme(0));
+        let dir = std::env::temp_dir().join("blaeu_repl_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let svg = dir.join("m.svg");
+        let csv = dir.join("v.csv");
+        let Outcome::Continue(out) =
+            execute(&mut ex, Command::Svg(svg.to_string_lossy().into_owned()))
+        else {
+            panic!("svg should continue");
+        };
+        assert!(out.contains("wrote"), "{out}");
+        let Outcome::Continue(out) =
+            execute(&mut ex, Command::Export(csv.to_string_lossy().into_owned()))
+        else {
+            panic!("export should continue");
+        };
+        assert!(out.contains("wrote"), "{out}");
+        assert!(svg.exists());
+        assert!(csv.exists());
+        std::fs::remove_file(svg).ok();
+        std::fs::remove_file(csv).ok();
+    }
+}

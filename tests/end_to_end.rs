@@ -1,0 +1,196 @@
+//! End-to-end exploration cycles over the three demo datasets (§4.2),
+//! asserting the paper's Figure 1 narrative on the OECD data.
+
+use blaeu::prelude::*;
+
+#[test]
+fn countries_work_figure_1_walkthrough() {
+    // Scaled-down Countries & Work (same structure, fewer rows/columns).
+    let (table, _truth) = oecd(&OecdConfig {
+        nrows: 800,
+        ncols: 30,
+        missing_rate: 0.0,
+        ..OecdConfig::default()
+    })
+    .unwrap();
+    let mut ex = Explorer::open(table, ExplorerConfig::default()).unwrap();
+
+    // Figure 1a: themes exist and the labor indicators share one theme.
+    assert!(ex.themes().len() >= 2);
+    let labor_idx = ex
+        .themes()
+        .iter()
+        .position(|t| t.columns.iter().any(|c| c == "pct_employees_long_hours"))
+        .expect("labor theme detected");
+    let labor = &ex.themes()[labor_idx];
+    assert!(
+        labor
+            .columns
+            .iter()
+            .any(|c| c == "avg_annual_income_kusd"),
+        "income should share the labor theme, got {:?}",
+        labor.columns
+    );
+
+    // Figure 1b: the labor map splits on the long-hours indicator with a
+    // threshold near 20 (the planted boundary).
+    let map = ex.select_theme(labor_idx).unwrap();
+    assert!(map.k >= 2, "labor theme has at least two clusters");
+    let descriptions: Vec<String> = map
+        .regions()
+        .iter()
+        .flat_map(|r| r.description.clone())
+        .collect();
+    let has_hours_split = descriptions
+        .iter()
+        .any(|d| d.contains("pct_employees_long_hours"));
+    assert!(
+        has_hours_split,
+        "map should split on the long-hours column: {descriptions:?}"
+    );
+
+    // Figure 1c: zoom into the low-hours / high-income region (or the
+    // largest region if the exact one is nested differently) and highlight
+    // countries: the pleasant countries should surface.
+    let pleasant = map
+        .leaves()
+        .iter()
+        .find(|r| {
+            r.description.iter().any(|d| d.contains("pct_employees_long_hours <"))
+                && r.description.iter().any(|d| d.contains(">="))
+        })
+        .map(|r| r.id);
+    let target = pleasant.unwrap_or_else(|| {
+        map.leaves().iter().max_by_key(|r| r.count).unwrap().id
+    });
+    ex.zoom(target).unwrap();
+    let hl = ex.highlight("country").unwrap();
+    let all_examples: Vec<String> = hl
+        .regions
+        .iter()
+        .flat_map(|r| r.examples.clone())
+        .collect();
+    assert!(!all_examples.is_empty());
+
+    // Figure 1d: project onto the unemployment theme.
+    let unemployment = ex
+        .themes()
+        .iter()
+        .position(|t| t.columns.iter().any(|c| c.contains("unemployment")))
+        .expect("unemployment theme detected");
+    let rows_before = ex.current().view.nrows();
+    ex.project_theme(unemployment).unwrap();
+    assert_eq!(ex.current().view.nrows(), rows_before, "projection keeps rows");
+    assert!(ex
+        .current()
+        .columns
+        .iter()
+        .any(|c| c.contains("unemployment")));
+
+    // The implicit query renders as SQL with both selection and projection.
+    let sql = ex.sql();
+    assert!(sql.contains("WHERE"), "{sql}");
+    assert!(sql.contains("unemployment"), "{sql}");
+
+    // Rollback all the way: exact restoration.
+    while ex.depth() > 1 {
+        ex.rollback().unwrap();
+    }
+    assert_eq!(ex.current().view.nrows(), 800);
+    assert!(ex.sql().starts_with("SELECT * FROM"));
+}
+
+#[test]
+fn hollywood_segments_recovered() {
+    let (table, truth) = hollywood(&HollywoodConfig::default()).unwrap();
+    let mut ex = Explorer::open(table, ExplorerConfig::default()).unwrap();
+
+    // The commercial indicators should cluster together.
+    let commercial = ex
+        .themes()
+        .iter()
+        .position(|t| {
+            t.columns.iter().any(|c| c == "budget_musd")
+                && t.columns.iter().any(|c| c == "worldwide_gross_musd")
+        })
+        .expect("commercial theme groups budget and gross");
+
+    let map = ex.select_theme(commercial).unwrap();
+    // Region labels should align with the planted market segments.
+    let mut region_labels = vec![0usize; truth.labels.len()];
+    for leaf in map.leaves() {
+        for row in map.rows_of(leaf.id).unwrap() {
+            region_labels[row as usize] = leaf.cluster;
+        }
+    }
+    let ari = adjusted_rand_index(&region_labels, &truth.labels);
+    assert!(ari > 0.25, "map vs planted segments ARI {ari}");
+}
+
+#[test]
+fn lofar_scale_stays_interactive() {
+    use std::time::Instant;
+    // 30k rows is enough to prove the point in a debug-build test.
+    let (table, _) = lofar(&LofarConfig {
+        nrows: 30_000,
+        ..LofarConfig::default()
+    })
+    .unwrap();
+    let t0 = Instant::now();
+    let mut ex = Explorer::open(table, ExplorerConfig::default()).unwrap();
+    let theme_time = t0.elapsed();
+
+    let t0 = Instant::now();
+    ex.select_theme(0).unwrap();
+    let map_time = t0.elapsed();
+
+    let biggest = ex
+        .map()
+        .unwrap()
+        .leaves()
+        .iter()
+        .max_by_key(|r| r.count)
+        .unwrap()
+        .id;
+    let t0 = Instant::now();
+    ex.zoom(biggest).unwrap();
+    let zoom_time = t0.elapsed();
+
+    // Sampling keeps actions bounded; generous ceilings for debug builds.
+    assert!(theme_time.as_secs() < 120, "themes took {theme_time:?}");
+    assert!(map_time.as_secs() < 120, "map took {map_time:?}");
+    assert!(zoom_time.as_secs() < 120, "zoom took {zoom_time:?}");
+
+    // The map still covers every row despite sampling.
+    let total: usize = ex.map().unwrap().leaves().iter().map(|r| r.count).sum();
+    assert_eq!(total, ex.current().view.nrows());
+}
+
+#[test]
+fn csv_to_exploration_pipeline() {
+    // A user's own CSV goes through the same pipeline.
+    let mut csv = String::from("name,hours,salary,dept\n");
+    for i in 0..120 {
+        let (hours, salary, dept) = if i % 2 == 0 {
+            (30 + i % 7, 20 + i % 5, "sales")
+        } else {
+            (60 + i % 7, 80 + i % 5, "exec")
+        };
+        csv.push_str(&format!("p{i},{hours},{salary},{dept}\n"));
+    }
+    let table = read_csv_str("people", &csv, &CsvOptions::default()).unwrap();
+    assert_eq!(table.nrows(), 120);
+
+    let map = build_map(
+        &table,
+        &["hours", "salary", "dept"],
+        &MapperConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(map.k, 2, "two planted groups");
+    let leaves = map.leaves();
+    assert_eq!(leaves.len(), 2);
+    // Each leaf holds one parity class (60 rows).
+    assert!(leaves.iter().all(|r| r.count == 60), "{:?}",
+        leaves.iter().map(|r| r.count).collect::<Vec<_>>());
+}

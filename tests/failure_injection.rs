@@ -1,0 +1,242 @@
+//! Failure injection: pathological inputs through the full pipeline.
+//! A production exploration tool meets hostile tables; every case here
+//! must either work or fail with a clean error — never panic.
+
+use blaeu::prelude::*;
+use blaeu::store::ColumnRole;
+
+#[test]
+fn all_null_column_survives_pipeline() {
+    let n = 120;
+    let t = TableBuilder::new("nulls")
+        .column("good_a", Column::dense_f64((0..n).map(|i| f64::from(i % 7)).collect()))
+        .unwrap()
+        .column("good_b", Column::dense_f64((0..n).map(|i| f64::from(i % 7) * 2.0).collect()))
+        .unwrap()
+        .column("void", Column::from_f64s(std::iter::repeat_n(None, n as usize)))
+        .unwrap()
+        .build()
+        .unwrap();
+    // Dependency graph, themes and maps all tolerate the dead column.
+    let dm = dependency_matrix(&t, &["good_a", "good_b", "void"], &DependencyOptions::default())
+        .unwrap();
+    assert_eq!(dm.get(0, 2), 0.0, "a dead column carries no information");
+    let map = build_map(&t, &["good_a", "good_b", "void"], &MapperConfig::default()).unwrap();
+    assert!(map.root().count == 120);
+}
+
+#[test]
+fn constant_columns_survive_pipeline() {
+    let t = TableBuilder::new("const")
+        .column("c1", Column::dense_f64(vec![7.0; 100]))
+        .unwrap()
+        .column("c2", Column::from_strs(std::iter::repeat_n(Some("same"), 100)))
+        .unwrap()
+        .column("varies", Column::dense_f64((0..100).map(|i| f64::from(i % 2) * 50.0).collect()))
+        .unwrap()
+        .build()
+        .unwrap();
+    let map = build_map(&t, &["c1", "c2", "varies"], &MapperConfig::default()).unwrap();
+    // The only real structure is the binary `varies` split.
+    assert_eq!(map.k, 2);
+    let total: usize = map.leaves().iter().map(|r| r.count).sum();
+    assert_eq!(total, 100);
+}
+
+#[test]
+fn single_row_and_tiny_tables() {
+    let t = TableBuilder::new("tiny")
+        .column("x", Column::dense_f64(vec![1.0]))
+        .unwrap()
+        .column("y", Column::dense_f64(vec![2.0]))
+        .unwrap()
+        .build()
+        .unwrap();
+    let map = build_map(&t, &["x", "y"], &MapperConfig::default()).unwrap();
+    assert_eq!(map.k, 1);
+    assert_eq!(map.root().count, 1);
+    assert!(map.root().is_leaf());
+}
+
+#[test]
+fn duplicated_rows_collapse_to_one_cluster() {
+    let t = TableBuilder::new("dups")
+        .column("x", Column::dense_f64(vec![3.0; 500]))
+        .unwrap()
+        .column("y", Column::dense_f64(vec![-1.0; 500]))
+        .unwrap()
+        .build()
+        .unwrap();
+    let map = build_map(&t, &["x", "y"], &MapperConfig::default()).unwrap();
+    assert_eq!(map.leaves().len(), 1, "identical rows form one region");
+}
+
+#[test]
+fn unicode_and_hostile_labels() {
+    let labels = ["naïve", "日本", "a,b\"c", "x\ny", "🚀", "naïve"];
+    let t = TableBuilder::new("unicode")
+        .column("label", Column::from_strs(labels.iter().map(|&s| Some(s))))
+        .unwrap()
+        .column(
+            "v",
+            // Non-integral values so the CSV roundtrip re-infers Float64
+            // (integral floats legitimately come back as Int64).
+            Column::dense_f64((0..6).map(|i| f64::from(i) + 0.5).collect()),
+        )
+        .unwrap()
+        .build()
+        .unwrap();
+    // Describe, histogram, CSV roundtrip.
+    let summary = describe(t.column_by_name("label").unwrap(), 10);
+    assert_eq!(summary.count(), 6);
+    let rendered = blaeu::store::write_csv_string(&t, &CsvOptions::default()).unwrap();
+    let back = read_csv_str("unicode", &rendered, &CsvOptions::default()).unwrap();
+    assert_eq!(back.nrows(), 6);
+    for row in 0..6 {
+        assert_eq!(back.row(row).unwrap(), t.row(row).unwrap());
+    }
+    // Predicates on hostile labels render to valid SQL-ish text.
+    let p = Predicate::is_in("label", ["a,b\"c", "🚀"]);
+    assert_eq!(p.select(&t).unwrap(), vec![2, 4]);
+    assert!(p.to_string().contains("🚀"));
+}
+
+#[test]
+fn categorical_only_map() {
+    let n = 300;
+    let cats: Vec<&str> = (0..n)
+        .map(|i| if i % 3 == 0 { "red" } else if i % 3 == 1 { "green" } else { "blue" })
+        .collect();
+    let group: Vec<&str> = (0..n).map(|i| if i % 3 == 0 { "warm" } else { "cool" }).collect();
+    let t = TableBuilder::new("cats")
+        .column("color", Column::from_strs(cats.into_iter().map(Some)))
+        .unwrap()
+        .column("family", Column::from_strs(group.into_iter().map(Some)))
+        .unwrap()
+        .build()
+        .unwrap();
+    let map = build_map(&t, &["color", "family"], &MapperConfig::default()).unwrap();
+    assert!(map.k >= 2, "categorical structure detected (k = {})", map.k);
+    let total: usize = map.leaves().iter().map(|r| r.count).sum();
+    assert_eq!(total, n);
+    // Region predicates use categorical membership.
+    let has_cat_rule = map
+        .regions()
+        .iter()
+        .any(|r| r.description.iter().any(|d| d.contains("in {")));
+    assert!(has_cat_rule, "{:?}", map.regions().iter().map(|r| &r.description).collect::<Vec<_>>());
+}
+
+#[test]
+fn high_cardinality_categorical_does_not_explode() {
+    let n = 400;
+    let labels: Vec<String> = (0..n).map(|i| format!("unique_{i}")).collect();
+    let t = TableBuilder::new("hicard")
+        .column("id_like", Column::from_strs(labels.iter().map(|s| Some(s.as_str()))))
+        .unwrap()
+        .column("x", Column::dense_f64((0..n).map(|i| f64::from(i % 2) * 10.0).collect()))
+        .unwrap()
+        .build()
+        .unwrap();
+    // The all-distinct categorical is dropped by the key heuristic for
+    // theme detection, and capped by one-hot encoding in maps.
+    let cols = blaeu::core::analyzable_columns(&t, &blaeu::core::PreprocessConfig::default());
+    assert_eq!(cols, vec!["x"], "pseudo-key dropped");
+    let map = build_map(&t, &["id_like", "x"], &MapperConfig::default()).unwrap();
+    assert_eq!(map.root().count, n as usize);
+}
+
+#[test]
+fn explorer_over_label_only_table_fails_cleanly() {
+    // One analyzable column is not enough for themes.
+    let t = TableBuilder::new("thin")
+        .column_with_role(
+            "name",
+            Column::from_strs([Some("a"), Some("b")]),
+            ColumnRole::Label,
+        )
+        .unwrap()
+        .column("only", Column::dense_f64(vec![1.0, 2.0]))
+        .unwrap()
+        .build()
+        .unwrap();
+    let err = Explorer::open(t, ExplorerConfig::default()).unwrap_err();
+    assert!(matches!(err, BlaeuError::Invalid(_)), "{err}");
+}
+
+#[test]
+fn zoom_into_sliver_then_keep_navigating() {
+    let (table, _) = oecd(&OecdConfig {
+        nrows: 500,
+        ncols: 24,
+        missing_rate: 0.0,
+        ..OecdConfig::default()
+    })
+    .unwrap();
+    let mut ex = Explorer::open(table, ExplorerConfig::default()).unwrap();
+    ex.select_theme(0).unwrap();
+    // Repeatedly zoom into the SMALLEST region until it bottoms out.
+    for _ in 0..6 {
+        let smallest = ex
+            .map()
+            .unwrap()
+            .leaves()
+            .iter()
+            .filter(|r| r.count > 0)
+            .min_by_key(|r| r.count)
+            .map(|r| r.id);
+        let Some(region) = smallest else { break };
+        if ex.zoom(region).is_err() {
+            break;
+        }
+        // Even in slivers, highlight and SQL must work.
+        assert!(ex.highlight("country").is_ok());
+        assert!(ex.sql().contains("SELECT"));
+    }
+    // And we can always get back.
+    while ex.depth() > 1 {
+        ex.rollback().unwrap();
+    }
+    assert_eq!(ex.current().view.nrows(), 500);
+}
+
+#[test]
+fn missing_heavy_table_still_maps() {
+    let (table, truth) = planted(&PlantedConfig {
+        nrows: 600,
+        missing_rate: 0.3, // 30% of all cells are NULL
+        ..PlantedConfig::default()
+    })
+    .unwrap();
+    let columns: Vec<&str> = truth
+        .theme_of_column
+        .iter()
+        .filter(|(_, t)| *t == 0)
+        .map(|(c, _)| c.as_str())
+        .collect();
+    let map = build_map(&table, &columns, &MapperConfig::default()).unwrap();
+    let total: usize = map.leaves().iter().map(|r| r.count).sum();
+    assert_eq!(total, 600, "NULL-heavy rows still route to regions");
+    // Structure survives missing data (3 planted clusters, generous floor).
+    let mut labels = vec![0usize; 600];
+    for leaf in map.leaves() {
+        for row in map.rows_of(leaf.id).unwrap() {
+            labels[row as usize] = leaf.cluster;
+        }
+    }
+    let ari = adjusted_rand_index(&labels, &truth.labels);
+    assert!(ari > 0.5, "ARI under 30% missingness: {ari}");
+}
+
+#[test]
+fn nan_and_infinity_in_csv_are_rejected_as_values() {
+    // "NaN" is a null token; "inf" falls back to categorical.
+    let t = read_csv_str("t", "x\n1.5\nNaN\n2.5\n", &CsvOptions::default()).unwrap();
+    assert_eq!(t.column_by_name("x").unwrap().null_count(), 1);
+    let t = read_csv_str("t", "x\n1.5\ninf\n2.5\n", &CsvOptions::default()).unwrap();
+    assert_eq!(
+        t.schema().field(0).dtype,
+        blaeu::store::DataType::Categorical,
+        "non-finite literals force the textual interpretation"
+    );
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the clustering engine's invariants.
+
+use proptest::prelude::*;
+
+use blaeu::cluster::{
+    adjusted_rand_index, assign_to_medoids, clara, label_nmi, pam, purity, silhouette_samples,
+    silhouette_score, ClaraConfig, DistanceMatrix, Metric, PamConfig, Points,
+};
+
+/// Random 2-D point sets (at least 2 points).
+fn points_strategy(max: usize) -> impl Strategy<Value = Points> {
+    prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 2..max).prop_map(|rows| {
+        Points::new(
+            rows.into_iter().map(|(x, y)| vec![x, y]).collect(),
+            Metric::Euclidean,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pam_invariants(points in points_strategy(60), k in 1usize..6) {
+        let matrix = DistanceMatrix::from_points(&points);
+        let r = pam(&matrix, k, &PamConfig::default());
+        let k_eff = k.min(points.len());
+        prop_assert_eq!(r.medoids.len(), k_eff);
+        prop_assert_eq!(r.labels.len(), points.len());
+
+        // Medoids are distinct members assigned to themselves.
+        let distinct: std::collections::HashSet<usize> = r.medoids.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), k_eff);
+        for (slot, &m) in r.medoids.iter().enumerate() {
+            prop_assert!(m < points.len());
+            prop_assert_eq!(r.labels[m], slot);
+        }
+
+        // Every point sits at its nearest medoid; deviation adds up.
+        let mut total = 0.0;
+        for i in 0..points.len() {
+            let assigned = matrix.get(i, r.medoids[r.labels[i]]);
+            total += assigned;
+            for &m in &r.medoids {
+                prop_assert!(assigned <= matrix.get(i, m) + 1e-9);
+            }
+        }
+        prop_assert!((total - r.total_deviation).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pam_deviation_monotone_in_k(points in points_strategy(40)) {
+        let matrix = DistanceMatrix::from_points(&points);
+        let mut prev = f64::INFINITY;
+        for k in 1..=points.len().min(5) {
+            let r = pam(&matrix, k, &PamConfig::default());
+            prop_assert!(r.total_deviation <= prev + 1e-9);
+            prev = r.total_deviation;
+        }
+    }
+
+    #[test]
+    fn clara_assignment_consistent(points in points_strategy(80), k in 1usize..5) {
+        let r = clara(&points, k, &ClaraConfig::default());
+        let matrix = DistanceMatrix::from_points(&points);
+        let (labels, total) = assign_to_medoids(&matrix, &r.medoids);
+        prop_assert_eq!(labels, r.labels);
+        prop_assert!((total - r.total_deviation).abs() < 1e-6);
+    }
+
+    #[test]
+    fn silhouette_bounds(points in points_strategy(50), k in 2usize..5) {
+        let matrix = DistanceMatrix::from_points(&points);
+        let r = pam(&matrix, k, &PamConfig::default());
+        for s in silhouette_samples(&matrix, &r.labels) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+        }
+        let avg = silhouette_score(&matrix, &r.labels);
+        prop_assert!((-1.0..=1.0).contains(&avg));
+    }
+
+    #[test]
+    fn ari_nmi_permutation_invariance(
+        labels in prop::collection::vec(0usize..4, 2..100),
+    ) {
+        // Relabeling clusters must not change agreement scores.
+        let permuted: Vec<usize> = labels.iter().map(|&l| (l + 1) % 4).collect();
+        let ari = adjusted_rand_index(&labels, &permuted);
+        prop_assert!((ari - 1.0).abs() < 1e-9, "ARI {ari}");
+        let nmi = label_nmi(&labels, &permuted);
+        prop_assert!((nmi - 1.0).abs() < 1e-9, "NMI {nmi}");
+        prop_assert!(purity(&labels, &permuted) > 0.99);
+    }
+
+    #[test]
+    fn ari_symmetry(
+        a in prop::collection::vec(0usize..3, 2..80),
+        b in prop::collection::vec(0usize..3, 2..80),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let fwd = adjusted_rand_index(a, b);
+        let bwd = adjusted_rand_index(b, a);
+        prop_assert!((fwd - bwd).abs() < 1e-9);
+        let fwd = label_nmi(a, b);
+        let bwd = label_nmi(b, a);
+        prop_assert!((fwd - bwd).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_matrix_consistency(points in points_strategy(40)) {
+        let matrix = DistanceMatrix::from_points(&points);
+        for i in 0..points.len() {
+            prop_assert_eq!(matrix.get(i, i), 0.0);
+            for j in 0..points.len() {
+                prop_assert!((matrix.get(i, j) - matrix.get(j, i)).abs() < 1e-12);
+                prop_assert!((matrix.get(i, j) - points.dist(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+
+use blaeu::stats::{
+    dependency_matrix, describe, discretize, entropy, entropy_from_counts, histogram,
+    joint_entropy, mutual_information, normalized_mutual_information, pearson, ranks, spearman,
+    BinRule, BinStrategy, ColumnSummary, ContingencyTable, DependencyOptions, Histogram,
+    MiNormalization,
+};
+use blaeu::store::{Column, TableBuilder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn entropy_nonnegative_and_bounded(counts in prop::collection::vec(0u64..500, 1..24)) {
+        let h = entropy_from_counts(&counts);
+        prop_assert!(h >= 0.0);
+        let support = counts.iter().filter(|&&c| c > 0).count();
+        if support > 0 {
+            prop_assert!(h <= (support as f64).ln() + 1e-9, "H {h} > ln support");
+        }
+    }
+
+    #[test]
+    fn mi_bounded_by_marginal_entropies(
+        xs in prop::collection::vec(0u32..5, 4..200),
+        ys in prop::collection::vec(0u32..4, 4..200),
+    ) {
+        let n = xs.len().min(ys.len());
+        let x = blaeu::stats::DiscreteColumn {
+            codes: xs[..n].iter().map(|&c| Some(c)).collect(),
+            cardinality: 5,
+        };
+        let y = blaeu::stats::DiscreteColumn {
+            codes: ys[..n].iter().map(|&c| Some(c)).collect(),
+            cardinality: 4,
+        };
+        let ct = ContingencyTable::from_codes(&x, &y);
+        let mi = mutual_information(&ct);
+        let hx = entropy(&x);
+        let hy = entropy(&y);
+        prop_assert!(mi >= -1e-12);
+        prop_assert!(mi <= hx.min(hy) + 1e-9, "MI {mi} > min(H) {}", hx.min(hy));
+        // Normalizations stay in [0, 1].
+        for norm in [MiNormalization::Min, MiNormalization::Max, MiNormalization::Sqrt] {
+            let v = normalized_mutual_information(&ct, norm);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        // Joint entropy bounds: max(Hx, Hy) <= Hxy <= Hx + Hy.
+        let hxy = joint_entropy(&ct);
+        prop_assert!(hxy + 1e-9 >= hx.max(hy));
+        prop_assert!(hxy <= hx + hy + 1e-9);
+    }
+
+    #[test]
+    fn correlations_bounded_and_self_correlated(
+        vals in prop::collection::vec(-1e4f64..1e4, 3..120),
+    ) {
+        let x: Vec<Option<f64>> = vals.iter().map(|&v| Some(v)).collect();
+        if let Some(p) = pearson(&x, &x) {
+            prop_assert!((p - 1.0).abs() < 1e-9, "self-pearson {p}");
+        }
+        if let Some(s) = spearman(&x, &x) {
+            prop_assert!((s - 1.0).abs() < 1e-9, "self-spearman {s}");
+        }
+        // Against reversed values: symmetric bounds.
+        let y: Vec<Option<f64>> = vals.iter().rev().map(|&v| Some(v)).collect();
+        if let Some(p) = pearson(&x, &y) {
+            prop_assert!((-1.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_mean(vals in prop::collection::vec(-100.0f64..100.0, 1..80)) {
+        let r = ranks(&vals);
+        prop_assert_eq!(r.len(), vals.len());
+        // Mean rank is (n+1)/2 regardless of ties.
+        let mean = r.iter().sum::<f64>() / r.len() as f64;
+        prop_assert!((mean - (r.len() as f64 + 1.0) / 2.0).abs() < 1e-9);
+        // Monotone: larger value ⇒ rank not smaller.
+        for i in 0..vals.len() {
+            for j in 0..vals.len() {
+                if vals[i] < vals[j] {
+                    prop_assert!(r[i] < r[j] + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn discretize_covers_all_valid_rows(
+        vals in prop::collection::vec(prop::option::of(-1e3f64..1e3), 1..200),
+        bins in 2usize..12,
+    ) {
+        let col = Column::from_f64s(vals.iter().copied());
+        let dc = discretize(&col, BinStrategy::EqualFrequency, BinRule::Fixed(bins));
+        prop_assert_eq!(dc.codes.len(), vals.len());
+        for (code, v) in dc.codes.iter().zip(&vals) {
+            prop_assert_eq!(code.is_some(), v.is_some());
+            if let Some(c) = code {
+                prop_assert!((*c as usize) < dc.cardinality);
+            }
+        }
+    }
+
+    #[test]
+    fn describe_consistent_with_data(
+        vals in prop::collection::vec(prop::option::of(-1e3f64..1e3), 1..150),
+    ) {
+        let col = Column::from_f64s(vals.iter().copied());
+        let ColumnSummary::Numeric(s) = describe(&col, 5) else {
+            return Err(TestCaseError::fail("expected numeric"));
+        };
+        let present: Vec<f64> = vals.iter().flatten().copied().collect();
+        prop_assert_eq!(s.count, present.len());
+        prop_assert_eq!(s.nulls, vals.len() - present.len());
+        if !present.is_empty() {
+            let min = present.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = present.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(s.min, min);
+            prop_assert_eq!(s.max, max);
+            prop_assert!(s.min <= s.q1 && s.q1 <= s.median);
+            prop_assert!(s.median <= s.q3 && s.q3 <= s.max);
+            prop_assert!(s.std >= 0.0);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_total(
+        vals in prop::collection::vec(prop::option::of(-500.0f64..500.0), 1..150),
+        bins in 1usize..12,
+    ) {
+        let col = Column::from_f64s(vals.iter().copied());
+        let h = histogram(&col, bins);
+        let present = vals.iter().flatten().count();
+        prop_assert_eq!(h.total(), present);
+        if let Histogram::Numeric { edges, counts, nulls } = &h {
+            prop_assert_eq!(edges.len(), counts.len() + 1);
+            prop_assert_eq!(*nulls, vals.len() - present);
+            prop_assert!(edges.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn dependency_matrix_properties(
+        seedcol in prop::collection::vec(-100.0f64..100.0, 30..120),
+    ) {
+        // Three columns: y = 2x (dependent), z arbitrary-but-fixed.
+        let x = seedcol.clone();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        let z: Vec<f64> = x.iter().enumerate().map(|(i, _)| ((i * 37) % 17) as f64).collect();
+        let t = TableBuilder::new("p")
+            .column("x", Column::dense_f64(x))
+            .unwrap()
+            .column("y", Column::dense_f64(y))
+            .unwrap()
+            .column("z", Column::dense_f64(z))
+            .unwrap()
+            .build()
+            .unwrap();
+        let dm = dependency_matrix(&t, &["x", "y", "z"], &DependencyOptions::default()).unwrap();
+        for i in 0..3 {
+            prop_assert!((dm.get(i, i) - 1.0).abs() < 1e-12);
+            for j in 0..3 {
+                let v = dm.get(i, j);
+                prop_assert!((0.0..=1.0).contains(&v));
+                prop_assert!((v - dm.get(j, i)).abs() < 1e-12);
+            }
+        }
+        // x~y at least as dependent as x~z (y is a function of x).
+        prop_assert!(dm.get(0, 1) + 1e-9 >= dm.get(0, 2));
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the storage substrate.
+
+use proptest::prelude::*;
+
+use blaeu::store::{
+    read_csv_str, uniform_sample, write_csv_string, Bitmap, Column, CsvOptions,
+    MultiScaleSampler, Predicate, Table, TableBuilder,
+};
+
+fn table_from(values: &[Option<f64>], cats: &[Option<u8>]) -> Table {
+    let cat_strings: Vec<Option<String>> = cats
+        .iter()
+        .map(|o| o.map(|c| format!("c{}", c % 5)))
+        .collect();
+    TableBuilder::new("prop")
+        .column("x", Column::from_f64s(values.iter().copied()))
+        .unwrap()
+        .column(
+            "cat",
+            Column::from_strs(cat_strings.iter().map(|o| o.as_deref())),
+        )
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #[test]
+    fn bitmap_roundtrip(bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        let bm = Bitmap::from_bools(&bits);
+        prop_assert_eq!(bm.len(), bits.len());
+        prop_assert_eq!(bm.count_ones(), bits.iter().filter(|&&b| b).count());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(bm.get(i), b);
+        }
+        // Double complement is identity.
+        let mut twice = bm.clone();
+        twice.not_assign();
+        twice.not_assign();
+        prop_assert_eq!(twice, bm.clone());
+        // Indices roundtrip.
+        let idx = bm.to_indices();
+        prop_assert_eq!(Bitmap::from_indices(bits.len(), &idx), bm);
+    }
+
+    #[test]
+    fn bitmap_and_or_de_morgan(
+        a in prop::collection::vec(any::<bool>(), 64..200),
+    ) {
+        let b: Vec<bool> = a.iter().map(|&x| !x).collect();
+        let (ba, bb) = (Bitmap::from_bools(&a), Bitmap::from_bools(&b));
+        // NOT(a AND b) == NOT a OR NOT b
+        let mut lhs = ba.clone();
+        lhs.and_assign(&bb);
+        lhs.not_assign();
+        let mut na = ba.clone();
+        na.not_assign();
+        let mut nb = bb.clone();
+        nb.not_assign();
+        let mut rhs = na;
+        rhs.or_assign(&nb);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn uniform_sample_invariants(n in 1usize..500, k in 0usize..600, seed in any::<u64>()) {
+        let s = uniform_sample(n, k, seed);
+        prop_assert_eq!(s.len(), k.min(n));
+        prop_assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+        prop_assert!(s.iter().all(|&i| (i as usize) < n));
+    }
+
+    #[test]
+    fn multiscale_nesting(n in 1usize..400, k1 in 0usize..400, k2 in 0usize..400, seed in any::<u64>()) {
+        let (small, big) = (k1.min(k2), k1.max(k2));
+        let ms = MultiScaleSampler::new(n, seed);
+        let s: std::collections::HashSet<u32> = ms.sample(small).into_iter().collect();
+        let b: std::collections::HashSet<u32> = ms.sample(big).into_iter().collect();
+        prop_assert!(s.is_subset(&b));
+    }
+
+    #[test]
+    fn predicate_partition(
+        values in prop::collection::vec(prop::option::of(-100.0f64..100.0), 1..120),
+        cats in prop::collection::vec(prop::option::of(any::<u8>()), 1..120),
+        threshold in -100.0f64..100.0,
+    ) {
+        let n = values.len().min(cats.len());
+        let t = table_from(&values[..n], &cats[..n]);
+        // lt, ge and IsNull partition the rows exactly.
+        let lt = Predicate::lt("x", threshold).select(&t).unwrap();
+        let ge = Predicate::ge("x", threshold).select(&t).unwrap();
+        let null = Predicate::IsNull { column: "x".into() }.select(&t).unwrap();
+        let mut all: Vec<u32> = lt.iter().chain(&ge).chain(&null).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn take_preserves_values(
+        values in prop::collection::vec(prop::option::of(-50.0f64..50.0), 1..80),
+        cats in prop::collection::vec(prop::option::of(any::<u8>()), 1..80),
+    ) {
+        let n = values.len().min(cats.len());
+        let t = table_from(&values[..n], &cats[..n]);
+        let idx: Vec<u32> = (0..n as u32).rev().collect();
+        let rev = t.take(&idx).unwrap();
+        for i in 0..n {
+            prop_assert_eq!(rev.row(i).unwrap(), t.row(n - 1 - i).unwrap());
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip(
+        values in prop::collection::vec(prop::option::of(-1e6f64..1e6), 1..60),
+        labels in prop::collection::vec(
+            prop::option::of("[a-z,\"\n ]{0,12}"), 1..60),
+    ) {
+        let n = values.len().min(labels.len());
+        let t = TableBuilder::new("csv")
+            .column("num", Column::from_f64s(values[..n].iter().copied()))
+            .unwrap()
+            .column("text", Column::from_strs(labels[..n].iter().map(|o| o.as_deref())))
+            .unwrap()
+            .build()
+            .unwrap();
+        let rendered = write_csv_string(&t, &CsvOptions::default()).unwrap();
+        let back = read_csv_str("csv", &rendered, &CsvOptions::default()).unwrap();
+        prop_assert_eq!(back.nrows(), t.nrows());
+        for row in 0..n {
+            // Numeric cells roundtrip through Display within f64 precision;
+            // NULL-like strings ("", "NA") legitimately become NULL.
+            let orig = t.value(row, "num").unwrap();
+            let got = back.value(row, "num").unwrap();
+            match (orig.as_f64(), got.as_f64()) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() <= a.abs() * 1e-12 + 1e-12),
+                (None, None) => {}
+                other => prop_assert!(false, "numeric mismatch {other:?}"),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn query_results_subset_of_table(
+        values in prop::collection::vec(prop::option::of(-100.0f64..100.0), 1..100),
+        lo in -100.0f64..0.0,
+        hi in 0.0f64..100.0,
+    ) {
+        let cats: Vec<Option<u8>> = (0..values.len()).map(|i| Some(i as u8)).collect();
+        let t = table_from(&values, &cats);
+        let q = blaeu::store::SelectProject::filtered(Predicate::range_co("x", lo, hi));
+        let out = q.execute(&t).unwrap();
+        prop_assert!(out.nrows() <= t.nrows());
+        for row in 0..out.nrows() {
+            let v = out.value(row, "x").unwrap().as_f64().unwrap();
+            prop_assert!(v >= lo && v < hi);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for CART and rule extraction.
+
+use proptest::prelude::*;
+
+use blaeu::store::{Column, Table, TableBuilder};
+use blaeu::tree::{leaf_rules, CartConfig, DecisionTree};
+
+/// Builds a numeric table plus labels derived from noisy thresholds, so
+/// trees have real structure to find.
+fn dataset_strategy() -> impl Strategy<Value = (Table, Vec<usize>)> {
+    (
+        prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 12..120),
+        -50.0f64..50.0,
+    )
+        .prop_map(|(rows, threshold)| {
+            let labels: Vec<usize> = rows
+                .iter()
+                .map(|&(x, y)| usize::from(x + 0.2 * y > threshold))
+                .collect();
+            let t = TableBuilder::new("prop")
+                .column("x", Column::dense_f64(rows.iter().map(|r| r.0).collect()))
+                .unwrap()
+                .column("y", Column::dense_f64(rows.iter().map(|r| r.1).collect()))
+                .unwrap()
+                .build()
+                .unwrap();
+            (t, labels)
+        })
+}
+
+fn loose_config() -> CartConfig {
+    CartConfig {
+        min_samples_split: 4,
+        min_samples_leaf: 2,
+        min_leaf_fraction: 0.0,
+        ..CartConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn leaves_partition_rows((table, labels) in dataset_strategy()) {
+        let tree = DecisionTree::fit(&table, &["x", "y"], &labels, &loose_config()).unwrap();
+        let assign = tree.leaf_assignments(&table).unwrap();
+        prop_assert_eq!(assign.len(), table.nrows());
+        prop_assert!(assign.iter().all(|&a| a < tree.n_leaves()));
+        // Counts per leaf match the stored training counts.
+        let rules = leaf_rules(&tree);
+        for rule in &rules {
+            let routed = assign.iter().filter(|&&a| a == rule.leaf).count();
+            prop_assert_eq!(routed, rule.n(), "leaf {} count mismatch", rule.leaf);
+        }
+    }
+
+    #[test]
+    fn rules_reselect_routed_rows((table, labels) in dataset_strategy()) {
+        // On NULL-free data, predicate evaluation and tree routing agree.
+        let tree = DecisionTree::fit(&table, &["x", "y"], &labels, &loose_config()).unwrap();
+        let assign = tree.leaf_assignments(&table).unwrap();
+        for rule in leaf_rules(&tree) {
+            let selected = rule.predicate.select(&table).unwrap();
+            let routed: Vec<u32> = assign
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a == rule.leaf)
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(selected, routed, "leaf {}", rule.leaf);
+        }
+    }
+
+    #[test]
+    fn prediction_matches_leaf_majority((table, labels) in dataset_strategy()) {
+        let tree = DecisionTree::fit(&table, &["x", "y"], &labels, &loose_config()).unwrap();
+        let pred = tree.predict(&table).unwrap();
+        let assign = tree.leaf_assignments(&table).unwrap();
+        let rules = leaf_rules(&tree);
+        for (i, (&p, &leaf)) in pred.iter().zip(&assign).enumerate() {
+            prop_assert_eq!(p, rules[leaf].class, "row {}", i);
+        }
+    }
+
+    #[test]
+    fn depth_and_leaf_bounds_respected(
+        (table, labels) in dataset_strategy(),
+        max_depth in 1usize..5,
+    ) {
+        let config = CartConfig {
+            max_depth,
+            ..loose_config()
+        };
+        let tree = DecisionTree::fit(&table, &["x", "y"], &labels, &config).unwrap();
+        prop_assert!(tree.depth() <= max_depth);
+        prop_assert!(tree.n_leaves() <= 1 << max_depth);
+    }
+
+    #[test]
+    fn training_accuracy_beats_majority_baseline((table, labels) in dataset_strategy()) {
+        let tree = DecisionTree::fit(&table, &["x", "y"], &labels, &loose_config()).unwrap();
+        let pred = tree.predict(&table).unwrap();
+        let acc = blaeu::tree::accuracy(&pred, &labels);
+        let ones = labels.iter().filter(|&&l| l == 1).count();
+        let majority = ones.max(labels.len() - ones) as f64 / labels.len() as f64;
+        prop_assert!(acc + 1e-9 >= majority, "acc {acc} < baseline {majority}");
+    }
+
+    #[test]
+    fn fit_is_deterministic((table, labels) in dataset_strategy()) {
+        let a = DecisionTree::fit(&table, &["x", "y"], &labels, &loose_config()).unwrap();
+        let b = DecisionTree::fit(&table, &["x", "y"], &labels, &loose_config()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,167 @@
+//! Claim C1 (§3): "After each zoom, Blaeu only takes a few thousand
+//! samples from the database. Our experiments reveal that the loss of
+//! accuracy is minimal." — Maps computed on samples must agree with maps
+//! computed on the full data, and with the planted ground truth.
+
+use blaeu::prelude::*;
+
+/// Region labels for every view row, derived from a map.
+fn region_labels(map: &DataMap, nrows: usize) -> Vec<usize> {
+    let mut labels = vec![0usize; nrows];
+    for leaf in map.leaves() {
+        for row in map.rows_of(leaf.id).unwrap() {
+            labels[row as usize] = leaf.cluster;
+        }
+    }
+    labels
+}
+
+#[test]
+fn sampled_maps_match_planted_truth() {
+    let (table, truth) = planted(&PlantedConfig {
+        nrows: 6000,
+        clusters: 3,
+        cluster_sep: 5.0,
+        ..PlantedConfig::default()
+    })
+    .unwrap();
+    let columns: Vec<&str> = truth
+        .theme_of_column
+        .iter()
+        .filter(|(_, t)| *t == 0)
+        .map(|(c, _)| c.as_str())
+        .collect();
+
+    let mut last_ari = 0.0;
+    for &sample_size in &[250usize, 1000, 4000] {
+        let map = build_map(
+            &table,
+            &columns,
+            &MapperConfig {
+                sample_size,
+                ..MapperConfig::default()
+            },
+        )
+        .unwrap();
+        let ari = adjusted_rand_index(&region_labels(&map, 6000), &truth.labels);
+        assert!(
+            ari > 0.75,
+            "sample {sample_size}: ARI vs truth {ari} too low"
+        );
+        last_ari = ari;
+    }
+    assert!(last_ari > 0.85, "large samples should be near-perfect: {last_ari}");
+}
+
+#[test]
+fn sampled_map_agrees_with_full_map() {
+    let (table, truth) = planted(&PlantedConfig {
+        nrows: 3000,
+        clusters: 3,
+        cluster_sep: 5.0,
+        ..PlantedConfig::default()
+    })
+    .unwrap();
+    let columns: Vec<&str> = truth
+        .theme_of_column
+        .iter()
+        .filter(|(_, t)| *t == 0)
+        .map(|(c, _)| c.as_str())
+        .collect();
+
+    let full = build_map(
+        &table,
+        &columns,
+        &MapperConfig {
+            sample_size: 3000, // no subsampling
+            ..MapperConfig::default()
+        },
+    )
+    .unwrap();
+    let sampled = build_map(
+        &table,
+        &columns,
+        &MapperConfig {
+            sample_size: 500,
+            ..MapperConfig::default()
+        },
+    )
+    .unwrap();
+
+    let ari = adjusted_rand_index(
+        &region_labels(&full, 3000),
+        &region_labels(&sampled, 3000),
+    );
+    assert!(
+        ari > 0.8,
+        "sampled map should reproduce the full-data map, ARI {ari}"
+    );
+    assert_eq!(full.k, sampled.k, "same number of clusters found");
+}
+
+#[test]
+fn multiscale_sampling_makes_zoom_refinement_stable() {
+    // The nested property: with one seed, growing the sample only adds
+    // rows. A map built at 500 and rebuilt at 1000 sees a superset.
+    use blaeu::store::MultiScaleSampler;
+    let sampler = MultiScaleSampler::new(10_000, 7);
+    let small: std::collections::HashSet<u32> = sampler.sample(500).into_iter().collect();
+    let large: std::collections::HashSet<u32> = sampler.sample(1000).into_iter().collect();
+    assert!(small.is_subset(&large));
+}
+
+#[test]
+fn silhouette_estimate_tracks_sample_size() {
+    // Monte-Carlo silhouette on progressively bigger subsamples converges
+    // toward the exact value (C2's shape, asserted coarsely here; the
+    // bench prints the full curve).
+    use blaeu::cluster::{mc_silhouette, McSilhouetteConfig};
+
+    let (table, truth) = planted(&PlantedConfig {
+        nrows: 1500,
+        clusters: 3,
+        cluster_sep: 5.0,
+        ..PlantedConfig::default()
+    })
+    .unwrap();
+    let columns: Vec<&str> = truth
+        .theme_of_column
+        .iter()
+        .map(|(c, _)| c.as_str())
+        .collect();
+    let features = blaeu::core::preprocess(
+        &table,
+        &columns,
+        &blaeu::core::PreprocessConfig::default(),
+    )
+    .unwrap();
+    let points = features.into_points(blaeu::core::MetricChoice::Gower);
+    let matrix = DistanceMatrix::from_points(&points);
+    let exact = silhouette_score(&matrix, &truth.labels);
+
+    let err_small = (mc_silhouette(
+        &points,
+        &truth.labels,
+        &McSilhouetteConfig {
+            subsamples: 1,
+            subsample_size: 40,
+            seed: 5,
+        },
+    ) - exact)
+        .abs();
+    let err_large = (mc_silhouette(
+        &points,
+        &truth.labels,
+        &McSilhouetteConfig {
+            subsamples: 8,
+            subsample_size: 400,
+            seed: 5,
+        },
+    ) - exact)
+        .abs();
+    assert!(
+        err_large <= err_small + 0.02,
+        "more MC effort should not hurt: small-err {err_small}, large-err {err_large}"
+    );
+    assert!(err_large < 0.08, "large MC estimate should be close: {err_large}");
+}

@@ -1,0 +1,124 @@
+//! Stress tests for the session tier: concurrent clients, interleaved
+//! lifecycles, rollback under concurrency.
+
+use std::sync::Arc;
+
+use blaeu::prelude::*;
+
+fn table() -> Table {
+    hollywood(&HollywoodConfig {
+        nrows: 400,
+        ..HollywoodConfig::default()
+    })
+    .unwrap()
+    .0
+}
+
+#[test]
+fn many_clients_explore_concurrently() {
+    let manager = Arc::new(SessionManager::new());
+    let base = table();
+    let ids: Vec<_> = (0..6)
+        .map(|_| manager.create(base.clone(), ExplorerConfig::default()).unwrap())
+        .collect();
+
+    crossbeam::scope(|scope| {
+        for &id in &ids {
+            let manager = Arc::clone(&manager);
+            scope.spawn(move |_| {
+                for round in 0..2 {
+                    manager
+                        .with(id, |ex| {
+                            ex.select_theme(round % ex.themes().len()).unwrap();
+                            let biggest = ex
+                                .map()
+                                .unwrap()
+                                .leaves()
+                                .iter()
+                                .max_by_key(|r| r.count)
+                                .unwrap()
+                                .id;
+                            ex.zoom(biggest).unwrap();
+                            ex.highlight("film").unwrap();
+                            ex.rollback().unwrap();
+                            ex.rollback().unwrap();
+                        })
+                        .unwrap();
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    // All sessions end back at their initial state.
+    for &id in &ids {
+        assert_eq!(manager.with(id, |ex| ex.depth()).unwrap(), 1);
+    }
+    assert_eq!(manager.len(), 6);
+}
+
+#[test]
+fn create_and_close_interleaved_with_use() {
+    let manager = Arc::new(SessionManager::new());
+    let base = table();
+
+    crossbeam::scope(|scope| {
+        // Churner thread: creates and closes sessions.
+        {
+            let manager = Arc::clone(&manager);
+            let base = base.clone();
+            scope.spawn(move |_| {
+                for _ in 0..5 {
+                    let id = manager.create(base.clone(), ExplorerConfig::default()).unwrap();
+                    manager.close(id).unwrap();
+                }
+            });
+        }
+        // Worker thread: uses its own stable session throughout.
+        {
+            let manager = Arc::clone(&manager);
+            let base = base.clone();
+            scope.spawn(move |_| {
+                let id = manager.create(base.clone(), ExplorerConfig::default()).unwrap();
+                for _ in 0..3 {
+                    manager
+                        .with(id, |ex| {
+                            ex.select_theme(0).unwrap();
+                            ex.rollback().unwrap();
+                        })
+                        .unwrap();
+                }
+                manager.close(id).unwrap();
+            });
+        }
+    })
+    .unwrap();
+    assert!(manager.is_empty());
+}
+
+#[test]
+fn closed_session_rejected_cleanly() {
+    let manager = SessionManager::new();
+    let id = manager.create(table(), ExplorerConfig::default()).unwrap();
+    manager.close(id).unwrap();
+    let err = manager.with(id, |_| ()).unwrap_err();
+    assert!(matches!(err, BlaeuError::UnknownSession(_)));
+}
+
+#[test]
+fn session_state_survives_between_calls() {
+    let manager = SessionManager::new();
+    let id = manager.create(table(), ExplorerConfig::default()).unwrap();
+
+    manager
+        .with(id, |ex| {
+            ex.select_theme(0).unwrap();
+        })
+        .unwrap();
+    // A later call sees the selected theme's map.
+    let (depth, has_map) = manager
+        .with(id, |ex| (ex.depth(), ex.map().is_ok()))
+        .unwrap();
+    assert_eq!(depth, 2);
+    assert!(has_map);
+}

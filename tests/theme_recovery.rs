@@ -1,0 +1,200 @@
+//! Theme detection quality across generators, plus the A1 ablation:
+//! mutual information vs linear correlation as the dependency measure
+//! (the paper chose MI because it is "sensitive to non-linear
+//! relationships").
+
+use blaeu::prelude::*;
+use blaeu::store::generate::ColumnShape;
+use blaeu::store::generate::ThemeSpec;
+
+/// NMI between detected and planted column-theme assignments.
+fn theme_recovery_nmi(
+    detected: &ThemeSet,
+    truth: &blaeu::store::generate::PlantedTruth,
+) -> f64 {
+    let assignments = detected.column_assignments();
+    let mut det = Vec::new();
+    let mut tru = Vec::new();
+    for (column, theme) in &assignments {
+        if let Some(t) = truth.theme_of(column) {
+            det.push(*theme);
+            tru.push(t);
+        }
+    }
+    label_nmi(&det, &tru)
+}
+
+#[test]
+fn linear_themes_fully_recovered() {
+    let (table, truth) = planted(&PlantedConfig {
+        nrows: 600,
+        themes: vec![
+            ThemeSpec::numeric("economy", 5),
+            ThemeSpec::numeric("health", 5),
+            ThemeSpec::numeric("safety", 5),
+            ThemeSpec::numeric("housing", 5),
+        ],
+        cluster_sep: 0.0,
+        noise: 0.3,
+        ..PlantedConfig::default()
+    })
+    .unwrap();
+    let ts = detect_themes(&table, &ThemeConfig::default()).unwrap();
+    let nmi = theme_recovery_nmi(&ts, &truth);
+    assert!(nmi > 0.95, "theme recovery NMI {nmi}");
+    assert_eq!(ts.themes.len(), 4);
+}
+
+#[test]
+fn mixed_type_themes_recovered() {
+    let (table, truth) = planted(&PlantedConfig {
+        nrows: 700,
+        themes: vec![
+            ThemeSpec {
+                name: "demo".into(),
+                numeric_cols: 3,
+                categorical_cols: 2,
+                categories: 4,
+                shape: ColumnShape::Linear,
+            },
+            ThemeSpec {
+                name: "econ".into(),
+                numeric_cols: 3,
+                categorical_cols: 2,
+                categories: 3,
+                shape: ColumnShape::Linear,
+            },
+        ],
+        cluster_sep: 0.0,
+        noise: 0.25,
+        ..PlantedConfig::default()
+    })
+    .unwrap();
+    let ts = detect_themes(&table, &ThemeConfig::default()).unwrap();
+    let nmi = theme_recovery_nmi(&ts, &truth);
+    assert!(nmi > 0.8, "mixed-type theme recovery NMI {nmi}");
+}
+
+#[test]
+fn ablation_mi_beats_pearson_on_nonlinear_themes() {
+    // Mixed-shape themes: within one theme, columns are linear, quadratic
+    // and sinusoidal functions of the same latent. MI sees them as one
+    // dependent group; linear correlation fragments them (a quadratic
+    // column has |Pearson| ≈ 0 against a linear sibling).
+    let config = PlantedConfig {
+        nrows: 800,
+        themes: vec![
+            ThemeSpec {
+                name: "alpha".into(),
+                numeric_cols: 6,
+                categorical_cols: 0,
+                categories: 0,
+                shape: ColumnShape::Mixed,
+            },
+            ThemeSpec {
+                name: "beta".into(),
+                numeric_cols: 6,
+                categorical_cols: 0,
+                categories: 0,
+                shape: ColumnShape::Mixed,
+            },
+        ],
+        cluster_sep: 0.0,
+        noise: 0.15,
+        ..PlantedConfig::default()
+    };
+    let (table, truth) = planted(&config).unwrap();
+
+    let with_measure = |measure: DependencyMeasure| {
+        let ts = detect_themes(
+            &table,
+            &ThemeConfig {
+                dependency: DependencyOptions {
+                    measure,
+                    ..DependencyOptions::default()
+                },
+                ..ThemeConfig::default()
+            },
+        )
+        .unwrap();
+        theme_recovery_nmi(&ts, &truth)
+    };
+
+    let nmi_mi = with_measure(DependencyMeasure::Nmi);
+    let nmi_pearson = with_measure(DependencyMeasure::PearsonAbs);
+    assert!(
+        nmi_mi > nmi_pearson + 0.1,
+        "MI ({nmi_mi}) should beat Pearson ({nmi_pearson}) on non-linear themes"
+    );
+    assert!(nmi_mi > 0.7, "MI recovery too weak: {nmi_mi}");
+}
+
+#[test]
+fn oecd_headline_indicators_group_correctly() {
+    let (table, _) = oecd(&OecdConfig {
+        nrows: 900,
+        ncols: 30,
+        missing_rate: 0.0,
+        ..OecdConfig::default()
+    })
+    .unwrap();
+    let ts = detect_themes(&table, &ThemeConfig::default()).unwrap();
+
+    // The three unemployment indicators must share a theme (Figure 2's
+    // left component), and the three health indicators another (right
+    // component).
+    let unemployment = ts.theme_of("unemployment_rate").expect("assigned");
+    assert!(unemployment
+        .columns
+        .iter()
+        .any(|c| c == "long_term_unemployment"));
+    assert!(unemployment
+        .columns
+        .iter()
+        .any(|c| c == "female_unemployment"));
+
+    let health = ts.theme_of("life_expectancy").expect("assigned");
+    assert!(health.columns.iter().any(|c| c == "pct_health_insurance"));
+    assert!(
+        !health.columns.iter().any(|c| c == "unemployment_rate"),
+        "unemployment and health are distinct components (Figure 2)"
+    );
+}
+
+#[test]
+fn dependency_graph_edges_respect_planted_structure() {
+    let (table, truth) = planted(&PlantedConfig {
+        nrows: 500,
+        cluster_sep: 0.0,
+        ..PlantedConfig::default()
+    })
+    .unwrap();
+    let columns: Vec<&str> = truth
+        .theme_of_column
+        .iter()
+        .map(|(c, _)| c.as_str())
+        .collect();
+    let graph = DependencyGraph::build(&table, &columns, &DependencyOptions::default()).unwrap();
+
+    // Average within-theme weight must dominate cross-theme weight.
+    let mut within = Vec::new();
+    let mut across = Vec::new();
+    for i in 0..graph.len() {
+        for j in (i + 1)..graph.len() {
+            let ti = truth.theme_of(&graph.vertices()[i]).unwrap();
+            let tj = truth.theme_of(&graph.vertices()[j]).unwrap();
+            if ti == tj {
+                within.push(graph.weight(i, j));
+            } else {
+                across.push(graph.weight(i, j));
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&within) > 2.0 * mean(&across),
+        "within {} vs across {}",
+        mean(&within),
+        mean(&across)
+    );
+}
