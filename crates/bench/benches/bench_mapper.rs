@@ -6,8 +6,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use blaeu_bench::{blob_columns, blobs, oecd_small};
 use blaeu_core::{
-    build_map, detect_themes, preprocess, Explorer, ExplorerConfig, MapperConfig,
-    PreprocessConfig, ThemeConfig,
+    build_map, detect_themes, preprocess, Explorer, ExplorerConfig, MapperConfig, PreprocessConfig,
+    ThemeConfig,
 };
 
 fn bench_preprocess(c: &mut Criterion) {
@@ -43,8 +43,12 @@ fn bench_build_map(c: &mut Criterion) {
         let columns = blob_columns(&truth);
         group.bench_with_input(BenchmarkId::new("sample2000", n), &n, |b, _| {
             b.iter(|| {
-                build_map(black_box(&table), black_box(&columns), &MapperConfig::default())
-                    .expect("mappable")
+                build_map(
+                    black_box(&table),
+                    black_box(&columns),
+                    &MapperConfig::default(),
+                )
+                .expect("mappable")
             })
         });
     }

@@ -28,12 +28,16 @@ fn bench_discretize(c: &mut Criterion) {
 fn bench_pair(c: &mut Criterion) {
     let (table, _) = oecd_small();
     let x = discretize(
-        table.column_by_name("pct_employees_long_hours").expect("exists"),
+        table
+            .column_by_name("pct_employees_long_hours")
+            .expect("exists"),
         BinStrategy::EqualFrequency,
         BinRule::SqrtCapped,
     );
     let y = discretize(
-        table.column_by_name("avg_annual_income_kusd").expect("exists"),
+        table
+            .column_by_name("avg_annual_income_kusd")
+            .expect("exists"),
         BinStrategy::EqualFrequency,
         BinRule::SqrtCapped,
     );

@@ -61,5 +61,11 @@ fn bench_csv(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_predicates, bench_take, bench_sampling, bench_csv);
+criterion_group!(
+    benches,
+    bench_predicates,
+    bench_take,
+    bench_sampling,
+    bench_csv
+);
 criterion_main!(benches);

@@ -13,8 +13,7 @@ fn fitted(n: usize) -> (blaeu_store::Table, Vec<usize>, DecisionTree) {
     let points = as_points(&table, &columns);
     let matrix = DistanceMatrix::from_points(&points);
     let labels = pam(&matrix, 4, &PamConfig::default()).labels;
-    let tree = DecisionTree::fit(&table, &columns, &labels, &CartConfig::default())
-        .expect("fits");
+    let tree = DecisionTree::fit(&table, &columns, &labels, &CartConfig::default()).expect("fits");
     (table, labels, tree)
 }
 
@@ -69,11 +68,15 @@ fn bench_prune(c: &mut Criterion) {
     group.bench_function("cost_complexity", |b| {
         b.iter(|| prune(black_box(&tree), 1.0))
     });
-    group.bench_function("alpha_path", |b| {
-        b.iter(|| alpha_path(black_box(&tree)))
-    });
+    group.bench_function("alpha_path", |b| b.iter(|| alpha_path(black_box(&tree))));
     group.finish();
 }
 
-criterion_group!(benches, bench_fit, bench_predict_and_route, bench_rules, bench_prune);
+criterion_group!(
+    benches,
+    bench_fit,
+    bench_predict_and_route,
+    bench_rules,
+    bench_prune
+);
 criterion_main!(benches);

@@ -10,9 +10,8 @@ use std::time::Instant;
 
 use blaeu_bench::{as_points, blob_columns, blobs, fmt, fmt_duration, oecd_full, oecd_small, SEED};
 use blaeu_cluster::{
-    adjusted_rand_index, clara, kmeans, label_nmi, mc_silhouette, pam, select_k,
-    silhouette_score, ClaraConfig, DistanceMatrix, KMeansConfig, KSelectConfig,
-    McSilhouetteConfig, PamConfig,
+    adjusted_rand_index, clara, kmeans, label_nmi, mc_silhouette, pam, select_k, silhouette_score,
+    ClaraConfig, DistanceMatrix, KMeansConfig, KSelectConfig, McSilhouetteConfig, PamConfig,
 };
 use blaeu_core::render::{render_highlight, render_map, render_status, render_themes};
 use blaeu_core::{
@@ -198,10 +197,13 @@ fn f3() {
     let points = as_points(&table, &["hours_work", "salary"]);
     println!("stage 2 — clustering (PAM, k by silhouette):");
     let sel = select_k(&points, &KSelectConfig::default());
-    println!("  silhouette profile: {:?}", sel.profile
-        .iter()
-        .map(|&(k, s)| format!("k={k}:{}", fmt(s)))
-        .collect::<Vec<_>>());
+    println!(
+        "  silhouette profile: {:?}",
+        sel.profile
+            .iter()
+            .map(|&(k, s)| format!("k={k}:{}", fmt(s)))
+            .collect::<Vec<_>>()
+    );
     println!("  chosen k = {}", sel.k);
     println!("stage 3 — decision tree inference:");
     let tree = DecisionTree::fit(
@@ -219,7 +221,10 @@ fn f3() {
             rule.description.join(" and ")
         );
     }
-    let fidelity = accuracy(&tree.predict(&table).expect("same schema"), &sel.result.labels);
+    let fidelity = accuracy(
+        &tree.predict(&table).expect("same schema"),
+        &sel.result.labels,
+    );
     println!(
         "paper: the tree splits on 'Hours Work < 22' (approximating PAM).\n\
          measured: k={}, tree fidelity {} (1.0 = lossless description).",
@@ -231,7 +236,7 @@ fn f3() {
 fn f4() {
     header("F4", "Figure 4: architecture — concurrent session tier");
     let (table, _) = hollywood(&HollywoodConfig::default()).expect("valid");
-    let manager = std::sync::Arc::new(SessionManager::new());
+    let manager = SessionManager::new();
     let clients = 8;
     let t0 = Instant::now();
     let ids: Vec<_> = (0..clients)
@@ -241,29 +246,24 @@ fn f4() {
                 .expect("openable")
         })
         .collect();
-    crossbeam::scope(|scope| {
-        for &id in &ids {
-            let manager = std::sync::Arc::clone(&manager);
-            scope.spawn(move |_| {
-                manager
-                    .with(id, |ex| {
-                        ex.select_theme(0).expect("theme 0");
-                        let biggest = ex
-                            .map()
-                            .expect("map")
-                            .leaves()
-                            .iter()
-                            .max_by_key(|r| r.count)
-                            .unwrap()
-                            .id;
-                        ex.zoom(biggest).expect("zoomable");
-                        ex.rollback().expect("state to pop");
-                    })
-                    .expect("session alive");
-            });
-        }
-    })
-    .expect("clients finish");
+    // The session tier fans out on the shared executor; per-session work
+    // (CLARA, matrix builds) stays sequential via the nesting guard.
+    let outcomes = manager.par_with(&ids, |_, ex| {
+        ex.select_theme(0).expect("theme 0");
+        let biggest = ex
+            .map()
+            .expect("map")
+            .leaves()
+            .iter()
+            .max_by_key(|r| r.count)
+            .unwrap()
+            .id;
+        ex.zoom(biggest).expect("zoomable");
+        ex.rollback().expect("state to pop");
+    });
+    for outcome in outcomes {
+        outcome.expect("session alive");
+    }
     println!(
         "paper: MonetDB + R mapping engine + NodeJS session tier + web client.\n\
          here: blaeu-store + blaeu-{{stats,cluster,tree}} + SessionManager + renderers.\n\
@@ -276,7 +276,10 @@ fn f4() {
 }
 
 fn f5() {
-    header("F5", "Figure 5: theme view (terminal stand-in for the web UI)");
+    header(
+        "F5",
+        "Figure 5: theme view (terminal stand-in for the web UI)",
+    );
     let (ex, _) = oecd_explorer();
     println!("{}", render_themes(ex.theme_set(), 6));
 }
@@ -314,7 +317,10 @@ fn s1() {
 }
 
 fn s2() {
-    header("S2", "Scenario 2: Countries & Work (6,823 x 378, full size)");
+    header(
+        "S2",
+        "Scenario 2: Countries & Work (6,823 x 378, full size)",
+    );
     let (table, truth) = oecd_full();
     let t0 = Instant::now();
     let mut ex = Explorer::open(table, ExplorerConfig::default()).expect("openable");
@@ -334,7 +340,10 @@ fn s2() {
     // Compare map regions against the planted labor clusters.
     let labels = region_labels(ex.map().expect("map"), 6823);
     let ari = adjusted_rand_index(&labels, &truth.labels);
-    println!("region-vs-planted ARI: {} (labor clusters recovered)", fmt(ari));
+    println!(
+        "region-vs-planted ARI: {} (labor clusters recovered)",
+        fmt(ari)
+    );
 }
 
 fn s3() {
@@ -402,7 +411,10 @@ fn s3() {
     .1;
     println!(
         "spectral-map vs planted populations (50k check): NMI {}",
-        fmt(label_nmi(&map_labels, &truth50.labels[..50_000.min(truth50.labels.len())]))
+        fmt(label_nmi(
+            &map_labels,
+            &truth50.labels[..50_000.min(truth50.labels.len())]
+        ))
     );
     let _ = truth; // the 200k truth backs the latency run only
 }
@@ -415,7 +427,10 @@ fn c1() {
     let n = 8000;
     let (table, truth) = blobs(n, 3);
     let columns = blob_columns(&truth);
-    println!("{:>8} | {:>12} | {:>12} | {:>10}", "sample", "ARI vs truth", "ARI vs full", "latency");
+    println!(
+        "{:>8} | {:>12} | {:>12} | {:>10}",
+        "sample", "ARI vs truth", "ARI vs full", "latency"
+    );
     let full = build_map(
         &table,
         &columns,
@@ -450,7 +465,10 @@ fn c1() {
 }
 
 fn c2() {
-    header("C2", "Claim: Monte-Carlo silhouette converges to the exact value");
+    header(
+        "C2",
+        "Claim: Monte-Carlo silhouette converges to the exact value",
+    );
     let (table, truth) = blobs(3000, 3);
     let points = as_points(&table, &blob_columns(&truth));
     let matrix = DistanceMatrix::from_points(&points);
@@ -479,7 +497,10 @@ fn c2() {
 }
 
 fn c3() {
-    header("C3", "Claim: CLARA replaces PAM when data grows (runtime crossover)");
+    header(
+        "C3",
+        "Claim: CLARA replaces PAM when data grows (runtime crossover)",
+    );
     println!(
         "{:>7} | {:>12} | {:>12} | {:>16}",
         "n", "PAM", "CLARA", "deviation ratio"
@@ -508,8 +529,14 @@ fn c3() {
 }
 
 fn c4() {
-    header("C4", "Claim: the silhouette coefficient finds the number of clusters");
-    println!("{:>10} | {:>9} | {:>10}", "planted k", "chosen k", "silhouette");
+    header(
+        "C4",
+        "Claim: the silhouette coefficient finds the number of clusters",
+    );
+    println!(
+        "{:>10} | {:>9} | {:>10}",
+        "planted k", "chosen k", "silhouette"
+    );
     for k in 2..=6 {
         let (table, truth) = blobs(1500, k);
         let points = as_points(&table, &blob_columns(&truth));
@@ -559,8 +586,10 @@ fn c5() {
             fmt(adjusted_rand_index(&pred, &clustering.labels))
         );
     }
-    println!("paper: \"the decision tree only approximates the real partitions\" —\n\
-              fidelity rises with depth and saturates below 1.0 on hard shapes.");
+    println!(
+        "paper: \"the decision tree only approximates the real partitions\" —\n\
+              fidelity rises with depth and saturates below 1.0 on hard shapes."
+    );
 }
 
 fn c6() {
@@ -584,9 +613,15 @@ fn c6() {
     let cases: Vec<NamedFn> = vec![
         ("linear", Box::new(|x| 2.0 * x + 1.0)),
         ("quadratic", Box::new(|x| x * x)),
-        ("circularish", Box::new(|x| (1.0 - (x / 3.0) * (x / 3.0)).abs().sqrt())),
+        (
+            "circularish",
+            Box::new(|x| (1.0 - (x / 3.0) * (x / 3.0)).abs().sqrt()),
+        ),
         ("sine", Box::new(|x| (3.0 * x).sin())),
-        ("independent", Box::new(|x| ((x * 12345.67).sin() * 43758.5453).fract())),
+        (
+            "independent",
+            Box::new(|x| ((x * 12345.67).sin() * 43758.5453).fract()),
+        ),
     ];
     println!("{:>12} | {:>9} | {:>9}", "dependency", "|Pearson|", "NMI");
     for (name, f) in cases {
@@ -643,7 +678,9 @@ fn c7() {
         let zoom_time = t0.elapsed();
 
         let t0 = Instant::now();
-        let sub = view.take(&(0..view.nrows().min(5000) as u32).collect::<Vec<_>>()).expect("in bounds");
+        let sub = view
+            .take(&(0..view.nrows().min(5000) as u32).collect::<Vec<_>>())
+            .expect("in bounds");
         let col = sub.column_by_name(cols[0]).expect("exists");
         let _ = blaeu_stats::describe(col, 5);
         let highlight_time = t0.elapsed();
@@ -656,8 +693,10 @@ fn c7() {
             fmt_duration(highlight_time)
         );
     }
-    println!("paper: interaction-time clustering of millions of tuples via sampling —\n\
-              map/zoom latency is dominated by the fixed-size sample, not n.");
+    println!(
+        "paper: interaction-time clustering of millions of tuples via sampling —\n\
+              map/zoom latency is dominated by the fixed-size sample, not n."
+    );
 }
 
 fn a1() {
@@ -720,12 +759,17 @@ fn a1() {
         }
         println!("{name:>10} | {:>16}", fmt(label_nmi(&det, &tru)));
     }
-    println!("paper's rationale: MI \"copes with mixed values and is sensitive to\n\
-              non-linear relationships\" — correlation measures fragment the non-linear themes.");
+    println!(
+        "paper's rationale: MI \"copes with mixed values and is sensitive to\n\
+              non-linear relationships\" — correlation measures fragment the non-linear themes."
+    );
 }
 
 fn a2() {
-    header("A2", "Ablation: k-medoids (PAM) vs k-means on skewed/outlier data");
+    header(
+        "A2",
+        "Ablation: k-medoids (PAM) vs k-means on skewed/outlier data",
+    );
     // Blobs plus 2% far outliers: medoids resist, means get dragged.
     let (table, truth) = blobs(1200, 3);
     let columns = blob_columns(&truth);
@@ -778,7 +822,10 @@ fn a2() {
 }
 
 fn a3() {
-    header("A3", "Ablation: silhouette strategy — exact vs Monte-Carlo vs medoid");
+    header(
+        "A3",
+        "Ablation: silhouette strategy — exact vs Monte-Carlo vs medoid",
+    );
     let (table, truth) = blobs(4000, 3);
     let points = as_points(&table, &blob_columns(&truth));
 
@@ -804,8 +851,17 @@ fn a3() {
     let med = blaeu_cluster::medoid_silhouette(&points, &clustering.medoids, &clustering.labels);
     let med_time = t0.elapsed();
 
-    println!("{:>8} | {:>9} | {:>10} | {:>10}", "method", "value", "abs error", "time");
-    println!("{:>8} | {:>9} | {:>10} | {:>10}", "exact", fmt(exact), "-", fmt_duration(exact_time));
+    println!(
+        "{:>8} | {:>9} | {:>10} | {:>10}",
+        "method", "value", "abs error", "time"
+    );
+    println!(
+        "{:>8} | {:>9} | {:>10} | {:>10}",
+        "exact",
+        fmt(exact),
+        "-",
+        fmt_duration(exact_time)
+    );
     println!(
         "{:>8} | {:>9} | {:>10} | {:>10}",
         "MC 4x256",
@@ -867,8 +923,10 @@ fn a4() {
         let labels = blaeu_cluster::agglomerative(&matrix, linkage).cut(4);
         println!("{name:>18} | {:>10}", fmt(score(&labels)));
     }
-    println!("all operate on the same 1−NMI distance; PAM additionally yields medoid\n\
-              columns as theme names, which the dendrogram does not.");
+    println!(
+        "all operate on the same 1−NMI distance; PAM additionally yields medoid\n\
+              columns as theme names, which the dendrogram does not."
+    );
 }
 
 fn main() {

@@ -8,9 +8,7 @@
 
 use blaeu_cluster::Points;
 use blaeu_core::{preprocess, MetricChoice, PreprocessConfig};
-use blaeu_store::generate::{
-    oecd, planted, OecdConfig, PlantedConfig, PlantedTruth, ThemeSpec,
-};
+use blaeu_store::generate::{oecd, planted, OecdConfig, PlantedConfig, PlantedTruth, ThemeSpec};
 use blaeu_store::Table;
 
 /// Fixed seed used by every workload (fully reproducible runs).

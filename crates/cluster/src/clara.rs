@@ -43,23 +43,35 @@ impl Default for ClaraConfig {
 
 /// Assigns all points to the nearest of the given medoid rows (indices into
 /// `points`), computing distances on the fly.
+///
+/// Runs as a parallel reduction on the shared executor; the fold grain is
+/// fixed, so the deviation total is bit-identical across thread counts.
 pub fn assign_points(points: &Points, medoids: &[usize]) -> (Vec<usize>, f64) {
     let n = points.len();
-    let mut labels = vec![0usize; n];
-    let mut total = 0.0f64;
-    for (j, label) in labels.iter_mut().enumerate() {
-        let mut best_slot = 0usize;
-        let mut best_d = f64::INFINITY;
-        for (slot, &m) in medoids.iter().enumerate() {
-            let d = points.dist(j, m);
-            if d < best_d {
-                best_d = d;
-                best_slot = slot;
+    let (labels, total) = blaeu_exec::par_reduce(
+        n,
+        0,
+        || (Vec::with_capacity(blaeu_exec::REDUCE_GRAIN.min(n)), 0.0f64),
+        |(mut labels, mut total), j| {
+            let mut best_slot = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (slot, &m) in medoids.iter().enumerate() {
+                let d = points.dist(j, m);
+                if d < best_d {
+                    best_d = d;
+                    best_slot = slot;
+                }
             }
-        }
-        *label = best_slot;
-        total += best_d;
-    }
+            labels.push(best_slot);
+            total += best_d;
+            (labels, total)
+        },
+        |(mut labels_a, total_a), (labels_b, total_b)| {
+            labels_a.extend(labels_b);
+            (labels_a, total_a + total_b)
+        },
+    );
+    debug_assert_eq!(labels.len(), n);
     (labels, total)
 }
 
@@ -113,42 +125,17 @@ pub fn clara(points: &Points, k: usize, config: &ClaraConfig) -> PamResult {
     .min(points.len());
 
     let replicates = config.replicates.max(1);
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    } else {
-        config.threads
-    }
-    .min(replicates);
-
-    let mut results: Vec<(usize, PamResult)> = Vec::with_capacity(replicates);
-    if threads <= 1 {
-        for r in 0..replicates {
-            results.push((
-                r,
-                run_replicate(points, k, sample_size, &config.pam, config.seed + r as u64),
-            ));
-        }
-    } else {
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::with_capacity(replicates);
-            for r in 0..replicates {
-                let pam_config = &config.pam;
-                handles.push(scope.spawn(move |_| {
-                    (
-                        r,
-                        run_replicate(points, k, sample_size, pam_config, config.seed + r as u64),
-                    )
-                }));
-            }
-            for h in handles {
-                results.push(h.join().expect("CLARA replicate panicked"));
-            }
-        })
-        .expect("CLARA scope failed");
-    }
+    // Replicates fan out on the shared executor; each replicate is fully
+    // seeded by its index, and inner parallel work (distance matrices,
+    // assignment sweeps) degrades to sequential via the nesting guard, so
+    // results are independent of the thread count.
+    let results = blaeu_exec::par_map_range(replicates, config.threads, |r| {
+        run_replicate(points, k, sample_size, &config.pam, config.seed + r as u64)
+    });
 
     results
         .into_iter()
+        .enumerate()
         .min_by(|(ra, a), (rb, b)| {
             a.total_deviation
                 .total_cmp(&b.total_deviation)

@@ -250,10 +250,11 @@ mod tests {
         // No common observed dimension: the pair must NOT look identical,
         // or near-empty rows would become magnetic medoids.
         assert!((Metric::Euclidean.dist(&[f64::NAN], &[1.0]) - 2.0f64.sqrt()).abs() < 1e-12);
-        assert!(
-            (Metric::Euclidean.dist(&[f64::NAN, 2.0], &[1.0, f64::NAN]) - 2.0).abs() < 1e-12
+        assert!((Metric::Euclidean.dist(&[f64::NAN, 2.0], &[1.0, f64::NAN]) - 2.0).abs() < 1e-12);
+        assert_eq!(
+            Metric::Manhattan.dist(&[f64::NAN, f64::NAN], &[1.0, 2.0]),
+            2.0
         );
-        assert_eq!(Metric::Manhattan.dist(&[f64::NAN, f64::NAN], &[1.0, 2.0]), 2.0);
         let g = Metric::Gower {
             ranges: vec![1.0, 1.0],
             categorical: vec![false, false],
@@ -308,10 +309,7 @@ mod tests {
 
     #[test]
     fn subset_gathers() {
-        let p = Points::new(
-            vec![vec![1.0], vec![2.0], vec![3.0]],
-            Metric::Manhattan,
-        );
+        let p = Points::new(vec![vec![1.0], vec![2.0], vec![3.0]], Metric::Manhattan);
         let s = p.subset(&[2, 0]);
         assert_eq!(s.len(), 2);
         assert_eq!(s.row(0), &[3.0]);

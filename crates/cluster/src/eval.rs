@@ -12,9 +12,7 @@ fn contingency(a: &[usize], b: &[usize]) -> (Vec<Vec<u64>>, Vec<u64>, Vec<u64>) 
         table[x][y] += 1;
     }
     let row_sums: Vec<u64> = table.iter().map(|r| r.iter().sum()).collect();
-    let col_sums: Vec<u64> = (0..kb)
-        .map(|j| table.iter().map(|r| r[j]).sum())
-        .collect();
+    let col_sums: Vec<u64> = (0..kb).map(|j| table.iter().map(|r| r[j]).sum()).collect();
     (table, row_sums, col_sums)
 }
 
@@ -134,11 +132,7 @@ pub fn accuracy(predicted: &[usize], actual: &[usize]) -> f64 {
     if predicted.is_empty() {
         return 1.0;
     }
-    let hits = predicted
-        .iter()
-        .zip(actual)
-        .filter(|(p, a)| p == a)
-        .count();
+    let hits = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
     hits as f64 / predicted.len() as f64
 }
 

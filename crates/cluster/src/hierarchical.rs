@@ -68,7 +68,7 @@ impl Dendrogram {
         let k = k.clamp(1, n);
         // Union-find over the first n - k merges.
         let mut parent: Vec<usize> = (0..2 * n - 1).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -114,9 +114,9 @@ pub fn agglomerative(matrix: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
     let mut active: Vec<(usize, Vec<usize>)> = (0..n).map(|i| (i, vec![i])).collect();
     // Working inter-cluster distances, keyed by position in `active`.
     let mut dist: Vec<Vec<f64>> = vec![vec![0.0; n]; n];
-    for i in 0..n {
-        for j in 0..n {
-            dist[i][j] = matrix.get(i, j);
+    for (i, row) in dist.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = matrix.get(i, j);
         }
     }
 
@@ -125,10 +125,10 @@ pub fn agglomerative(matrix: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
     while active.len() > 1 {
         // Find the closest active pair.
         let (mut bi, mut bj, mut bd) = (0usize, 1usize, f64::INFINITY);
-        for i in 0..active.len() {
-            for j in (i + 1)..active.len() {
-                if dist[i][j] < bd {
-                    bd = dist[i][j];
+        for (i, row) in dist.iter().enumerate().take(active.len()) {
+            for (j, &d) in row.iter().enumerate().take(active.len()).skip(i + 1) {
+                if d < bd {
+                    bd = d;
                     bi = i;
                     bj = j;
                 }
@@ -167,11 +167,8 @@ pub fn agglomerative(matrix: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
                 new_dist[yi][xi] = d;
             }
         }
-        let merged_members: Vec<usize> = members_a
-            .iter()
-            .chain(members_b.iter())
-            .copied()
-            .collect();
+        let merged_members: Vec<usize> =
+            members_a.iter().chain(members_b.iter()).copied().collect();
         let merged_pos = new_active.len();
         new_active.push((next_id, merged_members.clone()));
         for (xi, &x) in keep.iter().enumerate() {
@@ -285,7 +282,13 @@ mod tests {
         let m = DistanceMatrix::from_points(&Points::new(rows, Metric::Euclidean));
         let single = agglomerative(&m, Linkage::Single).cut(2);
         // Single: chain = one cluster, far pair = the other.
-        assert_eq!(single[..10].iter().collect::<std::collections::HashSet<_>>().len(), 1);
+        assert_eq!(
+            single[..10]
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            1
+        );
         assert_ne!(single[0], single[10]);
     }
 }

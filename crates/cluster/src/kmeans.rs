@@ -57,7 +57,9 @@ fn seed_plus_plus(points: &Points, k: usize, rng: &mut ChaCha8Rng) -> Vec<Vec<f6
     let n = points.len();
     let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
     centers.push(points.row(rng.gen_range(0..n)).to_vec());
-    let mut d2: Vec<f64> = (0..n).map(|i| sq_dist(points.row(i), &centers[0])).collect();
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| sq_dist(points.row(i), &centers[0]))
+        .collect();
     while centers.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= f64::EPSILON {
@@ -150,10 +152,7 @@ pub fn kmeans(points: &Points, k: usize, config: &KMeansConfig) -> KMeansResult 
                 centers[c] = new_center;
                 continue;
             }
-            let new_center: Vec<f64> = sums[c]
-                .iter()
-                .map(|s| s / counts[c] as f64)
-                .collect();
+            let new_center: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
             movement += sq_dist(&centers[c], &new_center).sqrt();
             centers[c] = new_center;
         }

@@ -24,49 +24,40 @@ impl DistanceMatrix {
 
     /// Builds a matrix from a point set, parallelizing across rows when the
     /// set is large.
+    ///
+    /// Each executor worker fills the condensed rows of one band of `i`
+    /// in place; every cell's value depends only on its position, so the
+    /// matrix is identical for any thread count (and the build degrades to
+    /// sequential inside an outer parallel region, e.g. CLARA replicates).
     pub fn from_points(points: &Points) -> Self {
         let n = points.len();
         if n < 256 {
             return DistanceMatrix::from_fn(n, |i, j| points.dist(i, j));
         }
-        // Parallel: each worker fills the condensed rows of a band of i.
-        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
         let mut data = vec![0.0f64; n * (n - 1) / 2];
         // Split the condensed buffer at row boundaries.
         let row_start = |i: usize| i * n - i * (i + 1) / 2; // offset of (i, i+1)
         let mut bands: Vec<(usize, usize)> = Vec::new(); // (i_begin, i_end)
-        let per = n.div_ceil(threads);
+        let per = n.div_ceil(blaeu_exec::thread_budget());
         let mut begin = 0usize;
         while begin < n {
             bands.push((begin, (begin + per).min(n)));
             begin += per;
         }
-        let mut slices: Vec<&mut [f64]> = Vec::with_capacity(bands.len());
-        {
-            let mut rest: &mut [f64] = &mut data;
-            let mut consumed = 0usize;
-            for &(_, e) in &bands {
-                let end_off = if e >= n { rest.len() + consumed } else { row_start(e) };
-                let (head, tail) = rest.split_at_mut(end_off - consumed);
-                slices.push(head);
-                consumed = end_off;
-                rest = tail;
+        let boundaries: Vec<usize> = bands[..bands.len() - 1]
+            .iter()
+            .map(|&(_, e)| row_start(e))
+            .collect();
+        blaeu_exec::par_chunks_mut(&mut data, &boundaries, |band, slice| {
+            let (b, e) = bands[band];
+            let mut idx = 0usize;
+            for i in b..e {
+                for j in (i + 1)..n {
+                    slice[idx] = points.dist(i, j);
+                    idx += 1;
+                }
             }
-        }
-        crossbeam::scope(|scope| {
-            for ((b, e), slice) in bands.iter().copied().zip(slices) {
-                scope.spawn(move |_| {
-                    let mut idx = 0usize;
-                    for i in b..e {
-                        for j in (i + 1)..n {
-                            slice[idx] = points.dist(i, j);
-                            idx += 1;
-                        }
-                    }
-                });
-            }
-        })
-        .expect("distance workers panicked");
+        });
         DistanceMatrix { n, data }
     }
 

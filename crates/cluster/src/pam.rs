@@ -324,13 +324,7 @@ mod tests {
         // Construct a case where BUILD's greedy seeds are suboptimal:
         // two tight pairs and one far singleton, k=2.
         let p = Points::new(
-            vec![
-                vec![0.0],
-                vec![0.1],
-                vec![10.0],
-                vec![10.1],
-                vec![5.0],
-            ],
+            vec![vec![0.0], vec![0.1], vec![10.0], vec![10.1], vec![5.0]],
             Metric::Euclidean,
         );
         let m = DistanceMatrix::from_points(&p);

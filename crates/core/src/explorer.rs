@@ -148,10 +148,7 @@ impl Explorer {
     /// # Errors
     /// Returns [`BlaeuError::NoActiveMap`] before any theme is selected.
     pub fn map(&self) -> Result<&DataMap> {
-        self.current()
-            .map
-            .as_deref()
-            .ok_or(BlaeuError::NoActiveMap)
+        self.current().map.as_deref().ok_or(BlaeuError::NoActiveMap)
     }
 
     /// Number of states on the history stack.
@@ -194,11 +191,7 @@ impl Explorer {
         let columns: Vec<&str> = theme.columns.iter().map(String::as_str).collect();
         let view = Arc::clone(&self.current().view);
         let map = build_map(&view, &columns, &self.config.mapper)?;
-        let query = self
-            .current()
-            .query
-            .clone()
-            .project(theme.columns.clone());
+        let query = self.current().query.clone().project(theme.columns.clone());
         self.push_state(
             view,
             theme.columns.clone(),
@@ -227,10 +220,7 @@ impl Explorer {
         let columns = state.columns.clone();
         let cols_ref: Vec<&str> = columns.iter().map(String::as_str).collect();
         let new_map = build_map(&new_view, &cols_ref, &self.config.mapper)?;
-        let query = state
-            .query
-            .clone()
-            .and_where(region.predicate.clone());
+        let query = state.query.clone().and_where(region.predicate.clone());
         let label = if region.description.is_empty() {
             format!("region #{region_id}")
         } else {
@@ -659,12 +649,9 @@ mod tests {
         let mut buf = Vec::new();
         ex.export_view_csv(&mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        let parsed = blaeu_store::read_csv_str(
-            "export",
-            &text,
-            &blaeu_store::CsvOptions::default(),
-        )
-        .unwrap();
+        let parsed =
+            blaeu_store::read_csv_str("export", &text, &blaeu_store::CsvOptions::default())
+                .unwrap();
         assert_eq!(parsed.nrows(), ex.current().view.nrows());
         assert_eq!(parsed.ncols(), ex.current().view.ncols());
     }

@@ -49,7 +49,9 @@ pub mod themes;
 
 pub use depgraph::DependencyGraph;
 pub use error::{BlaeuError, Result};
-pub use explorer::{Explorer, ExplorerConfig, ExplorerState, Highlight, RegionDetail, RegionHighlight};
+pub use explorer::{
+    Explorer, ExplorerConfig, ExplorerState, Highlight, RegionDetail, RegionHighlight,
+};
 pub use map::{DataMap, Region};
 pub use mapper::{build_map, KChoice, MapperConfig};
 pub use preprocess::{

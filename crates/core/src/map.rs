@@ -189,7 +189,13 @@ mod tests {
     fn toy_map() -> DataMap {
         // Two clear clusters on one column.
         let vals: Vec<f64> = (0..60)
-            .map(|i| if i < 30 { i as f64 * 0.01 } else { 100.0 + i as f64 * 0.01 })
+            .map(|i| {
+                if i < 30 {
+                    i as f64 * 0.01
+                } else {
+                    100.0 + i as f64 * 0.01
+                }
+            })
             .collect();
         let t = TableBuilder::new("t")
             .column("x", Column::dense_f64(vals))

@@ -115,11 +115,7 @@ fn cluster_sample(points: &Points, config: &MapperConfig) -> (PamResult, f64, us
 
 /// Walks the fitted tree, emitting one [`Region`] per node in depth-first
 /// pre-order, with counts from the full-view leaf assignment.
-fn build_regions(
-    tree: &DecisionTree,
-    leaf_counts: &[usize],
-    view_rows: usize,
-) -> Vec<Region> {
+fn build_regions(tree: &DecisionTree, leaf_counts: &[usize], view_rows: usize) -> Vec<Region> {
     struct Walker<'a> {
         regions: Vec<Region>,
         leaf_counts: &'a [usize],
@@ -179,8 +175,7 @@ fn build_regions(
                         } else {
                             rule.describe_right()
                         };
-                        let (cid, ccount) =
-                            self.visit(child, Some(id), depth + 1, label, &next);
+                        let (cid, ccount) = self.visit(child, Some(id), depth + 1, label, &next);
                         children.push(cid);
                         count += ccount;
                     }
@@ -203,13 +198,7 @@ fn build_regions(
         view_rows,
         next_leaf: 0,
     };
-    walker.visit(
-        tree.root(),
-        None,
-        0,
-        String::new(),
-        &PathConstraints::new(),
-    );
+    walker.visit(tree.root(), None, 0, String::new(), &PathConstraints::new());
     walker.regions
 }
 
@@ -278,11 +267,7 @@ pub fn build_map(view: &Table, columns: &[&str], config: &MapperConfig) -> Resul
     let regions = build_regions(&tree, &leaf_counts, n);
 
     // Medoids: sample-local indices → view rows.
-    let medoid_rows: Vec<u32> = clustering
-        .medoids
-        .iter()
-        .map(|&m| sample_rows[m])
-        .collect();
+    let medoid_rows: Vec<u32> = clustering.medoids.iter().map(|&m| sample_rows[m]).collect();
 
     Ok(DataMap::new(
         columns.iter().map(|&s| s.to_owned()).collect(),

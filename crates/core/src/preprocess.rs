@@ -221,8 +221,8 @@ pub fn preprocess(
                     .filter(|&c| counts[c] > 0)
                     .take(config.max_categories.max(1))
                     .collect();
-                let overflow = kept.iter().map(|&c| counts[c]).sum::<usize>()
-                    < counts.iter().sum::<usize>();
+                let overflow =
+                    kept.iter().map(|&c| counts[c]).sum::<usize>() < counts.iter().sum::<usize>();
 
                 // Mode for imputation = most frequent kept level.
                 let mode = kept.first().copied();
@@ -234,9 +234,7 @@ pub fn preprocess(
                             Some(c) => out.push(f64::from(c as usize == cat)),
                             None => out.push(match config.missing {
                                 MissingPolicy::Propagate => f64::NAN,
-                                MissingPolicy::Impute => {
-                                    f64::from(mode == Some(cat))
-                                }
+                                MissingPolicy::Impute => f64::from(mode == Some(cat)),
                             }),
                         }
                     }
@@ -251,9 +249,7 @@ pub fn preprocess(
                     let mut out = Vec::with_capacity(n);
                     for i in 0..n {
                         match col.code_at(i) {
-                            Some(c) => {
-                                out.push(f64::from(!kept.contains(&(c as usize))))
-                            }
+                            Some(c) => out.push(f64::from(!kept.contains(&(c as usize)))),
                             None => out.push(match config.missing {
                                 MissingPolicy::Propagate => f64::NAN,
                                 MissingPolicy::Impute => 0.0,
@@ -473,7 +469,10 @@ mod tests {
     #[test]
     fn bool_treated_as_numeric_feature() {
         let t = TableBuilder::new("t")
-            .column("flag", Column::from_bools([Some(true), Some(false), Some(true)]))
+            .column(
+                "flag",
+                Column::from_bools([Some(true), Some(false), Some(true)]),
+            )
             .unwrap()
             .build()
             .unwrap();

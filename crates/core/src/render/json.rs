@@ -114,10 +114,7 @@ mod tests {
     fn themes_json_lists_all() {
         let ex = explorer();
         let v = themes_to_json(ex.theme_set());
-        assert_eq!(
-            v["themes"].as_array().unwrap().len(),
-            ex.themes().len()
-        );
+        assert_eq!(v["themes"].as_array().unwrap().len(), ex.themes().len());
     }
 
     #[test]

@@ -13,7 +13,9 @@ const PALETTE: &[&str] = &[
 ];
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -108,7 +110,12 @@ pub fn render_svg(map: &DataMap, width: u32, height: u32) -> String {
 ///
 /// # Errors
 /// Propagates I/O errors.
-pub fn write_svg(map: &DataMap, path: &std::path::Path, width: u32, height: u32) -> std::io::Result<()> {
+pub fn write_svg(
+    map: &DataMap,
+    path: &std::path::Path,
+    width: u32,
+    height: u32,
+) -> std::io::Result<()> {
     std::fs::write(path, render_svg(map, width, height))
 }
 

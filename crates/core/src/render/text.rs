@@ -111,11 +111,7 @@ pub fn render_highlight(highlight: &Highlight) -> String {
                     .iter()
                     .map(|(label, count)| format!("{label} ({count})"))
                     .collect();
-                out.push_str(&format!(
-                    "{} distinct: {}\n",
-                    s.distinct,
-                    tops.join(", ")
-                ));
+                out.push_str(&format!("{} distinct: {}\n", s.distinct, tops.join(", ")));
             }
         }
     }

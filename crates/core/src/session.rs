@@ -61,6 +61,25 @@ impl SessionManager {
         Ok(f(&mut guard))
     }
 
+    /// Runs `f` over several sessions in parallel on the shared executor,
+    /// returning one result per id **in input order**.
+    ///
+    /// This is the session tier's fan-out primitive (the paper's NodeJS
+    /// layer serving many clients at once). Each worker is flagged as an
+    /// executor worker, so any parallel work a session triggers inside `f`
+    /// — CLARA replicates, distance-matrix builds, dependency sweeps —
+    /// degrades to sequential instead of multiplying thread counts.
+    ///
+    /// Unknown ids yield [`BlaeuError::UnknownSession`] in their slot
+    /// without affecting the other sessions.
+    pub fn par_with<R, F>(&self, ids: &[SessionId], f: F) -> Vec<Result<R>>
+    where
+        R: Send,
+        F: Fn(SessionId, &mut Explorer) -> R + Sync,
+    {
+        blaeu_exec::par_map(ids, 0, |_, &id| self.with(id, |ex| f(id, ex)))
+    }
+
     /// Closes a session.
     ///
     /// # Errors
@@ -150,25 +169,74 @@ mod tests {
         for _ in 0..4 {
             ids.push(mgr.create(base.clone(), ExplorerConfig::default()).unwrap());
         }
-        crossbeam::scope(|scope| {
-            for &id in &ids {
-                let mgr = Arc::clone(&mgr);
-                scope.spawn(move |_| {
-                    for _ in 0..3 {
-                        mgr.with(id, |ex| {
-                            ex.select_theme(0).unwrap();
-                            ex.rollback().unwrap();
-                        })
-                        .unwrap();
-                    }
-                });
+        let results = mgr.par_with(&ids, |_, ex| {
+            for _ in 0..3 {
+                ex.select_theme(0).unwrap();
+                ex.rollback().unwrap();
             }
-        })
-        .unwrap();
+        });
+        assert!(results.iter().all(std::result::Result::is_ok));
         assert_eq!(mgr.len(), 4);
         for &id in &ids {
             assert_eq!(mgr.with(id, |ex| ex.depth()).unwrap(), 1);
         }
+    }
+
+    #[test]
+    fn par_with_reports_unknown_ids_in_order() {
+        let mgr = SessionManager::new();
+        let a = mgr.create(table(), ExplorerConfig::default()).unwrap();
+        let bogus = a + 1000;
+        let results = mgr.par_with(&[a, bogus], |id, _| id);
+        assert_eq!(results.len(), 2);
+        assert_eq!(*results[0].as_ref().unwrap(), a);
+        assert!(matches!(results[1], Err(BlaeuError::UnknownSession(_))));
+    }
+
+    /// Regression test for nested-parallelism oversubscription: session
+    /// workers must not multiply thread counts when the work they run is
+    /// itself parallel (CLARA, matrix builds, dependency sweeps). The
+    /// executor's nesting guard forces such inner calls sequential.
+    ///
+    /// The process budget is pinned to 4 for the duration of the test so
+    /// the outer fan-out actually happens even on single-core machines.
+    #[test]
+    fn par_with_workers_run_inner_parallelism_sequentially() {
+        blaeu_exec::set_thread_budget(4);
+        // Restore auto-detection even if an assertion unwinds.
+        struct ResetBudget;
+        impl Drop for ResetBudget {
+            fn drop(&mut self) {
+                blaeu_exec::set_thread_budget(0);
+            }
+        }
+        let _reset = ResetBudget;
+
+        let mgr = SessionManager::new();
+        let base = table();
+        let ids: Vec<_> = (0..3)
+            .map(|_| mgr.create(base.clone(), ExplorerConfig::default()).unwrap())
+            .collect();
+        let results = mgr.par_with(&ids, |_, ex| {
+            assert!(
+                blaeu_exec::in_parallel_region(),
+                "session work must be flagged as executor-worker context"
+            );
+            // Anything parallel the explorer does from here (select_theme
+            // runs CLARA + matrix builds underneath) must stay on this
+            // worker's thread. Probe the executor directly:
+            let inner_threads: std::collections::HashSet<std::thread::ThreadId> =
+                blaeu_exec::par_map_range(32, 0, |_| std::thread::current().id())
+                    .into_iter()
+                    .collect();
+            assert_eq!(inner_threads.len(), 1, "inner call must be sequential");
+            ex.select_theme(0).unwrap();
+            ex.depth()
+        });
+        for depth in results {
+            assert_eq!(depth.unwrap(), 2);
+        }
+        assert!(!blaeu_exec::in_parallel_region());
     }
 
     #[test]

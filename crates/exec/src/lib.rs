@@ -1,0 +1,487 @@
+//! # blaeu-exec — the shared parallel-execution substrate
+//!
+//! Every hot parallel sweep in blaeu (pairwise mutual information,
+//! distance-matrix construction, CLARA replicates, concurrent sessions,
+//! the figure harness) routes through this crate instead of hand-rolling
+//! scoped-thread pools. Centralizing execution buys three invariants that
+//! per-module thread code cannot provide:
+//!
+//! 1. **One process-wide thread budget.** [`thread_budget`] is the single
+//!    source of truth for worker counts — and the *only* call site of
+//!    `std::thread::available_parallelism` in the workspace. It can be
+//!    overridden programmatically ([`set_thread_budget`]) or via the
+//!    `BLAEU_THREADS` environment variable.
+//! 2. **Deterministic results.** [`par_map`] / [`par_map_range`] return
+//!    results in input order regardless of how work was chunked, and
+//!    [`par_reduce`] folds over *fixed-size* grains whose combine order
+//!    depends only on the input length — so floating-point reductions are
+//!    bit-identical for `threads = 1` and `threads = N`.
+//! 3. **No oversubscription.** Code running inside an executor worker is
+//!    flagged ([`in_parallel_region`]); any nested executor call degrades
+//!    to sequential execution on the worker's own thread instead of
+//!    multiplying thread counts (e.g. CLARA building distance matrices
+//!    inside a parallel session sweep).
+//!
+//! Worker panics are propagated to the caller with their original payload
+//! after all sibling workers have finished.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Fold grain for [`par_reduce`]: partial results are computed per
+/// `REDUCE_GRAIN`-sized slice of the index range and combined in grain
+/// order, which makes the combine tree a function of the input length
+/// only — never of the thread count. Public so callers building
+/// collection-typed accumulators can pre-size them to the grain.
+pub const REDUCE_GRAIN: usize = 1024;
+
+/// Explicit budget override; 0 means "auto-detect".
+static BUDGET_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn detected_parallelism() -> usize {
+    static DETECTED: OnceLock<usize> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        std::env::var("BLAEU_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            // The one and only `available_parallelism` call in the workspace.
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+    })
+}
+
+/// The process-wide worker-thread budget.
+///
+/// Resolution order: [`set_thread_budget`] override, then the
+/// `BLAEU_THREADS` environment variable, then the machine's available
+/// parallelism (detected once).
+pub fn thread_budget() -> usize {
+    match BUDGET_OVERRIDE.load(Ordering::Relaxed) {
+        0 => detected_parallelism(),
+        n => n,
+    }
+}
+
+/// Overrides the process-wide thread budget (`0` restores auto-detection).
+///
+/// Affects every subsequent executor call in the process; useful for
+/// benchmarks and for capping blaeu inside a larger application.
+pub fn set_thread_budget(threads: usize) {
+    BUDGET_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the current thread is an executor worker.
+///
+/// Executor entry points consult this to degrade nested parallelism to
+/// sequential execution; user code can consult it to pick serial
+/// algorithm variants.
+pub fn in_parallel_region() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Resolves an effective worker count for `work_items` units of work.
+///
+/// `requested == 0` means "use the process budget". Returns 1 (sequential)
+/// when there is at most one work item or when called from inside an
+/// executor worker (nesting guard).
+fn resolve_threads(requested: usize, work_items: usize) -> usize {
+    if work_items <= 1 || in_parallel_region() {
+        return 1;
+    }
+    let budget = if requested == 0 {
+        thread_budget()
+    } else {
+        requested
+    };
+    budget.clamp(1, work_items)
+}
+
+/// Runs `f(chunk_index)` for `0..chunks` on up to `threads` workers,
+/// returning results in chunk order and re-raising the first worker panic
+/// (by chunk order) after all workers have finished.
+fn run_chunked<R, F>(chunks: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    debug_assert!(threads > 1 && chunks > 1);
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(chunks);
+    let worker_parts: Vec<Vec<(usize, std::thread::Result<R>)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let f = &f;
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                let mut mine = Vec::new();
+                loop {
+                    let chunk = next.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= chunks {
+                        break;
+                    }
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(chunk)));
+                    let failed = result.is_err();
+                    mine.push((chunk, result));
+                    if failed {
+                        break;
+                    }
+                }
+                mine
+            }));
+        }
+        handles
+            .into_iter()
+            // Workers never unwind (they catch), so join is clean.
+            .map(|h| h.join().expect("executor worker cannot panic"))
+            .collect()
+    });
+    let mut slots: Vec<Option<std::thread::Result<R>>> = Vec::new();
+    slots.resize_with(chunks, || None);
+    for (chunk, result) in worker_parts.into_iter().flatten() {
+        slots[chunk] = Some(result);
+    }
+    // Chunks are claimed as a prefix of 0..chunks, and a hole can only
+    // follow a recorded panic (every worker that stopped early recorded
+    // one), so scanning in chunk order re-raises the earliest panic before
+    // any hole is reached.
+    let mut out = Vec::with_capacity(chunks);
+    for slot in slots {
+        match slot {
+            Some(Ok(value)) => out.push(value),
+            Some(Err(payload)) => resume_unwind(payload),
+            None => unreachable!("unfilled chunk slot implies an already re-raised panic"),
+        }
+    }
+    out
+}
+
+/// Applies `f` to every element of `items` (with its index), in parallel,
+/// returning results in input order.
+///
+/// `threads == 0` uses the process [`thread_budget`]. Calls from inside an
+/// executor worker run sequentially (nesting guard). Panics in `f` are
+/// propagated with their original payload.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let t = resolve_threads(threads, n);
+    if t <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let chunk_size = n.div_ceil(t);
+    let chunks = n.div_ceil(chunk_size);
+    let parts = run_chunked(chunks, t, |c| {
+        let start = c * chunk_size;
+        let end = (start + chunk_size).min(n);
+        items[start..end]
+            .iter()
+            .enumerate()
+            .map(|(k, x)| f(start + k, x))
+            .collect::<Vec<R>>()
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// Applies `f` to every index in `0..n`, in parallel, returning results in
+/// index order. Semantics as [`par_map`].
+pub fn par_map_range<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let t = resolve_threads(threads, n);
+    if t <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk_size = n.div_ceil(t);
+    let chunks = n.div_ceil(chunk_size);
+    let parts = run_chunked(chunks, t, |c| {
+        let start = c * chunk_size;
+        let end = (start + chunk_size).min(n);
+        (start..end).map(&f).collect::<Vec<R>>()
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// Parallel fold over the index range `0..n` with **thread-count-independent
+/// results**.
+///
+/// The range is split into fixed-size grains ([`REDUCE_GRAIN`]); each grain
+/// is folded sequentially with `fold` starting from `identity()`, and grain
+/// results are combined **in grain order** with `combine`. Because the
+/// grain layout depends only on `n`, the full combine tree — and therefore
+/// every floating-point rounding — is identical for any thread count.
+pub fn par_reduce<A, I, F, C>(n: usize, threads: usize, identity: I, fold: F, combine: C) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, usize) -> A + Sync,
+    C: Fn(A, A) -> A,
+{
+    let grains = n.div_ceil(REDUCE_GRAIN).max(1);
+    // Resolve once: the budget is a process-global that another thread may
+    // change concurrently, and run_chunked requires the count it was
+    // handed to still be > 1.
+    let t = resolve_threads(threads, grains);
+    let partials = if t <= 1 {
+        (0..grains)
+            .map(|g| fold_grain(n, g, &identity, &fold))
+            .collect::<Vec<A>>()
+    } else {
+        run_chunked(grains, t, |g| fold_grain(n, g, &identity, &fold))
+    };
+    partials
+        .into_iter()
+        .reduce(combine)
+        .unwrap_or_else(identity)
+}
+
+fn fold_grain<A, I, F>(n: usize, grain: usize, identity: &I, fold: &F) -> A
+where
+    I: Fn() -> A,
+    F: Fn(A, usize) -> A,
+{
+    let start = grain * REDUCE_GRAIN;
+    let end = (start + REDUCE_GRAIN).min(n);
+    (start..end).fold(identity(), fold)
+}
+
+/// Splits `data` at the given interior `boundaries` (ascending offsets into
+/// `data`) and runs `f(chunk_index, chunk)` on every piece in parallel.
+///
+/// With `k` boundaries there are `k + 1` chunks. This is the zero-copy
+/// building block for writers that fill disjoint regions of one buffer
+/// (e.g. the condensed distance matrix). Determinism is the caller's
+/// contract: each chunk's content must depend only on its position, which
+/// holds for all blaeu call sites. Nested calls run sequentially.
+///
+/// # Panics
+/// Panics if `boundaries` is not ascending or exceeds `data.len()`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], boundaries: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let mut chunks: Vec<&mut [T]> = Vec::with_capacity(boundaries.len() + 1);
+    let mut rest = data;
+    let mut consumed = 0usize;
+    for &b in boundaries {
+        assert!(b >= consumed, "boundaries must be ascending");
+        let (head, tail) = rest.split_at_mut(b - consumed);
+        chunks.push(head);
+        consumed = b;
+        rest = tail;
+    }
+    chunks.push(rest);
+
+    let t = resolve_threads(0, chunks.len());
+    if t <= 1 {
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    // Hand each worker ownership of its chunk via an indexed queue.
+    let slots: Vec<parking::Slot<'_, T>> = chunks.into_iter().map(parking::Slot::new).collect();
+    let results = run_chunked(slots.len(), t, |i| {
+        let chunk = slots[i].take();
+        f(i, chunk);
+    });
+    drop(results);
+}
+
+/// Tiny cell granting one-time mutable access to a chunk from another
+/// thread (used by [`par_chunks_mut`]).
+mod parking {
+    use std::sync::Mutex;
+
+    /// One-shot handoff cell for a mutable slice.
+    pub struct Slot<'a, T>(Mutex<Option<&'a mut [T]>>);
+
+    impl<'a, T> Slot<'a, T> {
+        /// Wraps a chunk.
+        pub fn new(chunk: &'a mut [T]) -> Self {
+            Slot(Mutex::new(Some(chunk)))
+        }
+
+        /// Takes the chunk; panics on double-take.
+        pub fn take(&self) -> &'a mut [T] {
+            self.0
+                .lock()
+                .expect("slot lock poisoned")
+                .take()
+                .expect("chunk taken twice")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::panic::catch_unwind;
+    use std::thread::ThreadId;
+
+    #[test]
+    fn par_map_empty_input() {
+        let out: Vec<usize> = par_map::<usize, _, _>(&[], 0, |i, &x| i + x);
+        assert!(out.is_empty());
+        let out: Vec<usize> = par_map_range(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_single_item() {
+        assert_eq!(par_map(&[7usize], 8, |i, &x| (i, x * 2)), vec![(0, 14)]);
+    }
+
+    #[test]
+    fn chunk_boundaries_cover_every_index_exactly_once() {
+        // Exercise sizes around chunk boundaries for several thread counts.
+        for &n in &[
+            1usize, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 64, 65, 100, 1023, 1024, 1025,
+        ] {
+            for &t in &[1usize, 2, 3, 4, 5, 7, 8] {
+                let out = par_map_range(n, t, |i| i);
+                assert_eq!(out, (0..n).collect::<Vec<_>>(), "n={n} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn results_ordered_and_identical_across_thread_counts() {
+        let items: Vec<f64> = (0..5000).map(|i| (i as f64).sin()).collect();
+        let serial = par_map(&items, 1, |i, &x| x * i as f64);
+        for threads in [2, 3, 4, 8, 16] {
+            let parallel = par_map(&items, threads, |i, &x| x * i as f64);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_bit_identical_across_thread_counts() {
+        // Floating-point sums are order-sensitive; the fixed grain makes
+        // them bit-identical for every thread count.
+        let n = 10_000;
+        let value = |i: usize| ((i as f64) * 0.7).sin() / (i as f64 + 1.0);
+        let sum =
+            |threads| par_reduce(n, threads, || 0.0f64, |acc, i| acc + value(i), |a, b| a + b);
+        let reference = sum(1);
+        for threads in [2, 3, 4, 7, 8, 16] {
+            assert_eq!(
+                reference.to_bits(),
+                sum(threads).to_bits(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_reduce_empty_and_tiny() {
+        let zero = par_reduce(0, 4, || 0usize, |a, i| a + i, |a, b| a + b);
+        assert_eq!(zero, 0);
+        let three = par_reduce(3, 4, || 0usize, |a, i| a + i, |a, b| a + b);
+        assert_eq!(three, 3);
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_payload() {
+        let result = catch_unwind(|| {
+            par_map_range(64, 4, |i| {
+                if i == 33 {
+                    panic!("worker exploded at {i}");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            message.contains("worker exploded at 33"),
+            "payload lost: {message:?}"
+        );
+    }
+
+    #[test]
+    fn nested_calls_degrade_to_sequential() {
+        assert!(!in_parallel_region());
+        // A two-party barrier forces chunks 0 and 1 onto *distinct* worker
+        // threads (a single worker would deadlock at the barrier mid-chunk,
+        // so another must pick up the other side) — even on one CPU.
+        let rendezvous = std::sync::Barrier::new(2);
+        let inner_ids: Vec<Vec<ThreadId>> = par_map_range(4, 4, |i| {
+            assert!(in_parallel_region(), "worker must be flagged");
+            if i < 2 {
+                rendezvous.wait();
+            }
+            // The nested call must run on this worker's own thread.
+            par_map_range(16, 8, |_| std::thread::current().id())
+        });
+        for ids in &inner_ids {
+            let distinct: HashSet<ThreadId> = ids.iter().copied().collect();
+            assert_eq!(distinct.len(), 1, "nested call used multiple threads");
+        }
+        let outer: HashSet<ThreadId> = inner_ids.iter().map(|ids| ids[0]).collect();
+        assert!(outer.len() > 1, "outer call should actually fan out");
+        assert!(!in_parallel_region(), "flag must not leak to the caller");
+    }
+
+    #[test]
+    fn par_chunks_mut_fills_disjoint_regions() {
+        let mut data = vec![0usize; 100];
+        par_chunks_mut(&mut data, &[10, 40, 40, 95], |chunk_idx, chunk| {
+            for v in chunk.iter_mut() {
+                *v = chunk_idx + 1;
+            }
+        });
+        assert!(data[..10].iter().all(|&v| v == 1));
+        assert!(data[10..40].iter().all(|&v| v == 2));
+        // Chunk 3 ([40, 40)) is empty.
+        assert!(data[40..95].iter().all(|&v| v == 4));
+        assert!(data[95..].iter().all(|&v| v == 5));
+    }
+
+    #[test]
+    fn budget_override_is_respected() {
+        set_thread_budget(2);
+        assert_eq!(thread_budget(), 2);
+        set_thread_budget(0);
+        assert!(thread_budget() >= 1);
+    }
+
+    #[test]
+    fn explicit_thread_count_overrides_budget() {
+        // threads=3 on 10 items: at most 3 worker threads observed.
+        let ids = par_map_range(10, 3, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            std::thread::current().id()
+        });
+        let distinct: HashSet<ThreadId> = ids.into_iter().collect();
+        assert!(distinct.len() <= 3);
+    }
+}

@@ -80,10 +80,10 @@ fn gamma_p(s: f64, x: f64) -> f64 {
 /// Natural log of the gamma function (Lanczos approximation, g = 7).
 fn ln_gamma(x: f64) -> f64 {
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
-        -1259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -134,15 +134,15 @@ pub fn chi2_test(table: &ContingencyTable) -> Chi2Test {
     }
     let total_f = total as f64;
     let mut statistic = 0.0;
-    for x in 0..nx {
-        if xm[x] == 0 {
+    for (x, &mx) in xm.iter().enumerate().take(nx) {
+        if mx == 0 {
             continue;
         }
-        for y in 0..ny {
-            if ym[y] == 0 {
+        for (y, &my) in ym.iter().enumerate().take(ny) {
+            if my == 0 {
                 continue;
             }
-            let expected = xm[x] as f64 * ym[y] as f64 / total_f;
+            let expected = mx as f64 * my as f64 / total_f;
             let observed = table.count(x, y) as f64;
             statistic += (observed - expected) * (observed - expected) / expected;
         }

@@ -80,9 +80,10 @@ impl ContingencyTable {
 
     /// Iterates over non-zero joint cells as `(x, y, count)`.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
-        self.counts.iter().enumerate().filter_map(move |(i, &c)| {
-            (c > 0).then_some((i / self.ny, i % self.ny, c))
-        })
+        self.counts
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, &c)| (c > 0).then_some((i / self.ny, i % self.ny, c)))
     }
 }
 

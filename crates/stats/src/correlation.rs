@@ -149,7 +149,9 @@ mod tests {
     fn both_miss_even_functions() {
         // y = x² on symmetric x: both correlations ≈ 0 (motivates MI).
         let x: Vec<Option<f64>> = (-50..=50).map(|i| Some(i as f64 / 10.0)).collect();
-        let y: Vec<Option<f64>> = (-50..=50).map(|i| Some((i as f64 / 10.0).powi(2))).collect();
+        let y: Vec<Option<f64>> = (-50..=50)
+            .map(|i| Some((i as f64 / 10.0).powi(2)))
+            .collect();
         assert!(pearson(&x, &y).unwrap().abs() < 0.05);
         assert!(spearman(&x, &y).unwrap().abs() < 0.05);
     }

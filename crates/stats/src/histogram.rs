@@ -137,7 +137,12 @@ mod tests {
     fn numeric_histogram_counts_sum() {
         let col = Column::from_f64s((0..100).map(|i| Some(i as f64)).chain([None, None]));
         let h = histogram(&col, 10);
-        let Histogram::Numeric { edges, counts, nulls } = &h else {
+        let Histogram::Numeric {
+            edges,
+            counts,
+            nulls,
+        } = &h
+        else {
             panic!("expected numeric");
         };
         assert_eq!(edges.len(), counts.len() + 1);

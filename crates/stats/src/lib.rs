@@ -41,8 +41,8 @@ pub use correlation::{pearson, ranks, spearman};
 pub use describe::{describe, CategoricalSummary, ColumnSummary, NumericSummary};
 pub use entropy::{entropy, entropy_from_counts, joint_entropy};
 pub use histogram::{histogram, Histogram};
-pub use scatter::ScatterGrid;
 pub use mi::{
     dependency_matrix, mutual_information, normalized_mutual_information, DependencyMatrix,
     DependencyMeasure, DependencyOptions, MiNormalization,
 };
+pub use scatter::ScatterGrid;

@@ -8,7 +8,7 @@
 //! graphs use a normalized variant so edge weights are comparable across
 //! column pairs with different cardinalities.
 
-use blaeu_store::{uniform_sample, Result, StoreError, Table};
+use blaeu_store::{uniform_sample, Result, Table};
 
 use crate::binning::{discretize, BinRule, BinStrategy, DiscreteColumn};
 use crate::chi2::chi2_test;
@@ -41,10 +41,7 @@ pub enum MiNormalization {
 ///
 /// Pairs where either variable has zero entropy (constant columns) score 0:
 /// a constant carries no information about anything.
-pub fn normalized_mutual_information(
-    table: &ContingencyTable,
-    norm: MiNormalization,
-) -> f64 {
+pub fn normalized_mutual_information(table: &ContingencyTable, norm: MiNormalization) -> f64 {
     let hx = entropy_from_counts(&table.x_marginals());
     let hy = entropy_from_counts(&table.y_marginals());
     let mi = mutual_information(table);
@@ -150,7 +147,10 @@ impl DependencyMatrix {
     /// Converts dependency to distance: `d = 1 − dependency`, clamped to
     /// `[0, 1]`. This is the matrix Blaeu clusters to find themes.
     pub fn to_distances(&self) -> Vec<f64> {
-        self.values.iter().map(|&v| (1.0 - v).clamp(0.0, 1.0)).collect()
+        self.values
+            .iter()
+            .map(|&v| (1.0 - v).clamp(0.0, 1.0))
+            .collect()
     }
 
     /// Strongest `k` edges (i < j) by weight, descending.
@@ -246,59 +246,26 @@ pub fn dependency_matrix(
         .flat_map(|i| ((i + 1)..m).map(move |j| (i, j)))
         .collect();
 
-    let threads = if opts.threads == 0 {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    } else {
-        opts.threads
-    }
-    .min(pairs.len().max(1));
-
     let mut values = vec![0.0f64; m * m];
     for i in 0..m {
         values[i * m + i] = 1.0;
     }
 
-    if pairs.is_empty() {
-        return Ok(DependencyMatrix {
-            names: columns.iter().map(|&s| s.to_owned()).collect(),
-            values,
-        });
-    }
-
-    let chunk = pairs.len().div_ceil(threads);
-    let mut results: Vec<Vec<(usize, usize, f64)>> = Vec::new();
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        for batch in pairs.chunks(chunk) {
-            let discs = &discs;
-            let numerics = &numerics;
-            handles.push(scope.spawn(move |_| {
-                batch
-                    .iter()
-                    .map(|&(i, j)| {
-                        let v = measure_pair(
-                            &discs[i],
-                            &discs[j],
-                            numerics[i].as_deref(),
-                            numerics[j].as_deref(),
-                            opts,
-                        );
-                        (i, j, v)
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
-        for h in handles {
-            results.push(h.join().expect("dependency worker panicked"));
-        }
-    })
-    .map_err(|_| StoreError::InvalidArgument("dependency sweep panicked".into()))?;
-
-    for batch in results {
-        for (i, j, v) in batch {
-            values[i * m + j] = v;
-            values[j * m + i] = v;
-        }
+    // The pairwise sweep runs on the shared executor: results come back in
+    // pair order regardless of the thread count, so the matrix is
+    // bit-identical for any parallelism level.
+    let measured = blaeu_exec::par_map(&pairs, opts.threads, |_, &(i, j)| {
+        measure_pair(
+            &discs[i],
+            &discs[j],
+            numerics[i].as_deref(),
+            numerics[j].as_deref(),
+            opts,
+        )
+    });
+    for (&(i, j), v) in pairs.iter().zip(measured) {
+        values[i * m + j] = v;
+        values[j * m + i] = v;
     }
 
     Ok(DependencyMatrix {
@@ -448,8 +415,8 @@ mod tests {
     #[test]
     fn top_edges_sorted_descending() {
         let t = toy_table(400);
-        let dm = dependency_matrix(&t, &["a", "b", "c", "d"], &DependencyOptions::default())
-            .unwrap();
+        let dm =
+            dependency_matrix(&t, &["a", "b", "c", "d"], &DependencyOptions::default()).unwrap();
         let edges = dm.top_edges(3);
         assert_eq!(edges.len(), 3);
         assert!(edges.windows(2).all(|w| w[0].2 >= w[1].2));
@@ -511,18 +478,52 @@ mod tests {
     }
 
     #[test]
+    fn dependency_matrix_bit_identical_across_thread_counts() {
+        // The executor returns pair results in input order whatever the
+        // chunking, so every cell must match the serial run bit-for-bit.
+        let t = toy_table(600);
+        let opts_for = |threads| DependencyOptions {
+            threads,
+            ..DependencyOptions::default()
+        };
+        let cols = ["a", "b", "c", "d"];
+        let serial = dependency_matrix(&t, &cols, &opts_for(1)).unwrap();
+        for threads in [2usize, 4, 8] {
+            let parallel = dependency_matrix(&t, &cols, &opts_for(threads)).unwrap();
+            for i in 0..cols.len() {
+                for j in 0..cols.len() {
+                    assert_eq!(
+                        serial.get(i, j).to_bits(),
+                        parallel.get(i, j).to_bits(),
+                        "cell ({i},{j}) differs at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn mixed_categorical_numeric_pair() {
         // Categorical column that tracks sign(a) should have high NMI with a.
         let n = 400;
         let a: Vec<f64> = (0..n).map(|i| i as f64 - n as f64 / 2.0).collect();
         let lab: Vec<String> = a
             .iter()
-            .map(|&v| if v < 0.0 { "neg".to_owned() } else { "pos".to_owned() })
+            .map(|&v| {
+                if v < 0.0 {
+                    "neg".to_owned()
+                } else {
+                    "pos".to_owned()
+                }
+            })
             .collect();
         let t = TableBuilder::new("mix")
             .column("a", Column::dense_f64(a))
             .unwrap()
-            .column("sign", Column::from_strs(lab.iter().map(|s| Some(s.as_str()))))
+            .column(
+                "sign",
+                Column::from_strs(lab.iter().map(|s| Some(s.as_str()))),
+            )
             .unwrap()
             .build()
             .unwrap();

@@ -114,7 +114,10 @@ impl ScatterGrid {
         let mut out = String::new();
         out.push_str(&format!(
             "{y_label} ({:.2}..{:.2}) vs {x_label} ({:.2}..{:.2}), {} points\n",
-            self.y_range.0, self.y_range.1, self.x_range.0, self.x_range.1,
+            self.y_range.0,
+            self.y_range.1,
+            self.x_range.0,
+            self.x_range.1,
             self.total()
         ));
         for y in (0..self.ybins).rev() {

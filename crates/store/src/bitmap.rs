@@ -65,21 +65,33 @@ impl Bitmap {
     /// Panics if `index >= len`.
     #[inline]
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of bounds ({})", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of bounds ({})",
+            self.len
+        );
         (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
     }
 
     /// Sets the bit at `index`.
     #[inline]
     pub fn set(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of bounds ({})", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of bounds ({})",
+            self.len
+        );
         self.words[index / WORD_BITS] |= 1u64 << (index % WORD_BITS);
     }
 
     /// Clears the bit at `index`.
     #[inline]
     pub fn clear(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of bounds ({})", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of bounds ({})",
+            self.len
+        );
         self.words[index / WORD_BITS] &= !(1u64 << (index % WORD_BITS));
     }
 

@@ -148,7 +148,11 @@ impl Column {
     /// # Panics
     /// Panics if any valid code is out of dictionary bounds.
     pub fn from_codes(codes: Vec<u32>, dict: Arc<Vec<String>>, validity: Bitmap) -> Self {
-        assert_eq!(codes.len(), validity.len(), "codes/validity length mismatch");
+        assert_eq!(
+            codes.len(),
+            validity.len(),
+            "codes/validity length mismatch"
+        );
         for (i, &c) in codes.iter().enumerate() {
             if validity.get(i) {
                 assert!(
@@ -306,7 +310,9 @@ impl Column {
             Column::Float64 { data, validity } => validity.get(row).then(|| data[row]),
             Column::Int64 { data, validity } => validity.get(row).then(|| data[row] as f64),
             Column::Bool { data, validity } => {
-                validity.get(row).then(|| if data.get(row) { 1.0 } else { 0.0 })
+                validity
+                    .get(row)
+                    .then(|| if data.get(row) { 1.0 } else { 0.0 })
             }
             Column::Categorical { .. } => None,
         }
@@ -317,9 +323,9 @@ impl Column {
     #[inline]
     pub fn code_at(&self, row: usize) -> Option<u32> {
         match self {
-            Column::Categorical { codes, validity, .. } => {
-                validity.get(row).then(|| codes[row])
-            }
+            Column::Categorical {
+                codes, validity, ..
+            } => validity.get(row).then(|| codes[row]),
             _ => None,
         }
     }
@@ -469,7 +475,9 @@ impl Column {
                 }
                 set.len()
             }
-            Column::Categorical { codes, validity, .. } => {
+            Column::Categorical {
+                codes, validity, ..
+            } => {
                 let mut set = std::collections::HashSet::new();
                 for (i, c) in codes.iter().enumerate() {
                     if validity.get(i) {
@@ -510,15 +518,12 @@ impl PartialEq for Column {
             return false;
         }
         match (self, other) {
-            (
-                Column::Float64 { data: a, validity },
-                Column::Float64 { data: b, .. },
-            ) => (0..a.len())
-                .all(|i| !validity.get(i) || a[i].to_bits() == b[i].to_bits()),
-            (
-                Column::Int64 { data: a, validity },
-                Column::Int64 { data: b, .. },
-            ) => (0..a.len()).all(|i| !validity.get(i) || a[i] == b[i]),
+            (Column::Float64 { data: a, validity }, Column::Float64 { data: b, .. }) => {
+                (0..a.len()).all(|i| !validity.get(i) || a[i].to_bits() == b[i].to_bits())
+            }
+            (Column::Int64 { data: a, validity }, Column::Int64 { data: b, .. }) => {
+                (0..a.len()).all(|i| !validity.get(i) || a[i] == b[i])
+            }
             (
                 Column::Categorical {
                     codes: ca,
@@ -530,13 +535,12 @@ impl PartialEq for Column {
                     dict: db,
                     ..
                 },
-            ) => (0..ca.len()).all(|i| {
-                !validity.get(i) || da[ca[i] as usize] == db[cb[i] as usize]
-            }),
-            (
-                Column::Bool { data: a, validity },
-                Column::Bool { data: b, .. },
-            ) => (0..validity.len()).all(|i| !validity.get(i) || a.get(i) == b.get(i)),
+            ) => {
+                (0..ca.len()).all(|i| !validity.get(i) || da[ca[i] as usize] == db[cb[i] as usize])
+            }
+            (Column::Bool { data: a, validity }, Column::Bool { data: b, .. }) => {
+                (0..validity.len()).all(|i| !validity.get(i) || a.get(i) == b.get(i))
+            }
             _ => unreachable!("data_type equality checked above"),
         }
     }

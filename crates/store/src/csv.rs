@@ -342,12 +342,7 @@ mod tests {
 
     #[test]
     fn parses_simple_csv() {
-        let t = read_csv_str(
-            "t",
-            "a,b,c\n1,2.5,x\n2,3.5,y\n",
-            &CsvOptions::default(),
-        )
-        .unwrap();
+        let t = read_csv_str("t", "a,b,c\n1,2.5,x\n2,3.5,y\n", &CsvOptions::default()).unwrap();
         assert_eq!(t.nrows(), 2);
         assert_eq!(t.schema().field(0).dtype, DataType::Int64);
         assert_eq!(t.schema().field(1).dtype, DataType::Float64);
@@ -387,7 +382,10 @@ mod tests {
             t.value(0, "notes").unwrap(),
             Value::Str("line1\nline2".into())
         );
-        assert_eq!(t.value(1, "notes").unwrap(), Value::Str("say \"hi\"".into()));
+        assert_eq!(
+            t.value(1, "notes").unwrap(),
+            Value::Str("say \"hi\"".into())
+        );
     }
 
     #[test]

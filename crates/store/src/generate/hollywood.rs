@@ -67,9 +67,7 @@ pub fn hollywood(config: &HollywoodConfig) -> Result<(Table, PlantedTruth)> {
     let n = config.nrows;
     // Segment mix: a few blockbusters, many mid-tier flops, a solid indie slate.
     let weights = [0.25, 0.35, 0.40];
-    let labels: Vec<usize> = (0..n)
-        .map(|_| weighted_index(&mut rng, &weights))
-        .collect();
+    let labels: Vec<usize> = (0..n).map(|_| weighted_index(&mut rng, &weights)).collect();
 
     let mut film = Vec::with_capacity(n);
     let mut studio = Vec::with_capacity(n);
@@ -107,7 +105,11 @@ pub fn hollywood(config: &HollywoodConfig) -> Result<(Table, PlantedTruth)> {
         budget.push(Some(b));
         gross.push(Some(g));
         opening.push(Some((g * (0.28 + 0.05 * gauss(&mut rng))).max(0.05)));
-        theaters.push(Some(((g * 18.0).sqrt() * 45.0 + 40.0 * gauss(&mut rng)).max(1.0).round() as i64));
+        theaters.push(Some(
+            ((g * 18.0).sqrt() * 45.0 + 40.0 * gauss(&mut rng))
+                .max(1.0)
+                .round() as i64,
+        ));
         profitability.push(Some(g / b));
 
         let c = (score_base + 12.0 * buzz + 4.0 * gauss(&mut rng)).clamp(0.0, 100.0);
@@ -212,8 +214,14 @@ mod tests {
                 .collect();
             vals.iter().sum::<f64>() / vals.len() as f64
         };
-        assert!(mean_by(budget, 0) > mean_by(budget, 1) * 5.0, "blockbusters cost more than indies");
-        assert!(mean_by(profit, 1) > mean_by(profit, 2) * 2.0, "indies out-earn flops per dollar");
+        assert!(
+            mean_by(budget, 0) > mean_by(budget, 1) * 5.0,
+            "blockbusters cost more than indies"
+        );
+        assert!(
+            mean_by(profit, 1) > mean_by(profit, 2) * 2.0,
+            "indies out-earn flops per dollar"
+        );
     }
 
     #[test]

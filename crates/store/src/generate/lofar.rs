@@ -55,9 +55,7 @@ pub fn lofar(config: &LofarConfig) -> Result<(Table, PlantedTruth)> {
     let mut rng = rng_from_seed(config.seed);
     let n = config.nrows;
     let weights: Vec<f64> = POPULATIONS.iter().map(|p| p.1).collect();
-    let labels: Vec<usize> = (0..n)
-        .map(|_| weighted_index(&mut rng, &weights))
-        .collect();
+    let labels: Vec<usize> = (0..n).map(|_| weighted_index(&mut rng, &weights)).collect();
 
     let mut ra = Vec::with_capacity(n);
     let mut dec = Vec::with_capacity(n);
@@ -93,8 +91,8 @@ pub fn lofar(config: &LofarConfig) -> Result<(Table, PlantedTruth)> {
         let f_ref = 10f64.powf(log_flux);
         for (b, &band) in BANDS.iter().enumerate() {
             let lg = (band as f64 / 144.0).log10();
-            let f = f_ref * 10f64.powf(alpha * lg + beta * lg * lg)
-                * (1.0 + 0.03 * gauss(&mut rng));
+            let f =
+                f_ref * 10f64.powf(alpha * lg + beta * lg * lg) * (1.0 + 0.03 * gauss(&mut rng));
             fluxes[b].push(Some(f.max(1e-4)));
         }
         spectral_index.push(Some(alpha));
@@ -161,7 +159,10 @@ pub fn lofar(config: &LofarConfig) -> Result<(Table, PlantedTruth)> {
 
     for (b, &band) in BANDS.iter().enumerate() {
         let name = format!("flux_{band}mhz_jy");
-        builder = builder.column(name.clone(), Column::from_f64s(std::mem::take(&mut fluxes[b])))?;
+        builder = builder.column(
+            name.clone(),
+            Column::from_f64s(std::mem::take(&mut fluxes[b])),
+        )?;
         theme_of_column.push((name, 1));
     }
     for (name, vals, theme) in [
@@ -215,7 +216,11 @@ mod tests {
     fn shape_has_dozens_of_columns() {
         let (t, truth) = lofar(&small()).unwrap();
         assert_eq!(t.nrows(), 2000);
-        assert!(t.ncols() >= 25, "several dozens of variables, got {}", t.ncols());
+        assert!(
+            t.ncols() >= 25,
+            "several dozens of variables, got {}",
+            t.ncols()
+        );
         assert_eq!(truth.theme_names.len(), 5);
     }
 

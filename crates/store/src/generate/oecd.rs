@@ -47,11 +47,37 @@ impl Default for OecdConfig {
 
 /// 31 member countries, as in the paper's dataset.
 pub const COUNTRIES: &[&str] = &[
-    "Australia", "Austria", "Belgium", "Canada", "Chile", "Czechia", "Denmark",
-    "Estonia", "Finland", "France", "Germany", "Greece", "Hungary", "Iceland",
-    "Ireland", "Israel", "Italy", "Japan", "Korea", "Mexico", "Netherlands",
-    "New Zealand", "Norway", "Poland", "Portugal", "Slovakia", "Slovenia",
-    "Spain", "Sweden", "Switzerland", "United States",
+    "Australia",
+    "Austria",
+    "Belgium",
+    "Canada",
+    "Chile",
+    "Czechia",
+    "Denmark",
+    "Estonia",
+    "Finland",
+    "France",
+    "Germany",
+    "Greece",
+    "Hungary",
+    "Iceland",
+    "Ireland",
+    "Israel",
+    "Italy",
+    "Japan",
+    "Korea",
+    "Mexico",
+    "Netherlands",
+    "New Zealand",
+    "Norway",
+    "Poland",
+    "Portugal",
+    "Slovakia",
+    "Slovenia",
+    "Spain",
+    "Sweden",
+    "Switzerland",
+    "United States",
 ];
 
 /// Countries the paper highlights in the low-hours / high-income cluster.
@@ -85,7 +111,10 @@ const THEMES: &[(&str, &[&str])] = &[
     ),
     ("economy", &["gdp_per_capita_kusd", "household_income_kusd"]),
     ("education", &["pct_tertiary_education", "mean_pisa_score"]),
-    ("environment", &["air_pollution_ugm3", "water_quality_index"]),
+    (
+        "environment",
+        &["air_pollution_ugm3", "water_quality_index"],
+    ),
     ("safety", &["homicide_rate", "self_reported_safety"]),
     ("housing", &["rooms_per_person", "housing_cost_share"]),
     ("community", &["social_support_pct", "volunteering_rate"]),
@@ -143,9 +172,7 @@ pub fn oecd(config: &OecdConfig) -> Result<(Table, PlantedTruth)> {
     let mut rng = rng_from_seed(config.seed);
     let n = config.nrows;
     let weights = [0.30, 0.35, 0.35];
-    let labels: Vec<usize> = (0..n)
-        .map(|_| weighted_index(&mut rng, &weights))
-        .collect();
+    let labels: Vec<usize> = (0..n).map(|_| weighted_index(&mut rng, &weights)).collect();
 
     // Shared labor factor per row: couples the headline labor columns
     // (and the labor filler indicators) *within* each cluster, so the

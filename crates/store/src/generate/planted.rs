@@ -186,7 +186,14 @@ pub fn planted(config: &PlantedConfig) -> Result<(Table, PlantedTruth)> {
         )?
         .column_with_role(
             "entity",
-            Column::from_strs((0..n).map(|i| format!("entity_{i}")).map(Some).collect::<Vec<_>>().iter().map(|s| s.as_deref())),
+            Column::from_strs(
+                (0..n)
+                    .map(|i| format!("entity_{i}"))
+                    .map(Some)
+                    .collect::<Vec<_>>()
+                    .iter()
+                    .map(|s| s.as_deref()),
+            ),
             ColumnRole::Label,
         )?;
 
@@ -293,10 +300,7 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(ta.labels, tb.labels);
 
-        let config2 = PlantedConfig {
-            seed: 43,
-            ..config
-        };
+        let config2 = PlantedConfig { seed: 43, ..config };
         let (c, _) = planted(&config2).unwrap();
         assert_ne!(a, c);
     }

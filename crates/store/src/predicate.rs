@@ -166,11 +166,12 @@ impl Predicate {
             Predicate::CatIn { column, categories } => {
                 let col = table.column_by_name(column)?;
                 let (codes, dict, validity) =
-                    col.categorical_parts().ok_or_else(|| StoreError::TypeMismatch {
-                        column: column.clone(),
-                        expected: "categorical",
-                        found: col.data_type().name(),
-                    })?;
+                    col.categorical_parts()
+                        .ok_or_else(|| StoreError::TypeMismatch {
+                            column: column.clone(),
+                            expected: "categorical",
+                            found: col.data_type().name(),
+                        })?;
                 // Translate accepted labels to a code mask once, then scan codes.
                 let mut accepted = vec![false; dict.len()];
                 for cat in categories {
@@ -258,26 +259,24 @@ impl fmt::Display for Predicate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Predicate::True => f.write_str("TRUE"),
-            Predicate::NumRange { column, lo, hi } => {
-                match (lo, hi) {
-                    (Bound::Unbounded, Bound::Unbounded) => {
-                        write!(f, "\"{column}\" IS NOT NULL")
-                    }
-                    (Bound::Unbounded, _) => {
-                        let (op, v) = upper_op(hi);
-                        write!(f, "\"{column}\" {op} {v}")
-                    }
-                    (_, Bound::Unbounded) => {
-                        let (op, v) = lower_op(lo);
-                        write!(f, "\"{column}\" {op} {v}")
-                    }
-                    (_, _) => {
-                        let (lop, lv) = lower_op(lo);
-                        let (uop, uv) = upper_op(hi);
-                        write!(f, "\"{column}\" {lop} {lv} AND \"{column}\" {uop} {uv}")
-                    }
+            Predicate::NumRange { column, lo, hi } => match (lo, hi) {
+                (Bound::Unbounded, Bound::Unbounded) => {
+                    write!(f, "\"{column}\" IS NOT NULL")
                 }
-            }
+                (Bound::Unbounded, _) => {
+                    let (op, v) = upper_op(hi);
+                    write!(f, "\"{column}\" {op} {v}")
+                }
+                (_, Bound::Unbounded) => {
+                    let (op, v) = lower_op(lo);
+                    write!(f, "\"{column}\" {op} {v}")
+                }
+                (_, _) => {
+                    let (lop, lv) = lower_op(lo);
+                    let (uop, uv) = upper_op(hi);
+                    write!(f, "\"{column}\" {lop} {lv} AND \"{column}\" {uop} {uv}")
+                }
+            },
             Predicate::CatIn { column, categories } => {
                 let list: Vec<String> = categories
                     .iter()

@@ -266,13 +266,14 @@ mod tests {
     fn people() -> Table {
         TableBuilder::new("people")
             .unwrap_chain(|b| {
-                b.column_with_role(
-                    "id",
-                    Column::dense_i64(vec![1, 2, 3, 4]),
-                    ColumnRole::Key,
+                b.column_with_role("id", Column::dense_i64(vec![1, 2, 3, 4]), ColumnRole::Key)
+            })
+            .unwrap_chain(|b| {
+                b.column(
+                    "age",
+                    Column::from_f64s([Some(30.0), Some(41.0), None, Some(25.0)]),
                 )
             })
-            .unwrap_chain(|b| b.column("age", Column::from_f64s([Some(30.0), Some(41.0), None, Some(25.0)])))
             .unwrap_chain(|b| {
                 b.column(
                     "city",
@@ -310,11 +311,7 @@ mod tests {
         let row = t.row(1).unwrap();
         assert_eq!(
             row,
-            vec![
-                Value::Int(2),
-                Value::Float(41.0),
-                Value::Str("nyc".into())
-            ]
+            vec![Value::Int(2), Value::Float(41.0), Value::Str("nyc".into())]
         );
         assert!(t.row(4).is_err());
     }

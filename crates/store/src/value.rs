@@ -193,6 +193,9 @@ mod tests {
     fn value_datatype() {
         assert_eq!(Value::Null.data_type(), None);
         assert_eq!(Value::Int(1).data_type(), Some(DataType::Int64));
-        assert_eq!(Value::Str("x".into()).data_type(), Some(DataType::Categorical));
+        assert_eq!(
+            Value::Str("x".into()).data_type(),
+            Some(DataType::Categorical)
+        );
     }
 }

@@ -114,8 +114,7 @@ fn best_numeric_split(
         let right: Vec<usize> = total.iter().zip(&left).map(|(t, l)| t - l).collect();
         let dec = config.criterion.decrease(&total, &left, &right);
         let threshold = pairs[i].0.midpoint(pairs[i + 1].0);
-        if best.is_none_or(|(bd, bt, _)| dec > bd + 1e-15 || (dec > bd - 1e-15 && threshold < bt))
-        {
+        if best.is_none_or(|(bd, bt, _)| dec > bd + 1e-15 || (dec > bd - 1e-15 && threshold < bt)) {
             best = Some((dec, threshold, nl >= nr));
         }
     }
@@ -203,9 +202,7 @@ fn best_categorical_split(
         let dec = config.criterion.decrease(&total, &left, &right);
         let better = match &best {
             None => true,
-            Some((bd, bc, _)) => {
-                dec > bd + 1e-15 || (dec > bd - 1e-15 && cats.len() < bc.len())
-            }
+            Some((bd, bc, _)) => dec > bd + 1e-15 || (dec > bd - 1e-15 && cats.len() < bc.len()),
         };
         if better {
             best = Some((dec, cats, nl >= nr));
@@ -228,9 +225,7 @@ fn route(rule: &SplitRule, table: &Table, row: usize) -> Option<bool> {
         .column_by_name(rule.column())
         .expect("feature validated at fit/predict time");
     match rule {
-        SplitRule::Numeric { threshold, .. } => {
-            col.numeric_at(row).map(|v| v < *threshold)
-        }
+        SplitRule::Numeric { threshold, .. } => col.numeric_at(row).map(|v| v < *threshold),
         SplitRule::Categorical {
             left_categories, ..
         } => {
@@ -262,8 +257,8 @@ fn build_node(
     } else {
         counts[majority] as f64 / rows.len() as f64
     };
-    let pure = counts.iter().filter(|&&c| c > 0).count() <= 1
-        || majority_fraction >= config.purity_stop;
+    let pure =
+        counts.iter().filter(|&&c| c > 0).count() <= 1 || majority_fraction >= config.purity_stop;
 
     if pure || depth >= config.max_depth || rows.len() < config.min_samples_split {
         return Node::Leaf {
@@ -285,7 +280,10 @@ fn build_node(
             }
         };
         if let Some(c) = candidate {
-            if best.as_ref().is_none_or(|b| c.decrease > b.decrease + 1e-15) {
+            if best
+                .as_ref()
+                .is_none_or(|b| c.decrease > b.decrease + 1e-15)
+            {
                 best = Some(c);
             }
         }
@@ -323,7 +321,15 @@ fn build_node(
         };
     }
 
-    let left = build_node(table, features, labels, &left_rows, nclasses, depth + 1, config);
+    let left = build_node(
+        table,
+        features,
+        labels,
+        &left_rows,
+        nclasses,
+        depth + 1,
+        config,
+    );
     let right = build_node(
         table,
         features,
@@ -375,9 +381,9 @@ impl DecisionTree {
         let features: Vec<String> = features.iter().map(|&s| s.to_owned()).collect();
         // Fold the fractional leaf floor into the absolute one.
         let mut config = config.clone();
-        config.min_samples_leaf = config.min_samples_leaf.max(
-            (config.min_leaf_fraction.clamp(0.0, 1.0) * table.nrows() as f64).ceil() as usize,
-        );
+        config.min_samples_leaf = config
+            .min_samples_leaf
+            .max((config.min_leaf_fraction.clamp(0.0, 1.0) * table.nrows() as f64).ceil() as usize);
         let root = build_node(table, &features, labels, &rows, nclasses, 0, &config);
         Ok(DecisionTree {
             root,
@@ -506,7 +512,15 @@ mod tests {
 
     /// Two numeric clusters split at x = 5.
     fn simple_numeric() -> (Table, Vec<usize>) {
-        let xs: Vec<f64> = (0..40).map(|i| if i < 20 { i as f64 / 4.0 } else { 6.0 + (i - 20) as f64 / 4.0 }).collect();
+        let xs: Vec<f64> = (0..40)
+            .map(|i| {
+                if i < 20 {
+                    i as f64 / 4.0
+                } else {
+                    6.0 + (i - 20) as f64 / 4.0
+                }
+            })
+            .collect();
         let labels: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
         let t = TableBuilder::new("t")
             .column("x", Column::dense_f64(xs))

@@ -25,12 +25,7 @@ pub fn accuracy(predicted: &[usize], actual: &[usize]) -> f64 {
     if predicted.is_empty() {
         return 1.0;
     }
-    predicted
-        .iter()
-        .zip(actual)
-        .filter(|(p, a)| p == a)
-        .count() as f64
-        / predicted.len() as f64
+    predicted.iter().zip(actual).filter(|(p, a)| p == a).count() as f64 / predicted.len() as f64
 }
 
 /// Per-class recall (`None` for classes absent from `actual`).

@@ -35,11 +35,14 @@ fn weakest_link(node: &Node) -> Option<f64> {
     match node {
         Node::Leaf { .. } => None,
         Node::Internal {
-            counts, left, right, ..
+            counts,
+            left,
+            right,
+            ..
         } => {
             let (sub_err, sub_leaves) = subtree_stats(node);
-            let own = (node_error(counts) as f64 - sub_err as f64)
-                / (sub_leaves as f64 - 1.0).max(1.0);
+            let own =
+                (node_error(counts) as f64 - sub_err as f64) / (sub_leaves as f64 - 1.0).max(1.0);
             let mut weakest = own;
             for child in [left, right] {
                 if let Some(w) = weakest_link(child) {
@@ -76,8 +79,8 @@ fn prune_node(node: &Node, alpha: f64) -> Node {
                 right: Box::new(right),
             };
             let (sub_err, sub_leaves) = subtree_stats(&rebuilt);
-            let g = (node_error(counts) as f64 - sub_err as f64)
-                / (sub_leaves as f64 - 1.0).max(1.0);
+            let g =
+                (node_error(counts) as f64 - sub_err as f64) / (sub_leaves as f64 - 1.0).max(1.0);
             if g <= alpha {
                 Node::Leaf {
                     class: rebuilt.majority_class(),
@@ -209,7 +212,10 @@ mod tests {
         let mut prev_leaves = tree.n_leaves();
         for &alpha in &path {
             let leaves = prune(&tree, alpha + 1e-9).n_leaves();
-            assert!(leaves <= prev_leaves, "alpha {alpha}: {prev_leaves} -> {leaves}");
+            assert!(
+                leaves <= prev_leaves,
+                "alpha {alpha}: {prev_leaves} -> {leaves}"
+            );
             prev_leaves = leaves;
         }
         assert_eq!(prev_leaves, 1, "end of the path is the stump");

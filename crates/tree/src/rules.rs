@@ -44,10 +44,10 @@ impl LeafRule {
 /// Per-column accumulated constraints along one path.
 #[derive(Debug, Clone, Default)]
 struct ColumnConstraint {
-    lo: Option<f64>,          // value >= lo (from going right)
-    hi: Option<f64>,          // value < hi  (from going left)
+    lo: Option<f64>,              // value >= lo (from going right)
+    hi: Option<f64>,              // value < hi  (from going left)
     include: Option<Vec<String>>, // categorical: must be in this set
-    exclude: Vec<String>,     // categorical: must not be in these
+    exclude: Vec<String>,         // categorical: must not be in these
 }
 
 /// Accumulated constraints of a root-to-node path, mergeable per column.

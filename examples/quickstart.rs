@@ -59,6 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 6. Everything is reversible.
     explorer.rollback()?;
-    println!("after rollback: {} rows selected", explorer.current().view.nrows());
+    println!(
+        "after rollback: {} rows selected",
+        explorer.current().view.nrows()
+    );
     Ok(())
 }

@@ -9,14 +9,12 @@
 //! cargo run --release --example session_server
 //! ```
 
-use std::sync::Arc;
-
 use blaeu::core::render::state_to_json;
 use blaeu::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (table, _) = hollywood(&HollywoodConfig::default())?;
-    let manager = Arc::new(SessionManager::new());
+    let manager = SessionManager::new();
 
     // Four clients connect; each gets an isolated session on the same data.
     let mut sessions = Vec::new();
@@ -29,40 +27,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ids
     });
 
-    // Clients act concurrently: theme → map → zoom → highlight → rollback.
-    crossbeam::scope(|scope| {
-        for (client, &id) in sessions.iter().enumerate() {
-            let manager = Arc::clone(&manager);
-            scope.spawn(move |_| {
-                let theme = client % 2; // clients look at different themes
-                manager
-                    .with(id, |ex| {
-                        ex.select_theme(theme).unwrap();
-                        let biggest = ex
-                            .map()
-                            .unwrap()
-                            .leaves()
-                            .iter()
-                            .max_by_key(|r| r.count)
-                            .unwrap()
-                            .id;
-                        ex.zoom(biggest).unwrap();
-                        let hl = ex.highlight("film").unwrap();
-                        println!(
-                            "client {client} (session {id}): {} regions after zoom, e.g. {}",
-                            hl.regions.len(),
-                            hl.regions
-                                .first()
-                                .map(|r| r.examples.join(", "))
-                                .unwrap_or_default()
-                        );
-                        ex.rollback().unwrap();
-                    })
-                    .unwrap();
-            });
-        }
-    })
-    .expect("clients run to completion");
+    // Clients act concurrently on the shared executor: theme → map → zoom
+    // → highlight → rollback. `par_with` fans out one worker per session
+    // and keeps each session's own cluster analysis sequential.
+    let outcomes = manager.par_with(&sessions, |id, ex| {
+        let client = sessions.iter().position(|&s| s == id).unwrap();
+        let theme = client % 2; // clients look at different themes
+        ex.select_theme(theme).unwrap();
+        let biggest = ex
+            .map()
+            .unwrap()
+            .leaves()
+            .iter()
+            .max_by_key(|r| r.count)
+            .unwrap()
+            .id;
+        ex.zoom(biggest).unwrap();
+        let hl = ex.highlight("film").unwrap();
+        println!(
+            "client {client} (session {id}): {} regions after zoom, e.g. {}",
+            hl.regions.len(),
+            hl.regions
+                .first()
+                .map(|r| r.examples.join(", "))
+                .unwrap_or_default()
+        );
+        ex.rollback().unwrap();
+    });
+    for outcome in outcomes {
+        outcome.expect("clients run to completion");
+    }
 
     // The JSON a web client would render (first session, current state).
     let payload = manager.with(sessions[0], |ex| state_to_json(ex))?;
@@ -76,6 +70,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for id in sessions {
         manager.close(id)?;
     }
-    println!("\nall sessions closed; manager empty: {}", manager.is_empty());
+    println!(
+        "\nall sessions closed; manager empty: {}",
+        manager.is_empty()
+    );
     Ok(())
 }

@@ -15,6 +15,9 @@
 //! * [`tree`] — CART decision trees and rule extraction (R `rpart`).
 //! * [`core`] — themes, data maps, the zoom/highlight/project/rollback
 //!   explorer, sessions and renderers (the Blaeu system itself).
+//! * [`exec`] — the shared parallel-execution substrate every hot sweep
+//!   routes through: one process-wide thread budget, deterministic
+//!   ordering, and nesting-aware degradation.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +45,7 @@ pub mod repl;
 
 pub use blaeu_cluster as cluster;
 pub use blaeu_core as core;
+pub use blaeu_exec as exec;
 pub use blaeu_stats as stats;
 pub use blaeu_store as store;
 pub use blaeu_tree as tree;
@@ -59,8 +63,8 @@ pub mod prelude {
         ThemeConfig, ThemeSet,
     };
     pub use blaeu_stats::{
-        chi2_test, dependency_matrix, describe, histogram, DependencyMeasure,
-        DependencyOptions, ScatterGrid,
+        chi2_test, dependency_matrix, describe, histogram, DependencyMeasure, DependencyOptions,
+        ScatterGrid,
     };
     pub use blaeu_store::generate::{
         hollywood, lofar, oecd, planted, HollywoodConfig, LofarConfig, OecdConfig, PlantedConfig,

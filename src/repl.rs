@@ -5,9 +5,7 @@
 //! small command language over [`Explorer`] — factored out of the binary
 //! so parsing and dispatch are unit-testable.
 
-use blaeu_core::render::{
-    render_highlight, render_map, render_status, render_themes, write_svg,
-};
+use blaeu_core::render::{render_highlight, render_map, render_status, render_themes, write_svg};
 use blaeu_core::{BlaeuError, Explorer};
 
 /// A parsed REPL command.
@@ -212,10 +210,7 @@ pub fn execute(explorer: &mut Explorer, command: Command) -> Outcome {
                 .map_err(BlaeuError::from_io)
                 .and_then(|f| explorer.export_view_csv(std::io::BufWriter::new(f)))
             {
-                Ok(()) => format!(
-                    "wrote {} rows to {path}\n",
-                    explorer.current().view.nrows()
-                ),
+                Ok(()) => format!("wrote {} rows to {path}\n", explorer.current().view.nrows()),
                 Err(e) => format!("error: {e}\n"),
             }
         }
@@ -257,8 +252,14 @@ mod tests {
         assert_eq!(parse("region 3"), Ok(Command::Region(3)));
         assert_eq!(parse("back"), Ok(Command::Back));
         assert_eq!(parse("sql"), Ok(Command::Status));
-        assert_eq!(parse("svg /tmp/map.svg"), Ok(Command::Svg("/tmp/map.svg".into())));
-        assert_eq!(parse("export /tmp/v.csv"), Ok(Command::Export("/tmp/v.csv".into())));
+        assert_eq!(
+            parse("svg /tmp/map.svg"),
+            Ok(Command::Svg("/tmp/map.svg".into()))
+        );
+        assert_eq!(
+            parse("export /tmp/v.csv"),
+            Ok(Command::Export("/tmp/v.csv".into()))
+        );
         assert_eq!(parse("help"), Ok(Command::Help));
         assert_eq!(parse("q"), Ok(Command::Quit));
     }
@@ -278,10 +279,9 @@ mod tests {
         let mut ex = explorer();
         execute(&mut ex, Command::Theme(0));
         let cols = ex.current().columns.clone();
-        let Outcome::Continue(out) = execute(
-            &mut ex,
-            Command::Scatter(cols[0].clone(), cols[1].clone()),
-        ) else {
+        let Outcome::Continue(out) =
+            execute(&mut ex, Command::Scatter(cols[0].clone(), cols[1].clone()))
+        else {
             panic!("scatter should continue");
         };
         assert!(out.contains("region #"), "{out}");

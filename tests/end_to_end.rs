@@ -24,10 +24,7 @@ fn countries_work_figure_1_walkthrough() {
         .expect("labor theme detected");
     let labor = &ex.themes()[labor_idx];
     assert!(
-        labor
-            .columns
-            .iter()
-            .any(|c| c == "avg_annual_income_kusd"),
+        labor.columns.iter().any(|c| c == "avg_annual_income_kusd"),
         "income should share the labor theme, got {:?}",
         labor.columns
     );
@@ -56,20 +53,17 @@ fn countries_work_figure_1_walkthrough() {
         .leaves()
         .iter()
         .find(|r| {
-            r.description.iter().any(|d| d.contains("pct_employees_long_hours <"))
+            r.description
+                .iter()
+                .any(|d| d.contains("pct_employees_long_hours <"))
                 && r.description.iter().any(|d| d.contains(">="))
         })
         .map(|r| r.id);
-    let target = pleasant.unwrap_or_else(|| {
-        map.leaves().iter().max_by_key(|r| r.count).unwrap().id
-    });
+    let target =
+        pleasant.unwrap_or_else(|| map.leaves().iter().max_by_key(|r| r.count).unwrap().id);
     ex.zoom(target).unwrap();
     let hl = ex.highlight("country").unwrap();
-    let all_examples: Vec<String> = hl
-        .regions
-        .iter()
-        .flat_map(|r| r.examples.clone())
-        .collect();
+    let all_examples: Vec<String> = hl.regions.iter().flat_map(|r| r.examples.clone()).collect();
     assert!(!all_examples.is_empty());
 
     // Figure 1d: project onto the unemployment theme.
@@ -80,7 +74,11 @@ fn countries_work_figure_1_walkthrough() {
         .expect("unemployment theme detected");
     let rows_before = ex.current().view.nrows();
     ex.project_theme(unemployment).unwrap();
-    assert_eq!(ex.current().view.nrows(), rows_before, "projection keeps rows");
+    assert_eq!(
+        ex.current().view.nrows(),
+        rows_before,
+        "projection keeps rows"
+    );
     assert!(ex
         .current()
         .columns
@@ -191,6 +189,9 @@ fn csv_to_exploration_pipeline() {
     let leaves = map.leaves();
     assert_eq!(leaves.len(), 2);
     // Each leaf holds one parity class (60 rows).
-    assert!(leaves.iter().all(|r| r.count == 60), "{:?}",
-        leaves.iter().map(|r| r.count).collect::<Vec<_>>());
+    assert!(
+        leaves.iter().all(|r| r.count == 60),
+        "{:?}",
+        leaves.iter().map(|r| r.count).collect::<Vec<_>>()
+    );
 }

@@ -9,17 +9,30 @@ use blaeu::store::ColumnRole;
 fn all_null_column_survives_pipeline() {
     let n = 120;
     let t = TableBuilder::new("nulls")
-        .column("good_a", Column::dense_f64((0..n).map(|i| f64::from(i % 7)).collect()))
+        .column(
+            "good_a",
+            Column::dense_f64((0..n).map(|i| f64::from(i % 7)).collect()),
+        )
         .unwrap()
-        .column("good_b", Column::dense_f64((0..n).map(|i| f64::from(i % 7) * 2.0).collect()))
+        .column(
+            "good_b",
+            Column::dense_f64((0..n).map(|i| f64::from(i % 7) * 2.0).collect()),
+        )
         .unwrap()
-        .column("void", Column::from_f64s(std::iter::repeat_n(None, n as usize)))
+        .column(
+            "void",
+            Column::from_f64s(std::iter::repeat_n(None, n as usize)),
+        )
         .unwrap()
         .build()
         .unwrap();
     // Dependency graph, themes and maps all tolerate the dead column.
-    let dm = dependency_matrix(&t, &["good_a", "good_b", "void"], &DependencyOptions::default())
-        .unwrap();
+    let dm = dependency_matrix(
+        &t,
+        &["good_a", "good_b", "void"],
+        &DependencyOptions::default(),
+    )
+    .unwrap();
     assert_eq!(dm.get(0, 2), 0.0, "a dead column carries no information");
     let map = build_map(&t, &["good_a", "good_b", "void"], &MapperConfig::default()).unwrap();
     assert!(map.root().count == 120);
@@ -30,9 +43,15 @@ fn constant_columns_survive_pipeline() {
     let t = TableBuilder::new("const")
         .column("c1", Column::dense_f64(vec![7.0; 100]))
         .unwrap()
-        .column("c2", Column::from_strs(std::iter::repeat_n(Some("same"), 100)))
+        .column(
+            "c2",
+            Column::from_strs(std::iter::repeat_n(Some("same"), 100)),
+        )
         .unwrap()
-        .column("varies", Column::dense_f64((0..100).map(|i| f64::from(i % 2) * 50.0).collect()))
+        .column(
+            "varies",
+            Column::dense_f64((0..100).map(|i| f64::from(i % 2) * 50.0).collect()),
+        )
         .unwrap()
         .build()
         .unwrap();
@@ -105,9 +124,19 @@ fn unicode_and_hostile_labels() {
 fn categorical_only_map() {
     let n = 300;
     let cats: Vec<&str> = (0..n)
-        .map(|i| if i % 3 == 0 { "red" } else if i % 3 == 1 { "green" } else { "blue" })
+        .map(|i| {
+            if i % 3 == 0 {
+                "red"
+            } else if i % 3 == 1 {
+                "green"
+            } else {
+                "blue"
+            }
+        })
         .collect();
-    let group: Vec<&str> = (0..n).map(|i| if i % 3 == 0 { "warm" } else { "cool" }).collect();
+    let group: Vec<&str> = (0..n)
+        .map(|i| if i % 3 == 0 { "warm" } else { "cool" })
+        .collect();
     let t = TableBuilder::new("cats")
         .column("color", Column::from_strs(cats.into_iter().map(Some)))
         .unwrap()
@@ -124,7 +153,14 @@ fn categorical_only_map() {
         .regions()
         .iter()
         .any(|r| r.description.iter().any(|d| d.contains("in {")));
-    assert!(has_cat_rule, "{:?}", map.regions().iter().map(|r| &r.description).collect::<Vec<_>>());
+    assert!(
+        has_cat_rule,
+        "{:?}",
+        map.regions()
+            .iter()
+            .map(|r| &r.description)
+            .collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -132,9 +168,15 @@ fn high_cardinality_categorical_does_not_explode() {
     let n = 400;
     let labels: Vec<String> = (0..n).map(|i| format!("unique_{i}")).collect();
     let t = TableBuilder::new("hicard")
-        .column("id_like", Column::from_strs(labels.iter().map(|s| Some(s.as_str()))))
+        .column(
+            "id_like",
+            Column::from_strs(labels.iter().map(|s| Some(s.as_str()))),
+        )
         .unwrap()
-        .column("x", Column::dense_f64((0..n).map(|i| f64::from(i % 2) * 10.0).collect()))
+        .column(
+            "x",
+            Column::dense_f64((0..n).map(|i| f64::from(i % 2) * 10.0).collect()),
+        )
         .unwrap()
         .build()
         .unwrap();

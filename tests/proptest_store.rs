@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use blaeu::store::{
-    read_csv_str, uniform_sample, write_csv_string, Bitmap, Column, CsvOptions,
-    MultiScaleSampler, Predicate, Table, TableBuilder,
+    read_csv_str, uniform_sample, write_csv_string, Bitmap, Column, CsvOptions, MultiScaleSampler,
+    Predicate, Table, TableBuilder,
 };
 
 fn table_from(values: &[Option<f64>], cats: &[Option<u8>]) -> Table {

@@ -50,7 +50,10 @@ fn sampled_maps_match_planted_truth() {
         );
         last_ari = ari;
     }
-    assert!(last_ari > 0.85, "large samples should be near-perfect: {last_ari}");
+    assert!(
+        last_ari > 0.85,
+        "large samples should be near-perfect: {last_ari}"
+    );
 }
 
 #[test]
@@ -88,10 +91,7 @@ fn sampled_map_agrees_with_full_map() {
     )
     .unwrap();
 
-    let ari = adjusted_rand_index(
-        &region_labels(&full, 3000),
-        &region_labels(&sampled, 3000),
-    );
+    let ari = adjusted_rand_index(&region_labels(&full, 3000), &region_labels(&sampled, 3000));
     assert!(
         ari > 0.8,
         "sampled map should reproduce the full-data map, ARI {ari}"
@@ -129,12 +129,9 @@ fn silhouette_estimate_tracks_sample_size() {
         .iter()
         .map(|(c, _)| c.as_str())
         .collect();
-    let features = blaeu::core::preprocess(
-        &table,
-        &columns,
-        &blaeu::core::PreprocessConfig::default(),
-    )
-    .unwrap();
+    let features =
+        blaeu::core::preprocess(&table, &columns, &blaeu::core::PreprocessConfig::default())
+            .unwrap();
     let points = features.into_points(blaeu::core::MetricChoice::Gower);
     let matrix = DistanceMatrix::from_points(&points);
     let exact = silhouette_score(&matrix, &truth.labels);
@@ -163,5 +160,8 @@ fn silhouette_estimate_tracks_sample_size() {
         err_large <= err_small + 0.02,
         "more MC effort should not hurt: small-err {err_small}, large-err {err_large}"
     );
-    assert!(err_large < 0.08, "large MC estimate should be close: {err_large}");
+    assert!(
+        err_large < 0.08,
+        "large MC estimate should be close: {err_large}"
+    );
 }

@@ -16,39 +16,36 @@ fn table() -> Table {
 
 #[test]
 fn many_clients_explore_concurrently() {
-    let manager = Arc::new(SessionManager::new());
+    let manager = SessionManager::new();
     let base = table();
     let ids: Vec<_> = (0..6)
-        .map(|_| manager.create(base.clone(), ExplorerConfig::default()).unwrap())
+        .map(|_| {
+            manager
+                .create(base.clone(), ExplorerConfig::default())
+                .unwrap()
+        })
         .collect();
 
-    crossbeam::scope(|scope| {
-        for &id in &ids {
-            let manager = Arc::clone(&manager);
-            scope.spawn(move |_| {
-                for round in 0..2 {
-                    manager
-                        .with(id, |ex| {
-                            ex.select_theme(round % ex.themes().len()).unwrap();
-                            let biggest = ex
-                                .map()
-                                .unwrap()
-                                .leaves()
-                                .iter()
-                                .max_by_key(|r| r.count)
-                                .unwrap()
-                                .id;
-                            ex.zoom(biggest).unwrap();
-                            ex.highlight("film").unwrap();
-                            ex.rollback().unwrap();
-                            ex.rollback().unwrap();
-                        })
-                        .unwrap();
-                }
-            });
+    let outcomes = manager.par_with(&ids, |_, ex| {
+        for round in 0..2 {
+            ex.select_theme(round % ex.themes().len()).unwrap();
+            let biggest = ex
+                .map()
+                .unwrap()
+                .leaves()
+                .iter()
+                .max_by_key(|r| r.count)
+                .unwrap()
+                .id;
+            ex.zoom(biggest).unwrap();
+            ex.highlight("film").unwrap();
+            ex.rollback().unwrap();
+            ex.rollback().unwrap();
         }
-    })
-    .unwrap();
+    });
+    for outcome in outcomes {
+        outcome.unwrap();
+    }
 
     // All sessions end back at their initial state.
     for &id in &ids {
@@ -62,14 +59,16 @@ fn create_and_close_interleaved_with_use() {
     let manager = Arc::new(SessionManager::new());
     let base = table();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         // Churner thread: creates and closes sessions.
         {
             let manager = Arc::clone(&manager);
             let base = base.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for _ in 0..5 {
-                    let id = manager.create(base.clone(), ExplorerConfig::default()).unwrap();
+                    let id = manager
+                        .create(base.clone(), ExplorerConfig::default())
+                        .unwrap();
                     manager.close(id).unwrap();
                 }
             });
@@ -78,8 +77,10 @@ fn create_and_close_interleaved_with_use() {
         {
             let manager = Arc::clone(&manager);
             let base = base.clone();
-            scope.spawn(move |_| {
-                let id = manager.create(base.clone(), ExplorerConfig::default()).unwrap();
+            scope.spawn(move || {
+                let id = manager
+                    .create(base.clone(), ExplorerConfig::default())
+                    .unwrap();
                 for _ in 0..3 {
                     manager
                         .with(id, |ex| {
@@ -91,8 +92,7 @@ fn create_and_close_interleaved_with_use() {
                 manager.close(id).unwrap();
             });
         }
-    })
-    .unwrap();
+    });
     assert!(manager.is_empty());
 }
 

@@ -8,10 +8,7 @@ use blaeu::store::generate::ColumnShape;
 use blaeu::store::generate::ThemeSpec;
 
 /// NMI between detected and planted column-theme assignments.
-fn theme_recovery_nmi(
-    detected: &ThemeSet,
-    truth: &blaeu::store::generate::PlantedTruth,
-) -> f64 {
+fn theme_recovery_nmi(detected: &ThemeSet, truth: &blaeu::store::generate::PlantedTruth) -> f64 {
     let assignments = detected.column_assignments();
     let mut det = Vec::new();
     let mut tru = Vec::new();
