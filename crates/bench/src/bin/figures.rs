@@ -4,7 +4,14 @@
 //! ```sh
 //! cargo run -p blaeu-bench --release --bin figures            # everything
 //! cargo run -p blaeu-bench --release --bin figures f1b c3 a2  # a subset
+//! cargo run -p blaeu-bench --release --bin figures -- --json out.json
 //! ```
+//!
+//! `--json <path>` writes the determinism digest: the figure pipeline's
+//! *numeric outcomes* (themes, map regions, dependency-matrix cells,
+//! CLARA medoids/deviations — floats as exact bit patterns, never
+//! wall-clock timings), byte-identical for every `BLAEU_THREADS` value.
+//! CI diffs the digest across thread counts.
 
 use std::time::Instant;
 
@@ -929,8 +936,156 @@ fn a4() {
     );
 }
 
+/// Writes the determinism digest to `path` (see the module docs).
+///
+/// Every value here must be a pure function of the input data and seeds:
+/// f64s are recorded as hex bit patterns so "close enough" can never
+/// mask a thread-count-dependent rounding, and nothing derived from
+/// wall-clock time or thread identity is allowed in.
+fn json_digest(path: &str) {
+    use serde_json::{json, Value};
+    let bits = |v: f64| format!("{:016x}", v.to_bits());
+
+    // Themes and the labor map over the small OECD table (F1a/F1b).
+    let (mut ex, _) = oecd_explorer();
+    let themes: Vec<Value> = ex
+        .themes()
+        .iter()
+        .map(|t| json!({"name": t.name, "columns": t.columns}))
+        .collect();
+    let labor = labor_theme_index(&ex);
+    let map = ex.select_theme(labor).expect("mappable");
+    let regions: Vec<Value> = map
+        .leaves()
+        .iter()
+        .map(|r| {
+            json!({
+                "id": r.id,
+                "cluster": r.cluster,
+                "count": r.count,
+                "description": r.description,
+            })
+        })
+        .collect();
+    let map_digest = json!({
+        "columns": map.columns,
+        "sample_size": map.sample_size,
+        "medoid_rows": map.medoid_rows.clone(),
+        "regions": regions,
+    });
+
+    // The F2 dependency matrix, cell-exact (sharded pairwise sweep).
+    let (table, _) = oecd_small();
+    let columns = [
+        "unemployment_rate",
+        "long_term_unemployment",
+        "female_unemployment",
+        "pct_health_insurance",
+        "life_expectancy",
+        "health_spending_pct_gdp",
+    ];
+    let dm =
+        dependency_matrix(&table, &columns, &DependencyOptions::default()).expect("columns exist");
+    let mut cells = Vec::new();
+    for i in 0..columns.len() {
+        for j in 0..columns.len() {
+            cells.push(bits(dm.get(i, j)));
+        }
+    }
+
+    // CLARA + whole-dataset assignment over planted blobs (C3's workload).
+    let (blob_table, truth) = blobs(1500, 3);
+    let points = as_points(&blob_table, &blob_columns(&truth));
+    let clustering = clara(&points, 3, &ClaraConfig::default());
+    let mut label_histogram = vec![0usize; 3];
+    for &label in &clustering.labels {
+        label_histogram[label] += 1;
+    }
+    let (assign_labels, assign_total) = blaeu_cluster::assign_points(&points, &[5, 700, 1400]);
+    let assign_histogram = {
+        let mut h = vec![0usize; 3];
+        for &label in &assign_labels {
+            h[label] += 1;
+        }
+        h
+    };
+
+    // Distance matrix over the parallel band path (n >= 256).
+    let (small_table, small_truth) = blobs(600, 3);
+    let small_points = as_points(&small_table, &blob_columns(&small_truth));
+    let matrix = DistanceMatrix::from_points(&small_points);
+    let probes: Vec<String> = [
+        (0usize, 1usize),
+        (0, 599),
+        (127, 128),
+        (298, 301),
+        (597, 599),
+    ]
+    .iter()
+    .map(|&(i, j)| bits(matrix.get(i, j)))
+    .collect();
+
+    // Session-tier fan-out: per-session outcomes must not depend on which
+    // worker served which session.
+    let manager = SessionManager::new();
+    let ids: Vec<_> = (0..4)
+        .map(|_| {
+            manager
+                .create(table.clone(), ExplorerConfig::default())
+                .expect("openable")
+        })
+        .collect();
+    let session_depths: Vec<usize> = manager
+        .par_with(&ids, |_, session| {
+            session.select_theme(0).expect("theme 0");
+            session.depth()
+        })
+        .into_iter()
+        .map(|r| r.expect("session alive"))
+        .collect();
+
+    let digest = json!({
+        "themes": themes,
+        "labor_map": map_digest,
+        "dependency_matrix": json!({"columns": columns, "cell_bits": cells}),
+        "clara": json!({
+            "medoids": clustering.medoids.clone(),
+            "total_deviation_bits": bits(clustering.total_deviation),
+            "label_histogram": label_histogram,
+            "swaps": clustering.swaps,
+            "converged": clustering.converged,
+        }),
+        "assign_points": json!({
+            "total_deviation_bits": bits(assign_total),
+            "label_histogram": assign_histogram,
+        }),
+        "distance_matrix": json!({
+            "n": matrix.len(),
+            "mean_bits": bits(matrix.mean()),
+            "probe_bits": probes,
+        }),
+        "sessions": json!({"depths": session_depths}),
+    });
+    let rendered = serde_json::to_string_pretty(&digest).expect("serializable");
+    std::fs::write(path, rendered + "\n").unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote determinism digest to {path}");
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--json <path>` is recognized anywhere in the argument list; it
+    // consumes its path operand and replaces the experiment run with the
+    // determinism digest.
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        args.remove(pos);
+        let path = if pos < args.len() {
+            args.remove(pos)
+        } else {
+            "figures.json".to_owned()
+        };
+        json_digest(&path);
+        return;
+    }
     let all: Vec<(&str, fn())> = vec![
         ("f1a", f1a),
         ("f1b", f1b),

@@ -44,15 +44,18 @@ impl Default for ClaraConfig {
 /// Assigns all points to the nearest of the given medoid rows (indices into
 /// `points`), computing distances on the fly.
 ///
-/// Runs as a parallel reduction on the shared executor; the fold grain is
-/// fixed, so the deviation total is bit-identical across thread counts.
+/// The dataset is partitioned into row shards (sized to the executor's
+/// reduce grain) that workers claim adaptively; per-shard labels and
+/// deviation sums are combined in shard order. The shard layout depends
+/// only on `points.len()`, so the deviation total is bit-identical across
+/// thread counts.
 pub fn assign_points(points: &Points, medoids: &[usize]) -> (Vec<usize>, f64) {
     let n = points.len();
-    let (labels, total) = blaeu_exec::par_reduce(
-        n,
-        0,
-        || (Vec::with_capacity(blaeu_exec::REDUCE_GRAIN.min(n)), 0.0f64),
-        |(mut labels, mut total), j| {
+    let shards = blaeu_exec::ShardSpec::with_shard_size(n, blaeu_exec::REDUCE_GRAIN);
+    let parts = blaeu_exec::par_shards(&shards, 0, |_, rows| {
+        let mut labels = Vec::with_capacity(rows.len());
+        let mut total = 0.0f64;
+        for j in rows {
             let mut best_slot = 0usize;
             let mut best_d = f64::INFINITY;
             for (slot, &m) in medoids.iter().enumerate() {
@@ -64,13 +67,15 @@ pub fn assign_points(points: &Points, medoids: &[usize]) -> (Vec<usize>, f64) {
             }
             labels.push(best_slot);
             total += best_d;
-            (labels, total)
-        },
-        |(mut labels_a, total_a), (labels_b, total_b)| {
-            labels_a.extend(labels_b);
-            (labels_a, total_a + total_b)
-        },
-    );
+        }
+        (labels, total)
+    });
+    let mut labels = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for (shard_labels, shard_total) in parts {
+        labels.extend(shard_labels);
+        total += shard_total;
+    }
     debug_assert_eq!(labels.len(), n);
     (labels, total)
 }
@@ -125,11 +130,13 @@ pub fn clara(points: &Points, k: usize, config: &ClaraConfig) -> PamResult {
     .min(points.len());
 
     let replicates = config.replicates.max(1);
-    // Replicates fan out on the shared executor; each replicate is fully
-    // seeded by its index, and inner parallel work (distance matrices,
-    // assignment sweeps) degrades to sequential via the nesting guard, so
-    // results are independent of the thread count.
-    let results = blaeu_exec::par_map_range(replicates, config.threads, |r| {
+    // Replicates fan out on the shared executor with a steal grain of 1 —
+    // a replicate is far too coarse to batch, and PAM convergence time
+    // varies per sample, so idle workers steal the stragglers. Each
+    // replicate is fully seeded by its index, and inner parallel work
+    // (distance matrices, assignment sweeps) degrades to sequential via
+    // the nesting guard, so results are independent of the thread count.
+    let results = blaeu_exec::par_map_range_grained(replicates, config.threads, 1, |r| {
         run_replicate(points, k, sample_size, &config.pam, config.seed + r as u64)
     });
 

@@ -22,36 +22,47 @@ impl DistanceMatrix {
         DistanceMatrix { n, data }
     }
 
-    /// Builds a matrix from a point set, parallelizing across rows when the
-    /// set is large.
+    /// Maximum rows per steal-queue band in
+    /// [`DistanceMatrix::from_points`]. The condensed row of `i` holds
+    /// `n − 1 − i` cells, so equal-height bands carry wildly unequal
+    /// work; fine bands let the executor's claim queue rebalance that
+    /// skew instead of pinning the long early rows to whichever worker
+    /// drew them. For small `n` the height shrinks further (to the
+    /// adaptive grain for the thread budget) so even a 300-point build
+    /// has enough bands to balance — the band layout may depend on the
+    /// budget because every cell's value depends only on its position,
+    /// never on which band wrote it.
+    const BAND_ROWS: usize = 64;
+
+    fn band_rows(n: usize) -> usize {
+        Self::BAND_ROWS.min(blaeu_exec::adaptive_grain(n, blaeu_exec::thread_budget()))
+    }
+
+    /// Builds a matrix from a point set, parallelizing across row bands
+    /// when the set is large.
     ///
-    /// Each executor worker fills the condensed rows of one band of `i`
-    /// in place; every cell's value depends only on its position, so the
-    /// matrix is identical for any thread count (and the build degrades to
-    /// sequential inside an outer parallel region, e.g. CLARA replicates).
+    /// The condensed buffer is split into fixed-height row bands
+    /// ([`Self::BAND_ROWS`]) that executor workers claim adaptively; each
+    /// worker fills its band in place. Every cell's value depends only on
+    /// its position, so the matrix is identical for any thread count (and
+    /// the build degrades to sequential inside an outer parallel region,
+    /// e.g. CLARA replicates).
     pub fn from_points(points: &Points) -> Self {
         let n = points.len();
         if n < 256 {
             return DistanceMatrix::from_fn(n, |i, j| points.dist(i, j));
         }
         let mut data = vec![0.0f64; n * (n - 1) / 2];
-        // Split the condensed buffer at row boundaries.
+        // Split the condensed buffer where each row band starts.
         let row_start = |i: usize| i * n - i * (i + 1) / 2; // offset of (i, i+1)
-        let mut bands: Vec<(usize, usize)> = Vec::new(); // (i_begin, i_end)
-        let per = n.div_ceil(blaeu_exec::thread_budget());
-        let mut begin = 0usize;
-        while begin < n {
-            bands.push((begin, (begin + per).min(n)));
-            begin += per;
-        }
-        let boundaries: Vec<usize> = bands[..bands.len() - 1]
-            .iter()
-            .map(|&(_, e)| row_start(e))
+        let bands = blaeu_exec::ShardSpec::with_shard_size(n, Self::band_rows(n));
+        let boundaries: Vec<usize> = (1..bands.shard_count())
+            .map(|s| row_start(bands.range(s).start))
             .collect();
         blaeu_exec::par_chunks_mut(&mut data, &boundaries, |band, slice| {
-            let (b, e) = bands[band];
+            let rows = bands.range(band);
             let mut idx = 0usize;
-            for i in b..e {
+            for i in rows {
                 for j in (i + 1)..n {
                     slice[idx] = points.dist(i, j);
                     idx += 1;

@@ -70,6 +70,11 @@ impl SessionManager {
     /// — CLARA replicates, distance-matrix builds, dependency sweeps —
     /// degrades to sequential instead of multiplying thread counts.
     ///
+    /// Sessions fan out with a steal grain of 1: one session's request is
+    /// far too coarse to batch, and per-session latency varies (a slow map
+    /// next to a fast highlight), so idle workers steal waiting sessions
+    /// instead of being pinned to a pre-assigned block of ids.
+    ///
     /// Unknown ids yield [`BlaeuError::UnknownSession`] in their slot
     /// without affecting the other sessions.
     pub fn par_with<R, F>(&self, ids: &[SessionId], f: F) -> Vec<Result<R>>
@@ -77,7 +82,7 @@ impl SessionManager {
         R: Send,
         F: Fn(SessionId, &mut Explorer) -> R + Sync,
     {
-        blaeu_exec::par_map(ids, 0, |_, &id| self.with(id, |ex| f(id, ex)))
+        blaeu_exec::par_map_grained(ids, 0, 1, |_, &id| self.with(id, |ex| f(id, ex)))
     }
 
     /// Closes a session.

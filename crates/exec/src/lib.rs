@@ -22,6 +22,37 @@
 //!    multiplying thread counts (e.g. CLARA building distance matrices
 //!    inside a parallel session sweep).
 //!
+//! ## Work stealing and the adaptive grain
+//!
+//! Every parallel entry point feeds a **claim queue**: the index range is
+//! cut into grains, workers pull the next unclaimed grain off a shared
+//! atomic cursor, and results are re-assembled in grain order. A worker
+//! that lands on a cheap grain immediately claims another, so skewed
+//! workloads (triangular distance-matrix bands, mixed-cost dependency
+//! pairs) keep every core busy without any effect on the output: order is
+//! restored on collect, which is why the grain size is a pure performance
+//! knob for [`par_map`] / [`par_map_range`] / [`par_shards`].
+//!
+//! By default the grain is **adaptive**: `ceil(n / (threads ·`
+//! [`OVERPARTITION`]`))`, clamped to at least 1 — enough grains that the
+//! queue can rebalance, few enough that claim overhead stays negligible.
+//! [`par_map_grained`] / [`par_map_range_grained`] expose the knob for
+//! callers whose items are so coarse (session fan-outs, CLARA replicates)
+//! that every item should be its own steal unit, and for benchmarks that
+//! want to reproduce the legacy one-chunk-per-thread split.
+//!
+//! ## Sharding ([`ShardSpec`] / [`par_shards`])
+//!
+//! Row-sharded hot paths (CLARA whole-dataset assignment, the pairwise
+//! dependency sweep) partition their index space into contiguous shards
+//! whose layout is a **pure function of the item count** — never of the
+//! thread budget. Each shard becomes one steal-queue grain, and per-shard
+//! results come back in shard order, so shard-grained reductions (e.g.
+//! summing per-shard deviations) are bit-identical across thread counts.
+//! This is the single-node half of the ROADMAP's cross-node sharding
+//! story: a `ShardSpec` describes the partition independently of who
+//! executes it.
+//!
 //! Worker panics are propagated to the caller with their original payload
 //! after all sibling workers have finished.
 
@@ -38,6 +69,31 @@ use std::sync::OnceLock;
 /// only — never of the thread count. Public so callers building
 /// collection-typed accumulators can pre-size them to the grain.
 pub const REDUCE_GRAIN: usize = 1024;
+
+/// Target number of steal-queue grains *per worker* for the adaptive
+/// grain: `par_map(n, t)` cuts the input into about `t · OVERPARTITION`
+/// grains so the claim queue can rebalance skewed workloads, instead of
+/// the legacy single `n / t` chunk per worker.
+pub const OVERPARTITION: usize = 8;
+
+/// The adaptive steal grain for `n` items on `threads` workers:
+/// `ceil(n / (threads · OVERPARTITION))`, at least 1.
+///
+/// Public so callers that derive their own partition geometry from the
+/// executor's balancing policy (e.g. distance-matrix band heights) track
+/// this one formula instead of re-implementing it.
+pub fn adaptive_grain(n: usize, threads: usize) -> usize {
+    n.div_ceil(threads * OVERPARTITION).max(1)
+}
+
+/// Resolves a caller-requested grain (`0` = adaptive) to an effective one.
+fn effective_grain(n: usize, threads: usize, requested: usize) -> usize {
+    if requested == 0 {
+        adaptive_grain(n, threads)
+    } else {
+        requested.clamp(1, n.max(1))
+    }
+}
 
 /// Explicit budget override; 0 means "auto-detect".
 static BUDGET_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -168,10 +224,29 @@ where
 /// Applies `f` to every element of `items` (with its index), in parallel,
 /// returning results in input order.
 ///
-/// `threads == 0` uses the process [`thread_budget`]. Calls from inside an
-/// executor worker run sequentially (nesting guard). Panics in `f` are
-/// propagated with their original payload.
+/// `threads == 0` uses the process [`thread_budget`]. The input is cut
+/// into adaptive steal grains (see [`OVERPARTITION`]) pulled off a shared
+/// claim queue; order is restored on collect, so results are identical
+/// for any thread count. Calls from inside an executor worker run
+/// sequentially (nesting guard). Panics in `f` are propagated with their
+/// original payload.
 pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_grained(items, threads, 0, f)
+}
+
+/// [`par_map`] with an explicit steal-grain size (`grain == 0` =
+/// adaptive).
+///
+/// `grain` is a pure performance knob: it changes how work is claimed,
+/// never the results. Use `grain == 1` when every item is coarse enough
+/// to be its own steal unit (session fan-outs, clustering replicates);
+/// larger grains amortize claim overhead for cheap items.
+pub fn par_map_grained<T, R, F>(items: &[T], threads: usize, grain: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -182,11 +257,14 @@ where
     if t <= 1 {
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
-    let chunk_size = n.div_ceil(t);
-    let chunks = n.div_ceil(chunk_size);
+    let grain = effective_grain(n, t, grain);
+    let chunks = n.div_ceil(grain);
+    if chunks <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
     let parts = run_chunked(chunks, t, |c| {
-        let start = c * chunk_size;
-        let end = (start + chunk_size).min(n);
+        let start = c * grain;
+        let end = (start + grain).min(n);
         items[start..end]
             .iter()
             .enumerate()
@@ -207,15 +285,28 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    par_map_range_grained(n, threads, 0, f)
+}
+
+/// [`par_map_range`] with an explicit steal-grain size (`grain == 0` =
+/// adaptive). See [`par_map_grained`].
+pub fn par_map_range_grained<R, F>(n: usize, threads: usize, grain: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
     let t = resolve_threads(threads, n);
     if t <= 1 {
         return (0..n).map(f).collect();
     }
-    let chunk_size = n.div_ceil(t);
-    let chunks = n.div_ceil(chunk_size);
+    let grain = effective_grain(n, t, grain);
+    let chunks = n.div_ceil(grain);
+    if chunks <= 1 {
+        return (0..n).map(f).collect();
+    }
     let parts = run_chunked(chunks, t, |c| {
-        let start = c * chunk_size;
-        let end = (start + chunk_size).min(n);
+        let start = c * grain;
+        let end = (start + grain).min(n);
         (start..end).map(&f).collect::<Vec<R>>()
     });
     let mut out = Vec::with_capacity(n);
@@ -223,6 +314,68 @@ where
         out.extend(part);
     }
     out
+}
+
+/// A thread-count-independent partition of `0..items` into contiguous,
+/// equal-size shards (the last may be short).
+///
+/// The layout is a pure function of `(items, shard_size)` — constructors
+/// never consult [`thread_budget`] — so anything accumulated *per shard
+/// in shard order* (labels, deviation sums, figure outputs) is
+/// bit-identical whatever the parallelism. A `ShardSpec` is also the
+/// unit blaeu will hand to remote executor groups once the cross-node
+/// tier exists: it describes *what* a shard covers, not *who* runs it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    items: usize,
+    shard_size: usize,
+}
+
+impl ShardSpec {
+    /// A spec with a fixed shard size.
+    ///
+    /// # Panics
+    /// Panics if `shard_size == 0`.
+    pub fn with_shard_size(items: usize, shard_size: usize) -> Self {
+        assert!(shard_size > 0, "shard size must be positive");
+        ShardSpec { items, shard_size }
+    }
+
+    /// Total number of items covered.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Number of shards (0 for an empty spec).
+    pub fn shard_count(&self) -> usize {
+        self.items.div_ceil(self.shard_size)
+    }
+
+    /// Half-open item range of shard `s`.
+    ///
+    /// # Panics
+    /// Panics if `s >= shard_count()`.
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        assert!(s < self.shard_count(), "shard index out of range");
+        let start = s * self.shard_size;
+        start..(start + self.shard_size).min(self.items)
+    }
+}
+
+/// Runs `f(shard_index, item_range)` for every shard of `spec` in
+/// parallel, returning per-shard results **in shard order**.
+///
+/// Each shard is one steal-queue grain, so skewed shards rebalance across
+/// workers; because the shard layout ignores the thread budget, combining
+/// the returned values in order is deterministic across thread counts.
+/// `threads == 0` uses the process budget; nested calls degrade to
+/// sequential as usual.
+pub fn par_shards<R, F>(spec: &ShardSpec, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
+{
+    par_map_range_grained(spec.shard_count(), threads, 1, |s| f(s, spec.range(s)))
 }
 
 /// Parallel fold over the index range `0..n` with **thread-count-independent
@@ -472,6 +625,134 @@ mod tests {
         assert_eq!(thread_budget(), 2);
         set_thread_budget(0);
         assert!(thread_budget() >= 1);
+    }
+
+    /// Skew coverage for the claim queue: grain `i` costs O(i²) work, so
+    /// a static `n / threads` split would leave the first workers idle
+    /// while the last one grinds through the expensive tail. With the
+    /// adaptive grain every worker keeps pulling grains until the queue
+    /// is dry. Two 4-party barrier bands make the per-worker assertion
+    /// deterministic rather than probabilistic, even on one core: a
+    /// claimed worker blocks at the barrier and cannot claim again, so
+    /// the first four grains are necessarily claimed by four *distinct*
+    /// workers — and, because the cursor hands out the last four grains
+    /// only after the middle ones, the same argument forces the last
+    /// four grains onto four distinct workers too. Disjoint bands mean
+    /// every worker retires at least two grains, full stop.
+    #[test]
+    fn skewed_quadratic_grains_are_stolen_by_every_worker() {
+        let threads = 4;
+        // n ≤ threads · OVERPARTITION makes the adaptive grain exactly 1.
+        let n = threads * OVERPARTITION;
+        let quadratic = |i: usize| {
+            let mut acc = 0u64;
+            for k in 0..(i * i * 2_000 + 10_000) {
+                acc = acc.wrapping_add((k as u64).wrapping_mul(2_654_435_761));
+            }
+            acc
+        };
+        let expected: Vec<u64> = (0..n).map(quadratic).collect();
+        // std's Barrier is cyclic: one instance serves both bands.
+        let rendezvous = std::sync::Barrier::new(threads);
+        let out: Vec<(u64, ThreadId)> = par_map_range(n, threads, |i| {
+            if i < threads || i >= n - threads {
+                rendezvous.wait();
+            }
+            (quadratic(i), std::thread::current().id())
+        });
+        let values: Vec<u64> = out.iter().map(|&(v, _)| v).collect();
+        assert_eq!(values, expected, "stolen grains must collect in order");
+        let mut retired: std::collections::HashMap<ThreadId, usize> =
+            std::collections::HashMap::new();
+        for &(_, id) in &out {
+            *retired.entry(id).or_default() += 1;
+        }
+        assert_eq!(retired.len(), threads, "all workers must participate");
+        for (id, count) in retired {
+            assert!(count > 1, "worker {id:?} retired only {count} grain(s)");
+        }
+    }
+
+    #[test]
+    fn grained_variants_match_adaptive_results() {
+        let items: Vec<u64> = (0..1000).map(|i| i * 3 + 1).collect();
+        let reference = par_map(&items, 1, |i, &x| x + i as u64);
+        for grain in [0usize, 1, 7, 125, 1000, 5000] {
+            for threads in [2usize, 4, 8] {
+                assert_eq!(
+                    par_map_grained(&items, threads, grain, |i, &x| x + i as u64),
+                    reference,
+                    "grain={grain} threads={threads}"
+                );
+                assert_eq!(
+                    par_map_range_grained(items.len(), threads, grain, |i| items[i] + i as u64),
+                    reference,
+                    "range grain={grain} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_spec_partitions_exactly() {
+        for &items in &[0usize, 1, 5, 4095, 4096, 4097, 10_000] {
+            for &size in &[1usize, 3, 1024, 4096] {
+                let spec = ShardSpec::with_shard_size(items, size);
+                assert_eq!(spec.items(), items);
+                let mut covered = Vec::new();
+                for s in 0..spec.shard_count() {
+                    let r = spec.range(s);
+                    assert!(!r.is_empty(), "items={items} size={size} shard {s} empty");
+                    assert!(r.len() <= size);
+                    covered.extend(r);
+                }
+                assert_eq!(covered, (0..items).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn shard_spec_rejects_zero_size() {
+        let _ = ShardSpec::with_shard_size(10, 0);
+    }
+
+    #[test]
+    fn par_shards_is_ordered_and_thread_count_independent() {
+        // Shard-order sums of a float workload must be bit-identical for
+        // every thread count because the layout depends only on `items`.
+        let spec = ShardSpec::with_shard_size(10_000, 512);
+        let value = |i: usize| ((i as f64) * 0.3).cos() / (i as f64 + 2.0);
+        let sum_with = |threads: usize| {
+            par_shards(&spec, threads, |s, range| {
+                let local: f64 = range.map(value).sum();
+                (s, local)
+            })
+            .into_iter()
+            .map(|(_, local)| local)
+            .fold(0.0f64, |a, b| a + b)
+        };
+        let reference = sum_with(1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(reference.to_bits(), sum_with(threads).to_bits());
+        }
+        let shards = par_shards(&spec, 4, |s, range| (s, range));
+        for (s, (idx, range)) in shards.into_iter().enumerate() {
+            assert_eq!(s, idx, "shard results must come back in shard order");
+            assert_eq!(range, spec.range(s));
+        }
+    }
+
+    #[test]
+    fn par_shards_nested_degrades_to_sequential() {
+        let outer = par_map_range(4, 4, |_| {
+            let spec = ShardSpec::with_shard_size(64, 4);
+            let ids: HashSet<ThreadId> = par_shards(&spec, 8, |_, _| std::thread::current().id())
+                .into_iter()
+                .collect();
+            ids.len()
+        });
+        assert!(outer.iter().all(|&distinct| distinct == 1));
     }
 
     #[test]

@@ -109,6 +109,21 @@ impl Default for DependencyOptions {
     }
 }
 
+/// Maximum column pairs per dependency-sweep shard: small enough that a
+/// band of expensive pairs rebalances across workers, large enough to
+/// amortize a claim per shard on wide tables.
+const PAIR_SHARD: usize = 16;
+
+/// Shard size for an `npairs`-pair sweep: pair-per-shard below
+/// [`PAIR_SHARD_TARGET`] shards (a handful of columns must still fan out
+/// across every core — each pair is a full contingency scan), growing to
+/// at most [`PAIR_SHARD`] pairs per shard on wide tables. A pure function
+/// of the pair count, keeping the matrix thread-count independent.
+const PAIR_SHARD_TARGET: usize = 64;
+fn pair_shard_size(npairs: usize) -> usize {
+    npairs.div_ceil(PAIR_SHARD_TARGET).clamp(1, PAIR_SHARD)
+}
+
 /// Symmetric matrix of pairwise column dependencies in `[0, 1]`.
 #[derive(Debug, Clone)]
 pub struct DependencyMatrix {
@@ -251,19 +266,28 @@ pub fn dependency_matrix(
         values[i * m + i] = 1.0;
     }
 
-    // The pairwise sweep runs on the shared executor: results come back in
-    // pair order regardless of the thread count, so the matrix is
-    // bit-identical for any parallelism level.
-    let measured = blaeu_exec::par_map(&pairs, opts.threads, |_, &(i, j)| {
-        measure_pair(
-            &discs[i],
-            &discs[j],
-            numerics[i].as_deref(),
-            numerics[j].as_deref(),
-            opts,
-        )
+    // The pairwise sweep is sharded over the pair list: each shard is one
+    // steal-queue grain, so expensive pairs (high-cardinality contingency
+    // tables) do not pin a worker while its siblings idle. Per-shard
+    // results come back in shard order — the flattened sequence is the
+    // pair order — so the matrix is bit-identical for any parallelism
+    // level.
+    let shards = blaeu_exec::ShardSpec::with_shard_size(pairs.len(), pair_shard_size(pairs.len()));
+    let measured = blaeu_exec::par_shards(&shards, opts.threads, |_, range| {
+        pairs[range]
+            .iter()
+            .map(|&(i, j)| {
+                measure_pair(
+                    &discs[i],
+                    &discs[j],
+                    numerics[i].as_deref(),
+                    numerics[j].as_deref(),
+                    opts,
+                )
+            })
+            .collect::<Vec<f64>>()
     });
-    for (&(i, j), v) in pairs.iter().zip(measured) {
+    for (&(i, j), v) in pairs.iter().zip(measured.into_iter().flatten()) {
         values[i * m + j] = v;
         values[j * m + i] = v;
     }

@@ -6,12 +6,87 @@
 //! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`] and
 //! [`black_box`] — over a simple wall-clock measurement loop. It reports
 //! median / mean per-iteration time to stdout; there is no statistical
-//! analysis, HTML report or saved baseline.
+//! analysis or HTML report.
+//!
+//! ## Baseline save/compare (regression gate)
+//!
+//! Unlike upstream criterion's `--save-baseline` flags, the shim drives
+//! baselines with environment variables so `cargo bench` invocations in
+//! CI need no argument plumbing:
+//!
+//! - `CRITERION_SAVE_BASELINE=<path>` — after all groups run, write every
+//!   benchmark's median (nanoseconds) to `<path>` as a flat JSON object.
+//! - `CRITERION_BASELINE=<path>` — load a previously saved baseline and
+//!   compare medians; [`finalize`] reports `false` (and
+//!   `criterion_main!` exits non-zero) if any shared benchmark regressed
+//!   by more than the allowed percentage.
+//! - `CRITERION_REGRESSION_PCT=<pct>` — allowed median regression
+//!   (default 20).
+//! - `CRITERION_REQUIRE_ALL=1` — also fail when a baseline benchmark did
+//!   not run (otherwise only a warning), so renames/deletions cannot
+//!   silently drop a benchmark out of the gate.
+//!
+//! Comparisons are **calibration-normalized**: alongside every
+//! benchmark's median the shim records a `<name>@cal` entry — the
+//! minimum wall time of a fixed spin kernel measured immediately before
+//! that benchmark's samples — and scales the baseline median by the
+//! ratio of the two `@cal` values before comparing. Interleaving the
+//! calibration with the measurement absorbs *scalar* speed differences:
+//! a committed baseline from a slower box, and mid-run CPU throttling on
+//! shared runners. The kernel is single-threaded, so core-count
+//! differences are NOT absorbed — record the baseline with the same
+//! thread budget (`BLAEU_THREADS`) and a comparable core count to the
+//! gating runner. When a per-bench `@cal` pair is missing, the ratio of
+//! the [`CALIBRATION_BENCH`] benchmark medians is used instead (and
+//! failing that, raw nanoseconds are compared).
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Name of the machine-speed calibration benchmark. When present in both
+/// the baseline and the current run, regression comparison is performed
+/// on calibration-normalized medians.
+pub const CALIBRATION_BENCH: &str = "calibrate/spin";
+
+/// Suffix of the per-benchmark interleaved-calibration entries.
+const CAL_SUFFIX: &str = "@cal";
+
+/// Fixed spin kernel used for interleaved calibration. The xorshift
+/// steps form a serial dependency chain, so the loop cannot be
+/// closed-formed or vectorized away.
+fn calibration_spin() -> u64 {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for _ in 0..2_000_000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    x
+}
+
+/// Minimum wall time of three calibration spins, in nanoseconds — the
+/// minimum is robust to interference, and measuring right before each
+/// benchmark captures the CPU speed *in that benchmark's regime*.
+fn local_calibration_ns() -> u128 {
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(calibration_spin());
+            start.elapsed().as_nanos()
+        })
+        .min()
+        .expect("three samples")
+}
+
+/// Default allowed median regression, percent.
+const DEFAULT_REGRESSION_PCT: f64 = 20.0;
+
+/// Medians (name, nanoseconds) recorded by every benchmark this process
+/// ran, in execution order.
+static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
 
 /// How batched inputs are sized (accepted for compatibility; the shim
 /// times one routine invocation per batch regardless).
@@ -127,6 +202,7 @@ fn fmt_duration(d: Duration) -> String {
 }
 
 fn run_one(name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let calibration = local_calibration_ns();
     let mut bencher = Bencher::new(samples);
     f(&mut bencher);
     let mut timings = bencher.timings;
@@ -143,6 +219,162 @@ fn run_one(name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
         fmt_duration(mean),
         timings.len()
     );
+    let mut results = RESULTS.lock().expect("results lock poisoned");
+    results.push((name.to_owned(), median.as_nanos()));
+    results.push((format!("{name}{CAL_SUFFIX}"), calibration));
+}
+
+/// Serializes medians as a flat JSON object (sorted by name, ns values).
+fn baseline_to_json(results: &[(String, u128)]) -> String {
+    let mut sorted: Vec<&(String, u128)> = results.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{\n");
+    for (k, (name, ns)) in sorted.iter().enumerate() {
+        let comma = if k + 1 < sorted.len() { "," } else { "" };
+        out.push_str(&format!("  \"{name}\": {ns}{comma}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses the flat JSON baseline format written by [`baseline_to_json`].
+/// Benchmark names never contain quotes or escapes, so a quote/digit
+/// scanner is sufficient — the vendored serde_json has no parser.
+fn baseline_from_json(text: &str) -> Vec<(String, u128)> {
+    let mut results = Vec::new();
+    let mut rest = text;
+    while let Some(open) = rest.find('"') {
+        rest = &rest[open + 1..];
+        let Some(close) = rest.find('"') else { break };
+        let name = rest[..close].to_owned();
+        rest = &rest[close + 1..];
+        let Some(colon) = rest.find(':') else { break };
+        rest = rest[colon + 1..].trim_start();
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        rest = &rest[digits.len()..];
+        if let Ok(ns) = digits.parse::<u128>() {
+            results.push((name, ns));
+        }
+    }
+    results
+}
+
+fn median_of(results: &[(String, u128)], name: &str) -> Option<u128> {
+    results.iter().find(|(n, _)| n == name).map(|&(_, ns)| ns)
+}
+
+/// True for bookkeeping entries that are never gated themselves.
+fn is_bookkeeping(name: &str) -> bool {
+    name == CALIBRATION_BENCH || name.ends_with(CAL_SUFFIX)
+}
+
+/// Compares current medians against a baseline; returns the regressions
+/// as `(name, baseline_ns_scaled, current_ns)`.
+fn find_regressions(
+    baseline: &[(String, u128)],
+    current: &[(String, u128)],
+    allowed_pct: f64,
+) -> Vec<(String, f64, u128)> {
+    // Global fallback scale: the ratio of the calibration-benchmark
+    // medians, when both runs carry it.
+    let global_scale = match (
+        median_of(baseline, CALIBRATION_BENCH),
+        median_of(current, CALIBRATION_BENCH),
+    ) {
+        (Some(base_cal), Some(cur_cal)) if base_cal > 0 => cur_cal as f64 / base_cal as f64,
+        _ => 1.0,
+    };
+    let mut regressions = Vec::new();
+    for (name, current_ns) in current {
+        if is_bookkeeping(name) {
+            continue;
+        }
+        let Some(baseline_ns) = median_of(baseline, name) else {
+            continue; // new benchmark: nothing to compare against
+        };
+        // Prefer the benchmark's own interleaved calibration pair: it
+        // reflects the CPU speed at the moment each side was measured.
+        let cal_name = format!("{name}{CAL_SUFFIX}");
+        let scale = match (
+            median_of(baseline, &cal_name),
+            median_of(current, &cal_name),
+        ) {
+            (Some(base_cal), Some(cur_cal)) if base_cal > 0 => cur_cal as f64 / base_cal as f64,
+            _ => global_scale,
+        };
+        let expected = baseline_ns as f64 * scale;
+        if (*current_ns as f64) > expected * (1.0 + allowed_pct / 100.0) {
+            regressions.push((name.clone(), expected, *current_ns));
+        }
+    }
+    regressions
+}
+
+/// Baseline benchmarks with no matching result in the current run —
+/// renamed or deleted benchmarks would otherwise drop out of the gate
+/// silently.
+fn missing_from_current(baseline: &[(String, u128)], current: &[(String, u128)]) -> Vec<String> {
+    baseline
+        .iter()
+        .map(|(name, _)| name)
+        .filter(|name| !is_bookkeeping(name) && median_of(current, name).is_none())
+        .cloned()
+        .collect()
+}
+
+/// Finishes a bench run: saves/compares baselines per the `CRITERION_*`
+/// environment variables (see the crate docs) and clears the recorded
+/// results. Returns `false` when a regression gate failed —
+/// `criterion_main!` turns that into a non-zero exit code.
+///
+/// Baseline benchmarks missing from the current run are reported; with
+/// `CRITERION_REQUIRE_ALL=1` (what CI sets) they fail the gate, so a
+/// renamed or deleted benchmark cannot silently disable its own check —
+/// refresh the committed baseline alongside the rename.
+pub fn finalize() -> bool {
+    let results = std::mem::take(&mut *RESULTS.lock().expect("results lock poisoned"));
+    let gated = results
+        .iter()
+        .filter(|(name, _)| !is_bookkeeping(name))
+        .count();
+    if let Ok(path) = std::env::var("CRITERION_SAVE_BASELINE") {
+        std::fs::write(&path, baseline_to_json(&results))
+            .unwrap_or_else(|e| panic!("cannot write baseline {path}: {e}"));
+        println!("saved baseline ({gated} benchmarks) to {path}");
+    }
+    let Ok(path) = std::env::var("CRITERION_BASELINE") else {
+        return true;
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let baseline = baseline_from_json(&text);
+    let allowed_pct = std::env::var("CRITERION_REGRESSION_PCT")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_REGRESSION_PCT);
+    let missing = missing_from_current(&baseline, &results);
+    let missing_fails = std::env::var("CRITERION_REQUIRE_ALL").is_ok_and(|v| v == "1");
+    for name in &missing {
+        println!(
+            "{}: baseline benchmark {name} did not run (renamed/deleted? refresh the baseline)",
+            if missing_fails { "error" } else { "warning" }
+        );
+    }
+    let regressions = find_regressions(&baseline, &results, allowed_pct);
+    if regressions.is_empty() && (missing.is_empty() || !missing_fails) {
+        println!("regression gate: OK ({gated} benchmarks within {allowed_pct}% of {path})");
+        return true;
+    }
+    println!("regression gate: FAILED (allowed {allowed_pct}% over {path})");
+    for (name, expected, current) in &regressions {
+        println!(
+            "  {name}: median {} vs baseline {} ({:+.1}%)",
+            fmt_duration(Duration::from_nanos(*current as u64)),
+            fmt_duration(Duration::from_nanos(*expected as u64)),
+            (*current as f64 / expected - 1.0) * 100.0
+        );
+    }
+    false
 }
 
 /// A named group of related benchmarks.
@@ -230,12 +462,17 @@ macro_rules! criterion_group {
 }
 
 /// Declares the bench `main` running the given groups (shim for
-/// `criterion_main!`).
+/// `criterion_main!`). After the groups run, [`finalize`] applies the
+/// baseline save/compare protocol; a failed regression gate exits
+/// non-zero.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            if !$crate::finalize() {
+                std::process::exit(1);
+            }
         }
     };
 }
@@ -255,6 +492,153 @@ mod tests {
             })
         });
         assert!(ran > 1, "routine should run warm-up + samples");
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let results = vec![
+            ("exec_skew/par_map/adaptive".to_owned(), 1_234_567u128),
+            ("calibrate/spin".to_owned(), 42u128),
+        ];
+        let parsed = baseline_from_json(&baseline_to_json(&results));
+        // Serialization sorts by name.
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(median_of(&parsed, "calibrate/spin"), Some(42));
+        assert_eq!(
+            median_of(&parsed, "exec_skew/par_map/adaptive"),
+            Some(1_234_567)
+        );
+        assert!(baseline_from_json("not json at all").is_empty());
+    }
+
+    #[test]
+    fn regressions_detected_with_threshold() {
+        let baseline = vec![("a".to_owned(), 1_000u128), ("b".to_owned(), 1_000u128)];
+        let current = vec![
+            ("a".to_owned(), 1_150u128),   // +15%: within a 20% gate
+            ("b".to_owned(), 1_300u128),   // +30%: regression
+            ("new".to_owned(), 9_999u128), // not in baseline: ignored
+        ];
+        let regressions = find_regressions(&baseline, &current, 20.0);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].0, "b");
+        assert!(find_regressions(&baseline, &current, 50.0).is_empty());
+    }
+
+    #[test]
+    fn per_bench_calibration_overrides_global() {
+        // The machine throttled 2x during bench "a"'s measurement only:
+        // its interleaved @cal pair captures that regime, so the doubled
+        // median is not a regression — while the same numbers without
+        // the pair (global calibration measured while still fast) fail.
+        let baseline = vec![
+            (CALIBRATION_BENCH.to_owned(), 1_000u128),
+            ("a".to_owned(), 10_000u128),
+            ("a@cal".to_owned(), 1_000u128),
+        ];
+        let current = vec![
+            (CALIBRATION_BENCH.to_owned(), 1_000u128),
+            ("a".to_owned(), 20_000u128),
+            ("a@cal".to_owned(), 2_000u128),
+        ];
+        assert!(find_regressions(&baseline, &current, 20.0).is_empty());
+        let strip = |side: &[(String, u128)]| {
+            side.iter()
+                .filter(|(n, _)| !n.ends_with(CAL_SUFFIX))
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            find_regressions(&strip(&baseline), &strip(&current), 20.0).len(),
+            1,
+            "without the @cal pair the throttle reads as a regression"
+        );
+    }
+
+    #[test]
+    fn missing_benchmarks_are_reported() {
+        let baseline = vec![
+            (CALIBRATION_BENCH.to_owned(), 100u128),
+            ("kept".to_owned(), 1_000u128),
+            ("renamed_away".to_owned(), 1_000u128),
+        ];
+        let current = vec![
+            (CALIBRATION_BENCH.to_owned(), 100u128),
+            ("kept".to_owned(), 1_000u128),
+        ];
+        // The calibration bench is bookkeeping, never reported missing.
+        assert_eq!(
+            missing_from_current(&baseline, &current),
+            vec!["renamed_away".to_owned()]
+        );
+        assert!(missing_from_current(&current, &baseline).is_empty());
+    }
+
+    #[test]
+    fn calibration_rescales_baseline() {
+        // Baseline machine was 2x slower (calibration 2000 vs 1000): a
+        // current median at ~55% of the baseline's absolute value is NOT
+        // a regression once normalized, and 70% is.
+        let baseline = vec![
+            (CALIBRATION_BENCH.to_owned(), 2_000u128),
+            ("a".to_owned(), 10_000u128),
+        ];
+        let ok = vec![
+            (CALIBRATION_BENCH.to_owned(), 1_000u128),
+            ("a".to_owned(), 5_500u128),
+        ];
+        assert!(find_regressions(&baseline, &ok, 20.0).is_empty());
+        let slow = vec![
+            (CALIBRATION_BENCH.to_owned(), 1_000u128),
+            ("a".to_owned(), 7_000u128),
+        ];
+        let regressions = find_regressions(&baseline, &slow, 20.0);
+        assert_eq!(regressions.len(), 1, "40% normalized regression");
+    }
+
+    /// Interleaving note: sibling tests (`bench_function_measures`,
+    /// `groups_and_batched`) push into the process-global `RESULTS` in
+    /// parallel, so a finalize() here may carry a stray entry. That
+    /// cannot flip any gate assertion: each stray name is pushed exactly
+    /// once per process, finalize() *takes* the buffer, so a stray lands
+    /// on at most one side of a comparison — and `find_regressions`
+    /// skips names missing from either side. Only `gate/bench`, pushed
+    /// here with fixed values, is ever compared. The `CRITERION_*` env
+    /// vars are read by finalize() alone, which no other test calls.
+    #[test]
+    fn finalize_saves_and_gates() {
+        let dir = std::env::temp_dir();
+        let base_path = dir.join("criterion_shim_test_baseline.json");
+        let pr_path = dir.join("criterion_shim_test_pr.json");
+        let run = |ns: u64| {
+            RESULTS
+                .lock()
+                .unwrap()
+                .push(("gate/bench".to_owned(), u128::from(ns)));
+        };
+
+        run(1_000);
+        std::env::set_var("CRITERION_SAVE_BASELINE", &base_path);
+        assert!(finalize(), "save-only run cannot fail the gate");
+        std::env::remove_var("CRITERION_SAVE_BASELINE");
+
+        std::env::set_var("CRITERION_BASELINE", &base_path);
+        std::env::set_var("CRITERION_SAVE_BASELINE", &pr_path);
+        run(1_100);
+        assert!(finalize(), "+10% is within the default 20% gate");
+        run(2_000);
+        assert!(!finalize(), "+100% must fail the gate");
+        assert!(pr_path.exists(), "comparison runs still save their medians");
+
+        std::env::set_var("CRITERION_REGRESSION_PCT", "150");
+        run(2_000);
+        assert!(finalize(), "configurable threshold widens the gate");
+
+        std::env::remove_var("CRITERION_BASELINE");
+        std::env::remove_var("CRITERION_SAVE_BASELINE");
+        std::env::remove_var("CRITERION_REGRESSION_PCT");
+        let _ = std::fs::remove_file(base_path);
+        let _ = std::fs::remove_file(pr_path);
     }
 
     #[test]
