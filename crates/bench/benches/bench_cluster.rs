@@ -14,7 +14,7 @@ fn bench_pam(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[250usize, 500, 1000] {
         let (table, truth) = blobs(n, 3);
-        let points = as_points(&table, &blob_columns(&truth));
+        let points = as_points(&table.into(), &blob_columns(&truth));
         let matrix = DistanceMatrix::from_points(&points);
         group.bench_with_input(BenchmarkId::new("k3", n), &matrix, |b, m| {
             b.iter(|| pam(black_box(m), 3, &PamConfig::default()))
@@ -28,7 +28,7 @@ fn bench_clara(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[1000usize, 10_000, 50_000] {
         let (table, truth) = blobs(n, 3);
-        let points = as_points(&table, &blob_columns(&truth));
+        let points = as_points(&table.into(), &blob_columns(&truth));
         group.bench_with_input(BenchmarkId::new("k3", n), &points, |b, p| {
             b.iter(|| clara(black_box(p), 3, &ClaraConfig::default()))
         });
@@ -41,7 +41,7 @@ fn bench_distance_matrix(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[500usize, 1000, 2000] {
         let (table, truth) = blobs(n, 3);
-        let points = as_points(&table, &blob_columns(&truth));
+        let points = as_points(&table.into(), &blob_columns(&truth));
         group.bench_with_input(BenchmarkId::new("gower", n), &points, |b, p| {
             b.iter(|| DistanceMatrix::from_points(black_box(p)))
         });
@@ -51,7 +51,7 @@ fn bench_distance_matrix(c: &mut Criterion) {
 
 fn bench_silhouette(c: &mut Criterion) {
     let (table, truth) = blobs(2000, 3);
-    let points = as_points(&table, &blob_columns(&truth));
+    let points = as_points(&table.into(), &blob_columns(&truth));
     let matrix = DistanceMatrix::from_points(&points);
     let labels = &truth.labels;
 
@@ -78,7 +78,7 @@ fn bench_silhouette(c: &mut Criterion) {
 
 fn bench_kselect(c: &mut Criterion) {
     let (table, truth) = blobs(1000, 3);
-    let points = as_points(&table, &blob_columns(&truth));
+    let points = as_points(&table.into(), &blob_columns(&truth));
     let mut group = c.benchmark_group("cluster/select_k");
     group.sample_size(10);
     group.bench_function("sweep_2_to_6_n1000", |b| {
@@ -99,7 +99,7 @@ fn bench_kselect(c: &mut Criterion) {
 fn bench_hierarchical(c: &mut Criterion) {
     // Theme-detection scale: a few hundred "columns" as points.
     let (table, truth) = blobs(300, 3);
-    let points = as_points(&table, &blob_columns(&truth));
+    let points = as_points(&table.into(), &blob_columns(&truth));
     let matrix = DistanceMatrix::from_points(&points);
     let mut group = c.benchmark_group("cluster/agglomerative");
     group.sample_size(10);

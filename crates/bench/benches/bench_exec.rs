@@ -60,7 +60,7 @@ fn bench_skew(c: &mut Criterion) {
 
 fn bench_matrix(c: &mut Criterion) {
     let (table, truth) = blobs(1500, 3);
-    let points = as_points(&table, &blob_columns(&truth));
+    let points = as_points(&table.into(), &blob_columns(&truth));
     let mut group = c.benchmark_group("exec_matrix");
     group.sample_size(30);
     group.bench_function("from_points/1500", |b| {
@@ -71,7 +71,7 @@ fn bench_matrix(c: &mut Criterion) {
 
 fn bench_assign(c: &mut Criterion) {
     let (table, truth) = blobs(20_000, 3);
-    let points = as_points(&table, &blob_columns(&truth));
+    let points = as_points(&table.into(), &blob_columns(&truth));
     let medoids = [10usize, 7_000, 14_000];
     let mut group = c.benchmark_group("exec_assign");
     group.sample_size(30);
@@ -83,6 +83,7 @@ fn bench_assign(c: &mut Criterion) {
 
 fn bench_mi_sweep(c: &mut Criterion) {
     let (table, _) = oecd_small();
+    let table = blaeu_store::TableView::from(table);
     let columns: Vec<&str> = table.schema().names();
     let mut group = c.benchmark_group("exec_mi");
     group.sample_size(30);

@@ -12,6 +12,7 @@ use blaeu_core::{
 
 fn bench_preprocess(c: &mut Criterion) {
     let (table, _) = oecd_small();
+    let table = blaeu_store::TableView::from(table);
     let columns: Vec<&str> = table.attribute_columns();
     c.bench_function("mapper/preprocess_1200x36", |b| {
         b.iter(|| {
@@ -27,6 +28,7 @@ fn bench_preprocess(c: &mut Criterion) {
 
 fn bench_themes(c: &mut Criterion) {
     let (table, _) = oecd_small();
+    let table = blaeu_store::TableView::from(table);
     let mut group = c.benchmark_group("mapper/detect_themes");
     group.sample_size(10);
     group.bench_function("oecd_1200x36", |b| {
@@ -40,6 +42,7 @@ fn bench_build_map(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[2_000usize, 20_000, 200_000] {
         let (table, truth) = blobs(n, 3);
+        let table = blaeu_store::TableView::from(table);
         let columns = blob_columns(&truth);
         group.bench_with_input(BenchmarkId::new("sample2000", n), &n, |b, _| {
             b.iter(|| {

@@ -54,6 +54,7 @@ fn bench_pair(c: &mut Criterion) {
 
 fn bench_matrix(c: &mut Criterion) {
     let (table, _) = oecd_small();
+    let table = blaeu_store::TableView::from(table);
     let all: Vec<&str> = table.attribute_columns();
     let mut group = c.benchmark_group("mi/dependency_matrix");
     group.sample_size(10);

@@ -7,8 +7,9 @@ use blaeu_bench::{as_points, blob_columns, blobs};
 use blaeu_cluster::{pam, DistanceMatrix, PamConfig};
 use blaeu_tree::{alpha_path, leaf_rules, prune, CartConfig, DecisionTree};
 
-fn fitted(n: usize) -> (blaeu_store::Table, Vec<usize>, DecisionTree) {
+fn fitted(n: usize) -> (blaeu_store::TableView, Vec<usize>, DecisionTree) {
     let (table, truth) = blobs(n, 4);
+    let table = blaeu_store::TableView::from(table);
     let columns = blob_columns(&truth);
     let points = as_points(&table, &columns);
     let matrix = DistanceMatrix::from_points(&points);
@@ -22,6 +23,7 @@ fn bench_fit(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[500usize, 2000] {
         let (table, truth) = blobs(n, 4);
+        let table = blaeu_store::TableView::from(table);
         let columns = blob_columns(&truth);
         let points = as_points(&table, &columns);
         let matrix = DistanceMatrix::from_points(&points);
@@ -44,6 +46,7 @@ fn bench_fit(c: &mut Criterion) {
 fn bench_predict_and_route(c: &mut Criterion) {
     let (table, _, tree) = fitted(2000);
     let (big, _) = blobs(100_000, 4);
+    let big = blaeu_store::TableView::from(big);
     let mut group = c.benchmark_group("tree/route");
     group.sample_size(10);
     group.bench_function("predict_2000", |b| {

@@ -1,0 +1,93 @@
+//! Zero-copy navigation benchmark: a deep zoom chain over a wide table,
+//! views vs per-zoom materialization.
+//!
+//! Blaeu's dominant interaction is recursive zooming; before the
+//! `TableView` refactor every zoom gathered a full copy of every column
+//! payload. This bench drives a 6-level zoom chain over a deliberately
+//! *wide* table (48 float columns), ending with one single-column scan at
+//! the deepest level so both variants do identical terminal work:
+//!
+//! * `view` — each level is `TableView::select` (index re-map, payloads
+//!   shared), so cost scales with the selection size, not the table
+//!   width;
+//! * `materialize` — each level is `Table::take` (the pre-refactor
+//!   behaviour), so cost scales with `width × rows` per level.
+//!
+//! The regression gate keeps both: `view` guards the zero-copy fast path
+//! itself, `materialize` documents the gap (≥2× required; in practice an
+//! order of magnitude on this shape).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use blaeu_store::{Column, Table, TableBuilder, TableView};
+
+/// Table shape: wide enough that payload copying dominates `take`.
+const COLS: usize = 48;
+const ROWS: usize = 50_000;
+/// Zoom-chain depth (the paper's sessions drill several levels deep).
+const DEPTH: usize = 6;
+
+fn wide_table() -> Table {
+    let mut builder = TableBuilder::new("wide");
+    for c in 0..COLS {
+        let data: Vec<f64> = (0..ROWS)
+            .map(|r| ((r * 31 + c * 17) % 1009) as f64)
+            .collect();
+        builder = builder
+            .column(format!("c{c}"), Column::dense_f64(data))
+            .expect("fresh name");
+    }
+    builder.build().expect("consistent")
+}
+
+/// The rows each zoom level keeps: every other row of the selection.
+fn half(n: usize) -> Vec<u32> {
+    (0..n as u32).step_by(2).collect()
+}
+
+/// Identical terminal work for both variants: scan one column at the
+/// deepest level (what a highlight would do after the zooms).
+fn scan<C: blaeu_store::ColumnRead>(col: &C) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..col.len() {
+        acc += col.numeric_at(i).unwrap_or(0.0);
+    }
+    acc
+}
+
+fn bench_zoom_chain(c: &mut Criterion) {
+    let table = wide_table();
+    let view = TableView::from(table.clone());
+    let mut group = c.benchmark_group("view_zoom");
+    group.sample_size(10);
+
+    group.bench_function("deep6/view", |b| {
+        b.iter(|| {
+            let mut v = view.clone();
+            for _ in 0..DEPTH {
+                v = v.select(&half(v.nrows())).expect("in bounds");
+            }
+            let col = v.col_by_name("c0").expect("exists");
+            black_box(scan(&col))
+        })
+    });
+
+    group.bench_function("deep6/materialize", |b| {
+        b.iter(|| {
+            // Level 1 gathers from the shared base table (no up-front
+            // clone — that would double-count the copying and flatter
+            // the view variant); levels 2..DEPTH gather from the
+            // previous level, exactly the pre-refactor zoom chain.
+            let mut t = table.take(&half(table.nrows())).expect("in bounds");
+            for _ in 1..DEPTH {
+                t = t.take(&half(t.nrows())).expect("in bounds");
+            }
+            let col = t.column_by_name("c0").expect("exists");
+            black_box(scan(col))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_zoom_chain);
+criterion_main!(benches);

@@ -30,7 +30,7 @@ use blaeu_store::generate::{
     hollywood, lofar, planted, ColumnShape, HollywoodConfig, LofarConfig, PlantedConfig,
     PlantedTruth, ThemeSpec,
 };
-use blaeu_store::{Column, Table, TableBuilder};
+use blaeu_store::{Column, TableBuilder, TableView};
 use blaeu_tree::{accuracy, CartConfig, DecisionTree};
 
 fn header(id: &str, title: &str) {
@@ -139,6 +139,7 @@ fn f1d() {
 fn f2() {
     header("F2", "Figure 2: dependency graph (unemployment vs health)");
     let (table, _) = oecd_small();
+    let table = TableView::from(table);
     let columns = [
         "unemployment_rate",
         "long_term_unemployment",
@@ -192,13 +193,14 @@ fn f3() {
             salary.push(25.0 + 15.0 * jitter);
         }
     }
-    let table = TableBuilder::new("toy")
+    let table: TableView = TableBuilder::new("toy")
         .column("hours_work", Column::dense_f64(hours))
         .expect("fresh name")
         .column("salary", Column::dense_f64(salary))
         .expect("fresh name")
         .build()
-        .expect("consistent");
+        .expect("consistent")
+        .into();
 
     println!("stage 1 — preprocessing: 200 tuples -> 2-dim normalized vectors");
     let points = as_points(&table, &["hours_work", "salary"]);
@@ -433,6 +435,7 @@ fn c1() {
     );
     let n = 8000;
     let (table, truth) = blobs(n, 3);
+    let table = TableView::from(table);
     let columns = blob_columns(&truth);
     println!(
         "{:>8} | {:>12} | {:>12} | {:>10}",
@@ -477,7 +480,7 @@ fn c2() {
         "Claim: Monte-Carlo silhouette converges to the exact value",
     );
     let (table, truth) = blobs(3000, 3);
-    let points = as_points(&table, &blob_columns(&truth));
+    let points = as_points(&table.into(), &blob_columns(&truth));
     let matrix = DistanceMatrix::from_points(&points);
     let exact = silhouette_score(&matrix, &truth.labels);
     println!("exact silhouette: {}", fmt(exact));
@@ -514,7 +517,7 @@ fn c3() {
     );
     for n in [500usize, 1000, 2000, 4000, 8000] {
         let (table, truth) = blobs(n, 3);
-        let points = as_points(&table, &blob_columns(&truth));
+        let points = as_points(&table.into(), &blob_columns(&truth));
 
         let t0 = Instant::now();
         let matrix = DistanceMatrix::from_points(&points);
@@ -546,7 +549,7 @@ fn c4() {
     );
     for k in 2..=6 {
         let (table, truth) = blobs(1500, k);
-        let points = as_points(&table, &blob_columns(&truth));
+        let points = as_points(&table.into(), &blob_columns(&truth));
         let sel = select_k(
             &points,
             &KSelectConfig {
@@ -566,6 +569,7 @@ fn c5() {
         "Claim: the decision tree approximates (not copies) the clustering",
     );
     let (table, truth) = blobs(2000, 4);
+    let table = TableView::from(table);
     let columns = blob_columns(&truth);
     let points = as_points(&table, &columns);
     let matrix = DistanceMatrix::from_points(&points);
@@ -605,7 +609,7 @@ fn c6() {
         "Claim: MI is sensitive to non-linear relationships (vs correlation)",
     );
     let n = 2000;
-    let make = |f: &dyn Fn(f64) -> f64| -> Table {
+    let make = |f: &dyn Fn(f64) -> f64| -> TableView {
         let xs: Vec<f64> = (0..n).map(|i| (i as f64 / n as f64) * 6.0 - 3.0).collect();
         let ys: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
         TableBuilder::new("pair")
@@ -615,6 +619,7 @@ fn c6() {
             .expect("fresh")
             .build()
             .expect("consistent")
+            .into()
     };
     type NamedFn = (&'static str, Box<dyn Fn(f64) -> f64>);
     let cases: Vec<NamedFn> = vec![
@@ -662,6 +667,7 @@ fn c7() {
     );
     for n in [1_000usize, 10_000, 100_000, 1_000_000] {
         let (table, truth) = blobs(n, 3);
+        let table = TableView::from(table);
         let columns: Vec<String> = blob_columns(&truth)
             .into_iter()
             .map(|s| s.to_owned())
@@ -680,16 +686,16 @@ fn c7() {
         let biggest = map.leaves().iter().max_by_key(|r| r.count).unwrap().id;
         let rows = map.rows_of(biggest).expect("leaf");
         let t0 = Instant::now();
-        let view = table.take(&rows).expect("in bounds");
+        let view = table.select(&rows).expect("in bounds");
         let _zoomed = build_map(&view, &cols, &MapperConfig::default()).expect("mappable");
         let zoom_time = t0.elapsed();
 
         let t0 = Instant::now();
         let sub = view
-            .take(&(0..view.nrows().min(5000) as u32).collect::<Vec<_>>())
+            .select(&(0..view.nrows().min(5000) as u32).collect::<Vec<_>>())
             .expect("in bounds");
-        let col = sub.column_by_name(cols[0]).expect("exists");
-        let _ = blaeu_stats::describe(col, 5);
+        let col = sub.col_by_name(cols[0]).expect("exists");
+        let _ = blaeu_stats::describe(&col, 5);
         let highlight_time = t0.elapsed();
 
         println!(
@@ -739,6 +745,7 @@ fn a1() {
         ..PlantedConfig::default()
     };
     let (table, truth) = planted(&config).expect("valid");
+    let table = TableView::from(table);
     println!("{:>10} | {:>16}", "measure", "theme NMI");
     for (name, measure) in [
         ("NMI", DependencyMeasure::Nmi),
@@ -834,7 +841,7 @@ fn a3() {
         "Ablation: silhouette strategy — exact vs Monte-Carlo vs medoid",
     );
     let (table, truth) = blobs(4000, 3);
-    let points = as_points(&table, &blob_columns(&truth));
+    let points = as_points(&table.into(), &blob_columns(&truth));
 
     let t0 = Instant::now();
     let matrix = DistanceMatrix::from_points(&points);
@@ -909,7 +916,7 @@ fn a4() {
         .iter()
         .map(|(c, _)| c.as_str())
         .collect();
-    let graph = DependencyGraph::build(&table, &columns, &DependencyOptions::default())
+    let graph = DependencyGraph::build(&table.into(), &columns, &DependencyOptions::default())
         .expect("columns exist");
     let m = graph.len();
     let matrix = DistanceMatrix::from_fn(m, |i, j| (1.0 - graph.weight(i, j)).clamp(0.0, 1.0));
@@ -976,6 +983,7 @@ fn json_digest(path: &str) {
 
     // The F2 dependency matrix, cell-exact (sharded pairwise sweep).
     let (table, _) = oecd_small();
+    let table = TableView::from(table);
     let columns = [
         "unemployment_rate",
         "long_term_unemployment",
@@ -995,7 +1003,7 @@ fn json_digest(path: &str) {
 
     // CLARA + whole-dataset assignment over planted blobs (C3's workload).
     let (blob_table, truth) = blobs(1500, 3);
-    let points = as_points(&blob_table, &blob_columns(&truth));
+    let points = as_points(&blob_table.into(), &blob_columns(&truth));
     let clustering = clara(&points, 3, &ClaraConfig::default());
     let mut label_histogram = vec![0usize; 3];
     for &label in &clustering.labels {
@@ -1012,7 +1020,7 @@ fn json_digest(path: &str) {
 
     // Distance matrix over the parallel band path (n >= 256).
     let (small_table, small_truth) = blobs(600, 3);
-    let small_points = as_points(&small_table, &blob_columns(&small_truth));
+    let small_points = as_points(&small_table.into(), &blob_columns(&small_truth));
     let matrix = DistanceMatrix::from_points(&small_points);
     let probes: Vec<String> = [
         (0usize, 1usize),
@@ -1026,12 +1034,16 @@ fn json_digest(path: &str) {
     .collect();
 
     // Session-tier fan-out: per-session outcomes must not depend on which
-    // worker served which session.
+    // worker served which session. All four sessions share one table
+    // allocation through the zero-copy session path.
     let manager = SessionManager::new();
     let ids: Vec<_> = (0..4)
         .map(|_| {
             manager
-                .create(table.clone(), ExplorerConfig::default())
+                .create_shared(
+                    std::sync::Arc::clone(table.table()),
+                    ExplorerConfig::default(),
+                )
                 .expect("openable")
         })
         .collect();

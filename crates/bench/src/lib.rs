@@ -9,7 +9,7 @@
 use blaeu_cluster::Points;
 use blaeu_core::{preprocess, MetricChoice, PreprocessConfig};
 use blaeu_store::generate::{oecd, planted, OecdConfig, PlantedConfig, PlantedTruth, ThemeSpec};
-use blaeu_store::Table;
+use blaeu_store::{Table, TableView};
 
 /// Fixed seed used by every workload (fully reproducible runs).
 pub const SEED: u64 = 20160913;
@@ -61,9 +61,9 @@ pub fn blob_columns(truth: &PlantedTruth) -> Vec<&str> {
         .collect()
 }
 
-/// Preprocesses a table's columns into clusterable points (Gower).
-pub fn as_points(table: &Table, columns: &[&str]) -> Points {
-    preprocess(table, columns, &PreprocessConfig::default())
+/// Preprocesses a view's columns into clusterable points (Gower).
+pub fn as_points(view: &TableView, columns: &[&str]) -> Points {
+    preprocess(view, columns, &PreprocessConfig::default())
         .expect("columns exist")
         .into_points(MetricChoice::Gower)
 }
@@ -97,7 +97,7 @@ mod tests {
         let (t, truth) = blobs(500, 3);
         assert_eq!(t.nrows(), 500);
         assert_eq!(blob_columns(&truth).len(), 6);
-        let p = as_points(&t, &blob_columns(&truth));
+        let p = as_points(&t.into(), &blob_columns(&truth));
         assert_eq!(p.len(), 500);
     }
 

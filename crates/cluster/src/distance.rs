@@ -31,11 +31,29 @@ impl Metric {
     /// values; `categorical` flags supplied by the caller.
     pub fn fit_gower(rows: &[Vec<f64>], categorical: Vec<bool>) -> Metric {
         let dims = rows.first().map_or(0, Vec::len);
+        let n = rows.len();
+        let mut flat = Vec::with_capacity(n * dims);
+        for row in rows {
+            assert_eq!(row.len(), dims, "ragged point set");
+            flat.extend_from_slice(row);
+        }
+        Metric::fit_gower_flat(&flat, n, dims, categorical)
+    }
+
+    /// Fits a Gower metric from a flat row-major buffer (`n × dims`) —
+    /// the accessor the zero-copy preprocessing path uses, so fitting
+    /// ranges never materializes per-row vectors.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n * dims` or a flag count mismatches.
+    pub fn fit_gower_flat(data: &[f64], n: usize, dims: usize, categorical: Vec<bool>) -> Metric {
+        assert_eq!(data.len(), n * dims, "flat buffer size mismatch");
         assert_eq!(categorical.len(), dims, "flag per dimension");
         let mut lo = vec![f64::INFINITY; dims];
         let mut hi = vec![f64::NEG_INFINITY; dims];
-        for row in rows {
-            for (d, &v) in row.iter().enumerate() {
+        for r in 0..n {
+            for d in 0..dims {
+                let v = data[r * dims + d];
                 if v.is_finite() {
                     lo[d] = lo[d].min(v);
                     hi[d] = hi[d].max(v);
@@ -293,6 +311,17 @@ mod tests {
                 assert!((0.0..=1.0).contains(&d), "gower({i},{j}) = {d}");
             }
         }
+    }
+
+    #[test]
+    fn fit_gower_flat_matches_row_fit() {
+        let rows: Vec<Vec<f64>> = (0..15)
+            .map(|i| vec![i as f64, (i % 4) as f64, f64::NAN])
+            .collect();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let by_rows = Metric::fit_gower(&rows, vec![false, true, false]);
+        let by_flat = Metric::fit_gower_flat(&flat, 15, 3, vec![false, true, false]);
+        assert_eq!(by_rows, by_flat);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! a Graphviz export and a terminal rendering.
 
 use blaeu_stats::{dependency_matrix, DependencyMatrix, DependencyOptions};
-use blaeu_store::Table;
+use blaeu_store::TableView;
 
 use crate::error::Result;
 
@@ -18,13 +18,13 @@ pub struct DependencyGraph {
 }
 
 impl DependencyGraph {
-    /// Builds the graph over the given columns of `table`.
+    /// Builds the graph over the given columns of a view.
     ///
     /// # Errors
     /// Propagates unknown-column errors.
-    pub fn build(table: &Table, columns: &[&str], opts: &DependencyOptions) -> Result<Self> {
+    pub fn build(view: &TableView, columns: &[&str], opts: &DependencyOptions) -> Result<Self> {
         Ok(DependencyGraph {
-            matrix: dependency_matrix(table, columns, opts)?,
+            matrix: dependency_matrix(view, columns, opts)?,
         })
     }
 
@@ -114,7 +114,7 @@ mod tests {
     use super::*;
     use blaeu_store::{Column, TableBuilder};
 
-    fn table() -> Table {
+    fn table() -> TableView {
         // Two dependent pairs: (a, b) and (c, d); e independent.
         let a: Vec<f64> = (0..400).map(|i| i as f64 / 40.0).collect();
         let b: Vec<f64> = a.iter().map(|v| 3.0 * v - 1.0).collect();
@@ -134,6 +134,7 @@ mod tests {
             .unwrap()
             .build()
             .unwrap()
+            .into()
     }
 
     #[test]

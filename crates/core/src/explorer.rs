@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use blaeu_stats::{describe, histogram, ColumnSummary, Histogram};
-use blaeu_store::{ColumnRole, Predicate, SelectProject, Table};
+use blaeu_store::{ColumnRole, Predicate, SelectProject, Table, TableView};
 
 use crate::error::{BlaeuError, Result};
 use crate::map::DataMap;
@@ -36,8 +36,10 @@ pub struct ExplorerConfig {
 /// One immutable exploration state.
 #[derive(Debug, Clone)]
 pub struct ExplorerState {
-    /// The active selection, materialized.
-    pub view: Arc<Table>,
+    /// The active selection as a zero-copy view: the shared base table
+    /// plus the row indices this state covers. Zooming re-maps indices;
+    /// no column payload is ever copied on the navigation path.
+    pub view: TableView,
     /// The active columns (empty until a theme is selected).
     pub columns: Vec<String>,
     /// The current map, if one was built.
@@ -47,6 +49,16 @@ pub struct ExplorerState {
     pub query: SelectProject,
     /// Human-readable action trail.
     pub breadcrumbs: Vec<String>,
+}
+
+impl ExplorerState {
+    /// Gathers up to `cap` of the given view-relative rows as an owned
+    /// example table — the single materialization helper for tuples shown
+    /// to the user. Analysis never materializes; only examples do.
+    pub fn example_rows(&self, rows: &[u32], cap: usize) -> Result<Table> {
+        let shown: Vec<u32> = rows.iter().copied().take(cap).collect();
+        Ok(self.view.gather(&shown)?)
+    }
 }
 
 /// Highlight of one column inside one region.
@@ -101,10 +113,20 @@ impl Explorer {
     /// # Errors
     /// Propagates theme-detection failures (e.g. too few columns).
     pub fn open(table: Table, config: ExplorerConfig) -> Result<Self> {
-        let base = Arc::new(table);
-        let themes = detect_themes(&base, &config.themes)?;
+        Explorer::open_shared(Arc::new(table), config)
+    }
+
+    /// Opens an explorer on an already-shared table without copying it —
+    /// many concurrent sessions can explore one big table through their
+    /// own views of the same column payloads.
+    ///
+    /// # Errors
+    /// Propagates theme-detection failures (e.g. too few columns).
+    pub fn open_shared(base: Arc<Table>, config: ExplorerConfig) -> Result<Self> {
+        let view = TableView::new(Arc::clone(&base));
+        let themes = detect_themes(&view, &config.themes)?;
         let initial = ExplorerState {
-            view: Arc::clone(&base),
+            view,
             columns: Vec::new(),
             map: None,
             query: SelectProject::all(),
@@ -158,7 +180,7 @@ impl Explorer {
 
     fn push_state(
         &mut self,
-        view: Arc<Table>,
+        view: TableView,
         columns: Vec<String>,
         map: DataMap,
         query: SelectProject,
@@ -189,7 +211,7 @@ impl Explorer {
             .ok_or(BlaeuError::UnknownTheme(idx))?
             .clone();
         let columns: Vec<&str> = theme.columns.iter().map(String::as_str).collect();
-        let view = Arc::clone(&self.current().view);
+        let view = self.current().view.clone();
         let map = build_map(&view, &columns, &self.config.mapper)?;
         let query = self.current().query.clone().project(theme.columns.clone());
         self.push_state(
@@ -203,7 +225,8 @@ impl Explorer {
     }
 
     /// Zooms into a region of the current map: the selection narrows to
-    /// the region's rows and a fresh map is built on the same columns.
+    /// the region's rows — an index re-map over the shared table, no
+    /// gathering — and a fresh map is built on the same columns.
     ///
     /// # Errors
     /// Needs an active map and a valid region; zooming into an empty
@@ -216,7 +239,7 @@ impl Explorer {
         if rows.is_empty() {
             return Err(BlaeuError::EmptySelection);
         }
-        let new_view = Arc::new(state.view.take(&rows)?);
+        let new_view = state.view.select(&rows)?;
         let columns = state.columns.clone();
         let cols_ref: Vec<&str> = columns.iter().map(String::as_str).collect();
         let new_map = build_map(&new_view, &cols_ref, &self.config.mapper)?;
@@ -247,7 +270,7 @@ impl Explorer {
                 "projection needs at least one column".to_owned(),
             ));
         }
-        let view = Arc::clone(&self.current().view);
+        let view = self.current().view.clone();
         let map = build_map(&view, columns, &self.config.mapper)?;
         let owned: Vec<String> = columns.iter().map(|&s| s.to_owned()).collect();
         let query = self.current().query.clone().project(owned.clone());
@@ -285,14 +308,14 @@ impl Explorer {
     pub fn highlight(&self, column: &str) -> Result<Highlight> {
         let state = self.current();
         let map = state.map.as_deref().ok_or(BlaeuError::NoActiveMap)?;
-        state.view.column_by_name(column)?;
+        state.view.col_by_name(column)?;
         let mut regions = Vec::new();
         for leaf in map.leaves() {
             let rows = map.rows_of(leaf.id)?;
-            let sub = state.view.take(&rows)?;
-            let col = sub.column_by_name(column)?;
-            let summary = describe(col, 5);
-            let hist = histogram(col, 8);
+            let sub = state.view.select(&rows)?;
+            let col = sub.col_by_name(column)?;
+            let summary = describe(&col, 5);
+            let hist = histogram(&col, 8);
             let examples = match &summary {
                 ColumnSummary::Categorical(s) => {
                     s.top.iter().map(|(label, _)| label.clone()).collect()
@@ -338,7 +361,7 @@ impl Explorer {
         let state = self.current();
         let map = state.map.as_deref().ok_or(BlaeuError::NoActiveMap)?;
         for col in [x_column, y_column] {
-            let c = state.view.column_by_name(col)?;
+            let c = state.view.col_by_name(col)?;
             if !c.data_type().is_numeric() {
                 return Err(BlaeuError::Invalid(format!(
                     "scatter needs numeric columns; {col:?} is {}",
@@ -350,10 +373,10 @@ impl Explorer {
         let mut out = Vec::new();
         for leaf in map.leaves() {
             let rows = map.rows_of(leaf.id)?;
-            let sub = state.view.take(&rows)?;
-            let x = sub.column_by_name(x_column)?;
-            let y = sub.column_by_name(y_column)?;
-            out.push((leaf.id, blaeu_stats::ScatterGrid::build(x, y, bins, bins)));
+            let sub = state.view.select(&rows)?;
+            let x = sub.col_by_name(x_column)?;
+            let y = sub.col_by_name(y_column)?;
+            out.push((leaf.id, blaeu_stats::ScatterGrid::build(&x, &y, bins, bins)));
         }
         Ok(out)
     }
@@ -397,8 +420,7 @@ impl Explorer {
         let map = state.map.as_deref().ok_or(BlaeuError::NoActiveMap)?;
         let region = map.region(region_id)?.clone();
         let rows = map.rows_of(region_id)?;
-        let shown: Vec<u32> = rows.iter().copied().take(sample_rows).collect();
-        let examples = state.view.take(&shown)?;
+        let examples = state.example_rows(&rows, sample_rows)?;
         let medoid = map
             .medoid_rows
             .get(region.cluster)
@@ -412,12 +434,14 @@ impl Explorer {
     }
 
     /// Writes the current selection (all rows and columns of the active
-    /// view) as CSV — so an exploration result can leave the tool.
+    /// view) as CSV — so an exploration result can leave the tool. Rows
+    /// stream straight from the shared columns through the view's index
+    /// map; no sub-table is materialized for the export.
     ///
     /// # Errors
     /// Propagates I/O errors.
     pub fn export_view_csv<W: std::io::Write>(&self, writer: W) -> Result<()> {
-        blaeu_store::write_csv(
+        blaeu_store::write_csv_view(
             &self.current().view,
             writer,
             &blaeu_store::CsvOptions::default(),

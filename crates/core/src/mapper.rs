@@ -9,7 +9,7 @@ use blaeu_cluster::{
     clara, pam, select_k, silhouette_score, ClaraConfig, DistanceMatrix, KSelectConfig,
     McSilhouetteConfig, PamConfig, PamResult, Points,
 };
-use blaeu_store::{MultiScaleSampler, Table};
+use blaeu_store::{MultiScaleSampler, TableView};
 use blaeu_tree::{accuracy, CartConfig, DecisionTree, Node, PathConstraints};
 
 use crate::error::{BlaeuError, Result};
@@ -207,7 +207,7 @@ fn build_regions(tree: &DecisionTree, leaf_counts: &[usize], view_rows: usize) -
 /// # Errors
 /// Fails on empty views, unknown columns, or degenerate inputs the
 /// pipeline cannot cluster.
-pub fn build_map(view: &Table, columns: &[&str], config: &MapperConfig) -> Result<DataMap> {
+pub fn build_map(view: &TableView, columns: &[&str], config: &MapperConfig) -> Result<DataMap> {
     if view.nrows() == 0 {
         return Err(BlaeuError::EmptySelection);
     }
@@ -217,14 +217,15 @@ pub fn build_map(view: &Table, columns: &[&str], config: &MapperConfig) -> Resul
         ));
     }
     for &c in columns {
-        view.column_by_name(c)?;
+        view.col_by_name(c)?;
     }
     let n = view.nrows();
 
-    // Stage 0: multi-scale sample of the view.
+    // Stage 0: multi-scale sample of the view — a selection re-map, not a
+    // gathered copy: the sampled rows are read through the index map.
     let sampler = MultiScaleSampler::new(n, config.seed);
     let sample_rows = sampler.sample(config.sample_size.max(1));
-    let sample = view.take(&sample_rows)?;
+    let sample = view.select(&sample_rows)?;
 
     // Stage 1: preprocess into vectors.
     let features = preprocess(&sample, columns, &config.preprocess)?;
@@ -297,7 +298,7 @@ mod tests {
     use blaeu_store::generate::{planted, PlantedConfig};
     use blaeu_store::{Column, TableBuilder};
 
-    fn blob_table(n_per: usize) -> Table {
+    fn blob_table(n_per: usize) -> TableView {
         let mut x = Vec::new();
         let mut y = Vec::new();
         for c in 0..3 {
@@ -314,6 +315,7 @@ mod tests {
             .unwrap()
             .build()
             .unwrap()
+            .into()
     }
 
     #[test]
@@ -382,11 +384,12 @@ mod tests {
 
     #[test]
     fn empty_view_errors() {
-        let t = TableBuilder::new("e")
+        let t: TableView = TableBuilder::new("e")
             .column("x", Column::dense_f64(vec![]))
             .unwrap()
             .build()
-            .unwrap();
+            .unwrap()
+            .into();
         assert!(matches!(
             build_map(&t, &["x"], &MapperConfig::default()),
             Err(BlaeuError::EmptySelection)
@@ -415,6 +418,7 @@ mod tests {
             .filter(|(_, t)| *t == 0)
             .map(|(c, _)| c.as_str())
             .collect();
+        let table: TableView = table.into();
         let map = build_map(&table, &columns, &MapperConfig::default()).unwrap();
         // Region assignment should align with the planted labels.
         let mut region_labels = vec![0usize; table.nrows()];
@@ -444,13 +448,14 @@ mod tests {
             .map(|i| if i % 2 == 0 { 1.0 } else { 100.0 })
             .collect();
         let cats: Vec<&str> = (0..n).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect();
-        let t = TableBuilder::new("mix")
+        let t: TableView = TableBuilder::new("mix")
             .column("num", Column::dense_f64(nums))
             .unwrap()
             .column("cat", Column::from_strs(cats.into_iter().map(Some)))
             .unwrap()
             .build()
-            .unwrap();
+            .unwrap()
+            .into();
         let map = build_map(&t, &["num", "cat"], &MapperConfig::default()).unwrap();
         assert_eq!(map.k, 2);
         assert_eq!(map.leaves().len(), 2);

@@ -12,7 +12,7 @@
 //! imputed with mean / mode.
 
 use blaeu_cluster::{Metric, Points};
-use blaeu_store::{Column, ColumnRole, DataType, Table};
+use blaeu_store::{ColumnRead, ColumnRole, DataType, TableView};
 
 use crate::error::{BlaeuError, Result};
 
@@ -103,29 +103,8 @@ impl FeatureMatrix {
         let metric = match metric {
             MetricChoice::Euclidean => Metric::Euclidean,
             MetricChoice::Manhattan => Metric::Manhattan,
-            MetricChoice::Gower => {
-                // Fit ranges from the data itself.
-                let mut lo = vec![f64::INFINITY; dims];
-                let mut hi = vec![f64::NEG_INFINITY; dims];
-                for r in 0..nrows {
-                    for d in 0..dims {
-                        let v = self.data[r * dims + d];
-                        if v.is_finite() {
-                            lo[d] = lo[d].min(v);
-                            hi[d] = hi[d].max(v);
-                        }
-                    }
-                }
-                let ranges = lo
-                    .iter()
-                    .zip(&hi)
-                    .map(|(&l, &h)| if h > l { h - l } else { 0.0 })
-                    .collect();
-                Metric::Gower {
-                    ranges,
-                    categorical,
-                }
-            }
+            // Fit ranges straight from the flat matrix.
+            MetricChoice::Gower => Metric::fit_gower_flat(&self.data, nrows, dims, categorical),
         };
         Points::from_flat(self.data, nrows, dims, metric)
     }
@@ -133,9 +112,8 @@ impl FeatureMatrix {
 
 /// Columns selected for analysis: attributes that are neither keys nor
 /// labels, minus all-distinct pseudo-keys when configured.
-pub fn analyzable_columns<'t>(table: &'t Table, config: &PreprocessConfig) -> Vec<&'t str> {
-    table
-        .schema()
+pub fn analyzable_columns<'t>(view: &'t TableView, config: &PreprocessConfig) -> Vec<&'t str> {
+    view.schema()
         .fields()
         .iter()
         .filter(|f| f.role == ColumnRole::Attribute)
@@ -143,8 +121,8 @@ pub fn analyzable_columns<'t>(table: &'t Table, config: &PreprocessConfig) -> Ve
             if !config.drop_unique_columns {
                 return true;
             }
-            let col = table.column_by_name(&f.name).expect("schema-listed");
-            let n = table.nrows();
+            let col = view.col_by_name(&f.name).expect("schema-listed");
+            let n = view.nrows();
             // All-distinct integer or categorical columns are keys in
             // disguise; all-distinct floats are usually measures, keep them.
             !(n > 1
@@ -156,57 +134,84 @@ pub fn analyzable_columns<'t>(table: &'t Table, config: &PreprocessConfig) -> Ve
         .collect()
 }
 
-fn numeric_stats(col: &Column) -> (f64, f64) {
-    let vals: Vec<f64> = (0..col.len()).filter_map(|i| col.numeric_at(i)).collect();
-    if vals.is_empty() {
+/// Mean and population standard deviation of a column's observed values,
+/// streamed straight off the column — no intermediate `Vec<f64>` collect.
+/// The sum and the centered second moment are accumulated in separate
+/// sweeps (row order) so the result is bit-identical to the textbook
+/// two-pass formula whatever the selection behind `col`.
+fn numeric_stats<C: ColumnRead>(col: &C) -> (f64, f64) {
+    let mut count = 0usize;
+    let mut sum = 0.0f64;
+    for i in 0..col.len() {
+        if let Some(v) = col.numeric_at(i) {
+            count += 1;
+            sum += v;
+        }
+    }
+    if count == 0 {
         return (0.0, 1.0);
     }
-    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-    let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
-    let std = var.sqrt();
+    let mean = sum / count as f64;
+    let mut m2 = 0.0f64;
+    for i in 0..col.len() {
+        if let Some(v) = col.numeric_at(i) {
+            m2 += (v - mean).powi(2);
+        }
+    }
+    let std = (m2 / count as f64).sqrt();
     (mean, if std > 1e-12 { std } else { 1.0 })
 }
 
-/// Runs the preprocessing pipeline over the named columns of `table`.
+/// Per-column encoding plan, resolved before any cell is written so the
+/// output matrix can be filled row-major in place (no per-feature
+/// staging vectors).
+enum ColumnPlan {
+    Numeric {
+        mean: f64,
+        std: f64,
+    },
+    Categorical {
+        kept: Vec<usize>,
+        overflow: bool,
+        mode: Option<usize>,
+    },
+}
+
+/// Runs the preprocessing pipeline over the named columns of a view.
+///
+/// Cells stream from the (possibly selection-backed) columns directly into
+/// the row-major feature matrix: nothing is materialized per feature, and
+/// zoomed selections are read through their index map in place.
 ///
 /// # Errors
-/// Returns an error for unknown columns or an empty table.
+/// Returns an error for unknown columns or an empty view.
 pub fn preprocess(
-    table: &Table,
+    view: &TableView,
     columns: &[&str],
     config: &PreprocessConfig,
 ) -> Result<FeatureMatrix> {
-    if table.nrows() == 0 {
+    if view.nrows() == 0 {
         return Err(BlaeuError::EmptySelection);
     }
-    let n = table.nrows();
-    let mut features: Vec<FeatureInfo> = Vec::new();
-    let mut columns_data: Vec<Vec<f64>> = Vec::new(); // per-feature column
+    let n = view.nrows();
 
+    // Pass 1: resolve every feature and its encoding parameters.
+    let mut features: Vec<FeatureInfo> = Vec::new();
+    let mut plans: Vec<ColumnPlan> = Vec::with_capacity(columns.len());
     for &name in columns {
-        let col = table.column_by_name(name)?;
+        let col = view.col_by_name(name)?;
         match col.data_type() {
             DataType::Float64 | DataType::Int64 | DataType::Bool => {
-                let (mean, std) = numeric_stats(col);
-                let mut out = Vec::with_capacity(n);
-                for i in 0..n {
-                    match col.numeric_at(i) {
-                        Some(v) => out.push((v - mean) / std),
-                        None => out.push(match config.missing {
-                            MissingPolicy::Propagate => f64::NAN,
-                            MissingPolicy::Impute => 0.0, // z-scored mean
-                        }),
-                    }
-                }
+                let (mean, std) = numeric_stats(&col);
                 features.push(FeatureInfo {
                     name: name.to_owned(),
                     source: name.to_owned(),
                     categorical: false,
                 });
-                columns_data.push(out);
+                plans.push(ColumnPlan::Numeric { mean, std });
             }
             DataType::Categorical => {
-                let (_, dict, _) = col.categorical_parts().expect("categorical");
+                let dict = col.dictionary();
                 // Rank levels by frequency, keep the top `max_categories`.
                 let mut counts = vec![0usize; dict.len()];
                 for i in 0..n {
@@ -228,53 +233,81 @@ pub fn preprocess(
                 let mode = kept.first().copied();
 
                 for &cat in &kept {
-                    let mut out = Vec::with_capacity(n);
-                    for i in 0..n {
-                        match col.code_at(i) {
-                            Some(c) => out.push(f64::from(c as usize == cat)),
-                            None => out.push(match config.missing {
-                                MissingPolicy::Propagate => f64::NAN,
-                                MissingPolicy::Impute => f64::from(mode == Some(cat)),
-                            }),
-                        }
-                    }
                     features.push(FeatureInfo {
                         name: format!("{name}={}", dict[cat]),
                         source: name.to_owned(),
                         categorical: true,
                     });
-                    columns_data.push(out);
                 }
                 if overflow {
-                    let mut out = Vec::with_capacity(n);
-                    for i in 0..n {
-                        match col.code_at(i) {
-                            Some(c) => out.push(f64::from(!kept.contains(&(c as usize)))),
-                            None => out.push(match config.missing {
-                                MissingPolicy::Propagate => f64::NAN,
-                                MissingPolicy::Impute => 0.0,
-                            }),
-                        }
-                    }
                     features.push(FeatureInfo {
                         name: format!("{name}=<other>"),
                         source: name.to_owned(),
                         categorical: true,
                     });
-                    columns_data.push(out);
                 }
+                plans.push(ColumnPlan::Categorical {
+                    kept,
+                    overflow,
+                    mode,
+                });
             }
         }
     }
 
-    // Interleave per-feature columns into row-major layout.
+    // Pass 2: stream cells straight into the row-major matrix.
     let dims = features.len();
     let mut data = vec![0.0f64; n * dims];
-    for (d, colv) in columns_data.iter().enumerate() {
-        for (r, &v) in colv.iter().enumerate() {
-            data[r * dims + d] = v;
+    let mut d = 0usize;
+    for (&name, plan) in columns.iter().zip(&plans) {
+        let col = view.col_by_name(name).expect("validated in pass 1");
+        match plan {
+            ColumnPlan::Numeric { mean, std } => {
+                for i in 0..n {
+                    data[i * dims + d] = match col.numeric_at(i) {
+                        Some(v) => (v - mean) / std,
+                        None => match config.missing {
+                            MissingPolicy::Propagate => f64::NAN,
+                            MissingPolicy::Impute => 0.0, // z-scored mean
+                        },
+                    };
+                }
+                d += 1;
+            }
+            ColumnPlan::Categorical {
+                kept,
+                overflow,
+                mode,
+            } => {
+                for &cat in kept {
+                    for i in 0..n {
+                        data[i * dims + d] = match col.code_at(i) {
+                            Some(c) => f64::from(c as usize == cat),
+                            None => match config.missing {
+                                MissingPolicy::Propagate => f64::NAN,
+                                MissingPolicy::Impute => f64::from(*mode == Some(cat)),
+                            },
+                        };
+                    }
+                    d += 1;
+                }
+                if *overflow {
+                    for i in 0..n {
+                        data[i * dims + d] = match col.code_at(i) {
+                            Some(c) => f64::from(!kept.contains(&(c as usize))),
+                            None => match config.missing {
+                                MissingPolicy::Propagate => f64::NAN,
+                                MissingPolicy::Impute => 0.0,
+                            },
+                        };
+                    }
+                    d += 1;
+                }
+            }
         }
     }
+    debug_assert_eq!(d, dims, "every feature dimension filled");
+
     Ok(FeatureMatrix {
         features,
         data,
@@ -285,9 +318,9 @@ pub fn preprocess(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use blaeu_store::TableBuilder;
+    use blaeu_store::{Column, TableBuilder};
 
-    fn table() -> Table {
+    fn table() -> TableView {
         TableBuilder::new("t")
             .column_with_role(
                 "id",
@@ -332,6 +365,7 @@ mod tests {
             .unwrap()
             .build()
             .unwrap()
+            .into()
     }
 
     #[test]
@@ -397,14 +431,15 @@ mod tests {
     #[test]
     fn category_cap_creates_overflow_dummy() {
         let labels: Vec<String> = (0..20).map(|i| format!("c{}", i % 6)).collect();
-        let t = TableBuilder::new("t")
+        let t: TableView = TableBuilder::new("t")
             .column(
                 "cat",
                 Column::from_strs(labels.iter().map(|s| Some(s.as_str()))),
             )
             .unwrap()
             .build()
-            .unwrap();
+            .unwrap()
+            .into();
         let config = PreprocessConfig {
             max_categories: 3,
             ..PreprocessConfig::default()
@@ -421,11 +456,12 @@ mod tests {
 
     #[test]
     fn constant_column_does_not_blow_up() {
-        let t = TableBuilder::new("t")
+        let t: TableView = TableBuilder::new("t")
             .column("c", Column::dense_f64(vec![5.0; 10]))
             .unwrap()
             .build()
-            .unwrap();
+            .unwrap()
+            .into();
         let fm = preprocess(&t, &["c"], &PreprocessConfig::default()).unwrap();
         assert!(fm.data.iter().all(|v| v.is_finite()));
         assert!(fm.data.iter().all(|&v| v == 0.0), "constant → all zeros");
@@ -453,7 +489,7 @@ mod tests {
 
     #[test]
     fn empty_table_errors() {
-        let t = TableBuilder::new("e").build().unwrap();
+        let t: TableView = TableBuilder::new("e").build().unwrap().into();
         assert!(matches!(
             preprocess(&t, &[], &PreprocessConfig::default()),
             Err(BlaeuError::EmptySelection)
@@ -468,14 +504,15 @@ mod tests {
 
     #[test]
     fn bool_treated_as_numeric_feature() {
-        let t = TableBuilder::new("t")
+        let t: TableView = TableBuilder::new("t")
             .column(
                 "flag",
                 Column::from_bools([Some(true), Some(false), Some(true)]),
             )
             .unwrap()
             .build()
-            .unwrap();
+            .unwrap()
+            .into();
         let fm = preprocess(&t, &["flag"], &PreprocessConfig::default()).unwrap();
         assert_eq!(fm.dims(), 1);
         assert!(!fm.features[0].categorical);

@@ -138,7 +138,7 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        build_map(&t, &["x"], &MapperConfig::default()).unwrap()
+        build_map(&t.into(), &["x"], &MapperConfig::default()).unwrap()
     }
 
     #[test]

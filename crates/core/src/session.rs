@@ -38,7 +38,19 @@ impl SessionManager {
     /// # Errors
     /// Propagates [`Explorer::open`] failures (e.g. too few columns).
     pub fn create(&self, table: Table, config: ExplorerConfig) -> Result<SessionId> {
-        let explorer = Explorer::open(table, config)?;
+        self.create_shared(Arc::new(table), config)
+    }
+
+    /// Opens a new session over an already-shared table — the zero-copy
+    /// path for many concurrent sessions over one big table: every session
+    /// navigates its own views of the same column payloads, nothing is
+    /// cloned per session.
+    ///
+    /// # Errors
+    /// Propagates [`Explorer::open_shared`] failures (e.g. too few
+    /// columns).
+    pub fn create_shared(&self, table: Arc<Table>, config: ExplorerConfig) -> Result<SessionId> {
+        let explorer = Explorer::open_shared(table, config)?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.sessions
             .write()
@@ -169,10 +181,14 @@ mod tests {
     #[test]
     fn concurrent_sessions() {
         let mgr = Arc::new(SessionManager::new());
-        let base = table();
+        // One shared table allocation serves every session.
+        let base = Arc::new(table());
         let mut ids = Vec::new();
         for _ in 0..4 {
-            ids.push(mgr.create(base.clone(), ExplorerConfig::default()).unwrap());
+            ids.push(
+                mgr.create_shared(Arc::clone(&base), ExplorerConfig::default())
+                    .unwrap(),
+            );
         }
         let results = mgr.par_with(&ids, |_, ex| {
             for _ in 0..3 {

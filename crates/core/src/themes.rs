@@ -7,7 +7,7 @@
 //! named after its medoid column and scored by its internal cohesion.
 
 use blaeu_stats::DependencyOptions;
-use blaeu_store::Table;
+use blaeu_store::TableView;
 
 use blaeu_cluster::{pam, silhouette_score, DistanceMatrix, PamConfig};
 
@@ -96,29 +96,33 @@ impl ThemeSet {
     }
 }
 
-/// Detects themes over the analyzable columns of `table`.
+/// Detects themes over the analyzable columns of a view.
 ///
 /// # Errors
 /// Fails when fewer than two analyzable columns exist, or on storage
 /// errors from the dependency sweep.
-pub fn detect_themes(table: &Table, config: &ThemeConfig) -> Result<ThemeSet> {
+pub fn detect_themes(view: &TableView, config: &ThemeConfig) -> Result<ThemeSet> {
     let prep = PreprocessConfig::default();
-    let columns = analyzable_columns(table, &prep);
-    detect_themes_on(table, &columns, config)
+    let columns = analyzable_columns(view, &prep);
+    detect_themes_on(view, &columns, config)
 }
 
 /// Detects themes over an explicit column list.
 ///
 /// # Errors
 /// Fails when fewer than two columns are given, or on storage errors.
-pub fn detect_themes_on(table: &Table, columns: &[&str], config: &ThemeConfig) -> Result<ThemeSet> {
+pub fn detect_themes_on(
+    view: &TableView,
+    columns: &[&str],
+    config: &ThemeConfig,
+) -> Result<ThemeSet> {
     if columns.len() < 2 {
         return Err(BlaeuError::Invalid(format!(
             "theme detection needs at least 2 columns, got {}",
             columns.len()
         )));
     }
-    let graph = DependencyGraph::build(table, columns, &config.dependency)?;
+    let graph = DependencyGraph::build(view, columns, &config.dependency)?;
     let m = graph.len();
 
     // Distance between columns = 1 − dependency.
@@ -240,7 +244,7 @@ mod tests {
             ..PlantedConfig::default()
         })
         .unwrap();
-        let ts = detect_themes(&table, &ThemeConfig::default()).unwrap();
+        let ts = detect_themes(&table.into(), &ThemeConfig::default()).unwrap();
         assert_eq!(ts.themes.len(), 3, "should find the 3 planted themes");
         // Every detected theme contains columns of exactly one planted theme.
         for theme in &ts.themes {
@@ -270,7 +274,7 @@ mod tests {
         })
         .unwrap();
         let ts = detect_themes(
-            &table,
+            &table.into(),
             &ThemeConfig {
                 fixed_themes: Some(2),
                 ..ThemeConfig::default()
@@ -288,7 +292,7 @@ mod tests {
             ..PlantedConfig::default()
         })
         .unwrap();
-        let ts = detect_themes(&table, &ThemeConfig::default()).unwrap();
+        let ts = detect_themes(&table.into(), &ThemeConfig::default()).unwrap();
         let t = ts.theme_of("theme_a_0").expect("column is assigned");
         assert!(t.columns.contains(&"theme_a_0".to_owned()));
         let assignments = ts.column_assignments();
@@ -304,7 +308,7 @@ mod tests {
             ..PlantedConfig::default()
         })
         .unwrap();
-        let ts = detect_themes(&table, &ThemeConfig::default()).unwrap();
+        let ts = detect_themes(&table.into(), &ThemeConfig::default()).unwrap();
         for theme in &ts.themes {
             assert_eq!(
                 theme.columns[0], theme.name,
@@ -322,7 +326,7 @@ mod tests {
             .build()
             .unwrap();
         assert!(matches!(
-            detect_themes(&t, &ThemeConfig::default()),
+            detect_themes(&t.into(), &ThemeConfig::default()),
             Err(BlaeuError::Invalid(_))
         ));
     }
@@ -340,7 +344,7 @@ mod tests {
             ..PlantedConfig::default()
         })
         .unwrap();
-        let ts = detect_themes(&table, &ThemeConfig::default()).unwrap();
+        let ts = detect_themes(&table.into(), &ThemeConfig::default()).unwrap();
         let cohesions: Vec<f64> = ts.themes.iter().map(|t| t.cohesion).collect();
         assert!(cohesions.windows(2).all(|w| w[0] >= w[1]));
     }

@@ -4,7 +4,7 @@
 //! columns are discretized with equal-width or equal-frequency bins;
 //! categorical and boolean columns already carry discrete codes.
 
-use blaeu_store::{Column, DataType};
+use blaeu_store::{ColumnRead, DataType};
 
 /// Rule for choosing the number of bins when the caller does not fix it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,20 +105,24 @@ pub struct DiscreteColumn {
     pub cardinality: usize,
 }
 
-/// Discretizes any column into symbol codes.
+/// Discretizes any column (owned or view-selected — any [`ColumnRead`])
+/// into symbol codes.
 ///
 /// * Numeric columns are binned with `strategy` / `rule` (fitted on their
 ///   own non-NULL values).
 /// * Categorical columns reuse their dictionary codes.
 /// * Boolean columns map to codes {0, 1}.
-pub fn discretize(column: &Column, strategy: BinStrategy, rule: BinRule) -> DiscreteColumn {
+pub fn discretize<C: ColumnRead>(
+    column: &C,
+    strategy: BinStrategy,
+    rule: BinRule,
+) -> DiscreteColumn {
     match column.data_type() {
         DataType::Categorical => {
-            let (_, dict, _) = column.categorical_parts().expect("categorical");
             let codes = (0..column.len()).map(|i| column.code_at(i)).collect();
             DiscreteColumn {
                 codes,
-                cardinality: dict.len().max(1),
+                cardinality: column.dictionary().len().max(1),
             }
         }
         DataType::Bool => {
@@ -149,6 +153,7 @@ pub fn discretize(column: &Column, strategy: BinStrategy, rule: BinRule) -> Disc
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blaeu_store::Column;
 
     #[test]
     fn bin_rules() {

@@ -4,7 +4,7 @@
 //! numeric columns get moments and quantiles, categorical columns get their
 //! top categories.
 
-use blaeu_store::{Column, DataType};
+use blaeu_store::{ColumnRead, DataType};
 
 /// Summary of a numeric column (over non-NULL rows).
 #[derive(Debug, Clone, PartialEq)]
@@ -78,8 +78,9 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     }
 }
 
-/// Summarizes a column. `top_k` caps the categorical top-list.
-pub fn describe(column: &Column, top_k: usize) -> ColumnSummary {
+/// Summarizes a column (owned or view-selected — any [`ColumnRead`]).
+/// `top_k` caps the categorical top-list.
+pub fn describe<C: ColumnRead>(column: &C, top_k: usize) -> ColumnSummary {
     match column.data_type() {
         DataType::Float64 | DataType::Int64 => {
             let mut vals: Vec<f64> = (0..column.len())
@@ -148,6 +149,7 @@ pub fn describe(column: &Column, top_k: usize) -> ColumnSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blaeu_store::Column;
 
     #[test]
     fn numeric_summary_basic() {

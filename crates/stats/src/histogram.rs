@@ -1,6 +1,6 @@
 //! Histograms — the univariate visualizations of the *highlight* action.
 
-use blaeu_store::{Column, DataType};
+use blaeu_store::{ColumnRead, DataType};
 
 use crate::binning::{BinStrategy, Discretizer};
 
@@ -64,10 +64,11 @@ impl Histogram {
     }
 }
 
-/// Builds a histogram for a column. Numeric columns get `bins` equal-width
-/// bins over their observed range; categorical columns get up to `bins`
-/// bars (most frequent first, remainder folded into `"<other>"`).
-pub fn histogram(column: &Column, bins: usize) -> Histogram {
+/// Builds a histogram for a column (owned or view-selected — any
+/// [`ColumnRead`]). Numeric columns get `bins` equal-width bins over their
+/// observed range; categorical columns get up to `bins` bars (most
+/// frequent first, remainder folded into `"<other>"`).
+pub fn histogram<C: ColumnRead>(column: &C, bins: usize) -> Histogram {
     let bins = bins.max(1);
     match column.data_type() {
         DataType::Float64 | DataType::Int64 => {
@@ -132,6 +133,7 @@ pub fn histogram(column: &Column, bins: usize) -> Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blaeu_store::Column;
 
     #[test]
     fn numeric_histogram_counts_sum() {

@@ -8,17 +8,18 @@
 //! paper) with per-pair NMI, optional row sampling and a parallel sweep.
 //!
 //! ```
-//! use blaeu_store::{Column, TableBuilder};
+//! use blaeu_store::{Column, TableBuilder, TableView};
 //! use blaeu_stats::{dependency_matrix, DependencyOptions};
 //!
 //! let xs: Vec<f64> = (0..300).map(|i| i as f64 / 10.0).collect();
 //! let ys: Vec<f64> = xs.iter().map(|v| v * 2.0).collect();
-//! let table = TableBuilder::new("t")
+//! let view: TableView = TableBuilder::new("t")
 //!     .column("x", Column::dense_f64(xs)).unwrap()
 //!     .column("y", Column::dense_f64(ys)).unwrap()
-//!     .build().unwrap();
+//!     .build().unwrap()
+//!     .into();
 //!
-//! let dm = dependency_matrix(&table, &["x", "y"], &DependencyOptions::default()).unwrap();
+//! let dm = dependency_matrix(&view, &["x", "y"], &DependencyOptions::default()).unwrap();
 //! assert!(dm.get(0, 1) > 0.8); // strong dependency
 //! ```
 

@@ -8,7 +8,7 @@
 //! graphs use a normalized variant so edge weights are comparable across
 //! column pairs with different cardinalities.
 
-use blaeu_store::{uniform_sample, Result, Table};
+use blaeu_store::{uniform_sample, ColumnRead, Result, TableView};
 
 use crate::binning::{discretize, BinRule, BinStrategy, DiscreteColumn};
 use crate::chi2::chi2_test;
@@ -215,41 +215,41 @@ fn measure_pair(
     }
 }
 
-/// Computes the pairwise dependency matrix over the named columns.
+/// Computes the pairwise dependency matrix over the named columns of a
+/// view.
 ///
 /// The sweep over the `m·(m−1)/2` pairs is parallelized with scoped threads;
-/// discretization happens once per column.
+/// discretization happens once per column. Sampling narrows the view (an
+/// index re-map) instead of materializing a sub-table.
 ///
 /// # Errors
 /// Returns an error for unknown column names.
 pub fn dependency_matrix(
-    table: &Table,
+    view: &TableView,
     columns: &[&str],
     opts: &DependencyOptions,
 ) -> Result<DependencyMatrix> {
     let m = columns.len();
     // Validate all names up front.
     for &c in columns {
-        table.column_by_name(c)?;
+        view.col_by_name(c)?;
     }
 
-    // Sample rows once, shared by every pair.
-    let sampled;
-    let view: &Table = match opts.sample {
-        Some(cap) if table.nrows() > cap => {
-            let rows = uniform_sample(table.nrows(), cap, opts.seed);
-            sampled = table.take(&rows)?;
-            &sampled
+    // Sample rows once, shared by every pair — a selection, not a copy.
+    let sampled: TableView = match opts.sample {
+        Some(cap) if view.nrows() > cap => {
+            let rows = uniform_sample(view.nrows(), cap, opts.seed);
+            view.select(&rows)?
         }
-        _ => table,
+        _ => view.clone(),
     };
 
     // Discretize each column once; keep numeric views for correlation modes.
     let mut discs = Vec::with_capacity(m);
     let mut numerics: Vec<Option<Vec<Option<f64>>>> = Vec::with_capacity(m);
     for &c in columns {
-        let col = view.column_by_name(c)?;
-        discs.push(discretize(col, opts.strategy, opts.rule));
+        let col = sampled.col_by_name(c)?;
+        discs.push(discretize(&col, opts.strategy, opts.rule));
         numerics.push(if col.data_type().is_numeric() {
             Some(col.to_f64_vec())
         } else {
@@ -350,7 +350,7 @@ mod tests {
         );
     }
 
-    fn toy_table(n: usize) -> Table {
+    fn toy_table(n: usize) -> TableView {
         // a ~ b (linear), c independent, d = a² (non-linear).
         let a: Vec<f64> = (0..n).map(|i| (i as f64 / n as f64) * 6.0 - 3.0).collect();
         let b: Vec<f64> = a.iter().map(|&v| 2.0 * v + 1.0).collect();
@@ -367,6 +367,7 @@ mod tests {
             .unwrap()
             .build()
             .unwrap()
+            .into()
     }
 
     #[test]
@@ -481,7 +482,7 @@ mod tests {
         let a: Vec<f64> = (0..n).map(|i| ((i * 7919 + 13) % 97) as f64).collect();
         let b: Vec<f64> = (0..n).map(|i| ((i * 104729 + 7) % 89) as f64).collect();
         let c: Vec<f64> = a.iter().map(|v| v * 2.0 + 1.0).collect();
-        let t = TableBuilder::new("sig")
+        let t: TableView = TableBuilder::new("sig")
             .column("a", Column::dense_f64(a))
             .unwrap()
             .column("b", Column::dense_f64(b))
@@ -489,7 +490,8 @@ mod tests {
             .column("c", Column::dense_f64(c))
             .unwrap()
             .build()
-            .unwrap();
+            .unwrap()
+            .into();
         let opts = DependencyOptions {
             significance_alpha: Some(0.01),
             ..DependencyOptions::default()
@@ -541,7 +543,7 @@ mod tests {
                 }
             })
             .collect();
-        let t = TableBuilder::new("mix")
+        let t: TableView = TableBuilder::new("mix")
             .column("a", Column::dense_f64(a))
             .unwrap()
             .column(
@@ -550,7 +552,8 @@ mod tests {
             )
             .unwrap()
             .build()
-            .unwrap();
+            .unwrap()
+            .into();
         let dm = dependency_matrix(&t, &["a", "sign"], &DependencyOptions::default()).unwrap();
         assert!(dm.get(0, 1) > 0.3, "got {}", dm.get(0, 1));
     }

@@ -5,7 +5,7 @@
 //! A [`ScatterGrid`] is a 2-D binned density over two numeric columns,
 //! renderable as a terminal density plot.
 
-use blaeu_store::Column;
+use blaeu_store::ColumnRead;
 
 /// A 2-D histogram (density grid) over two numeric columns.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,15 +24,15 @@ pub struct ScatterGrid {
 }
 
 impl ScatterGrid {
-    /// Bins the pairwise-complete values of two columns into an
-    /// `xbins × ybins` grid.
+    /// Bins the pairwise-complete values of two columns (owned or
+    /// view-selected — any [`ColumnRead`]) into an `xbins × ybins` grid.
     ///
     /// Degenerate inputs (no complete pairs, or zero range) produce a grid
     /// with all mass in one cell.
     ///
     /// # Panics
     /// Panics if column lengths differ or a bin count is zero.
-    pub fn build(x: &Column, y: &Column, xbins: usize, ybins: usize) -> ScatterGrid {
+    pub fn build<C: ColumnRead>(x: &C, y: &C, xbins: usize, ybins: usize) -> ScatterGrid {
         assert_eq!(x.len(), y.len(), "column length mismatch");
         assert!(xbins > 0 && ybins > 0, "bins must be positive");
         let pairs: Vec<(f64, f64)> = (0..x.len())
@@ -137,6 +137,7 @@ impl ScatterGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blaeu_store::Column;
 
     #[test]
     fn bins_cover_all_pairs() {

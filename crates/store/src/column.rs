@@ -15,6 +15,88 @@ use crate::value::{DataType, Value};
 /// Borrowed pieces of a categorical column: codes, dictionary, validity.
 pub type CategoricalParts<'a> = (&'a [u32], &'a Arc<Vec<String>>, &'a Bitmap);
 
+/// Read-only row access shared by owned [`Column`]s and zero-copy
+/// [`crate::view::ColumnView`]s.
+///
+/// The statistics and tree layers are generic over this trait, so the same
+/// code path serves a whole column and a view-selected subset of it —
+/// iteration order is the row order of the implementor, which keeps
+/// results bit-identical between the two.
+pub trait ColumnRead {
+    /// Number of rows.
+    fn len(&self) -> usize;
+
+    /// Logical type of the column.
+    fn data_type(&self) -> DataType;
+
+    /// Cell value at `row`.
+    fn get(&self, row: usize) -> Value;
+
+    /// Numeric view of the cell at `row`: floats as-is, ints widened,
+    /// bools as 0/1; NULL and categorical yield `None`.
+    fn numeric_at(&self, row: usize) -> Option<f64>;
+
+    /// Dictionary code at `row` for categorical columns (`None` when NULL
+    /// or not categorical).
+    fn code_at(&self, row: usize) -> Option<u32>;
+
+    /// True when the cell at `row` is non-NULL.
+    fn is_valid(&self, row: usize) -> bool;
+
+    /// Dictionary of a categorical column (empty for other types).
+    fn dictionary(&self) -> &[String];
+
+    /// True when the column has zero rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of NULL rows.
+    fn null_count(&self) -> usize {
+        (0..self.len()).filter(|&i| !self.is_valid(i)).count()
+    }
+
+    /// Materializes all rows as numeric values (see
+    /// [`ColumnRead::numeric_at`]).
+    fn to_f64_vec(&self) -> Vec<Option<f64>> {
+        (0..self.len()).map(|i| self.numeric_at(i)).collect()
+    }
+}
+
+impl ColumnRead for Column {
+    fn len(&self) -> usize {
+        Column::len(self)
+    }
+
+    fn data_type(&self) -> DataType {
+        Column::data_type(self)
+    }
+
+    fn get(&self, row: usize) -> Value {
+        Column::get(self, row)
+    }
+
+    fn numeric_at(&self, row: usize) -> Option<f64> {
+        Column::numeric_at(self, row)
+    }
+
+    fn code_at(&self, row: usize) -> Option<u32> {
+        Column::code_at(self, row)
+    }
+
+    fn is_valid(&self, row: usize) -> bool {
+        self.validity().get(row)
+    }
+
+    fn dictionary(&self) -> &[String] {
+        Column::dictionary(self)
+    }
+
+    fn null_count(&self) -> usize {
+        Column::null_count(self)
+    }
+}
+
 /// A typed column of values with a validity bitmap.
 #[derive(Debug, Clone)]
 pub enum Column {

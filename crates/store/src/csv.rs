@@ -288,12 +288,46 @@ fn quote(s: &str) -> String {
 ///
 /// # Errors
 /// Propagates I/O errors.
-pub fn write_csv<W: Write>(table: &Table, mut writer: W, opts: &CsvOptions) -> Result<()> {
+pub fn write_csv<W: Write>(table: &Table, writer: W, opts: &CsvOptions) -> Result<()> {
+    write_cells(
+        &table.schema().names(),
+        table.nrows(),
+        |row, col| table.column(col).get(row),
+        writer,
+        opts,
+    )
+}
+
+/// Writes a view as CSV, streaming straight from the shared columns — no
+/// sub-table is materialized for the export.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_csv_view<W: Write>(
+    view: &crate::view::TableView,
+    writer: W,
+    opts: &CsvOptions,
+) -> Result<()> {
+    let cols: Vec<crate::view::ColumnView<'_>> = (0..view.ncols()).map(|c| view.col(c)).collect();
+    write_cells(
+        &view.schema().names(),
+        view.nrows(),
+        |row, col| cols[col].get(row),
+        writer,
+        opts,
+    )
+}
+
+fn write_cells<W: Write>(
+    names: &[&str],
+    nrows: usize,
+    cell: impl Fn(usize, usize) -> crate::value::Value,
+    mut writer: W,
+    opts: &CsvOptions,
+) -> Result<()> {
     let delim = opts.delimiter as char;
     if opts.has_header {
-        let header: Vec<String> = table
-            .schema()
-            .names()
+        let header: Vec<String> = names
             .iter()
             .map(|n| {
                 if needs_quoting(n, opts.delimiter) {
@@ -305,10 +339,10 @@ pub fn write_csv<W: Write>(table: &Table, mut writer: W, opts: &CsvOptions) -> R
             .collect();
         writeln!(writer, "{}", header.join(&delim.to_string()))?;
     }
-    for row in 0..table.nrows() {
-        let mut fields = Vec::with_capacity(table.ncols());
-        for col in table.columns() {
-            let v = col.get(row);
+    for row in 0..nrows {
+        let mut fields = Vec::with_capacity(names.len());
+        for col in 0..names.len() {
+            let v = cell(row, col);
             let s = if v.is_null() {
                 String::new()
             } else {

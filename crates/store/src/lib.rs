@@ -37,10 +37,13 @@ pub mod sample;
 pub mod schema;
 pub mod table;
 pub mod value;
+pub mod view;
 
 pub use bitmap::Bitmap;
-pub use column::Column;
-pub use csv::{read_csv, read_csv_file, read_csv_str, write_csv, write_csv_string, CsvOptions};
+pub use column::{Column, ColumnRead};
+pub use csv::{
+    read_csv, read_csv_file, read_csv_str, write_csv, write_csv_string, write_csv_view, CsvOptions,
+};
 pub use error::{Result, StoreError};
 pub use predicate::{Bound, Predicate};
 pub use query::SelectProject;
@@ -50,3 +53,4 @@ pub use sample::{
 pub use schema::{ColumnRole, Field, Schema};
 pub use table::{Table, TableBuilder};
 pub use value::{DataType, Value};
+pub use view::{ColumnView, TableView};

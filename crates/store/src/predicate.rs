@@ -8,9 +8,10 @@
 use std::fmt;
 
 use crate::bitmap::Bitmap;
-use crate::column::Column;
 use crate::error::{Result, StoreError};
 use crate::table::Table;
+use crate::value::DataType;
+use crate::view::{ColumnView, TableView};
 
 /// Which side of a numeric threshold a range bound sits on.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -141,12 +142,32 @@ impl Predicate {
     /// # Errors
     /// Returns an error for unknown columns or type-incompatible tests.
     pub fn eval(&self, table: &Table) -> Result<Bitmap> {
-        let n = table.nrows();
+        self.eval_cols(table.nrows(), &|name| {
+            Ok(ColumnView::whole(table.column_by_name(name)?))
+        })
+    }
+
+    /// Evaluates the predicate over a view, producing a bitmap with one bit
+    /// per **view row** — a selection is emitted, no sub-table is built.
+    ///
+    /// # Errors
+    /// Returns an error for unknown columns or type-incompatible tests.
+    pub fn eval_view(&self, view: &TableView) -> Result<Bitmap> {
+        self.eval_cols(view.nrows(), &|name| view.col_by_name(name))
+    }
+
+    /// The shared evaluation core: rows are addressed through
+    /// [`ColumnView`] accessors, so the same code serves whole tables and
+    /// zero-copy views.
+    fn eval_cols<'a, F>(&self, n: usize, lookup: &F) -> Result<Bitmap>
+    where
+        F: Fn(&str) -> Result<ColumnView<'a>>,
+    {
         match self {
             Predicate::True => Ok(Bitmap::new_set(n)),
             Predicate::NumRange { column, lo, hi } => {
-                let col = table.column_by_name(column)?;
-                if !col.data_type().is_numeric() && !matches!(col, Column::Bool { .. }) {
+                let col = lookup(column)?;
+                if !col.data_type().is_numeric() && col.data_type() != DataType::Bool {
                     return Err(StoreError::TypeMismatch {
                         column: column.clone(),
                         expected: "numeric",
@@ -164,15 +185,16 @@ impl Predicate {
                 Ok(out)
             }
             Predicate::CatIn { column, categories } => {
-                let col = table.column_by_name(column)?;
-                let (codes, dict, validity) =
-                    col.categorical_parts()
-                        .ok_or_else(|| StoreError::TypeMismatch {
-                            column: column.clone(),
-                            expected: "categorical",
-                            found: col.data_type().name(),
-                        })?;
+                let col = lookup(column)?;
+                if col.data_type() != DataType::Categorical {
+                    return Err(StoreError::TypeMismatch {
+                        column: column.clone(),
+                        expected: "categorical",
+                        found: col.data_type().name(),
+                    });
+                }
                 // Translate accepted labels to a code mask once, then scan codes.
+                let dict = col.dictionary();
                 let mut accepted = vec![false; dict.len()];
                 for cat in categories {
                     if let Some(pos) = dict.iter().position(|d| d == cat) {
@@ -181,28 +203,49 @@ impl Predicate {
                 }
                 let mut out = Bitmap::new_clear(n);
                 for row in 0..n {
-                    if validity.get(row) && accepted[codes[row] as usize] {
-                        out.set(row);
+                    if let Some(code) = col.code_at(row) {
+                        if accepted[code as usize] {
+                            out.set(row);
+                        }
                     }
                 }
                 Ok(out)
             }
             Predicate::IsNull { column } => {
-                let col = table.column_by_name(column)?;
-                let mut out = col.validity().clone();
-                out.not_assign();
+                let col = lookup(column)?;
+                // Identity views keep the word-wise path of the old
+                // Table-only implementation.
+                if let Some(validity) = col.whole_validity() {
+                    let mut out = validity.clone();
+                    out.not_assign();
+                    return Ok(out);
+                }
+                let mut out = Bitmap::new_clear(n);
+                for row in 0..n {
+                    if !col.is_valid(row) {
+                        out.set(row);
+                    }
+                }
                 Ok(out)
             }
             Predicate::Not(inner) => {
-                let mut out = inner.eval(table)?;
+                let mut out = inner.eval_cols(n, lookup)?;
                 out.not_assign();
                 // SQL semantics: NULL rows stay excluded under negation of a
                 // comparison. Null-ness is per-column, so intersect with the
                 // validity of every column the inner predicate touches.
                 for column in inner.columns() {
                     if !matches!(**inner, Predicate::IsNull { .. }) {
-                        let col = table.column_by_name(&column)?;
-                        out.and_assign(col.validity());
+                        let col = lookup(&column)?;
+                        if let Some(validity) = col.whole_validity() {
+                            out.and_assign(validity);
+                            continue;
+                        }
+                        for row in 0..n {
+                            if !col.is_valid(row) {
+                                out.clear(row);
+                            }
+                        }
                     }
                 }
                 Ok(out)
@@ -210,14 +253,14 @@ impl Predicate {
             Predicate::And(parts) => {
                 let mut out = Bitmap::new_set(n);
                 for p in parts {
-                    out.and_assign(&p.eval(table)?);
+                    out.and_assign(&p.eval_cols(n, lookup)?);
                 }
                 Ok(out)
             }
             Predicate::Or(parts) => {
                 let mut out = Bitmap::new_clear(n);
                 for p in parts {
-                    out.or_assign(&p.eval(table)?);
+                    out.or_assign(&p.eval_cols(n, lookup)?);
                 }
                 Ok(out)
             }
@@ -230,6 +273,15 @@ impl Predicate {
     /// Propagates [`Predicate::eval`] errors.
     pub fn select(&self, table: &Table) -> Result<Vec<u32>> {
         Ok(self.eval(table)?.to_indices())
+    }
+
+    /// Evaluates over a view and materializes the selected **view-relative**
+    /// row indices in ascending order.
+    ///
+    /// # Errors
+    /// Propagates [`Predicate::eval_view`] errors.
+    pub fn select_view(&self, view: &TableView) -> Result<Vec<u32>> {
+        Ok(self.eval_view(view)?.to_indices())
     }
 
     /// All column names referenced by this predicate (with duplicates).
@@ -323,6 +375,7 @@ fn upper_op(b: &Bound) -> (&'static str, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::column::Column;
     use crate::table::TableBuilder;
 
     fn table() -> Table {
@@ -462,6 +515,37 @@ mod tests {
         );
         let p = Predicate::And(vec![Predicate::ge("x", 2.0), Predicate::lt("x", 3.0)]);
         assert_eq!(p.to_string(), "(\"x\" >= 2) AND (\"x\" < 3)");
+    }
+
+    #[test]
+    fn view_eval_matches_table_eval_on_taken_rows() {
+        let t = table();
+        let rows = [4u32, 3, 1, 0];
+        let taken = t.take(&rows).unwrap();
+        let view = TableView::with_rows(std::sync::Arc::new(t), rows.to_vec()).unwrap();
+        let preds = [
+            Predicate::ge("x", 2.0),
+            Predicate::is_in("cat", ["a", "c"]),
+            Predicate::IsNull { column: "x".into() },
+            Predicate::Not(Box::new(Predicate::ge("x", 2.0))),
+            Predicate::And(vec![
+                Predicate::ge("x", 1.0),
+                Predicate::Or(vec![
+                    Predicate::is_in("cat", ["b"]),
+                    Predicate::lt("x", 2.0),
+                ]),
+            ]),
+        ];
+        for p in preds {
+            assert_eq!(
+                p.select_view(&view).unwrap(),
+                p.select(&taken).unwrap(),
+                "predicate {p}"
+            );
+        }
+        // Type errors surface on the view path too.
+        assert!(Predicate::ge("cat", 1.0).eval_view(&view).is_err());
+        assert!(Predicate::is_in("x", ["a"]).eval_view(&view).is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::fmt;
 use crate::error::Result;
 use crate::predicate::Predicate;
 use crate::table::Table;
+use crate::view::TableView;
 
 /// A Select-Project query: a conjunction of predicates plus a projection.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +74,17 @@ impl SelectProject {
     /// Propagates predicate evaluation errors.
     pub fn select_rows(&self, table: &Table) -> Result<Vec<u32>> {
         self.predicate.select(table)
+    }
+
+    /// Applies the selection to a view, emitting a narrowed view instead of
+    /// a materialized table. The projection does not restrict the result —
+    /// views share all columns of their table — but it is preserved in the
+    /// query itself for SQL rendering.
+    ///
+    /// # Errors
+    /// Propagates predicate evaluation errors.
+    pub fn select_view(&self, view: &TableView) -> Result<TableView> {
+        view.filter(&self.predicate)
     }
 
     /// Renders the query as a SQL statement against `table_name`.
@@ -142,6 +154,21 @@ mod tests {
         assert_eq!(out.ncols(), 1);
         assert_eq!(out.nrows(), 3);
         assert_eq!(out.value(0, "name").unwrap(), Value::Str("NL".into()));
+    }
+
+    #[test]
+    fn select_view_narrows_without_materializing() {
+        let t = std::sync::Arc::new(table());
+        let v = TableView::new(std::sync::Arc::clone(&t));
+        let q = SelectProject::filtered(Predicate::lt("hours", 20.0)).project(["name"]);
+        let narrowed = q.select_view(&v).unwrap();
+        assert_eq!(narrowed.nrows(), 3);
+        assert!(std::sync::Arc::ptr_eq(narrowed.table(), &t), "shared table");
+        // Same rows as the materializing path.
+        assert_eq!(
+            narrowed.base_rows().unwrap().to_vec(),
+            q.select_rows(&t).unwrap()
+        );
     }
 
     #[test]

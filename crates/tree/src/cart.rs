@@ -3,11 +3,12 @@
 //!
 //! Blaeu trains a decision tree on the original tuples using cluster IDs as
 //! class labels; the tree *is* the data map. The implementation consumes
-//! `blaeu-store` tables directly: numeric columns split on thresholds,
-//! categorical columns on label subsets, and rows with missing test values
-//! follow the node's majority direction.
+//! zero-copy `blaeu-store` views directly — fitting on a sampled view and
+//! routing a zoomed view never materializes a sub-table: numeric columns
+//! split on thresholds, categorical columns on label subsets, and rows with
+//! missing test values follow the node's majority direction.
 
-use blaeu_store::{Column, DataType, Result, StoreError, Table};
+use blaeu_store::{ColumnView, DataType, Result, StoreError, TableView};
 
 use crate::impurity::Criterion;
 use crate::node::{Node, SplitRule};
@@ -76,7 +77,7 @@ fn class_counts(labels: &[usize], rows: &[u32], nclasses: usize) -> Vec<usize> {
 
 /// Scans all thresholds of a numeric column in one sorted pass.
 fn best_numeric_split(
-    col: &Column,
+    col: &ColumnView<'_>,
     name: &str,
     labels: &[usize],
     rows: &[u32],
@@ -132,14 +133,14 @@ fn best_numeric_split(
 /// subsets of categories ordered by majority-class proportion (the CART
 /// ordering trick, exact for two classes).
 fn best_categorical_split(
-    col: &Column,
+    col: &ColumnView<'_>,
     name: &str,
     labels: &[usize],
     rows: &[u32],
     nclasses: usize,
     config: &CartConfig,
 ) -> Option<BestSplit> {
-    let (_, dict, _) = col.categorical_parts()?;
+    let dict = col.dictionary();
     if dict.len() > config.max_categories || dict.is_empty() {
         return None;
     }
@@ -220,9 +221,9 @@ fn best_categorical_split(
 }
 
 /// Routes one row through a split rule. `None` = missing test value.
-fn route(rule: &SplitRule, table: &Table, row: usize) -> Option<bool> {
-    let col = table
-        .column_by_name(rule.column())
+fn route(rule: &SplitRule, view: &TableView, row: usize) -> Option<bool> {
+    let col = view
+        .col_by_name(rule.column())
         .expect("feature validated at fit/predict time");
     match rule {
         SplitRule::Numeric { threshold, .. } => col.numeric_at(row).map(|v| v < *threshold),
@@ -237,7 +238,7 @@ fn route(rule: &SplitRule, table: &Table, row: usize) -> Option<bool> {
 }
 
 fn build_node(
-    table: &Table,
+    view: &TableView,
     features: &[String],
     labels: &[usize],
     rows: &[u32],
@@ -270,13 +271,13 @@ fn build_node(
     // Best split across features (ties toward the earlier feature).
     let mut best: Option<BestSplit> = None;
     for name in features {
-        let col = table.column_by_name(name).expect("validated");
+        let col = view.col_by_name(name).expect("validated");
         let candidate = match col.data_type() {
             DataType::Float64 | DataType::Int64 | DataType::Bool => {
-                best_numeric_split(col, name, labels, rows, nclasses, config)
+                best_numeric_split(&col, name, labels, rows, nclasses, config)
             }
             DataType::Categorical => {
-                best_categorical_split(col, name, labels, rows, nclasses, config)
+                best_categorical_split(&col, name, labels, rows, nclasses, config)
             }
         };
         if let Some(c) = candidate {
@@ -306,7 +307,7 @@ fn build_node(
     let mut left_rows = Vec::new();
     let mut right_rows = Vec::new();
     for &r in rows {
-        let goes_left = route(&split.rule, table, r as usize).unwrap_or(split.default_left);
+        let goes_left = route(&split.rule, view, r as usize).unwrap_or(split.default_left);
         if goes_left {
             left_rows.push(r);
         } else {
@@ -322,7 +323,7 @@ fn build_node(
     }
 
     let left = build_node(
-        table,
+        view,
         features,
         labels,
         &left_rows,
@@ -331,7 +332,7 @@ fn build_node(
         config,
     );
     let right = build_node(
-        table,
+        view,
         features,
         labels,
         &right_rows,
@@ -349,42 +350,42 @@ fn build_node(
 }
 
 impl DecisionTree {
-    /// Fits a tree on the given feature columns and class labels
-    /// (`labels[i]` is row *i*'s class; Blaeu passes cluster IDs).
+    /// Fits a tree on the given feature columns and class labels of a view
+    /// (`labels[i]` is view row *i*'s class; Blaeu passes cluster IDs).
     ///
     /// # Errors
     /// Returns an error for unknown features, a label/row-count mismatch,
-    /// or an empty table.
+    /// or an empty view.
     pub fn fit(
-        table: &Table,
+        view: &TableView,
         features: &[&str],
         labels: &[usize],
         config: &CartConfig,
     ) -> Result<Self> {
-        if labels.len() != table.nrows() {
+        if labels.len() != view.nrows() {
             return Err(StoreError::LengthMismatch {
-                expected: table.nrows(),
+                expected: view.nrows(),
                 found: labels.len(),
                 column: "<labels>".to_owned(),
             });
         }
-        if table.nrows() == 0 {
+        if view.nrows() == 0 {
             return Err(StoreError::InvalidArgument(
-                "cannot fit a tree on an empty table".to_owned(),
+                "cannot fit a tree on an empty view".to_owned(),
             ));
         }
         for &f in features {
-            table.column_by_name(f)?;
+            view.col_by_name(f)?;
         }
         let nclasses = labels.iter().copied().max().unwrap_or(0) + 1;
-        let rows: Vec<u32> = (0..table.nrows() as u32).collect();
+        let rows: Vec<u32> = (0..view.nrows() as u32).collect();
         let features: Vec<String> = features.iter().map(|&s| s.to_owned()).collect();
         // Fold the fractional leaf floor into the absolute one.
         let mut config = config.clone();
         config.min_samples_leaf = config
             .min_samples_leaf
-            .max((config.min_leaf_fraction.clamp(0.0, 1.0) * table.nrows() as f64).ceil() as usize);
-        let root = build_node(table, &features, labels, &rows, nclasses, 0, &config);
+            .max((config.min_leaf_fraction.clamp(0.0, 1.0) * view.nrows() as f64).ceil() as usize);
+        let root = build_node(view, &features, labels, &rows, nclasses, 0, &config);
         Ok(DecisionTree {
             root,
             nclasses,
@@ -427,13 +428,13 @@ impl DecisionTree {
         self.root.depth()
     }
 
-    /// Predicts the class of one row of `table`.
+    /// Predicts the class of one view row.
     ///
     /// # Errors
-    /// Returns an error when a feature column is missing from `table`.
-    pub fn predict_row(&self, table: &Table, row: usize) -> Result<usize> {
+    /// Returns an error when a feature column is missing from the view.
+    pub fn predict_row(&self, view: &TableView, row: usize) -> Result<usize> {
         for f in &self.features {
-            table.column_by_name(f)?;
+            view.col_by_name(f)?;
         }
         let mut node = &self.root;
         loop {
@@ -446,37 +447,37 @@ impl DecisionTree {
                     right,
                     ..
                 } => {
-                    let goes_left = route(rule, table, row).unwrap_or(*default_left);
+                    let goes_left = route(rule, view, row).unwrap_or(*default_left);
                     node = if goes_left { left } else { right };
                 }
             }
         }
     }
 
-    /// Predicts every row of `table`.
+    /// Predicts every row of a view.
     ///
     /// # Errors
-    /// Returns an error when a feature column is missing from `table`.
-    pub fn predict(&self, table: &Table) -> Result<Vec<usize>> {
+    /// Returns an error when a feature column is missing from the view.
+    pub fn predict(&self, view: &TableView) -> Result<Vec<usize>> {
         for f in &self.features {
-            table.column_by_name(f)?;
+            view.col_by_name(f)?;
         }
-        (0..table.nrows())
-            .map(|row| self.predict_row(table, row))
+        (0..view.nrows())
+            .map(|row| self.predict_row(view, row))
             .collect()
     }
 
-    /// Routes every row to a leaf, returning per-row leaf indices in
+    /// Routes every view row to a leaf, returning per-row leaf indices in
     /// left-to-right leaf order (the region assignment for data maps).
     ///
     /// # Errors
-    /// Returns an error when a feature column is missing from `table`.
-    pub fn leaf_assignments(&self, table: &Table) -> Result<Vec<usize>> {
+    /// Returns an error when a feature column is missing from the view.
+    pub fn leaf_assignments(&self, view: &TableView) -> Result<Vec<usize>> {
         for f in &self.features {
-            table.column_by_name(f)?;
+            view.col_by_name(f)?;
         }
-        let mut out = Vec::with_capacity(table.nrows());
-        for row in 0..table.nrows() {
+        let mut out = Vec::with_capacity(view.nrows());
+        for row in 0..view.nrows() {
             let mut node = &self.root;
             let mut leaf_index = 0usize;
             loop {
@@ -489,7 +490,7 @@ impl DecisionTree {
                         right,
                         ..
                     } => {
-                        let goes_left = route(rule, table, row).unwrap_or(*default_left);
+                        let goes_left = route(rule, view, row).unwrap_or(*default_left);
                         if goes_left {
                             node = left;
                         } else {
@@ -511,7 +512,7 @@ mod tests {
     use blaeu_store::{Column, TableBuilder};
 
     /// Two numeric clusters split at x = 5.
-    fn simple_numeric() -> (Table, Vec<usize>) {
+    fn simple_numeric() -> (TableView, Vec<usize>) {
         let xs: Vec<f64> = (0..40)
             .map(|i| {
                 if i < 20 {
@@ -527,7 +528,7 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        (t, labels)
+        (t.into(), labels)
     }
 
     #[test]
@@ -552,11 +553,12 @@ mod tests {
 
     #[test]
     fn pure_node_becomes_leaf() {
-        let t = TableBuilder::new("t")
+        let t: TableView = TableBuilder::new("t")
             .column("x", Column::dense_f64(vec![1.0, 2.0, 3.0]))
             .unwrap()
             .build()
-            .unwrap();
+            .unwrap()
+            .into();
         let tree = DecisionTree::fit(&t, &["x"], &[1, 1, 1], &CartConfig::default()).unwrap();
         assert_eq!(tree.n_leaves(), 1);
         assert_eq!(tree.predict_row(&t, 0).unwrap(), 1);
@@ -585,13 +587,14 @@ mod tests {
             ys.push(5.0 + i as f64 * 0.1);
             labels.push(2);
         }
-        let t = TableBuilder::new("t")
+        let t: TableView = TableBuilder::new("t")
             .column("x", Column::dense_f64(xs))
             .unwrap()
             .column("y", Column::dense_f64(ys))
             .unwrap()
             .build()
-            .unwrap();
+            .unwrap()
+            .into();
         let config = CartConfig {
             max_depth: 1,
             min_samples_split: 2,
@@ -622,11 +625,12 @@ mod tests {
     fn categorical_split() {
         let cats = ["nl", "nl", "nl", "ch", "ch", "ch", "us", "us", "us", "us"];
         let labels = vec![0, 0, 0, 0, 0, 0, 1, 1, 1, 1];
-        let t = TableBuilder::new("t")
+        let t: TableView = TableBuilder::new("t")
             .column("country", Column::from_strs(cats.iter().map(|&s| Some(s))))
             .unwrap()
             .build()
-            .unwrap();
+            .unwrap()
+            .into();
         let config = CartConfig {
             min_samples_split: 2,
             min_samples_leaf: 1,
@@ -655,11 +659,12 @@ mod tests {
             .map(|i| if i % 10 == 9 { None } else { Some(i as f64) })
             .collect();
         let labels: Vec<usize> = (0..30).map(|i| usize::from(i >= 15)).collect();
-        let t = TableBuilder::new("t")
+        let t: TableView = TableBuilder::new("t")
             .column("x", Column::from_f64s(xs))
             .unwrap()
             .build()
-            .unwrap();
+            .unwrap()
+            .into();
         let config = CartConfig {
             min_samples_split: 4,
             min_samples_leaf: 2,
@@ -696,7 +701,7 @@ mod tests {
         let (t, labels) = simple_numeric();
         assert!(DecisionTree::fit(&t, &["ghost"], &labels, &CartConfig::default()).is_err());
         assert!(DecisionTree::fit(&t, &["x"], &labels[..5], &CartConfig::default()).is_err());
-        let empty = TableBuilder::new("e").build().unwrap();
+        let empty: TableView = TableBuilder::new("e").build().unwrap().into();
         assert!(DecisionTree::fit(&empty, &[], &[], &CartConfig::default()).is_err());
     }
 
@@ -704,11 +709,12 @@ mod tests {
     fn predict_on_missing_feature_errors() {
         let (t, labels) = simple_numeric();
         let tree = DecisionTree::fit(&t, &["x"], &labels, &CartConfig::default()).unwrap();
-        let other = TableBuilder::new("o")
+        let other: TableView = TableBuilder::new("o")
             .column("y", Column::dense_f64(vec![1.0]))
             .unwrap()
             .build()
-            .unwrap();
+            .unwrap()
+            .into();
         assert!(tree.predict(&other).is_err());
         assert!(tree.predict_row(&other, 0).is_err());
     }
@@ -728,11 +734,12 @@ mod tests {
     fn three_class_problem() {
         let xs: Vec<f64> = (0..60).map(|i| i as f64).collect();
         let labels: Vec<usize> = (0..60).map(|i| i / 20).collect();
-        let t = TableBuilder::new("t")
+        let t: TableView = TableBuilder::new("t")
             .column("x", Column::dense_f64(xs))
             .unwrap()
             .build()
-            .unwrap();
+            .unwrap()
+            .into();
         let tree = DecisionTree::fit(&t, &["x"], &labels, &CartConfig::default()).unwrap();
         assert_eq!(tree.nclasses(), 3);
         assert_eq!(tree.n_leaves(), 3);

@@ -9,20 +9,21 @@
 //! ([`leaf_rules`]) and fidelity measures ([`eval`]).
 //!
 //! ```
-//! use blaeu_store::{Column, TableBuilder};
+//! use blaeu_store::{Column, TableBuilder, TableView};
 //! use blaeu_tree::{CartConfig, DecisionTree};
 //!
-//! let table = TableBuilder::new("t")
+//! let view: TableView = TableBuilder::new("t")
 //!     .column("hours", Column::dense_f64(
 //!         (0..40).map(|i| if i < 20 { 10.0 + i as f64 * 0.1 } else { 25.0 + i as f64 * 0.1 }).collect()))
 //!     .unwrap()
 //!     .build()
-//!     .unwrap();
+//!     .unwrap()
+//!     .into();
 //! let clusters: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
 //!
-//! let tree = DecisionTree::fit(&table, &["hours"], &clusters, &CartConfig::default()).unwrap();
+//! let tree = DecisionTree::fit(&view, &["hours"], &clusters, &CartConfig::default()).unwrap();
 //! assert_eq!(tree.n_leaves(), 2);
-//! assert_eq!(tree.predict(&table).unwrap(), clusters);
+//! assert_eq!(tree.predict(&view).unwrap(), clusters);
 //! ```
 
 #![warn(missing_docs)]

@@ -120,11 +120,11 @@ pub fn prune(tree: &DecisionTree, alpha: f64) -> DecisionTree {
 mod tests {
     use super::*;
     use crate::cart::CartConfig;
-    use blaeu_store::{Column, Table, TableBuilder};
+    use blaeu_store::{Column, TableBuilder, TableView};
 
     /// Two strong clusters plus a sprinkle of label noise that invites
     /// overfit micro-splits.
-    fn noisy_dataset() -> (Table, Vec<usize>) {
+    fn noisy_dataset() -> (TableView, Vec<usize>) {
         let n = 200;
         let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let labels: Vec<usize> = (0..n)
@@ -141,7 +141,7 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        (t, labels)
+        (t.into(), labels)
     }
 
     fn overfit_config() -> CartConfig {
@@ -239,11 +239,12 @@ mod tests {
 
     #[test]
     fn pruning_a_stump_is_identity() {
-        let t = TableBuilder::new("t")
+        let t: TableView = TableBuilder::new("t")
             .column("x", Column::dense_f64(vec![1.0, 2.0, 3.0]))
             .unwrap()
             .build()
-            .unwrap();
+            .unwrap()
+            .into();
         let tree = DecisionTree::fit(&t, &["x"], &[0, 0, 0], &CartConfig::default()).unwrap();
         assert_eq!(tree.n_leaves(), 1);
         assert_eq!(prune(&tree, 5.0), tree);

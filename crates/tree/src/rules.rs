@@ -235,9 +235,9 @@ pub fn leaf_rules(tree: &DecisionTree) -> Vec<LeafRule> {
 mod tests {
     use super::*;
     use crate::cart::CartConfig;
-    use blaeu_store::{Column, Table, TableBuilder};
+    use blaeu_store::{Column, TableBuilder, TableView};
 
-    fn two_split_table() -> (Table, Vec<usize>) {
+    fn two_split_table() -> (TableView, Vec<usize>) {
         // Three clusters describable as: x<10 & y<5 | x<10 & y>=5 | x>=10.
         let mut xs = Vec::new();
         let mut ys = Vec::new();
@@ -264,7 +264,7 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        (t, labels)
+        (t.into(), labels)
     }
 
     #[test]
@@ -277,7 +277,7 @@ mod tests {
         // On NULL-free data, predicate selection == tree routing.
         let assignments = tree.leaf_assignments(&t).unwrap();
         for rule in &rules {
-            let selected = rule.predicate.select(&t).unwrap();
+            let selected = rule.predicate.select_view(&t).unwrap();
             let routed: Vec<u32> = assignments
                 .iter()
                 .enumerate()
@@ -316,11 +316,12 @@ mod tests {
                 }
             })
             .collect();
-        let t = TableBuilder::new("t")
+        let t: TableView = TableBuilder::new("t")
             .column("x", Column::dense_f64(xs))
             .unwrap()
             .build()
-            .unwrap();
+            .unwrap()
+            .into();
         let config = CartConfig {
             min_samples_split: 2,
             min_samples_leaf: 1,
@@ -343,11 +344,12 @@ mod tests {
     fn categorical_rules_extracted() {
         let cats = ["a", "a", "a", "a", "b", "b", "b", "b", "c", "c", "c", "c"];
         let labels = vec![0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1];
-        let t = TableBuilder::new("t")
+        let t: TableView = TableBuilder::new("t")
             .column("cat", Column::from_strs(cats.iter().map(|&s| Some(s))))
             .unwrap()
             .build()
-            .unwrap();
+            .unwrap()
+            .into();
         let config = CartConfig {
             min_samples_split: 2,
             min_samples_leaf: 1,
@@ -357,7 +359,7 @@ mod tests {
         let rules = leaf_rules(&tree);
         assert_eq!(rules.len(), 2);
         for rule in &rules {
-            let selected = rule.predicate.select(&t).unwrap();
+            let selected = rule.predicate.select_view(&t).unwrap();
             assert!(!selected.is_empty());
             assert_eq!(rule.description.len(), 1);
         }
@@ -365,17 +367,18 @@ mod tests {
 
     #[test]
     fn single_leaf_tree_has_true_predicate() {
-        let t = TableBuilder::new("t")
+        let t: TableView = TableBuilder::new("t")
             .column("x", Column::dense_f64(vec![1.0, 2.0]))
             .unwrap()
             .build()
-            .unwrap();
+            .unwrap()
+            .into();
         let tree = DecisionTree::fit(&t, &["x"], &[0, 0], &CartConfig::default()).unwrap();
         let rules = leaf_rules(&tree);
         assert_eq!(rules.len(), 1);
         assert_eq!(rules[0].predicate, Predicate::True);
         assert!(rules[0].description.is_empty());
-        assert_eq!(rules[0].predicate.select(&t).unwrap(), vec![0, 1]);
+        assert_eq!(rules[0].predicate.select_view(&t).unwrap(), vec![0, 1]);
     }
 
     #[test]

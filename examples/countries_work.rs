@@ -82,7 +82,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Why is working in Canada a good idea? Count Canadian regions in the
     // zoomed (pleasant) selection vs the full table.
     let view = &explorer.current().view;
-    let canada_in_selection = Predicate::is_in("country", ["Canada"]).select(view)?.len();
+    let canada_in_selection = Predicate::is_in("country", ["Canada"])
+        .select_view(view)?
+        .len();
     println!(
         "Canadian regions in the pleasant selection: {} of {} selected rows",
         canada_in_selection,

@@ -70,7 +70,8 @@ pub mod prelude {
         hollywood, lofar, oecd, planted, HollywoodConfig, LofarConfig, OecdConfig, PlantedConfig,
     };
     pub use blaeu_store::{
-        read_csv_str, Column, CsvOptions, Predicate, SelectProject, Table, TableBuilder,
+        read_csv_str, Column, ColumnRead, CsvOptions, Predicate, SelectProject, Table,
+        TableBuilder, TableView,
     };
     pub use blaeu_tree::{alpha_path, leaf_rules, prune, CartConfig, DecisionTree};
 }

@@ -180,7 +180,7 @@ fn csv_to_exploration_pipeline() {
     assert_eq!(table.nrows(), 120);
 
     let map = build_map(
-        &table,
+        &table.into(),
         &["hours", "salary", "dept"],
         &MapperConfig::default(),
     )

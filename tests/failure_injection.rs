@@ -26,6 +26,7 @@ fn all_null_column_survives_pipeline() {
         .unwrap()
         .build()
         .unwrap();
+    let t = TableView::from(t);
     // Dependency graph, themes and maps all tolerate the dead column.
     let dm = dependency_matrix(
         &t,
@@ -55,6 +56,7 @@ fn constant_columns_survive_pipeline() {
         .unwrap()
         .build()
         .unwrap();
+    let t = TableView::from(t);
     let map = build_map(&t, &["c1", "c2", "varies"], &MapperConfig::default()).unwrap();
     // The only real structure is the binary `varies` split.
     assert_eq!(map.k, 2);
@@ -64,13 +66,14 @@ fn constant_columns_survive_pipeline() {
 
 #[test]
 fn single_row_and_tiny_tables() {
-    let t = TableBuilder::new("tiny")
+    let t: TableView = TableBuilder::new("tiny")
         .column("x", Column::dense_f64(vec![1.0]))
         .unwrap()
         .column("y", Column::dense_f64(vec![2.0]))
         .unwrap()
         .build()
-        .unwrap();
+        .unwrap()
+        .into();
     let map = build_map(&t, &["x", "y"], &MapperConfig::default()).unwrap();
     assert_eq!(map.k, 1);
     assert_eq!(map.root().count, 1);
@@ -79,13 +82,14 @@ fn single_row_and_tiny_tables() {
 
 #[test]
 fn duplicated_rows_collapse_to_one_cluster() {
-    let t = TableBuilder::new("dups")
+    let t: TableView = TableBuilder::new("dups")
         .column("x", Column::dense_f64(vec![3.0; 500]))
         .unwrap()
         .column("y", Column::dense_f64(vec![-1.0; 500]))
         .unwrap()
         .build()
-        .unwrap();
+        .unwrap()
+        .into();
     let map = build_map(&t, &["x", "y"], &MapperConfig::default()).unwrap();
     assert_eq!(map.leaves().len(), 1, "identical rows form one region");
 }
@@ -137,13 +141,14 @@ fn categorical_only_map() {
     let group: Vec<&str> = (0..n)
         .map(|i| if i % 3 == 0 { "warm" } else { "cool" })
         .collect();
-    let t = TableBuilder::new("cats")
+    let t: TableView = TableBuilder::new("cats")
         .column("color", Column::from_strs(cats.into_iter().map(Some)))
         .unwrap()
         .column("family", Column::from_strs(group.into_iter().map(Some)))
         .unwrap()
         .build()
-        .unwrap();
+        .unwrap()
+        .into();
     let map = build_map(&t, &["color", "family"], &MapperConfig::default()).unwrap();
     assert!(map.k >= 2, "categorical structure detected (k = {})", map.k);
     let total: usize = map.leaves().iter().map(|r| r.count).sum();
@@ -180,6 +185,7 @@ fn high_cardinality_categorical_does_not_explode() {
         .unwrap()
         .build()
         .unwrap();
+    let t = TableView::from(t);
     // The all-distinct categorical is dropped by the key heuristic for
     // theme detection, and capped by one-hot encoding in maps.
     let cols = blaeu::core::analyzable_columns(&t, &blaeu::core::PreprocessConfig::default());
@@ -256,7 +262,7 @@ fn missing_heavy_table_still_maps() {
         .filter(|(_, t)| *t == 0)
         .map(|(c, _)| c.as_str())
         .collect();
-    let map = build_map(&table, &columns, &MapperConfig::default()).unwrap();
+    let map = build_map(&table.into(), &columns, &MapperConfig::default()).unwrap();
     let total: usize = map.leaves().iter().map(|r| r.count).sum();
     assert_eq!(total, 600, "NULL-heavy rows still route to regions");
     // Structure survives missing data (3 planted clusters, generous floor).

@@ -160,7 +160,8 @@ proptest! {
             .unwrap()
             .build()
             .unwrap();
-        let dm = dependency_matrix(&t, &["x", "y", "z"], &DependencyOptions::default()).unwrap();
+        let dm =
+            dependency_matrix(&t.into(), &["x", "y", "z"], &DependencyOptions::default()).unwrap();
         for i in 0..3 {
             prop_assert!((dm.get(i, i) - 1.0).abs() < 1e-12);
             for j in 0..3 {

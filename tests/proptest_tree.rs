@@ -2,12 +2,12 @@
 
 use proptest::prelude::*;
 
-use blaeu::store::{Column, Table, TableBuilder};
+use blaeu::store::{Column, TableBuilder, TableView};
 use blaeu::tree::{leaf_rules, CartConfig, DecisionTree};
 
 /// Builds a numeric table plus labels derived from noisy thresholds, so
 /// trees have real structure to find.
-fn dataset_strategy() -> impl Strategy<Value = (Table, Vec<usize>)> {
+fn dataset_strategy() -> impl Strategy<Value = (TableView, Vec<usize>)> {
     (
         prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 12..120),
         -50.0f64..50.0,
@@ -24,7 +24,7 @@ fn dataset_strategy() -> impl Strategy<Value = (Table, Vec<usize>)> {
                 .unwrap()
                 .build()
                 .unwrap();
-            (t, labels)
+            (t.into(), labels)
         })
 }
 
@@ -60,7 +60,7 @@ proptest! {
         let tree = DecisionTree::fit(&table, &["x", "y"], &labels, &loose_config()).unwrap();
         let assign = tree.leaf_assignments(&table).unwrap();
         for rule in leaf_rules(&tree) {
-            let selected = rule.predicate.select(&table).unwrap();
+            let selected = rule.predicate.select_view(&table).unwrap();
             let routed: Vec<u32> = assign
                 .iter()
                 .enumerate()

@@ -1,0 +1,135 @@
+//! Property test for the zero-copy view pipeline: analysis through a
+//! [`TableView`] selection must be **bit-identical** to the old
+//! take-materialized baseline — preprocess matrices, dependency (MI)
+//! scores and CLARA medoids agree exactly, for random tables, random
+//! selections, and thread budgets 1 and 8.
+//!
+//! This is the refactor's safety net: views change *where* cells are read
+//! from (an index map over shared columns instead of a gathered copy),
+//! and nothing downstream may observe the difference.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use blaeu::cluster::{clara, ClaraConfig};
+use blaeu::core::{preprocess, MetricChoice, MissingPolicy, PreprocessConfig};
+use blaeu::stats::{dependency_matrix, DependencyOptions};
+use blaeu::store::{Column, Table, TableBuilder, TableView};
+
+/// A mixed-type table (floats with NULLs, a categorical, a second float)
+/// plus a random row selection (arbitrary order, duplicates allowed).
+fn table_and_selection() -> impl Strategy<Value = (Table, Vec<u32>)> {
+    (
+        prop::collection::vec((-50.0f64..50.0, 0u32..5, -10.0f64..10.0, 0u32..20), 24..120),
+        prop::collection::vec(0usize..1usize << 16, 10..60),
+    )
+        .prop_map(|(rows, picks)| {
+            let labels = ["alpha", "beta", "gamma", "delta", "epsilon"];
+            let a: Vec<Option<f64>> = rows
+                .iter()
+                .map(|&(v, _, _, m)| if m % 7 == 0 { None } else { Some(v) })
+                .collect();
+            let cat: Vec<Option<&str>> = rows
+                .iter()
+                .map(|&(_, c, _, m)| {
+                    if m % 11 == 0 {
+                        None
+                    } else {
+                        Some(labels[c as usize])
+                    }
+                })
+                .collect();
+            let b: Vec<Option<f64>> = rows.iter().map(|&(_, _, v, _)| Some(v)).collect();
+            let table = TableBuilder::new("prop")
+                .column("a", Column::from_f64s(a))
+                .unwrap()
+                .column("cat", Column::from_strs(cat))
+                .unwrap()
+                .column("b", Column::from_f64s(b))
+                .unwrap()
+                .build()
+                .unwrap();
+            let n = table.nrows() as u32;
+            let sel: Vec<u32> = picks.iter().map(|&p| p as u32 % n).collect();
+            (table, sel)
+        })
+}
+
+fn bits(data: &[f64]) -> Vec<u64> {
+    data.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Restores thread-budget auto-detection even when an assertion unwinds.
+struct ResetBudget;
+impl Drop for ResetBudget {
+    fn drop(&mut self) {
+        blaeu::exec::set_thread_budget(0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn view_pipeline_bit_identical_to_materialized((table, sel) in table_and_selection()) {
+        let _reset = ResetBudget;
+        let columns = ["a", "cat", "b"];
+        let arc = Arc::new(table);
+        let view = TableView::with_rows(Arc::clone(&arc), sel.clone()).unwrap();
+        let baseline: TableView = arc.take(&sel).unwrap().into();
+
+        // One result bundle per thread budget; the budgets must agree with
+        // each other too (the executor's determinism contract).
+        let mut bundles = Vec::new();
+        for &threads in &[1usize, 8] {
+            blaeu::exec::set_thread_budget(threads);
+
+            // Preprocess matrices, both missing policies.
+            let mut matrices = Vec::new();
+            for missing in [MissingPolicy::Propagate, MissingPolicy::Impute] {
+                let config = PreprocessConfig { missing, ..PreprocessConfig::default() };
+                let fv = preprocess(&view, &columns, &config).unwrap();
+                let fb = preprocess(&baseline, &columns, &config).unwrap();
+                prop_assert_eq!(&fv.features, &fb.features, "feature metadata (threads {})", threads);
+                prop_assert_eq!(bits(&fv.data), bits(&fb.data), "matrix bits (threads {})", threads);
+                matrices.push((fv.features.clone(), bits(&fv.data)));
+            }
+
+            // Dependency (MI) scores over the pairwise sweep.
+            let opts = DependencyOptions::default();
+            let dv = dependency_matrix(&view, &columns, &opts).unwrap();
+            let db = dependency_matrix(&baseline, &columns, &opts).unwrap();
+            let mut mi_bits = Vec::new();
+            for i in 0..columns.len() {
+                for j in 0..columns.len() {
+                    prop_assert_eq!(
+                        dv.get(i, j).to_bits(),
+                        db.get(i, j).to_bits(),
+                        "MI cell ({}, {}) at {} threads", i, j, threads
+                    );
+                    mi_bits.push(dv.get(i, j).to_bits());
+                }
+            }
+
+            // CLARA medoids over the Gower points of both pipelines.
+            let config = PreprocessConfig {
+                missing: MissingPolicy::Impute,
+                ..PreprocessConfig::default()
+            };
+            let pv = preprocess(&view, &columns, &config)
+                .unwrap()
+                .into_points(MetricChoice::Gower);
+            let pb = preprocess(&baseline, &columns, &config)
+                .unwrap()
+                .into_points(MetricChoice::Gower);
+            let cv = clara(&pv, 2, &ClaraConfig::default());
+            let cb = clara(&pb, 2, &ClaraConfig::default());
+            prop_assert_eq!(&cv.medoids, &cb.medoids, "CLARA medoids (threads {})", threads);
+            prop_assert_eq!(&cv.labels, &cb.labels, "CLARA labels (threads {})", threads);
+
+            bundles.push((matrices, mi_bits, cv.medoids.clone(), cv.labels.clone()));
+        }
+        prop_assert_eq!(&bundles[0], &bundles[1], "thread budgets 1 and 8 disagree");
+    }
+}

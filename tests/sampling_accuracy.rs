@@ -32,6 +32,7 @@ fn sampled_maps_match_planted_truth() {
         .map(|(c, _)| c.as_str())
         .collect();
 
+    let table = blaeu::store::TableView::from(table);
     let mut last_ari = 0.0;
     for &sample_size in &[250usize, 1000, 4000] {
         let map = build_map(
@@ -72,6 +73,7 @@ fn sampled_map_agrees_with_full_map() {
         .map(|(c, _)| c.as_str())
         .collect();
 
+    let table = blaeu::store::TableView::from(table);
     let full = build_map(
         &table,
         &columns,
@@ -129,9 +131,12 @@ fn silhouette_estimate_tracks_sample_size() {
         .iter()
         .map(|(c, _)| c.as_str())
         .collect();
-    let features =
-        blaeu::core::preprocess(&table, &columns, &blaeu::core::PreprocessConfig::default())
-            .unwrap();
+    let features = blaeu::core::preprocess(
+        &table.into(),
+        &columns,
+        &blaeu::core::PreprocessConfig::default(),
+    )
+    .unwrap();
     let points = features.into_points(blaeu::core::MetricChoice::Gower);
     let matrix = DistanceMatrix::from_points(&points);
     let exact = silhouette_score(&matrix, &truth.labels);

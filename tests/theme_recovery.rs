@@ -36,7 +36,7 @@ fn linear_themes_fully_recovered() {
         ..PlantedConfig::default()
     })
     .unwrap();
-    let ts = detect_themes(&table, &ThemeConfig::default()).unwrap();
+    let ts = detect_themes(&table.into(), &ThemeConfig::default()).unwrap();
     let nmi = theme_recovery_nmi(&ts, &truth);
     assert!(nmi > 0.95, "theme recovery NMI {nmi}");
     assert_eq!(ts.themes.len(), 4);
@@ -67,7 +67,7 @@ fn mixed_type_themes_recovered() {
         ..PlantedConfig::default()
     })
     .unwrap();
-    let ts = detect_themes(&table, &ThemeConfig::default()).unwrap();
+    let ts = detect_themes(&table.into(), &ThemeConfig::default()).unwrap();
     let nmi = theme_recovery_nmi(&ts, &truth);
     assert!(nmi > 0.8, "mixed-type theme recovery NMI {nmi}");
 }
@@ -101,6 +101,7 @@ fn ablation_mi_beats_pearson_on_nonlinear_themes() {
         ..PlantedConfig::default()
     };
     let (table, truth) = planted(&config).unwrap();
+    let table = blaeu::store::TableView::from(table);
 
     let with_measure = |measure: DependencyMeasure| {
         let ts = detect_themes(
@@ -135,7 +136,7 @@ fn oecd_headline_indicators_group_correctly() {
         ..OecdConfig::default()
     })
     .unwrap();
-    let ts = detect_themes(&table, &ThemeConfig::default()).unwrap();
+    let ts = detect_themes(&table.into(), &ThemeConfig::default()).unwrap();
 
     // The three unemployment indicators must share a theme (Figure 2's
     // left component), and the three health indicators another (right
@@ -171,7 +172,8 @@ fn dependency_graph_edges_respect_planted_structure() {
         .iter()
         .map(|(c, _)| c.as_str())
         .collect();
-    let graph = DependencyGraph::build(&table, &columns, &DependencyOptions::default()).unwrap();
+    let graph =
+        DependencyGraph::build(&table.into(), &columns, &DependencyOptions::default()).unwrap();
 
     // Average within-theme weight must dominate cross-theme weight.
     let mut within = Vec::new();

@@ -22,9 +22,30 @@
 //!   by more than the allowed percentage.
 //! - `CRITERION_REGRESSION_PCT=<pct>` — allowed median regression
 //!   (default 20).
+//! - `CRITERION_REGRESSION_PCT_OVERRIDES=<name=pct,...>` — per-benchmark
+//!   thresholds overriding the global one; a `name` ending in `*` matches
+//!   every benchmark with that prefix (exact entries win over prefixes,
+//!   longer prefixes over shorter). Example:
+//!   `view_zoom/deep6/materialize=40,exec_skew/*=35`.
 //! - `CRITERION_REQUIRE_ALL=1` — also fail when a baseline benchmark did
 //!   not run (otherwise only a warning), so renames/deletions cannot
-//!   silently drop a benchmark out of the gate.
+//!   silently drop a benchmark out of the gate. Only baseline entries
+//!   whose group (the text before the first `/`) ran in this process are
+//!   required, so several bench binaries can gate against one shared
+//!   baseline file without flagging each other's benchmarks.
+//! - `CRITERION_REQUIRE_GROUPS=<group,...>` — groups that must produce at
+//!   least one benchmark in this run, failing the gate otherwise. This
+//!   closes the hole the group scoping above opens: renaming a whole
+//!   group would otherwise drop it out of the "ran" set and skip its
+//!   checks silently. CI pins each bench step's expected groups.
+//!
+//! Saving **merges across group boundaries**: when the
+//! `CRITERION_SAVE_BASELINE` file already exists, entries from groups
+//! this process did not run are kept (the other bench binaries'
+//! benchmarks), while groups that did run are replaced wholesale — so
+//! consecutive bench binaries accumulate one combined medians file and a
+//! refresh never leaves stale entries for renamed/deleted benchmarks of
+//! a refreshed group.
 //!
 //! Comparisons are **calibration-normalized**: alongside every
 //! benchmark's median the shim records a `<name>@cal` entry — the
@@ -263,6 +284,64 @@ fn median_of(results: &[(String, u128)], name: &str) -> Option<u128> {
     results.iter().find(|(n, _)| n == name).map(|&(_, ns)| ns)
 }
 
+/// Per-benchmark allowed-regression overrides parsed from
+/// `CRITERION_REGRESSION_PCT_OVERRIDES` (`name=pct` entries, comma or
+/// semicolon separated; a name ending in `*` is a prefix pattern).
+#[derive(Debug, Default)]
+struct PctOverrides {
+    exact: Vec<(String, f64)>,
+    prefixes: Vec<(String, f64)>,
+}
+
+impl PctOverrides {
+    fn from_env() -> Self {
+        Self::parse(&std::env::var("CRITERION_REGRESSION_PCT_OVERRIDES").unwrap_or_default())
+    }
+
+    fn parse(spec: &str) -> Self {
+        let mut out = PctOverrides::default();
+        for entry in spec.split([',', ';']) {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let Some((name, pct)) = entry.rsplit_once('=') else {
+                println!("warning: malformed CRITERION_REGRESSION_PCT_OVERRIDES entry {entry:?}");
+                continue;
+            };
+            let Ok(pct) = pct.trim().parse::<f64>() else {
+                println!("warning: malformed CRITERION_REGRESSION_PCT_OVERRIDES entry {entry:?}");
+                continue;
+            };
+            match name.trim().strip_suffix('*') {
+                Some(prefix) => out.prefixes.push((prefix.to_owned(), pct)),
+                None => out.exact.push((name.trim().to_owned(), pct)),
+            }
+        }
+        // Longest prefix wins when several match.
+        out.prefixes
+            .sort_by(|a, b| b.0.len().cmp(&a.0.len()).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Allowed regression for `name`: exact entry, else longest matching
+    /// prefix, else the global default.
+    fn allowed_pct(&self, name: &str, default_pct: f64) -> f64 {
+        if let Some((_, pct)) = self.exact.iter().find(|(n, _)| n == name) {
+            return *pct;
+        }
+        self.prefixes
+            .iter()
+            .find(|(prefix, _)| name.starts_with(prefix.as_str()))
+            .map_or(default_pct, |&(_, pct)| pct)
+    }
+}
+
+/// Group of a benchmark name: the text before the first `/`.
+fn group_of(name: &str) -> &str {
+    name.split('/').next().unwrap_or(name)
+}
+
 /// True for bookkeeping entries that are never gated themselves.
 fn is_bookkeeping(name: &str) -> bool {
     name == CALIBRATION_BENCH || name.ends_with(CAL_SUFFIX)
@@ -274,6 +353,7 @@ fn find_regressions(
     baseline: &[(String, u128)],
     current: &[(String, u128)],
     allowed_pct: f64,
+    overrides: &PctOverrides,
 ) -> Vec<(String, f64, u128)> {
     // Global fallback scale: the ratio of the calibration-benchmark
     // medians, when both runs carry it.
@@ -303,7 +383,8 @@ fn find_regressions(
             _ => global_scale,
         };
         let expected = baseline_ns as f64 * scale;
-        if (*current_ns as f64) > expected * (1.0 + allowed_pct / 100.0) {
+        let pct = overrides.allowed_pct(name, allowed_pct);
+        if (*current_ns as f64) > expected * (1.0 + pct / 100.0) {
             regressions.push((name.clone(), expected, *current_ns));
         }
     }
@@ -312,13 +393,40 @@ fn find_regressions(
 
 /// Baseline benchmarks with no matching result in the current run —
 /// renamed or deleted benchmarks would otherwise drop out of the gate
-/// silently.
+/// silently. Scoped to the groups this process ran, so one shared
+/// baseline can gate several bench binaries; pair the scoping with
+/// `CRITERION_REQUIRE_GROUPS` so a whole-group rename cannot slip
+/// through the scope.
 fn missing_from_current(baseline: &[(String, u128)], current: &[(String, u128)]) -> Vec<String> {
+    let ran_groups: std::collections::HashSet<&str> =
+        current.iter().map(|(name, _)| group_of(name)).collect();
     baseline
         .iter()
         .map(|(name, _)| name)
-        .filter(|name| !is_bookkeeping(name) && median_of(current, name).is_none())
+        .filter(|name| {
+            !is_bookkeeping(name)
+                && ran_groups.contains(group_of(name))
+                && median_of(current, name).is_none()
+        })
         .cloned()
+        .collect()
+}
+
+/// Groups from `CRITERION_REQUIRE_GROUPS` (comma/semicolon separated)
+/// that produced no benchmark in the current run. Group-scoped
+/// `CRITERION_REQUIRE_ALL` alone cannot catch a *whole-group* rename —
+/// the renamed group simply stops being "ran" — so CI pins each bench
+/// step's expected groups explicitly.
+fn missing_groups(current: &[(String, u128)]) -> Vec<String> {
+    let Ok(spec) = std::env::var("CRITERION_REQUIRE_GROUPS") else {
+        return Vec::new();
+    };
+    let ran_groups: std::collections::HashSet<&str> =
+        current.iter().map(|(name, _)| group_of(name)).collect();
+    spec.split([',', ';'])
+        .map(str::trim)
+        .filter(|g| !g.is_empty() && !ran_groups.contains(g))
+        .map(str::to_owned)
         .collect()
 }
 
@@ -338,7 +446,24 @@ pub fn finalize() -> bool {
         .filter(|(name, _)| !is_bookkeeping(name))
         .count();
     if let Ok(path) = std::env::var("CRITERION_SAVE_BASELINE") {
-        std::fs::write(&path, baseline_to_json(&results))
+        // Merge with an existing file, but only across group boundaries:
+        // entries from groups this process did not run survive (the other
+        // bench binaries' benchmarks), while groups that DID run are
+        // replaced wholesale — so a renamed or deleted benchmark cannot
+        // leave a stale entry behind when its group's baseline is
+        // refreshed.
+        let ran_groups: std::collections::HashSet<String> = results
+            .iter()
+            .map(|(name, _)| group_of(name).to_owned())
+            .collect();
+        let mut merged: Vec<(String, u128)> = std::fs::read_to_string(&path)
+            .map(|text| baseline_from_json(&text))
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|(name, _)| !ran_groups.contains(group_of(name)))
+            .collect();
+        merged.extend(results.iter().cloned());
+        std::fs::write(&path, baseline_to_json(&merged))
             .unwrap_or_else(|e| panic!("cannot write baseline {path}: {e}"));
         println!("saved baseline ({gated} benchmarks) to {path}");
     }
@@ -360,8 +485,14 @@ pub fn finalize() -> bool {
             if missing_fails { "error" } else { "warning" }
         );
     }
-    let regressions = find_regressions(&baseline, &results, allowed_pct);
-    if regressions.is_empty() && (missing.is_empty() || !missing_fails) {
+    let absent_groups = missing_groups(&results);
+    for group in &absent_groups {
+        println!("error: required benchmark group {group} did not run (renamed? update CRITERION_REQUIRE_GROUPS and the baseline)");
+    }
+    let overrides = PctOverrides::from_env();
+    let regressions = find_regressions(&baseline, &results, allowed_pct, &overrides);
+    if regressions.is_empty() && (missing.is_empty() || !missing_fails) && absent_groups.is_empty()
+    {
         println!("regression gate: OK ({gated} benchmarks within {allowed_pct}% of {path})");
         return true;
     }
@@ -519,10 +650,10 @@ mod tests {
             ("b".to_owned(), 1_300u128),   // +30%: regression
             ("new".to_owned(), 9_999u128), // not in baseline: ignored
         ];
-        let regressions = find_regressions(&baseline, &current, 20.0);
+        let regressions = find_regressions(&baseline, &current, 20.0, &PctOverrides::default());
         assert_eq!(regressions.len(), 1);
         assert_eq!(regressions[0].0, "b");
-        assert!(find_regressions(&baseline, &current, 50.0).is_empty());
+        assert!(find_regressions(&baseline, &current, 50.0, &PctOverrides::default()).is_empty());
     }
 
     #[test]
@@ -541,7 +672,7 @@ mod tests {
             ("a".to_owned(), 20_000u128),
             ("a@cal".to_owned(), 2_000u128),
         ];
-        assert!(find_regressions(&baseline, &current, 20.0).is_empty());
+        assert!(find_regressions(&baseline, &current, 20.0, &PctOverrides::default()).is_empty());
         let strip = |side: &[(String, u128)]| {
             side.iter()
                 .filter(|(n, _)| !n.ends_with(CAL_SUFFIX))
@@ -549,7 +680,13 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(
-            find_regressions(&strip(&baseline), &strip(&current), 20.0).len(),
+            find_regressions(
+                &strip(&baseline),
+                &strip(&current),
+                20.0,
+                &PctOverrides::default()
+            )
+            .len(),
             1,
             "without the @cal pair the throttle reads as a regression"
         );
@@ -559,19 +696,62 @@ mod tests {
     fn missing_benchmarks_are_reported() {
         let baseline = vec![
             (CALIBRATION_BENCH.to_owned(), 100u128),
-            ("kept".to_owned(), 1_000u128),
-            ("renamed_away".to_owned(), 1_000u128),
+            ("tree/kept".to_owned(), 1_000u128),
+            ("tree/renamed_away".to_owned(), 1_000u128),
+            // A group this process never ran: owned by another bench
+            // binary sharing the baseline file, so never required here.
+            ("other_binary/bench".to_owned(), 1_000u128),
         ];
         let current = vec![
             (CALIBRATION_BENCH.to_owned(), 100u128),
-            ("kept".to_owned(), 1_000u128),
+            ("tree/kept".to_owned(), 1_000u128),
         ];
         // The calibration bench is bookkeeping, never reported missing.
         assert_eq!(
             missing_from_current(&baseline, &current),
-            vec!["renamed_away".to_owned()]
+            vec!["tree/renamed_away".to_owned()]
         );
         assert!(missing_from_current(&current, &baseline).is_empty());
+    }
+
+    #[test]
+    fn required_groups_catch_whole_group_renames() {
+        let current = vec![
+            ("view_zoom/deep6/view".to_owned(), 100u128),
+            (CALIBRATION_BENCH.to_owned(), 100u128),
+        ];
+        std::env::set_var("CRITERION_REQUIRE_GROUPS", "view_zoom, exec_skew");
+        let missing = missing_groups(&current);
+        std::env::remove_var("CRITERION_REQUIRE_GROUPS");
+        assert_eq!(missing, vec!["exec_skew".to_owned()]);
+        assert!(
+            missing_groups(&current).is_empty(),
+            "unset env requires nothing"
+        );
+    }
+
+    #[test]
+    fn pct_overrides_resolve_exact_then_prefix() {
+        let o = PctOverrides::parse("view_zoom/deep6/materialize=40, exec_skew/*=35;bad");
+        assert_eq!(o.allowed_pct("view_zoom/deep6/materialize", 20.0), 40.0);
+        assert_eq!(o.allowed_pct("view_zoom/deep6/view", 20.0), 20.0);
+        assert_eq!(o.allowed_pct("exec_skew/par_map/static", 20.0), 35.0);
+        // Longest prefix wins; exact beats prefix.
+        let o = PctOverrides::parse("a/*=30,a/b/*=40,a/b/c=50");
+        assert_eq!(o.allowed_pct("a/x", 20.0), 30.0);
+        assert_eq!(o.allowed_pct("a/b/x", 20.0), 40.0);
+        assert_eq!(o.allowed_pct("a/b/c", 20.0), 50.0);
+        // Overrides loosen or tighten the regression gate per benchmark.
+        let baseline = vec![("a/b/x".to_owned(), 1_000u128)];
+        let current = vec![("a/b/x".to_owned(), 1_300u128)];
+        assert_eq!(
+            find_regressions(&baseline, &current, 20.0, &PctOverrides::default()).len(),
+            1
+        );
+        assert!(
+            find_regressions(&baseline, &current, 20.0, &PctOverrides::parse("a/b/*=40"))
+                .is_empty()
+        );
     }
 
     #[test]
@@ -587,12 +767,12 @@ mod tests {
             (CALIBRATION_BENCH.to_owned(), 1_000u128),
             ("a".to_owned(), 5_500u128),
         ];
-        assert!(find_regressions(&baseline, &ok, 20.0).is_empty());
+        assert!(find_regressions(&baseline, &ok, 20.0, &PctOverrides::default()).is_empty());
         let slow = vec![
             (CALIBRATION_BENCH.to_owned(), 1_000u128),
             ("a".to_owned(), 7_000u128),
         ];
-        let regressions = find_regressions(&baseline, &slow, 20.0);
+        let regressions = find_regressions(&baseline, &slow, 20.0, &PctOverrides::default());
         assert_eq!(regressions.len(), 1, "40% normalized regression");
     }
 
