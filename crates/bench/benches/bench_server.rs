@@ -1,0 +1,171 @@
+//! Session-server benches — async pipeline vs the synchronous batch
+//! fan-out, and the analysis cache's hit/miss latency split.
+//!
+//! `server_mixed` runs the acceptance workload (8 sessions, half slow
+//! re-maps, half fast highlights) through the async server and through
+//! the legacy `par_with` batch; `server_cache` measures the same `Map`
+//! request against a warm cache (hit: queue + clone overhead only) and
+//! against no cache (miss: the full sample → cluster → describe
+//! pipeline); `server_queue` pins the pipeline's fixed overhead with a
+//! no-work command.
+//!
+//! Refresh the committed baseline with the same thread budget the CI
+//! gate uses:
+//! `CRITERION_SAVE_BASELINE=$PWD/.github/bench-baseline.json BLAEU_THREADS=8 cargo bench -p blaeu-bench --bench bench_server`
+
+use std::sync::Arc;
+
+use blaeu_core::{Command, ExplorerConfig, SessionManager};
+use blaeu_server::{AsyncSessionServer, ServerConfig};
+use blaeu_store::generate::{hollywood, HollywoodConfig};
+use blaeu_store::Table;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn shared_table() -> Arc<Table> {
+    Arc::new(
+        hollywood(&HollywoodConfig {
+            nrows: 500,
+            ..HollywoodConfig::default()
+        })
+        .expect("generator cannot fail on valid config")
+        .0,
+    )
+}
+
+fn async_server(cache_capacity: usize) -> AsyncSessionServer {
+    AsyncSessionServer::new(ServerConfig {
+        threads: 0,
+        queue_capacity: 64,
+        cache_capacity,
+    })
+}
+
+/// The acceptance mix: 4 slow re-maps + 4 fast highlights across 8
+/// sessions, async pipeline vs synchronous batch fan-out.
+fn bench_mixed(c: &mut Criterion) {
+    let table = shared_table();
+
+    let srv = async_server(0); // cache off: every Map recomputes
+    let ids: Vec<u64> = (0..8)
+        .map(|_| {
+            srv.open_session(Arc::clone(&table), ExplorerConfig::default())
+                .expect("session opens")
+        })
+        .collect();
+    for &id in &ids {
+        srv.request(id, Command::SelectTheme(0))
+            .expect("theme maps");
+    }
+
+    let mut group = c.benchmark_group("server_mixed");
+    group.sample_size(10);
+    group.bench_function("async8", |b| {
+        b.iter(|| {
+            let slow: Vec<_> = ids[..4]
+                .iter()
+                .map(|&id| srv.submit(id, Command::Map).expect("submit"))
+                .collect();
+            let fast: Vec<_> = ids[4..]
+                .iter()
+                .map(|&id| {
+                    srv.submit(id, Command::Highlight("film".into()))
+                        .expect("submit")
+                })
+                .collect();
+            for handle in fast {
+                handle.join().expect("highlight");
+            }
+            for handle in slow {
+                handle.join().expect("map");
+            }
+        })
+    });
+
+    let manager = SessionManager::new();
+    let sync_ids: Vec<u64> = (0..8)
+        .map(|_| {
+            manager
+                .create_shared(Arc::clone(&table), ExplorerConfig::default())
+                .expect("session opens")
+        })
+        .collect();
+    for &id in &sync_ids {
+        manager
+            .with(id, |ex| ex.select_theme(0).map(|_| ()))
+            .expect("session exists")
+            .expect("theme maps");
+    }
+    group.bench_function("sync_par_with", |b| {
+        b.iter(|| {
+            let results = manager.par_with(&sync_ids, |id, ex| {
+                let idx = sync_ids.iter().position(|&s| s == id).expect("own id");
+                let command = if idx < 4 {
+                    Command::Map
+                } else {
+                    Command::Highlight("film".into())
+                };
+                ex.execute(&command).expect("command runs")
+            });
+            for result in results {
+                result.expect("session exists");
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Cache hit vs miss latency for the same `Map` request.
+fn bench_cache(c: &mut Criterion) {
+    let table = shared_table();
+    let mut group = c.benchmark_group("server_cache");
+    group.sample_size(10);
+
+    let cached = async_server(64);
+    let warm_id = cached
+        .open_session(Arc::clone(&table), ExplorerConfig::default())
+        .expect("session opens");
+    cached
+        .request(warm_id, Command::SelectTheme(0))
+        .expect("warms the cache");
+    group.bench_function("map/hit", |b| {
+        b.iter(|| {
+            cached
+                .request(warm_id, Command::Map)
+                .expect("cached re-map")
+        })
+    });
+
+    let uncached = async_server(0);
+    let cold_id = uncached
+        .open_session(Arc::clone(&table), ExplorerConfig::default())
+        .expect("session opens");
+    uncached
+        .request(cold_id, Command::SelectTheme(0))
+        .expect("theme maps");
+    group.bench_function("map/miss", |b| {
+        b.iter(|| {
+            uncached
+                .request(cold_id, Command::Map)
+                .expect("full rebuild")
+        })
+    });
+    group.finish();
+}
+
+/// Fixed pipeline overhead: submit → queue → execute(no-op) → join.
+fn bench_queue(c: &mut Criterion) {
+    let table = shared_table();
+    let srv = async_server(0);
+    let id = srv
+        .open_session(Arc::clone(&table), ExplorerConfig::default())
+        .expect("session opens");
+    let mut group = c.benchmark_group("server_queue");
+    group.sample_size(30);
+    group.bench_function("submit_join/depth", |b| {
+        b.iter(|| srv.request(id, Command::Depth).expect("no-op command"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixed, bench_cache, bench_queue);
+criterion_main!(benches);

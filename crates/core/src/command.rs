@@ -1,0 +1,341 @@
+//! The session wire protocol: explorer actions as data.
+//!
+//! The async session tier turns every explorer interaction into a queued
+//! [`Command`] answered by a typed [`Response`], so a session is a FIFO
+//! command pipeline instead of a closure under a mutex. Commands are
+//! plain serializable values ([`Command::to_json`] /
+//! [`Command::from_json`] round-trip through the wire format a web
+//! client would speak); responses carry shared handles to the heavy
+//! results (maps, theme sets) so queueing never copies an analysis.
+//!
+//! [`Response::digest`] condenses a response to 64 bits with floats
+//! compared *bit-exactly* (via `Debug`'s shortest-round-trip float
+//! rendering), which is how the tests pin the invariants "per-session
+//! response streams are identical across thread budgets" and "a cache
+//! hit is identical to a miss".
+
+use std::sync::Arc;
+
+use serde_json::{json, Value};
+
+use crate::error::{BlaeuError, Result};
+use crate::explorer::{Highlight, RegionDetail};
+use crate::map::DataMap;
+use crate::render::json::{highlight_to_json, map_to_json, themes_to_json};
+use crate::themes::ThemeSet;
+
+/// One queued explorer action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Select theme `idx` and build its map (slow: full cluster
+    /// analysis).
+    SelectTheme(usize),
+    /// Zoom into region `id` of the current map (slow: re-maps the
+    /// region's rows).
+    Zoom(usize),
+    /// Re-map the current selection on the current columns (slow; the
+    /// canonical cacheable request — repeated `Map`s of the same state
+    /// hit the analysis cache).
+    Map,
+    /// Project the current rows onto explicit columns (slow).
+    Project(Vec<String>),
+    /// Project onto the columns of theme `idx` (slow).
+    ProjectTheme(usize),
+    /// Column distributions per region (fast, read-only).
+    Highlight(String),
+    /// Scatter densities of two numeric columns per region (fast,
+    /// read-only).
+    Scatter {
+        /// X-axis column.
+        x: String,
+        /// Y-axis column.
+        y: String,
+        /// Bins per axis (clamped to 2..=64).
+        bins: usize,
+    },
+    /// Region metadata, example tuples and the medoid (fast, read-only).
+    RegionDetail {
+        /// Region id in the current map.
+        region: usize,
+        /// Example-tuple cap.
+        sample_rows: usize,
+    },
+    /// Return to the previous state (fast).
+    Rollback,
+    /// Jump to history position `depth` (1 = initial state; fast).
+    RollbackTo(usize),
+    /// The detected themes (fast, read-only).
+    Themes,
+    /// The accumulated implicit query as SQL (fast, read-only).
+    Sql,
+    /// The action trail of the current state (fast, read-only).
+    Breadcrumbs,
+    /// Current history depth (fast, read-only).
+    Depth,
+}
+
+impl Command {
+    /// True for commands that run a cluster analysis (map construction);
+    /// everything else answers at interactive latency from session state.
+    pub fn is_slow(&self) -> bool {
+        matches!(
+            self,
+            Command::SelectTheme(_)
+                | Command::Zoom(_)
+                | Command::Map
+                | Command::Project(_)
+                | Command::ProjectTheme(_)
+        )
+    }
+
+    /// Serializes the command to its wire form.
+    pub fn to_json(&self) -> Value {
+        match self {
+            Command::SelectTheme(idx) => json!({"cmd": "select_theme", "theme": *idx}),
+            Command::Zoom(region) => json!({"cmd": "zoom", "region": *region}),
+            Command::Map => json!({"cmd": "map"}),
+            Command::Project(columns) => json!({"cmd": "project", "columns": columns.clone()}),
+            Command::ProjectTheme(idx) => json!({"cmd": "project_theme", "theme": *idx}),
+            Command::Highlight(column) => json!({"cmd": "highlight", "column": column.clone()}),
+            Command::Scatter { x, y, bins } => {
+                json!({"cmd": "scatter", "x": x.clone(), "y": y.clone(), "bins": *bins})
+            }
+            Command::RegionDetail {
+                region,
+                sample_rows,
+            } => json!({"cmd": "region_detail", "region": *region, "sample_rows": *sample_rows}),
+            Command::Rollback => json!({"cmd": "rollback"}),
+            Command::RollbackTo(depth) => json!({"cmd": "rollback_to", "depth": *depth}),
+            Command::Themes => json!({"cmd": "themes"}),
+            Command::Sql => json!({"cmd": "sql"}),
+            Command::Breadcrumbs => json!({"cmd": "breadcrumbs"}),
+            Command::Depth => json!({"cmd": "depth"}),
+        }
+    }
+
+    /// Parses a command from its wire form.
+    ///
+    /// # Errors
+    /// Returns [`BlaeuError::Invalid`] for unknown or malformed commands.
+    pub fn from_json(value: &Value) -> Result<Command> {
+        let cmd = value
+            .get("cmd")
+            .and_then(Value::as_str)
+            .ok_or_else(|| BlaeuError::Invalid("command object needs a \"cmd\" field".into()))?;
+        let index = |field: &str| -> Result<usize> {
+            value
+                .get(field)
+                .and_then(Value::as_u64)
+                .map(|v| v as usize)
+                .ok_or_else(|| {
+                    BlaeuError::Invalid(format!("command {cmd:?} needs integer field {field:?}"))
+                })
+        };
+        let text = |field: &str| -> Result<String> {
+            value
+                .get(field)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| {
+                    BlaeuError::Invalid(format!("command {cmd:?} needs string field {field:?}"))
+                })
+        };
+        Ok(match cmd {
+            "select_theme" => Command::SelectTheme(index("theme")?),
+            "zoom" => Command::Zoom(index("region")?),
+            "map" => Command::Map,
+            "project" => {
+                let columns = value
+                    .get("columns")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| {
+                        BlaeuError::Invalid("command \"project\" needs a \"columns\" array".into())
+                    })?
+                    .iter()
+                    .map(|c| {
+                        c.as_str().map(str::to_owned).ok_or_else(|| {
+                            BlaeuError::Invalid("\"columns\" entries must be strings".into())
+                        })
+                    })
+                    .collect::<Result<Vec<String>>>()?;
+                Command::Project(columns)
+            }
+            "project_theme" => Command::ProjectTheme(index("theme")?),
+            "highlight" => Command::Highlight(text("column")?),
+            "scatter" => Command::Scatter {
+                x: text("x")?,
+                y: text("y")?,
+                bins: index("bins")?,
+            },
+            "region_detail" => Command::RegionDetail {
+                region: index("region")?,
+                sample_rows: index("sample_rows")?,
+            },
+            "rollback" => Command::Rollback,
+            "rollback_to" => Command::RollbackTo(index("depth")?),
+            "themes" => Command::Themes,
+            "sql" => Command::Sql,
+            "breadcrumbs" => Command::Breadcrumbs,
+            "depth" => Command::Depth,
+            other => return Err(BlaeuError::Invalid(format!("unknown command {other:?}"))),
+        })
+    }
+}
+
+/// The typed answer to one [`Command`].
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// A (re)built map — shared, never copied per client.
+    Map(Arc<DataMap>),
+    /// The detected themes.
+    Themes(Arc<ThemeSet>),
+    /// Per-region distributions of one column (boxed: the payload is an
+    /// order of magnitude bigger than the other variants).
+    Highlight(Box<Highlight>),
+    /// Per-region scatter densities.
+    Scatter(Vec<(usize, blaeu_stats::ScatterGrid)>),
+    /// One region's metadata, examples and medoid (boxed, as above).
+    RegionDetail(Box<RegionDetail>),
+    /// The implicit query as SQL.
+    Sql(String),
+    /// The action trail.
+    Breadcrumbs(Vec<String>),
+    /// History depth after the action.
+    Depth(usize),
+}
+
+impl Response {
+    /// 64-bit FNV-1a digest of the full response content, with floats
+    /// compared bit-exactly: `Debug` renders `f64` as its shortest
+    /// round-trip decimal, so two responses digest equally iff every
+    /// field — including every float — is identical. This is the anchor
+    /// for the cache-purity and cross-thread-budget determinism tests.
+    pub fn digest(&self) -> u64 {
+        use std::fmt::Write as _;
+        // Fold the Debug rendering into the hash as it is produced —
+        // no materialized string, even for multi-megabyte map payloads.
+        struct Fnv(u64);
+        impl std::fmt::Write for Fnv {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                for byte in s.bytes() {
+                    self.0 ^= u64::from(byte);
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                Ok(())
+            }
+        }
+        let mut fnv = Fnv(0xcbf2_9ce4_8422_2325);
+        write!(fnv, "{self:?}").expect("hashing writer never fails");
+        fnv.0
+    }
+
+    /// Serializes the response to the JSON a web client would render.
+    pub fn to_json(&self) -> Value {
+        match self {
+            Response::Map(map) => json!({"response": "map", "map": map_to_json(map)}),
+            Response::Themes(themes) => {
+                json!({"response": "themes", "themes": themes_to_json(themes)})
+            }
+            Response::Highlight(hl) => {
+                json!({"response": "highlight", "highlight": highlight_to_json(hl)})
+            }
+            Response::Scatter(grids) => json!({
+                "response": "scatter",
+                "regions": grids.iter().map(|(region, grid)| json!({
+                    "region": *region,
+                    "total": grid.total(),
+                    "dropped": grid.dropped,
+                })).collect::<Vec<_>>(),
+            }),
+            Response::RegionDetail(detail) => json!({
+                "response": "region_detail",
+                "region": detail.region.id,
+                "count": detail.region.count,
+                "description": detail.region.description.clone(),
+                "examples": detail.examples.nrows(),
+                "has_medoid": detail.medoid.is_some(),
+            }),
+            Response::Sql(sql) => json!({"response": "sql", "sql": sql.clone()}),
+            Response::Breadcrumbs(crumbs) => {
+                json!({"response": "breadcrumbs", "breadcrumbs": crumbs.clone()})
+            }
+            Response::Depth(depth) => json!({"response": "depth", "depth": *depth}),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_commands() -> Vec<Command> {
+        vec![
+            Command::SelectTheme(2),
+            Command::Zoom(5),
+            Command::Map,
+            Command::Project(vec!["a".into(), "b".into()]),
+            Command::ProjectTheme(1),
+            Command::Highlight("country".into()),
+            Command::Scatter {
+                x: "x".into(),
+                y: "y".into(),
+                bins: 12,
+            },
+            Command::RegionDetail {
+                region: 3,
+                sample_rows: 7,
+            },
+            Command::Rollback,
+            Command::RollbackTo(1),
+            Command::Themes,
+            Command::Sql,
+            Command::Breadcrumbs,
+            Command::Depth,
+        ]
+    }
+
+    #[test]
+    fn commands_round_trip_through_json() {
+        for cmd in all_commands() {
+            let wire = cmd.to_json();
+            let back = Command::from_json(&wire).unwrap();
+            assert_eq!(cmd, back, "wire {wire:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_commands_rejected() {
+        for bad in [
+            json!({"theme": 1}),
+            json!({"cmd": "warp"}),
+            json!({"cmd": "zoom"}),
+            json!({"cmd": "highlight", "column": 3}),
+            json!({"cmd": "project", "columns": [1, 2]}),
+            json!({"cmd": "project"}),
+        ] {
+            assert!(
+                matches!(Command::from_json(&bad), Err(BlaeuError::Invalid(_))),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn slow_commands_classified() {
+        assert!(Command::SelectTheme(0).is_slow());
+        assert!(Command::Map.is_slow());
+        assert!(Command::Zoom(0).is_slow());
+        assert!(!Command::Highlight("c".into()).is_slow());
+        assert!(!Command::Rollback.is_slow());
+        assert!(!Command::Depth.is_slow());
+    }
+
+    #[test]
+    fn digests_separate_distinct_responses() {
+        let a = Response::Sql("SELECT 1".into());
+        let b = Response::Sql("SELECT 2".into());
+        assert_eq!(a.digest(), Response::Sql("SELECT 1".into()).digest());
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(Response::Depth(1).digest(), Response::Depth(2).digest());
+    }
+}

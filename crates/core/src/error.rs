@@ -21,6 +21,14 @@ pub enum BlaeuError {
     HistoryEmpty,
     /// The requested session does not exist (or was closed).
     UnknownSession(u64),
+    /// The session's command queue is full — backpressure: the client
+    /// must wait for in-flight commands before submitting more.
+    QueueFull {
+        /// The session whose queue rejected the command.
+        session: u64,
+        /// The queue's capacity (pending commands).
+        capacity: usize,
+    },
     /// Invalid parameter or state, with an explanation.
     Invalid(String),
 }
@@ -35,6 +43,10 @@ impl fmt::Display for BlaeuError {
             BlaeuError::EmptySelection => f.write_str("the current selection holds no rows"),
             BlaeuError::HistoryEmpty => f.write_str("nothing to roll back to"),
             BlaeuError::UnknownSession(id) => write!(f, "unknown session: {id}"),
+            BlaeuError::QueueFull { session, capacity } => write!(
+                f,
+                "session {session} command queue is full ({capacity} pending)"
+            ),
             BlaeuError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
         }
     }
@@ -73,6 +85,12 @@ mod tests {
     fn display_variants() {
         assert!(BlaeuError::NoActiveMap.to_string().contains("theme"));
         assert!(BlaeuError::UnknownRegion(3).to_string().contains('3'));
+        let full = BlaeuError::QueueFull {
+            session: 7,
+            capacity: 16,
+        };
+        assert!(full.to_string().contains('7'));
+        assert!(full.to_string().contains("16"));
         let e: BlaeuError = StoreError::ColumnNotFound("x".into()).into();
         assert!(e.to_string().contains("storage error"));
     }

@@ -19,6 +19,8 @@ use std::sync::Arc;
 use blaeu_stats::{describe, histogram, ColumnSummary, Histogram};
 use blaeu_store::{ColumnRole, Predicate, SelectProject, Table, TableView};
 
+use crate::cache::{AnalysisMemo, MapKey, ThemesKey};
+use crate::command::{Command, Response};
 use crate::error::{BlaeuError, Result};
 use crate::map::DataMap;
 use crate::mapper::{build_map, MapperConfig};
@@ -101,9 +103,12 @@ pub struct RegionDetail {
 #[derive(Debug, Clone)]
 pub struct Explorer {
     base: Arc<Table>,
-    themes: ThemeSet,
+    themes: Arc<ThemeSet>,
     config: ExplorerConfig,
     stack: Vec<ExplorerState>,
+    /// Optional analysis memoizer (the server tier's cache); `None`
+    /// builds every analysis directly — observationally identical.
+    memo: Option<Arc<dyn AnalysisMemo>>,
 }
 
 impl Explorer {
@@ -123,8 +128,29 @@ impl Explorer {
     /// # Errors
     /// Propagates theme-detection failures (e.g. too few columns).
     pub fn open_shared(base: Arc<Table>, config: ExplorerConfig) -> Result<Self> {
+        Explorer::open_shared_memoized(base, config, None)
+    }
+
+    /// [`Explorer::open_shared`] with an analysis memoizer: theme
+    /// detection and every subsequent map build go through `memo`, so
+    /// sessions sharing one memoizer share their cluster analyses. A hit
+    /// returns the identical `Arc` a previous build produced — caching is
+    /// invisible to results by construction.
+    ///
+    /// # Errors
+    /// Propagates theme-detection failures (e.g. too few columns).
+    pub fn open_shared_memoized(
+        base: Arc<Table>,
+        config: ExplorerConfig,
+        memo: Option<Arc<dyn AnalysisMemo>>,
+    ) -> Result<Self> {
         let view = TableView::new(Arc::clone(&base));
-        let themes = detect_themes(&view, &config.themes)?;
+        let themes = match &memo {
+            Some(memo) => memo.memo_themes(ThemesKey::new(&view, &config.themes), &mut || {
+                detect_themes(&view, &config.themes)
+            })?,
+            None => Arc::new(detect_themes(&view, &config.themes)?),
+        };
         let initial = ExplorerState {
             view,
             columns: Vec::new(),
@@ -142,7 +168,19 @@ impl Explorer {
             themes,
             config,
             stack: vec![initial],
+            memo,
         })
+    }
+
+    /// Builds (or memo-fetches) the map of `columns` over `view`.
+    fn map_for(&self, view: &TableView, columns: &[&str]) -> Result<Arc<DataMap>> {
+        match &self.memo {
+            Some(memo) => memo
+                .memo_map(MapKey::new(view, columns, &self.config.mapper), &mut || {
+                    build_map(view, columns, &self.config.mapper)
+                }),
+            None => Ok(Arc::new(build_map(view, columns, &self.config.mapper)?)),
+        }
     }
 
     /// The detected themes, most cohesive first.
@@ -152,7 +190,13 @@ impl Explorer {
 
     /// The full theme-detection result (incl. the dependency graph).
     pub fn theme_set(&self) -> &ThemeSet {
-        &self.themes
+        self.themes.as_ref()
+    }
+
+    /// The shared theme-detection result — handed to responses without
+    /// copying (many queued clients share one `Arc`).
+    pub fn theme_set_shared(&self) -> Arc<ThemeSet> {
+        Arc::clone(&self.themes)
     }
 
     /// The base table.
@@ -182,7 +226,7 @@ impl Explorer {
         &mut self,
         view: TableView,
         columns: Vec<String>,
-        map: DataMap,
+        map: Arc<DataMap>,
         query: SelectProject,
         crumb: String,
     ) {
@@ -191,7 +235,7 @@ impl Explorer {
         self.stack.push(ExplorerState {
             view,
             columns,
-            map: Some(Arc::new(map)),
+            map: Some(map),
             query,
             breadcrumbs,
         });
@@ -212,7 +256,7 @@ impl Explorer {
             .clone();
         let columns: Vec<&str> = theme.columns.iter().map(String::as_str).collect();
         let view = self.current().view.clone();
-        let map = build_map(&view, &columns, &self.config.mapper)?;
+        let map = self.map_for(&view, &columns)?;
         let query = self.current().query.clone().project(theme.columns.clone());
         self.push_state(
             view,
@@ -242,7 +286,7 @@ impl Explorer {
         let new_view = state.view.select(&rows)?;
         let columns = state.columns.clone();
         let cols_ref: Vec<&str> = columns.iter().map(String::as_str).collect();
-        let new_map = build_map(&new_view, &cols_ref, &self.config.mapper)?;
+        let new_map = self.map_for(&new_view, &cols_ref)?;
         let query = state.query.clone().and_where(region.predicate.clone());
         let label = if region.description.is_empty() {
             format!("region #{region_id}")
@@ -271,7 +315,7 @@ impl Explorer {
             ));
         }
         let view = self.current().view.clone();
-        let map = build_map(&view, columns, &self.config.mapper)?;
+        let map = self.map_for(&view, columns)?;
         let owned: Vec<String> = columns.iter().map(|&s| s.to_owned()).collect();
         let query = self.current().query.clone().project(owned.clone());
         self.push_state(
@@ -282,6 +326,28 @@ impl Explorer {
             format!("project onto [{}]", owned.join(", ")),
         );
         Ok(self.map().expect("just built"))
+    }
+
+    /// Rebuilds the map of the current selection on the current columns,
+    /// replacing the current state's map in place (depth unchanged) —
+    /// the explicit "map this" request of the async protocol. The
+    /// rebuild is deterministic, so the refreshed map equals the one it
+    /// replaces; with a memoizer attached the request is the canonical
+    /// cache hit.
+    ///
+    /// # Errors
+    /// Returns [`BlaeuError::NoActiveMap`] before any theme is selected.
+    pub fn remap(&mut self) -> Result<&DataMap> {
+        let state = self.current();
+        if state.columns.is_empty() {
+            return Err(BlaeuError::NoActiveMap);
+        }
+        let view = state.view.clone();
+        let columns = state.columns.clone();
+        let cols_ref: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let map = self.map_for(&view, &cols_ref)?;
+        self.stack.last_mut().expect("stack never empty").map = Some(map);
+        Ok(self.map().expect("just rebuilt"))
     }
 
     /// Projects onto the columns of theme `idx`.
@@ -469,6 +535,67 @@ impl Explorer {
     /// The action trail of the current state.
     pub fn breadcrumbs(&self) -> &[String] {
         &self.current().breadcrumbs
+    }
+
+    /// The shared map of the current state.
+    fn current_map_shared(&self) -> Result<Arc<DataMap>> {
+        self.current().map.clone().ok_or(BlaeuError::NoActiveMap)
+    }
+
+    /// Executes one queued [`Command`] against this session — the async
+    /// session tier's single entry point. Every navigational method maps
+    /// to exactly one command, so a session is fully drivable as a FIFO
+    /// command pipeline.
+    ///
+    /// # Errors
+    /// Exactly the errors of the underlying method (unknown theme/region,
+    /// no active map, empty history, …).
+    pub fn execute(&mut self, command: &Command) -> Result<Response> {
+        match command {
+            Command::SelectTheme(idx) => {
+                self.select_theme(*idx)?;
+                Ok(Response::Map(self.current_map_shared()?))
+            }
+            Command::Zoom(region) => {
+                self.zoom(*region)?;
+                Ok(Response::Map(self.current_map_shared()?))
+            }
+            Command::Map => {
+                self.remap()?;
+                Ok(Response::Map(self.current_map_shared()?))
+            }
+            Command::Project(columns) => {
+                let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+                self.project(&cols)?;
+                Ok(Response::Map(self.current_map_shared()?))
+            }
+            Command::ProjectTheme(idx) => {
+                self.project_theme(*idx)?;
+                Ok(Response::Map(self.current_map_shared()?))
+            }
+            Command::Highlight(column) => {
+                Ok(Response::Highlight(Box::new(self.highlight(column)?)))
+            }
+            Command::Scatter { x, y, bins } => Ok(Response::Scatter(self.scatter(x, y, *bins)?)),
+            Command::RegionDetail {
+                region,
+                sample_rows,
+            } => Ok(Response::RegionDetail(Box::new(
+                self.region_detail(*region, *sample_rows)?,
+            ))),
+            Command::Rollback => {
+                self.rollback()?;
+                Ok(Response::Depth(self.depth()))
+            }
+            Command::RollbackTo(depth) => {
+                self.rollback_to(*depth)?;
+                Ok(Response::Depth(self.depth()))
+            }
+            Command::Themes => Ok(Response::Themes(self.theme_set_shared())),
+            Command::Sql => Ok(Response::Sql(self.sql())),
+            Command::Breadcrumbs => Ok(Response::Breadcrumbs(self.breadcrumbs().to_vec())),
+            Command::Depth => Ok(Response::Depth(self.depth())),
+        }
     }
 }
 

@@ -37,6 +37,8 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod command;
 pub mod depgraph;
 pub mod error;
 pub mod explorer;
@@ -47,6 +49,8 @@ pub mod render;
 pub mod session;
 pub mod themes;
 
+pub use cache::{AnalysisMemo, MapKey, ThemesKey, ViewFingerprint};
+pub use command::{Command, Response};
 pub use depgraph::DependencyGraph;
 pub use error::{BlaeuError, Result};
 pub use explorer::{

@@ -10,6 +10,7 @@ use parking_lot::{Mutex, RwLock};
 
 use blaeu_store::Table;
 
+use crate::cache::AnalysisMemo;
 use crate::error::{BlaeuError, Result};
 use crate::explorer::{Explorer, ExplorerConfig};
 
@@ -50,7 +51,26 @@ impl SessionManager {
     /// Propagates [`Explorer::open_shared`] failures (e.g. too few
     /// columns).
     pub fn create_shared(&self, table: Arc<Table>, config: ExplorerConfig) -> Result<SessionId> {
-        let explorer = Explorer::open_shared(table, config)?;
+        self.register(Explorer::open_shared(table, config)?)
+    }
+
+    /// [`SessionManager::create_shared`] with an analysis memoizer: the
+    /// session's theme detection and map builds go through `memo`, so
+    /// sessions sharing one memoizer (the server tier's cache) share
+    /// their cluster analyses.
+    ///
+    /// # Errors
+    /// Propagates [`Explorer::open_shared_memoized`] failures.
+    pub fn create_shared_memoized(
+        &self,
+        table: Arc<Table>,
+        config: ExplorerConfig,
+        memo: Arc<dyn AnalysisMemo>,
+    ) -> Result<SessionId> {
+        self.register(Explorer::open_shared_memoized(table, config, Some(memo))?)
+    }
+
+    fn register(&self, explorer: Explorer) -> Result<SessionId> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.sessions
             .write()
@@ -109,9 +129,12 @@ impl SessionManager {
             .ok_or(BlaeuError::UnknownSession(id))
     }
 
-    /// Ids of all live sessions (unordered).
+    /// Ids of all live sessions, ascending — callers can rely on the
+    /// order (no call-site sorting needed).
     pub fn ids(&self) -> Vec<SessionId> {
-        self.sessions.read().keys().copied().collect()
+        let mut ids: Vec<SessionId> = self.sessions.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Number of live sessions.
@@ -261,12 +284,11 @@ mod tests {
     }
 
     #[test]
-    fn ids_lists_sessions() {
+    fn ids_lists_sessions_sorted() {
         let mgr = SessionManager::new();
         let a = mgr.create(table(), ExplorerConfig::default()).unwrap();
         let b = mgr.create(table(), ExplorerConfig::default()).unwrap();
-        let mut ids = mgr.ids();
-        ids.sort_unstable();
-        assert_eq!(ids, vec![a, b]);
+        // Ascending straight from the manager — no call-site sort.
+        assert_eq!(mgr.ids(), vec![a.min(b), a.max(b)]);
     }
 }

@@ -55,8 +55,20 @@
 //!
 //! Worker panics are propagated to the caller with their original payload
 //! after all sibling workers have finished.
+//!
+//! ## Asynchronous jobs ([`JobPool`] / [`JobHandle`])
+//!
+//! The batch primitives above block the caller until the whole fan-out
+//! finishes. The [`pool`] module adds the queue-shaped complement: a
+//! persistent worker pool with submit → join/poll/cancel handles, used by
+//! the asynchronous session tier so slow jobs overlap with fast ones.
+//! Pool workers honor the same thread budget and nesting guard.
 
 #![warn(missing_docs)]
+
+pub mod pool;
+
+pub use pool::{JobHandle, JobPool, JobStatus};
 
 use std::cell::Cell;
 use std::panic::resume_unwind;
@@ -141,6 +153,13 @@ thread_local! {
 /// algorithm variants.
 pub fn in_parallel_region() -> bool {
     IN_WORKER.with(Cell::get)
+}
+
+/// Flags the current thread as an executor worker for its whole lifetime
+/// (used by [`JobPool`] workers, which are persistent threads rather than
+/// scoped ones).
+pub(crate) fn mark_worker_thread() {
+    IN_WORKER.with(|w| w.set(true));
 }
 
 /// Resolves an effective worker count for `work_items` units of work.

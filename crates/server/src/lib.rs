@@ -1,0 +1,794 @@
+//! # blaeu-server — the asynchronous session tier
+//!
+//! The paper's architecture (Figure 4) puts a session-managing server in
+//! front of the cluster-analysis engine so many users can map, zoom and
+//! highlight concurrently. [`AsyncSessionServer`] is that tier as a
+//! library: it owns a [`SessionManager`], runs every command on a shared
+//! [`JobPool`], and memoizes analyses in an [`AnalysisCache`].
+//!
+//! ## Execution model
+//!
+//! Each session is a **FIFO command pipeline**: [`AsyncSessionServer::submit`]
+//! enqueues a [`Command`] and returns a [`ResponseHandle`] immediately.
+//! Commands *within* a session execute strictly in submission order (the
+//! session's queue is drained by at most one pool worker at a time);
+//! commands *across* sessions overlap freely — a slow `Map` in one
+//! session no longer blocks a fast `Highlight` in another, which is the
+//! always-responsive property Hillview-style systems are built around.
+//!
+//! Per-session queues are **bounded**: when `queue_capacity` commands are
+//! already pending, `submit` fails fast with
+//! [`BlaeuError::QueueFull`] instead of buffering unboundedly — the
+//! backpressure signal a real front-end needs.
+//!
+//! ## Determinism
+//!
+//! Pool workers run under the executor's nesting guard, so each command
+//! computes sequentially and its result depends only on the session's
+//! command history — never on worker count or scheduling. Per-session
+//! response streams are therefore bit-identical across thread budgets
+//! and across cache on/off (cache hits return the very `Arc` a miss
+//! built). Both invariants are enforced by tests.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+
+pub use cache::{AnalysisCache, CacheStats};
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use blaeu_core::{
+    AnalysisMemo, BlaeuError, Command, ExplorerConfig, Response, Result, SessionId, SessionManager,
+};
+use blaeu_exec::JobPool;
+use blaeu_store::Table;
+
+/// Configuration of an [`AsyncSessionServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining session queues (`0` = the process
+    /// thread budget, i.e. `BLAEU_THREADS`).
+    pub threads: usize,
+    /// Max pending (not yet executing) commands per session before
+    /// [`AsyncSessionServer::submit`] answers
+    /// [`BlaeuError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Analysis-cache entries per result kind (`0` disables caching —
+    /// every command recomputes).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 0,
+            queue_capacity: 64,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// Result slot a queued command will eventually fulfil.
+struct ResponseSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+enum SlotState {
+    Waiting,
+    Ready(Result<Response>, Instant),
+    Claimed,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        ResponseSlot {
+            state: Mutex::new(SlotState::Waiting),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fulfil(&self, result: Result<Response>) {
+        let mut st = self.state.lock();
+        debug_assert!(
+            matches!(*st, SlotState::Waiting),
+            "a slot is fulfilled exactly once"
+        );
+        *st = SlotState::Ready(result, Instant::now());
+        self.cv.notify_all();
+    }
+}
+
+/// Handle to one submitted command's eventual response.
+///
+/// Every accepted command's handle resolves, whatever happens to the
+/// session: executed commands carry their result, commands rejected by
+/// a racing [`AsyncSessionServer::close`] carry
+/// [`BlaeuError::UnknownSession`]. Dropping the handle abandons the
+/// response but never the command.
+pub struct ResponseHandle {
+    slot: Arc<ResponseSlot>,
+}
+
+impl std::fmt::Debug for ResponseHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseHandle")
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+impl ResponseHandle {
+    /// True once the response is available (join won't block).
+    pub fn is_ready(&self) -> bool {
+        !matches!(*self.slot.state.lock(), SlotState::Waiting)
+    }
+
+    /// When the response arrived (None while pending). Lets callers
+    /// compare completion order across sessions without instrumenting
+    /// the server.
+    pub fn finished_at(&self) -> Option<Instant> {
+        match *self.slot.state.lock() {
+            SlotState::Ready(_, at) => Some(at),
+            _ => None,
+        }
+    }
+
+    /// Blocks until the response is available without consuming the
+    /// handle — pair with [`ResponseHandle::finished_at`] to read the
+    /// fulfilment stamp before [`ResponseHandle::join`] takes the
+    /// result.
+    pub fn wait(&self) {
+        let mut st = self.slot.state.lock();
+        self.slot
+            .cv
+            .wait_while(&mut st, |s| matches!(s, SlotState::Waiting));
+    }
+
+    /// Blocks until the command has executed (or been rejected) and
+    /// returns its result.
+    pub fn join(self) -> Result<Response> {
+        let mut st = self.slot.state.lock();
+        self.slot
+            .cv
+            .wait_while(&mut st, |s| matches!(s, SlotState::Waiting));
+        match std::mem::replace(&mut *st, SlotState::Claimed) {
+            SlotState::Ready(result, _) => result,
+            _ => unreachable!("wait_while guarantees a ready slot"),
+        }
+    }
+}
+
+struct QueueState {
+    pending: VecDeque<(Command, Arc<ResponseSlot>)>,
+    /// True while a pool job owns this queue (drains it command by
+    /// command). At most one drain job exists per session at any time —
+    /// that is what serializes a session.
+    active: bool,
+    closed: bool,
+}
+
+struct SessionQueue {
+    id: SessionId,
+    state: Mutex<QueueState>,
+}
+
+/// Commands one drain job executes before re-enqueueing itself at the
+/// back of the pool's FIFO — the fairness knob: a session with a
+/// continuously-full queue releases its worker every `DRAIN_BATCH`
+/// commands, so other sessions' drain jobs (which sit in the same FIFO)
+/// always get scheduled. Without the cap, N always-busy sessions would
+/// pin all N workers and starve every later session.
+const DRAIN_BATCH: usize = 4;
+
+/// The asynchronous session server (see the [crate docs](self)).
+pub struct AsyncSessionServer {
+    manager: Arc<SessionManager>,
+    pool: Arc<JobPool>,
+    queues: Mutex<HashMap<SessionId, Arc<SessionQueue>>>,
+    cache: Option<Arc<AnalysisCache>>,
+    queue_capacity: usize,
+}
+
+impl std::fmt::Debug for AsyncSessionServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncSessionServer")
+            .field("sessions", &self.manager.len())
+            .field("workers", &self.pool.workers())
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+impl AsyncSessionServer {
+    /// Spawns a server: a worker pool plus (unless disabled) a shared
+    /// analysis cache.
+    pub fn new(config: ServerConfig) -> Self {
+        let cache = (config.cache_capacity > 0)
+            .then(|| Arc::new(AnalysisCache::new(config.cache_capacity)));
+        AsyncSessionServer {
+            manager: Arc::new(SessionManager::new()),
+            pool: Arc::new(JobPool::new(config.threads)),
+            queues: Mutex::new(HashMap::new()),
+            cache,
+            queue_capacity: config.queue_capacity.max(1),
+        }
+    }
+
+    /// Opens a session over a shared table (the zero-copy path: every
+    /// session navigates views of one `Arc<Table>`). Theme detection
+    /// runs synchronously here — through the cache, so the N-th session
+    /// on a table opens instantly.
+    ///
+    /// # Errors
+    /// Propagates explorer-open failures (e.g. too few columns).
+    pub fn open_session(&self, table: Arc<Table>, config: ExplorerConfig) -> Result<SessionId> {
+        let id = match &self.cache {
+            Some(cache) => self.manager.create_shared_memoized(
+                table,
+                config,
+                Arc::clone(cache) as Arc<dyn AnalysisMemo>,
+            )?,
+            None => self.manager.create_shared(table, config)?,
+        };
+        self.queues.lock().insert(
+            id,
+            Arc::new(SessionQueue {
+                id,
+                state: Mutex::new(QueueState {
+                    pending: VecDeque::new(),
+                    active: false,
+                    closed: false,
+                }),
+            }),
+        );
+        Ok(id)
+    }
+
+    /// Enqueues `command` on the session's pipeline and returns a handle
+    /// to its eventual response. Commands of one session execute in
+    /// submission order; commands of different sessions overlap.
+    ///
+    /// # Errors
+    /// [`BlaeuError::UnknownSession`] for closed/bogus ids,
+    /// [`BlaeuError::QueueFull`] when the session already has
+    /// `queue_capacity` pending commands (backpressure — retry after
+    /// some in-flight responses resolve).
+    pub fn submit(&self, id: SessionId, command: Command) -> Result<ResponseHandle> {
+        let queue = self
+            .queues
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or(BlaeuError::UnknownSession(id))?;
+        let slot = Arc::new(ResponseSlot::new());
+        let schedule = {
+            let mut st = queue.state.lock();
+            if st.closed {
+                return Err(BlaeuError::UnknownSession(id));
+            }
+            if st.pending.len() >= self.queue_capacity {
+                return Err(BlaeuError::QueueFull {
+                    session: id,
+                    capacity: self.queue_capacity,
+                });
+            }
+            st.pending.push_back((command, Arc::clone(&slot)));
+            if st.active {
+                false
+            } else {
+                st.active = true;
+                true
+            }
+        };
+        if schedule {
+            schedule_drain(
+                Arc::clone(&self.manager),
+                Arc::downgrade(&self.pool),
+                queue,
+                &self.pool,
+            );
+        }
+        Ok(ResponseHandle { slot })
+    }
+
+    /// Submits and waits — the synchronous convenience for callers that
+    /// do not pipeline (REPLs, tests).
+    ///
+    /// # Errors
+    /// As [`AsyncSessionServer::submit`], plus the command's own errors.
+    pub fn request(&self, id: SessionId, command: Command) -> Result<Response> {
+        self.submit(id, command)?.join()
+    }
+
+    /// Closes a session: already-queued commands are rejected with
+    /// [`BlaeuError::UnknownSession`] (their handles resolve; nothing
+    /// deadlocks), an in-flight command finishes or rejects on its own,
+    /// and the session leaves the registry.
+    ///
+    /// # Errors
+    /// [`BlaeuError::UnknownSession`] when the id is unknown or already
+    /// closed.
+    pub fn close(&self, id: SessionId) -> Result<()> {
+        let queue = self
+            .queues
+            .lock()
+            .remove(&id)
+            .ok_or(BlaeuError::UnknownSession(id))?;
+        let rejected: Vec<(Command, Arc<ResponseSlot>)> = {
+            let mut st = queue.state.lock();
+            st.closed = true;
+            st.pending.drain(..).collect()
+        };
+        for (_command, slot) in rejected {
+            slot.fulfil(Err(BlaeuError::UnknownSession(id)));
+        }
+        self.manager.close(id)
+    }
+
+    /// Ids of all live sessions, ascending.
+    pub fn ids(&self) -> Vec<SessionId> {
+        self.manager.ids()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.manager.len()
+    }
+
+    /// True when no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.manager.is_empty()
+    }
+
+    /// The underlying session registry — for synchronous access outside
+    /// the pipeline (rendering a state snapshot, tests).
+    pub fn manager(&self) -> &SessionManager {
+        &self.manager
+    }
+
+    /// The shared worker pool (e.g. to co-schedule auxiliary jobs).
+    pub fn pool(&self) -> &JobPool {
+        &self.pool
+    }
+
+    /// Cache effectiveness counters (`None` when caching is disabled).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// The shared analysis cache (`None` when disabled).
+    pub fn cache(&self) -> Option<&AnalysisCache> {
+        self.cache.as_deref()
+    }
+}
+
+/// Runs one command to a `Result`, converting a panic in the analysis
+/// code into an error instead of unwinding. Unwinding out of `drain`
+/// would strand the command's slot (its client would block forever) and
+/// leave the session's `active` flag set (wedging the whole session) —
+/// the drain job's own pool handle is deliberately detached, so nobody
+/// would ever observe the payload.
+fn run_guarded(f: impl FnOnce() -> Result<Response>) -> Result<Response> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned());
+        Err(BlaeuError::Invalid(format!("command panicked: {message}")))
+    })
+}
+
+/// Enqueues a drain job for `queue` onto the pool. Jobs hold only a
+/// [`Weak`](std::sync::Weak) pool reference — a strong one stored inside
+/// the pool's own queue would keep the pool alive through its own jobs
+/// (a reference cycle whose last `Arc` could then drop on a worker).
+/// `pool` is the strong handle of whoever is scheduling right now.
+fn schedule_drain(
+    manager: Arc<SessionManager>,
+    weak_pool: std::sync::Weak<JobPool>,
+    queue: Arc<SessionQueue>,
+    pool: &JobPool,
+) {
+    // The handle is intentionally detached — every command's own
+    // ResponseSlot is the join point, and drain never panics
+    // (run_guarded converts command panics into errors).
+    let _detached = pool.submit(move || drain(&manager, &weak_pool, &queue));
+}
+
+/// Drains one session's queue: pops and executes commands in FIFO order,
+/// fulfilling each command's slot. Runs on a pool worker; at most one
+/// instance exists per session (the `active` flag), which is the whole
+/// serialization story. After [`DRAIN_BATCH`] commands the job re-enqueues
+/// itself at the back of the pool FIFO so one busy session cannot pin a
+/// worker; when the pool is gone or shutting down (server teardown), the
+/// re-enqueue degrades to draining inline, so every slot still resolves.
+fn drain(
+    manager: &Arc<SessionManager>,
+    weak_pool: &std::sync::Weak<JobPool>,
+    queue: &Arc<SessionQueue>,
+) {
+    let mut executed = 0usize;
+    loop {
+        if executed == DRAIN_BATCH {
+            if let Some(pool) = weak_pool.upgrade() {
+                {
+                    // Don't schedule a guaranteed no-op continuation for
+                    // a batch-aligned burst: retire here if nothing is
+                    // pending.
+                    let mut st = queue.state.lock();
+                    if st.pending.is_empty() {
+                        st.active = false;
+                        return;
+                    }
+                }
+                schedule_drain(
+                    Arc::clone(manager),
+                    std::sync::Weak::clone(weak_pool),
+                    Arc::clone(queue),
+                    &pool,
+                );
+                return;
+            }
+            // Pool gone (server tearing down): keep draining inline so
+            // no accepted handle is stranded.
+            executed = 0;
+        }
+        let next = {
+            let mut st = queue.state.lock();
+            match st.pending.pop_front() {
+                Some(item) => item,
+                None => {
+                    // Retire under the lock: a submit that raced us saw
+                    // `active == true` only while its command was still
+                    // in `pending` — which we just proved empty.
+                    st.active = false;
+                    return;
+                }
+            }
+        };
+        let (command, slot) = next;
+        let result = run_guarded(|| {
+            manager
+                .with(queue.id, |explorer| explorer.execute(&command))
+                .and_then(|inner| inner)
+        });
+        slot.fulfil(result);
+        executed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blaeu_store::generate::{oecd, OecdConfig};
+    use std::sync::Barrier;
+
+    fn shared_table() -> Arc<Table> {
+        Arc::new(
+            oecd(&OecdConfig {
+                nrows: 250,
+                ncols: 24,
+                missing_rate: 0.0,
+                ..OecdConfig::default()
+            })
+            .unwrap()
+            .0,
+        )
+    }
+
+    fn server(threads: usize, queue_capacity: usize, cache_capacity: usize) -> AsyncSessionServer {
+        AsyncSessionServer::new(ServerConfig {
+            threads,
+            queue_capacity,
+            cache_capacity,
+        })
+    }
+
+    #[test]
+    fn submit_executes_and_responds() {
+        let srv = server(2, 16, 16);
+        let id = srv
+            .open_session(shared_table(), ExplorerConfig::default())
+            .unwrap();
+        let themes = srv.request(id, Command::Themes).unwrap();
+        let Response::Themes(themes) = themes else {
+            panic!("wrong response kind");
+        };
+        assert!(themes.themes.len() >= 2);
+        let map = srv.request(id, Command::SelectTheme(0)).unwrap();
+        assert!(matches!(map, Response::Map(_)));
+        let depth = srv.request(id, Command::Depth).unwrap();
+        assert!(matches!(depth, Response::Depth(2)));
+        srv.close(id).unwrap();
+        assert!(srv.is_empty());
+    }
+
+    #[test]
+    fn unknown_session_rejected_on_submit() {
+        let srv = server(1, 4, 0);
+        assert!(matches!(
+            srv.submit(999, Command::Depth),
+            Err(BlaeuError::UnknownSession(999))
+        ));
+    }
+
+    #[test]
+    fn command_errors_travel_through_the_pipeline() {
+        let srv = server(1, 8, 0);
+        let id = srv
+            .open_session(shared_table(), ExplorerConfig::default())
+            .unwrap();
+        assert!(matches!(
+            srv.request(id, Command::Zoom(0)),
+            Err(BlaeuError::NoActiveMap)
+        ));
+        assert!(matches!(
+            srv.request(id, Command::SelectTheme(999)),
+            Err(BlaeuError::UnknownTheme(999))
+        ));
+        // The pipeline survives errors: later commands still execute.
+        assert!(matches!(
+            srv.request(id, Command::Depth),
+            Ok(Response::Depth(1))
+        ));
+    }
+
+    #[test]
+    fn backpressure_when_queue_is_full() {
+        let srv = server(1, 2, 0);
+        let id = srv
+            .open_session(shared_table(), ExplorerConfig::default())
+            .unwrap();
+        // Park the only worker so queued commands cannot drain.
+        let gate = Arc::new(Barrier::new(2));
+        let parked = {
+            let gate = Arc::clone(&gate);
+            srv.pool().submit(move || {
+                gate.wait();
+            })
+        };
+        let a = srv.submit(id, Command::Depth).unwrap();
+        let b = srv.submit(id, Command::Depth).unwrap();
+        let overflow = srv.submit(id, Command::Depth);
+        assert!(
+            matches!(
+                overflow,
+                Err(BlaeuError::QueueFull {
+                    session,
+                    capacity: 2,
+                }) if session == id
+            ),
+            "expected backpressure, got {overflow:?}"
+        );
+        gate.wait();
+        parked.join().unwrap();
+        assert!(matches!(a.join(), Ok(Response::Depth(1))));
+        assert!(matches!(b.join(), Ok(Response::Depth(1))));
+        // Capacity freed: submitting works again.
+        assert!(matches!(
+            srv.request(id, Command::Depth),
+            Ok(Response::Depth(1))
+        ));
+    }
+
+    #[test]
+    fn close_rejects_queued_commands_without_deadlock() {
+        let srv = server(1, 8, 0);
+        let id = srv
+            .open_session(shared_table(), ExplorerConfig::default())
+            .unwrap();
+        let gate = Arc::new(Barrier::new(2));
+        let parked = {
+            let gate = Arc::clone(&gate);
+            srv.pool().submit(move || {
+                gate.wait();
+            })
+        };
+        // Three commands queue behind the parked worker.
+        let handles: Vec<ResponseHandle> = (0..3)
+            .map(|_| srv.submit(id, Command::Depth).unwrap())
+            .collect();
+        srv.close(id).unwrap();
+        gate.wait();
+        parked.join().unwrap();
+        // Every handle resolves — with UnknownSession, not a hang.
+        for handle in handles {
+            assert!(matches!(
+                handle.join(),
+                Err(BlaeuError::UnknownSession(s)) if s == id
+            ));
+        }
+        // The session is gone for future submits too.
+        assert!(matches!(
+            srv.submit(id, Command::Depth),
+            Err(BlaeuError::UnknownSession(_))
+        ));
+        assert!(srv.is_empty());
+    }
+
+    #[test]
+    fn close_racing_inflight_command_resolves_cleanly() {
+        let srv = server(2, 8, 0);
+        let id = srv
+            .open_session(shared_table(), ExplorerConfig::default())
+            .unwrap();
+        // A slow command starts executing, then the session closes under
+        // it. Whatever the interleaving, the handle must resolve: either
+        // the command finished first (Ok) or lost the race
+        // (UnknownSession).
+        let slow = srv.submit(id, Command::SelectTheme(0)).unwrap();
+        srv.close(id).unwrap();
+        match slow.join() {
+            Ok(Response::Map(_)) => {}
+            Err(BlaeuError::UnknownSession(s)) => assert_eq!(s, id),
+            other => panic!("unexpected resolution: {other:?}"),
+        }
+        assert!(srv.is_empty());
+    }
+
+    #[test]
+    fn sessions_overlap_but_commands_within_a_session_are_fifo() {
+        let srv = server(4, 32, 0);
+        let table = shared_table();
+        let ids: Vec<SessionId> = (0..4)
+            .map(|_| {
+                srv.open_session(Arc::clone(&table), ExplorerConfig::default())
+                    .unwrap()
+            })
+            .collect();
+        // Per session: a pipeline whose steps only make sense in order.
+        let handles: Vec<Vec<ResponseHandle>> = ids
+            .iter()
+            .map(|&id| {
+                vec![
+                    srv.submit(id, Command::SelectTheme(0)).unwrap(),
+                    srv.submit(id, Command::Zoom(0)).unwrap(),
+                    srv.submit(id, Command::Rollback).unwrap(),
+                    srv.submit(id, Command::Rollback).unwrap(),
+                    srv.submit(id, Command::Depth).unwrap(),
+                ]
+            })
+            .collect();
+        for per_session in handles {
+            let mut finished = Vec::new();
+            let responses: Vec<Result<Response>> = per_session
+                .into_iter()
+                .map(|h| {
+                    let r = h.join();
+                    finished.push(Instant::now());
+                    r
+                })
+                .collect();
+            assert!(matches!(responses[0], Ok(Response::Map(_))));
+            assert!(
+                matches!(responses[1], Ok(Response::Map(_))),
+                "zoom needs the map built by the earlier select_theme"
+            );
+            assert!(matches!(responses[2], Ok(Response::Depth(2))));
+            assert!(matches!(responses[3], Ok(Response::Depth(1))));
+            assert!(matches!(responses[4], Ok(Response::Depth(1))));
+        }
+        for id in ids {
+            srv.close(id).unwrap();
+        }
+    }
+
+    #[test]
+    fn busy_sessions_cannot_starve_a_newcomer() {
+        let srv = server(2, 64, 0);
+        let table = shared_table();
+        let hog_a = srv
+            .open_session(Arc::clone(&table), ExplorerConfig::default())
+            .unwrap();
+        let hog_b = srv
+            .open_session(Arc::clone(&table), ExplorerConfig::default())
+            .unwrap();
+        let newcomer = srv
+            .open_session(Arc::clone(&table), ExplorerConfig::default())
+            .unwrap();
+        // Park both workers so the hog queues actually build depth
+        // (unblocked, µs-fast commands would drain as fast as the test
+        // submits them and prove nothing).
+        let gate = Arc::new(Barrier::new(3));
+        let blockers: Vec<_> = (0..2)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                srv.pool().submit(move || {
+                    gate.wait();
+                })
+            })
+            .collect();
+        // Two sessions preload deep queues (> 2 × DRAIN_BATCH each), then
+        // a third session submits one command. Batched draining requeues
+        // the hogs' drain jobs behind the newcomer's, so the newcomer
+        // must complete while the hogs still have work outstanding —
+        // without the batch cap, both workers would be pinned until a
+        // hog queue emptied.
+        let hog_handles: Vec<ResponseHandle> = [hog_a, hog_b]
+            .iter()
+            .flat_map(|&id| {
+                (0..12)
+                    .map(|_| srv.submit(id, Command::Depth).unwrap())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let nc = srv.submit(newcomer, Command::Depth).unwrap();
+        gate.wait();
+        for blocker in blockers {
+            blocker.join().unwrap();
+        }
+        nc.wait();
+        let nc_done = nc.finished_at().expect("waited");
+        assert!(matches!(nc.join(), Ok(Response::Depth(1))));
+        let last_hog = hog_handles
+            .into_iter()
+            .map(|h| {
+                h.wait();
+                let at = h.finished_at().expect("waited");
+                h.join().unwrap();
+                at
+            })
+            .max()
+            .unwrap();
+        assert!(
+            nc_done < last_hog,
+            "newcomer must not wait for the busy sessions to fully drain"
+        );
+    }
+
+    #[test]
+    fn panicking_command_resolves_as_error_not_a_wedge() {
+        // A panic anywhere under Explorer::execute must become an error
+        // on the command's own handle — unwinding out of the drain job
+        // would strand the slot and wedge the session forever (the
+        // drain job's pool handle is detached, so its captured payload
+        // is observable by no one).
+        let guarded = run_guarded(|| panic!("analysis exploded"));
+        match guarded {
+            Err(BlaeuError::Invalid(message)) => {
+                assert!(message.contains("analysis exploded"), "{message}")
+            }
+            other => panic!("panic not converted: {other:?}"),
+        }
+        let string_payload = run_guarded(|| panic!("{}", "formatted {} payload"));
+        assert!(matches!(string_payload, Err(BlaeuError::Invalid(_))));
+    }
+
+    #[test]
+    fn cache_hits_after_identical_commands_across_sessions() {
+        let srv = server(2, 8, 64);
+        let table = shared_table();
+        let a = srv
+            .open_session(Arc::clone(&table), ExplorerConfig::default())
+            .unwrap();
+        let b = srv
+            .open_session(Arc::clone(&table), ExplorerConfig::default())
+            .unwrap();
+        // Session b's theme detection already hit (same table+config).
+        let after_open = srv.cache_stats().unwrap();
+        assert!(after_open.hits >= 1, "{after_open:?}");
+        let ra = srv.request(a, Command::SelectTheme(0)).unwrap();
+        let before = srv.cache_stats().unwrap();
+        let rb = srv.request(b, Command::SelectTheme(0)).unwrap();
+        let after = srv.cache_stats().unwrap();
+        assert_eq!(
+            after.hits,
+            before.hits + 1,
+            "identical map request must hit"
+        );
+        // Bit-identical payloads (same digest — and in fact same Arc).
+        assert_eq!(ra.digest(), rb.digest());
+        if let (Response::Map(ma), Response::Map(mb)) = (&ra, &rb) {
+            assert!(Arc::ptr_eq(ma, mb));
+        } else {
+            panic!("expected maps");
+        }
+    }
+}

@@ -100,6 +100,15 @@ impl TableView {
         self.rows.as_ref().map(|r| r.as_slice())
     }
 
+    /// The shared base-row selection handle (`None` = identity view).
+    ///
+    /// Two views with `Arc::ptr_eq` selections provably cover the same
+    /// rows without comparing contents — the cheap path for cache keys
+    /// fingerprinting a view (see `blaeu-core`'s analysis memoization).
+    pub fn rows_shared(&self) -> Option<Arc<Vec<u32>>> {
+        self.rows.clone()
+    }
+
     /// Physical row of the underlying table behind view row `row`.
     ///
     /// # Panics

@@ -1,65 +1,95 @@
-//! The session tier (Figure 4): many users exploring concurrently.
+//! The asynchronous session tier (Figure 4): many users exploring
+//! concurrently without blocking one another.
 //!
 //! The paper's NodeJS layer "manages the sessions and relays the maps to
-//! the clients". This example runs four concurrent clients against one
-//! [`SessionManager`], each performing an independent explore loop, and
-//! prints the JSON payload a web client would receive.
+//! the clients". This example runs an [`AsyncSessionServer`]: four
+//! clients share one table (zero-copy — every session navigates views of
+//! the same `Arc<Table>`), queue their commands, and receive typed
+//! responses. Slow map builds overlap with fast highlights across
+//! sessions, repeated analyses hit the shared cache, and each session's
+//! commands still execute strictly in submission order.
 //!
 //! ```sh
 //! cargo run --release --example session_server
 //! ```
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use blaeu::core::render::state_to_json;
 use blaeu::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (table, _) = hollywood(&HollywoodConfig::default())?;
-    let manager = SessionManager::new();
+    let table = Arc::new(table);
+    let server = AsyncSessionServer::new(ServerConfig::default());
 
-    // Four clients connect; each gets an isolated session on the same data.
+    // Four clients connect; each gets an isolated session over the SAME
+    // shared table — no per-session copy (the create_shared path).
     let mut sessions = Vec::new();
     for _ in 0..4 {
-        sessions.push(manager.create(table.clone(), ExplorerConfig::default())?);
+        sessions.push(server.open_session(Arc::clone(&table), ExplorerConfig::default())?);
     }
-    println!("{} sessions open: {:?}", manager.len(), {
-        let mut ids = manager.ids();
-        ids.sort_unstable();
-        ids
-    });
+    println!("{} sessions open: {:?}", server.len(), server.ids());
 
-    // Clients act concurrently on the shared executor: theme → map → zoom
-    // → highlight → rollback. `par_with` fans out one worker per session
-    // and keeps each session's own cluster analysis sequential.
-    let outcomes = manager.par_with(&sessions, |id, ex| {
-        let client = sessions.iter().position(|&s| s == id).unwrap();
-        let theme = client % 2; // clients look at different themes
-        ex.select_theme(theme).unwrap();
-        let biggest = ex
-            .map()
-            .unwrap()
-            .leaves()
-            .iter()
-            .max_by_key(|r| r.count)
-            .unwrap()
-            .id;
-        ex.zoom(biggest).unwrap();
-        let hl = ex.highlight("film").unwrap();
+    // Each client maps a theme, then queues the rest of its explore
+    // loop: zoom into the biggest region → highlight → rollback. Within
+    // a session the pipeline runs in order; across sessions the theme
+    // maps and the follow-up pipelines all overlap on the shared pool.
+    let started = Instant::now();
+    let maps: Vec<_> = sessions
+        .iter()
+        .enumerate()
+        .map(|(client, &id)| server.submit(id, Command::SelectTheme(client % 2)))
+        .collect::<Result<_, _>>()?;
+    let mut pipelines = Vec::new();
+    for ((client, &id), map) in sessions.iter().enumerate().zip(maps) {
+        let Response::Map(map) = map.join()? else {
+            unreachable!("select_theme answers with a map");
+        };
+        let biggest = map.leaves().iter().max_by_key(|r| r.count).unwrap().id;
+        let handles = vec![
+            server.submit(id, Command::Zoom(biggest))?,
+            server.submit(id, Command::Highlight("film".into()))?,
+            server.submit(id, Command::Rollback)?,
+        ];
+        pipelines.push((client, id, handles));
+    }
+
+    for (client, id, handles) in pipelines {
+        let mut regions = 0usize;
+        let mut example = String::new();
+        for handle in handles {
+            match handle.join()? {
+                Response::Highlight(hl) => {
+                    regions = hl.regions.len();
+                    example = hl
+                        .regions
+                        .first()
+                        .map(|r| r.examples.join(", "))
+                        .unwrap_or_default();
+                }
+                Response::Map(_) | Response::Depth(_) => {}
+                other => println!("unexpected response: {other:?}"),
+            }
+        }
+        println!("client {client} (session {id}): {regions} regions after zoom, e.g. {example}");
+    }
+    println!("all pipelines drained in {:?}", started.elapsed());
+
+    // Clients 2 and 3 mapped the same themes as 0 and 1 on the same
+    // table: their cluster analyses were cache hits, not recomputations.
+    if let Some(stats) = server.cache_stats() {
         println!(
-            "client {client} (session {id}): {} regions after zoom, e.g. {}",
-            hl.regions.len(),
-            hl.regions
-                .first()
-                .map(|r| r.examples.join(", "))
-                .unwrap_or_default()
+            "analysis cache: {} hits / {} misses (hit rate {:.0}%)",
+            stats.hits,
+            stats.misses,
+            stats.hit_rate() * 100.0
         );
-        ex.rollback().unwrap();
-    });
-    for outcome in outcomes {
-        outcome.expect("clients run to completion");
     }
 
     // The JSON a web client would render (first session, current state).
-    let payload = manager.with(sessions[0], |ex| state_to_json(ex))?;
+    let payload = server.manager().with(sessions[0], |ex| state_to_json(ex))?;
     let rendered = serde_json::to_string_pretty(&payload)?;
     println!(
         "\nsession {} payload preview (truncated):\n{}",
@@ -68,11 +98,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for id in sessions {
-        manager.close(id)?;
+        server.close(id)?;
     }
-    println!(
-        "\nall sessions closed; manager empty: {}",
-        manager.is_empty()
-    );
+    println!("\nall sessions closed; server empty: {}", server.is_empty());
     Ok(())
 }

@@ -46,6 +46,7 @@ pub mod repl;
 pub use blaeu_cluster as cluster;
 pub use blaeu_core as core;
 pub use blaeu_exec as exec;
+pub use blaeu_server as server;
 pub use blaeu_stats as stats;
 pub use blaeu_store as store;
 pub use blaeu_tree as tree;
@@ -58,10 +59,12 @@ pub mod prelude {
         Metric, PamConfig, Points,
     };
     pub use blaeu_core::{
-        build_map, detect_themes, render, BlaeuError, DataMap, DependencyGraph, Explorer,
-        ExplorerConfig, Highlight, KChoice, MapperConfig, Region, SessionManager, Theme,
+        build_map, detect_themes, render, BlaeuError, Command, DataMap, DependencyGraph, Explorer,
+        ExplorerConfig, Highlight, KChoice, MapperConfig, Region, Response, SessionManager, Theme,
         ThemeConfig, ThemeSet,
     };
+    pub use blaeu_exec::{JobHandle, JobPool, JobStatus};
+    pub use blaeu_server::{AnalysisCache, AsyncSessionServer, CacheStats, ServerConfig};
     pub use blaeu_stats::{
         chi2_test, dependency_matrix, describe, histogram, DependencyMeasure, DependencyOptions,
         ScatterGrid,

@@ -83,6 +83,72 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     }
 }
 
+/// A condition variable (parking_lot-style API: `wait` takes the guard by
+/// mutable reference instead of by value).
+#[derive(Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Blocks until notified, atomically releasing the mutex while parked
+    /// and re-acquiring it before returning (spurious wakeups possible,
+    /// as with any condvar).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // std's Condvar consumes the guard and returns a fresh one;
+        // parking_lot's mutates it in place. Bridge by moving the guard
+        // out through the reference and writing the re-acquired one back.
+        // The only fallible step between read and write is the wait itself,
+        // which cannot unwind for a guard/condvar pair used consistently
+        // (poisoning is absorbed); abort rather than risk a double unlock
+        // if that assumption is ever violated.
+        struct AbortOnUnwind;
+        impl Drop for AbortOnUnwind {
+            fn drop(&mut self) {
+                std::process::abort();
+            }
+        }
+        unsafe {
+            let taken = std::ptr::read(guard);
+            let bomb = AbortOnUnwind;
+            let reacquired = self.0.wait(taken).unwrap_or_else(PoisonError::into_inner);
+            std::mem::forget(bomb);
+            std::ptr::write(guard, reacquired);
+        }
+    }
+
+    /// Waits until `condition` returns false (parking_lot's `wait_while`:
+    /// the wait continues *while* the predicate holds).
+    pub fn wait_while<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        mut condition: impl FnMut(&mut T) -> bool,
+    ) {
+        while condition(&mut **guard) {
+            self.wait(guard);
+        }
+    }
+
+    /// Wakes one parked thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every parked thread.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar { .. }")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +186,44 @@ mod tests {
         // parking_lot semantics: the lock is still usable.
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_handoff() {
+        let shared = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let mut producers = Vec::new();
+        for _ in 0..4 {
+            let shared = Arc::clone(&shared);
+            producers.push(std::thread::spawn(move || {
+                *shared.0.lock() += 1;
+                shared.1.notify_all();
+            }));
+        }
+        {
+            let (lock, cv) = &*shared;
+            let mut guard = lock.lock();
+            cv.wait_while(&mut guard, |count| *count < 4);
+            assert_eq!(*guard, 4);
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn condvar_wait_wakes_on_notify_one() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let mut done = shared.0.lock();
+                while !*done {
+                    shared.1.wait(&mut done);
+                }
+            })
+        };
+        *shared.0.lock() = true;
+        shared.1.notify_one();
+        waiter.join().unwrap();
     }
 }
