@@ -1,0 +1,141 @@
+//! Transport benches — what the wire costs over the engine it fronts.
+//!
+//! `net_request/parse` isolates HTTP request parsing (in-memory, no
+//! sockets); `net_request/direct` is the in-process
+//! `AsyncSessionServer::submit` → `join` floor for a no-work command;
+//! `net_request/roundtrip` is the same command as a full loopback HTTP
+//! round-trip on a keep-alive connection — the difference between the
+//! last two is the transport's real dispatch overhead (framing + routing
+//! + socket hops).
+//!
+//! Refresh the committed baseline with the same thread budget the CI
+//! gate uses:
+//! `CRITERION_SAVE_BASELINE=$PWD/.github/bench-baseline.json BLAEU_THREADS=8 cargo bench -p blaeu-bench --bench bench_net`
+
+use std::io::{BufRead, BufReader, Cursor, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use blaeu_core::{Command, ExplorerConfig};
+use blaeu_net::http::read_request;
+use blaeu_net::{NetConfig, NetServer};
+use blaeu_server::{AsyncSessionServer, ServerConfig};
+use blaeu_store::generate::{hollywood, HollywoodConfig};
+use blaeu_store::Table;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn shared_table() -> Arc<Table> {
+    Arc::new(
+        hollywood(&HollywoodConfig {
+            nrows: 500,
+            ..HollywoodConfig::default()
+        })
+        .expect("generator cannot fail on valid config")
+        .0,
+    )
+}
+
+fn engine() -> Arc<AsyncSessionServer> {
+    Arc::new(AsyncSessionServer::new(ServerConfig {
+        threads: 0,
+        queue_capacity: 64,
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    }))
+}
+
+fn bench_net(c: &mut Criterion) {
+    let table = shared_table();
+    let mut group = c.benchmark_group("net_request");
+
+    // Pure request parsing: a representative POST with a command body.
+    let body = br#"{"cmd": "select_theme", "theme": 0}"#;
+    let mut request = format!(
+        "POST /sessions/1/commands HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    request.extend_from_slice(body);
+    group.bench_function("parse", |b| {
+        b.iter(|| {
+            let mut sink = Vec::new();
+            let parsed = read_request(
+                &mut Cursor::new(&request[..]),
+                &mut sink,
+                1 << 20,
+                blaeu_net::http::Deadline::none(),
+            )
+            .expect("valid request")
+            .expect("not EOF");
+            assert_eq!(parsed.body.len(), body.len());
+            parsed
+        })
+    });
+
+    // In-process floor: submit → join of a no-work command.
+    let direct = engine();
+    let direct_id = direct
+        .open_session(Arc::clone(&table), ExplorerConfig::default())
+        .expect("session opens");
+    group.bench_function("direct", |b| {
+        b.iter(|| {
+            direct
+                .request(direct_id, Command::Depth)
+                .expect("command runs")
+        })
+    });
+
+    // Full loopback HTTP round-trip of the same command, keep-alive.
+    let net = NetServer::bind("127.0.0.1:0", engine(), NetConfig::default()).expect("bind");
+    net.register_table("hollywood", Arc::clone(&table));
+    let addr = net.local_addr();
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut roundtrip = |path: &str, payload: &str| -> String {
+        write!(
+            writer,
+            "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{payload}",
+            payload.len()
+        )
+        .expect("write");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        let mut content_length = 0usize;
+        reader.read_line(&mut line).expect("status");
+        loop {
+            let mut header = String::new();
+            reader.read_line(&mut header).expect("header");
+            if header.trim().is_empty() {
+                break;
+            }
+            if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().expect("length");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("body");
+        String::from_utf8(body).expect("utf8")
+    };
+    let opened = roundtrip("/sessions", r#"{"table": "hollywood"}"#);
+    let wire_id: u64 = opened
+        .split("\"session\":")
+        .nth(1)
+        .and_then(|rest| rest.split(&[',', '}'][..]).next())
+        .and_then(|n| n.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no session id in {opened:?}"));
+    let command_path = format!("/sessions/{wire_id}/commands");
+    group.bench_function("roundtrip", |b| {
+        b.iter(|| {
+            let body = roundtrip(&command_path, r#"{"cmd": "depth"}"#);
+            assert!(body.contains("depth"), "{body}");
+            body.len()
+        })
+    });
+    group.finish();
+    net.shutdown();
+}
+
+criterion_group!(benches, bench_net);
+criterion_main!(benches);

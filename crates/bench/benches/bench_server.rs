@@ -37,6 +37,7 @@ fn async_server(cache_capacity: usize) -> AsyncSessionServer {
         threads: 0,
         queue_capacity: 64,
         cache_capacity,
+        ..ServerConfig::default()
     })
 }
 

@@ -75,6 +75,26 @@ pub enum Command {
 }
 
 impl Command {
+    /// Longest string any wire field may carry (column names in practice
+    /// are tens of bytes; anything bigger is hostile or broken input).
+    pub const MAX_WIRE_STRING: usize = 4096;
+
+    /// Most entries a wire `project` column list may carry.
+    pub const MAX_WIRE_COLUMNS: usize = 1024;
+
+    /// Parses a command from JSON *text* — the convenience the network
+    /// transport and tests use. Parse errors (malformed JSON, absurd
+    /// nesting depth, non-finite numbers) and shape errors both surface
+    /// as [`BlaeuError::Invalid`] with the parser's line/column context.
+    ///
+    /// # Errors
+    /// As [`Command::from_json`], plus positioned JSON parse errors.
+    pub fn from_json_str(text: &str) -> Result<Command> {
+        let value = serde_json::from_str(text)
+            .map_err(|e| BlaeuError::Invalid(format!("malformed command JSON: {e}")))?;
+        Command::from_json(&value)
+    }
+
     /// True for commands that run a cluster analysis (map construction);
     /// everything else answers at interactive latency from session state.
     pub fn is_slow(&self) -> bool {
@@ -115,9 +135,23 @@ impl Command {
 
     /// Parses a command from its wire form.
     ///
+    /// Wire input is adversarial: besides shape errors (unknown tags,
+    /// missing fields), every field is type- and bounds-checked —
+    /// indices must be non-negative integers that fit `usize` (floats,
+    /// non-finite numbers and negatives are mistyped, not truncated),
+    /// strings are capped at [`Command::MAX_WIRE_STRING`] bytes and the
+    /// `project` column list at [`Command::MAX_WIRE_COLUMNS`] entries, so
+    /// a hostile body cannot make the engine chase absurd allocations.
+    ///
     /// # Errors
-    /// Returns [`BlaeuError::Invalid`] for unknown or malformed commands.
+    /// Returns [`BlaeuError::Invalid`] for unknown or malformed commands;
+    /// never panics, whatever the input.
     pub fn from_json(value: &Value) -> Result<Command> {
+        if !value.is_object() {
+            return Err(BlaeuError::Invalid(
+                "a command must be a JSON object".into(),
+            ));
+        }
         let cmd = value
             .get("cmd")
             .and_then(Value::as_str)
@@ -126,36 +160,53 @@ impl Command {
             value
                 .get(field)
                 .and_then(Value::as_u64)
-                .map(|v| v as usize)
+                .and_then(|v| usize::try_from(v).ok())
                 .ok_or_else(|| {
-                    BlaeuError::Invalid(format!("command {cmd:?} needs integer field {field:?}"))
+                    BlaeuError::Invalid(format!(
+                        "command {cmd:?} needs non-negative integer field {field:?}"
+                    ))
                 })
         };
         let text = |field: &str| -> Result<String> {
-            value
-                .get(field)
-                .and_then(Value::as_str)
-                .map(str::to_owned)
-                .ok_or_else(|| {
-                    BlaeuError::Invalid(format!("command {cmd:?} needs string field {field:?}"))
-                })
+            let s = value.get(field).and_then(Value::as_str).ok_or_else(|| {
+                BlaeuError::Invalid(format!("command {cmd:?} needs string field {field:?}"))
+            })?;
+            if s.len() > Self::MAX_WIRE_STRING {
+                return Err(BlaeuError::Invalid(format!(
+                    "command {cmd:?} field {field:?} exceeds {} bytes",
+                    Self::MAX_WIRE_STRING
+                )));
+            }
+            Ok(s.to_owned())
         };
         Ok(match cmd {
             "select_theme" => Command::SelectTheme(index("theme")?),
             "zoom" => Command::Zoom(index("region")?),
             "map" => Command::Map,
             "project" => {
-                let columns = value
+                let entries = value
                     .get("columns")
                     .and_then(Value::as_array)
                     .ok_or_else(|| {
                         BlaeuError::Invalid("command \"project\" needs a \"columns\" array".into())
-                    })?
+                    })?;
+                if entries.len() > Self::MAX_WIRE_COLUMNS {
+                    return Err(BlaeuError::Invalid(format!(
+                        "\"columns\" exceeds {} entries",
+                        Self::MAX_WIRE_COLUMNS
+                    )));
+                }
+                let columns = entries
                     .iter()
                     .map(|c| {
-                        c.as_str().map(str::to_owned).ok_or_else(|| {
-                            BlaeuError::Invalid("\"columns\" entries must be strings".into())
-                        })
+                        c.as_str()
+                            .filter(|s| s.len() <= Self::MAX_WIRE_STRING)
+                            .map(str::to_owned)
+                            .ok_or_else(|| {
+                                BlaeuError::Invalid(
+                                    "\"columns\" entries must be bounded strings".into(),
+                                )
+                            })
                     })
                     .collect::<Result<Vec<String>>>()?;
                 Command::Project(columns)
@@ -312,12 +363,73 @@ mod tests {
             json!({"cmd": "highlight", "column": 3}),
             json!({"cmd": "project", "columns": [1, 2]}),
             json!({"cmd": "project"}),
+            // Mistyped indices must be rejected, not truncated: floats,
+            // non-finite floats, negatives, and nested junk.
+            json!({"cmd": "zoom", "region": 1.5}),
+            json!({"cmd": "zoom", "region": f64::NAN}),
+            json!({"cmd": "zoom", "region": f64::INFINITY}),
+            json!({"cmd": "zoom", "region": -3i64}),
+            json!({"cmd": "zoom", "region": json!([0])}),
+            json!({"cmd": "select_theme", "theme": "0"}),
+            json!({"cmd": 7}),
+            json!(["cmd", "depth"]),
+            json!("depth"),
+            json!(null),
+            json!({"cmd": "scatter", "x": "a", "y": "b", "bins": -1i64}),
         ] {
             assert!(
                 matches!(Command::from_json(&bad), Err(BlaeuError::Invalid(_))),
                 "accepted {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn oversized_wire_fields_rejected() {
+        let huge = "x".repeat(Command::MAX_WIRE_STRING + 1);
+        for bad in [
+            json!({"cmd": "highlight", "column": huge.clone()}),
+            json!({"cmd": "project", "columns": std::slice::from_ref(&huge)}),
+            json!({"cmd": "project", "columns": vec!["c"; Command::MAX_WIRE_COLUMNS + 1]}),
+        ] {
+            assert!(
+                matches!(Command::from_json(&bad), Err(BlaeuError::Invalid(_))),
+                "accepted oversized field"
+            );
+        }
+        // The bound itself is legal.
+        let at_cap = json!({"cmd": "highlight", "column": "x".repeat(Command::MAX_WIRE_STRING)});
+        assert!(Command::from_json(&at_cap).is_ok());
+    }
+
+    #[test]
+    fn from_json_str_round_trips_and_reports_parse_errors() {
+        for cmd in all_commands() {
+            let text = serde_json::to_string(&cmd.to_json()).unwrap();
+            assert_eq!(Command::from_json_str(&text).unwrap(), cmd);
+        }
+        for bad in [
+            "",
+            "{",
+            "{\"cmd\": \"depth\"",
+            "[1, 2",
+            "depth",
+            "{\"cmd\": }",
+        ] {
+            assert!(
+                matches!(Command::from_json_str(bad), Err(BlaeuError::Invalid(_))),
+                "accepted {bad:?}"
+            );
+        }
+        // Hostile nesting depth errors instead of overflowing the stack.
+        let mut deep = String::from("{\"cmd\": ");
+        for _ in 0..50_000 {
+            deep.push('[');
+        }
+        assert!(matches!(
+            Command::from_json_str(&deep),
+            Err(BlaeuError::Invalid(_))
+        ));
     }
 
     #[test]

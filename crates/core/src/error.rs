@@ -22,11 +22,18 @@ pub enum BlaeuError {
     /// The requested session does not exist (or was closed).
     UnknownSession(u64),
     /// The session's command queue is full — backpressure: the client
-    /// must wait for in-flight commands before submitting more.
+    /// must wait for in-flight commands before submitting more. Carries
+    /// the queue's observed occupancy so clients can back off
+    /// intelligently (e.g. wait for `pending - capacity + 1` responses
+    /// before retrying).
     QueueFull {
         /// The session whose queue rejected the command.
         session: u64,
-        /// The queue's capacity (pending commands).
+        /// Commands pending in the queue at rejection time.
+        pending: usize,
+        /// The queue's *effective* capacity — after the server clamps
+        /// a zero-configured capacity up to 1, so clients always see
+        /// the bound actually enforced.
         capacity: usize,
     },
     /// Invalid parameter or state, with an explanation.
@@ -43,9 +50,13 @@ impl fmt::Display for BlaeuError {
             BlaeuError::EmptySelection => f.write_str("the current selection holds no rows"),
             BlaeuError::HistoryEmpty => f.write_str("nothing to roll back to"),
             BlaeuError::UnknownSession(id) => write!(f, "unknown session: {id}"),
-            BlaeuError::QueueFull { session, capacity } => write!(
+            BlaeuError::QueueFull {
+                session,
+                pending,
+                capacity,
+            } => write!(
                 f,
-                "session {session} command queue is full ({capacity} pending)"
+                "session {session} command queue is full ({pending} pending of {capacity})"
             ),
             BlaeuError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
         }
@@ -87,10 +98,11 @@ mod tests {
         assert!(BlaeuError::UnknownRegion(3).to_string().contains('3'));
         let full = BlaeuError::QueueFull {
             session: 7,
+            pending: 16,
             capacity: 16,
         };
         assert!(full.to_string().contains('7'));
-        assert!(full.to_string().contains("16"));
+        assert!(full.to_string().contains("16 pending of 16"));
         let e: BlaeuError = StoreError::ColumnNotFound("x".into()).into();
         assert!(e.to_string().contains("storage error"));
     }

@@ -21,9 +21,15 @@
 //!   requesting one cold key cost one build, not M. (If the build
 //!   errors, the marker clears, the error propagates to the claimant,
 //!   and a woken racer becomes the next builder.)
-//! * **Eviction** is least-recently-used over a fixed entry capacity,
-//!   with dead entries (their table has been dropped everywhere) purged
-//!   first — a dead key can never match again, so it only wastes space.
+//! * **Eviction** is least-recently-used over a fixed entry capacity
+//!   *and* an approximate byte budget, with dead entries (their table has
+//!   been dropped everywhere) purged first — a dead key can never match
+//!   again, so it only wastes space. Entries are weighed, not counted:
+//!   a map over a million rows and a three-theme summary are nowhere
+//!   near the same memory, so the budget charges each entry an
+//!   approximate byte size (regions × features for maps, themes ×
+//!   columns plus the dependency matrix for theme sets) and evicts LRU
+//!   until the shelf fits.
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -45,6 +51,10 @@ pub struct CacheStats {
     pub map_entries: usize,
     /// Live theme-set entries.
     pub theme_entries: usize,
+    /// Approximate bytes held by map entries.
+    pub map_bytes: usize,
+    /// Approximate bytes held by theme-set entries.
+    pub theme_bytes: usize,
 }
 
 impl CacheStats {
@@ -62,6 +72,8 @@ impl CacheStats {
 struct Entry<T> {
     value: T,
     last_used: u64,
+    /// Approximate bytes this entry pins (computed once at publish).
+    weight: usize,
 }
 
 /// Anything the cache can ask "is your table still alive?".
@@ -81,14 +93,56 @@ impl LiveKey for ThemesKey {
     }
 }
 
-struct Shelf<K, V> {
-    entries: HashMap<K, Entry<V>>,
+/// Approximate memory footprint of a cached payload — what size-aware
+/// eviction charges against the byte budget. Deliberately cheap and
+/// approximate (structure counts × per-item costs, not a deep traversal):
+/// the budget needs proportionality, not accounting-grade precision.
+trait Weigh {
+    fn approx_bytes(&self) -> usize;
 }
 
-impl<K: Eq + Hash + LiveKey, V: Clone> Shelf<K, V> {
+impl Weigh for DataMap {
+    fn approx_bytes(&self) -> usize {
+        // Regions dominate the structural cost (predicate + description
+        // strings per region scale with the feature count); leaf row
+        // memberships partition the view (one u32 per covered row);
+        // medoids and sample bookkeeping are comparatively small.
+        let region_cost = self.n_regions() * (self.columns.len() + 1) * 96;
+        let row_cost = self.view_rows * std::mem::size_of::<u32>();
+        region_cost + row_cost + self.medoid_rows.len() * 4 + 256
+    }
+}
+
+impl Weigh for ThemeSet {
+    fn approx_bytes(&self) -> usize {
+        // Column names across themes, plus the dense pairwise dependency
+        // matrix the themes were cut from (the real payload for wide
+        // tables: ncols² f64 cells).
+        let ncols = self.graph.len();
+        let name_cost: usize = self.themes.iter().map(|t| 48 + t.columns.len() * 48).sum();
+        name_cost + ncols * ncols * std::mem::size_of::<f64>() + 256
+    }
+}
+
+impl<T: Weigh> Weigh for Arc<T> {
+    fn approx_bytes(&self) -> usize {
+        (**self).approx_bytes()
+    }
+}
+
+struct Shelf<K, V> {
+    entries: HashMap<K, Entry<V>>,
+    /// Sum of live entry weights — recomputed after the dead-entry purge
+    /// on each publish (the purge drops arbitrary entries), then kept
+    /// consistent by the LRU eviction loop's decrements.
+    bytes: usize,
+}
+
+impl<K: Eq + Hash + LiveKey, V: Clone + Weigh> Shelf<K, V> {
     fn new() -> Self {
         Shelf {
             entries: HashMap::new(),
+            bytes: 0,
         }
     }
 
@@ -98,21 +152,32 @@ impl<K: Eq + Hash + LiveKey, V: Clone> Shelf<K, V> {
         Some(entry.value.clone())
     }
 
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+
     /// Publishes `value` under `key` unless an incumbent exists (the
     /// incumbent wins, so every racer ends up sharing one `Arc`), then
-    /// enforces `capacity`: dead entries go first, then strict LRU.
-    fn publish(&mut self, key: K, value: V, tick: u64, capacity: usize) -> V {
+    /// enforces the bounds: dead entries go first, then strict LRU while
+    /// the shelf exceeds `capacity` entries or `byte_budget` approximate
+    /// bytes. A single entry bigger than the whole budget is published
+    /// (the caller's Arc is always returned) but immediately evicted —
+    /// the budget is a memory bound, not a hit guarantee.
+    fn publish(&mut self, key: K, value: V, tick: u64, capacity: usize, byte_budget: usize) -> V {
         let value = match self.entries.get_mut(&key) {
             Some(incumbent) => {
                 incumbent.last_used = tick;
                 incumbent.value.clone()
             }
             None => {
+                let weight = value.approx_bytes();
                 self.entries.insert(
                     key,
                     Entry {
                         value: value.clone(),
                         last_used: tick,
+                        weight,
                     },
                 );
                 value
@@ -122,14 +187,20 @@ impl<K: Eq + Hash + LiveKey, V: Clone> Shelf<K, V> {
         // again; purge them on every publish so they don't pin their
         // Arc'd payloads until the shelf happens to overflow.
         self.entries.retain(|k, _| k.live());
-        while self.entries.len() > capacity {
-            let oldest = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(_, e)| e.last_used)
-                .expect("non-empty over capacity");
-            self.entries.retain(|_, e| e.last_used != oldest);
+        self.bytes = self.entries.values().map(|e| e.weight).sum();
+        while self.entries.len() > capacity || self.bytes > byte_budget {
+            let oldest = match self.entries.values().map(|e| e.last_used).min() {
+                Some(oldest) => oldest,
+                None => break, // empty shelf satisfies every bound
+            };
+            self.entries.retain(|_, e| {
+                if e.last_used == oldest {
+                    self.bytes -= e.weight;
+                    false
+                } else {
+                    true
+                }
+            });
         }
         value
     }
@@ -155,6 +226,10 @@ pub struct AnalysisCache {
     /// Max entries per shelf (maps and theme sets are bounded
     /// independently). `0` disables caching entirely.
     capacity: usize,
+    /// Approximate-byte bound per shelf: 256 giant maps weigh far more
+    /// than 256 tiny theme sets, so entry count alone cannot bound
+    /// memory. See [`AnalysisCache::with_byte_budget`].
+    byte_budget: usize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -187,10 +262,26 @@ impl std::fmt::Debug for AnalysisCache {
     }
 }
 
+/// Default per-shelf byte budget (64 MiB) — generous for interactive
+/// workloads, small enough that a shelf of million-row maps cannot eat
+/// the heap before the entry cap notices.
+pub const DEFAULT_CACHE_BYTES: usize = 64 << 20;
+
 impl AnalysisCache {
     /// A cache bounded to `capacity` entries per result kind (`0` =
-    /// caching disabled: every lookup builds).
+    /// caching disabled: every lookup builds) and the default
+    /// [`DEFAULT_CACHE_BYTES`] byte budget per shelf.
     pub fn new(capacity: usize) -> Self {
+        Self::with_byte_budget(capacity, DEFAULT_CACHE_BYTES)
+    }
+
+    /// A cache bounded to `capacity` entries *and* `byte_budget`
+    /// approximate bytes per shelf — eviction triggers on whichever
+    /// bound is exceeded first, so many small entries are bounded by
+    /// count and few huge ones by weight. `byte_budget = 0` means
+    /// unlimited bytes (entry count only); `capacity = 0` disables
+    /// caching entirely.
+    pub fn with_byte_budget(capacity: usize, byte_budget: usize) -> Self {
         AnalysisCache {
             inner: Mutex::new(CacheInner {
                 maps: Shelf::new(),
@@ -201,6 +292,11 @@ impl AnalysisCache {
             }),
             built_cv: parking_lot::Condvar::new(),
             capacity,
+            byte_budget: if byte_budget == 0 {
+                usize::MAX
+            } else {
+                byte_budget
+            },
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -214,6 +310,8 @@ impl AnalysisCache {
             misses: self.misses.load(Ordering::Relaxed),
             map_entries: inner.maps.entries.len(),
             theme_entries: inner.themes.entries.len(),
+            map_bytes: inner.maps.bytes,
+            theme_bytes: inner.themes.bytes,
         }
     }
 
@@ -221,8 +319,8 @@ impl AnalysisCache {
     /// measure the miss path and by operators to release memory.
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
-        inner.maps.entries.clear();
-        inner.themes.entries.clear();
+        inner.maps.clear();
+        inner.themes.clear();
     }
 
     /// The one memoization algorithm both result kinds share, over the
@@ -243,6 +341,7 @@ impl AnalysisCache {
     ) -> Result<Arc<V>>
     where
         K: std::hash::Hash + Eq + Clone + LiveKey,
+        V: Weigh,
     {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
@@ -274,7 +373,7 @@ impl AnalysisCache {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        Ok(select_shelf(&mut inner).publish(key, built, tick, self.capacity))
+        Ok(select_shelf(&mut inner).publish(key, built, tick, self.capacity, self.byte_budget))
     }
 }
 
@@ -380,6 +479,77 @@ mod tests {
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 4);
         assert_eq!(stats.map_entries, 2);
+    }
+
+    #[test]
+    fn byte_budget_evicts_heavy_entries_count_cannot_see() {
+        let t = table(120);
+        let view = TableView::new(Arc::clone(&t));
+        let config = MapperConfig::default();
+        let mut build = || blaeu_core::build_map(&view, &["x"], &config);
+        let keyed = |seed: u64| {
+            let mut cfg = config.clone();
+            cfg.seed = seed;
+            MapKey::new(&TableView::new(Arc::clone(&t)), &["x"], &cfg)
+        };
+        // Learn one map's approximate weight, then budget for about two.
+        let probe = AnalysisCache::new(8);
+        probe.memo_map(keyed(1), &mut build).unwrap();
+        let per_map = probe.stats().map_bytes;
+        assert!(per_map > 0, "maps must weigh something");
+
+        // Entry capacity 256 would happily hold all four; the byte
+        // budget must not.
+        let cache = AnalysisCache::with_byte_budget(256, per_map * 2);
+        for seed in 1..=4 {
+            cache.memo_map(keyed(seed), &mut build).unwrap();
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.map_entries <= 2,
+            "byte budget ignored: {stats:?} (per map ~{per_map}B)"
+        );
+        assert!(stats.map_bytes <= per_map * 2, "{stats:?}");
+        // LRU order within the budget: the most recent key survived.
+        let hits_before = cache.stats().hits;
+        cache.memo_map(keyed(4), &mut build).unwrap();
+        assert_eq!(cache.stats().hits, hits_before + 1, "newest key evicted");
+    }
+
+    #[test]
+    fn zero_byte_budget_means_unlimited_bytes() {
+        let t = table(120);
+        let view = TableView::new(Arc::clone(&t));
+        let config = MapperConfig::default();
+        let mut build = || blaeu_core::build_map(&view, &["x"], &config);
+        let keyed = |seed: u64| {
+            let mut cfg = config.clone();
+            cfg.seed = seed;
+            MapKey::new(&TableView::new(Arc::clone(&t)), &["x"], &cfg)
+        };
+        let cache = AnalysisCache::with_byte_budget(8, 0);
+        for seed in 1..=4 {
+            cache.memo_map(keyed(seed), &mut build).unwrap();
+        }
+        assert_eq!(cache.stats().map_entries, 4, "0 = uncapped bytes");
+    }
+
+    #[test]
+    fn entry_heavier_than_the_whole_budget_still_returns_its_arc() {
+        let t = table(120);
+        let view = TableView::new(Arc::clone(&t));
+        let mut build = || blaeu_core::build_map(&view, &["x"], &MapperConfig::default());
+        // A 1-byte budget cannot retain anything, but the miss must
+        // still hand the caller the Arc it built (hit-identity semantics
+        // are about what publish returns, not what survives).
+        let cache = AnalysisCache::with_byte_budget(8, 1);
+        let built = cache.memo_map(map_key(&t, &["x"]), &mut build).unwrap();
+        assert!(built.n_regions() >= 1);
+        let stats = cache.stats();
+        assert_eq!(stats.map_entries, 0, "over-budget entry evicted");
+        assert_eq!(stats.map_bytes, 0);
+        // Next lookup is a clean miss that rebuilds — no wedged state.
+        assert!(cache.memo_map(map_key(&t, &["x"]), &mut build).is_ok());
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub struct ServerConfig {
     /// Analysis-cache entries per result kind (`0` disables caching —
     /// every command recomputes).
     pub cache_capacity: usize,
+    /// Analysis-cache byte budget per result kind: approximate bytes a
+    /// shelf may pin before size-aware LRU eviction kicks in, so giant
+    /// maps and tiny theme sets are weighed, not merely counted (`0` =
+    /// unlimited — entry count is the only bound).
+    pub cache_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +74,7 @@ impl Default for ServerConfig {
             threads: 0,
             queue_capacity: 64,
             cache_capacity: 256,
+            cache_bytes: cache::DEFAULT_CACHE_BYTES,
         }
     }
 }
@@ -209,8 +215,12 @@ impl AsyncSessionServer {
     /// Spawns a server: a worker pool plus (unless disabled) a shared
     /// analysis cache.
     pub fn new(config: ServerConfig) -> Self {
-        let cache = (config.cache_capacity > 0)
-            .then(|| Arc::new(AnalysisCache::new(config.cache_capacity)));
+        let cache = (config.cache_capacity > 0).then(|| {
+            Arc::new(AnalysisCache::with_byte_budget(
+                config.cache_capacity,
+                config.cache_bytes,
+            ))
+        });
         AsyncSessionServer {
             manager: Arc::new(SessionManager::new()),
             pool: Arc::new(JobPool::new(config.threads)),
@@ -273,8 +283,12 @@ impl AsyncSessionServer {
                 return Err(BlaeuError::UnknownSession(id));
             }
             if st.pending.len() >= self.queue_capacity {
+                // Report the occupancy actually observed and the *clamped*
+                // capacity (the bound being enforced), so clients can back
+                // off by exactly the right amount.
                 return Err(BlaeuError::QueueFull {
                     session: id,
+                    pending: st.pending.len(),
                     capacity: self.queue_capacity,
                 });
             }
@@ -344,6 +358,33 @@ impl AsyncSessionServer {
     /// True when no session is live.
     pub fn is_empty(&self) -> bool {
         self.manager.is_empty()
+    }
+
+    /// The per-session queue bound actually enforced (the configured
+    /// value clamped to at least 1) — what a `QueueFull` error reports
+    /// as `capacity`.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Pending (queued, not yet executing) commands of one session —
+    /// `None` for unknown/closed sessions.
+    pub fn queue_depth(&self, id: SessionId) -> Option<usize> {
+        let queue = self.queues.lock().get(&id).cloned()?;
+        let depth = queue.state.lock().pending.len();
+        Some(depth)
+    }
+
+    /// Pending commands per live session, ascending by session id — the
+    /// queue-depth snapshot a monitoring endpoint reports.
+    pub fn queue_depths(&self) -> Vec<(SessionId, usize)> {
+        let queues: Vec<Arc<SessionQueue>> = self.queues.lock().values().cloned().collect();
+        let mut depths: Vec<(SessionId, usize)> = queues
+            .iter()
+            .map(|q| (q.id, q.state.lock().pending.len()))
+            .collect();
+        depths.sort_unstable_by_key(|&(id, _)| id);
+        depths
     }
 
     /// The underlying session registry — for synchronous access outside
@@ -488,6 +529,7 @@ mod tests {
             threads,
             queue_capacity,
             cache_capacity,
+            ..ServerConfig::default()
         })
     }
 
@@ -562,6 +604,7 @@ mod tests {
                 overflow,
                 Err(BlaeuError::QueueFull {
                     session,
+                    pending: 2,
                     capacity: 2,
                 }) if session == id
             ),
@@ -576,6 +619,44 @@ mod tests {
             srv.request(id, Command::Depth),
             Ok(Response::Depth(1))
         ));
+    }
+
+    #[test]
+    fn zero_capacity_clamp_is_reflected_in_queue_full_reports() {
+        // queue_capacity: 0 is clamped to 1 at construction; the clamped
+        // value must be what QueueFull reports — a client told
+        // "capacity 0" could never compute a sane backoff.
+        let srv = server(1, 0, 0);
+        assert_eq!(srv.queue_capacity(), 1);
+        let id = srv
+            .open_session(shared_table(), ExplorerConfig::default())
+            .unwrap();
+        let gate = Arc::new(Barrier::new(2));
+        let parked = {
+            let gate = Arc::clone(&gate);
+            srv.pool().submit(move || {
+                gate.wait();
+            })
+        };
+        let accepted = srv.submit(id, Command::Depth).unwrap();
+        let overflow = srv.submit(id, Command::Depth);
+        assert!(
+            matches!(
+                overflow,
+                Err(BlaeuError::QueueFull {
+                    pending: 1,
+                    capacity: 1,
+                    ..
+                })
+            ),
+            "clamped capacity not reported: {overflow:?}"
+        );
+        assert_eq!(srv.queue_depth(id), Some(1));
+        assert_eq!(srv.queue_depths(), vec![(id, 1)]);
+        assert_eq!(srv.queue_depth(999), None);
+        gate.wait();
+        parked.join().unwrap();
+        assert!(accepted.join().is_ok());
     }
 
     #[test]

@@ -12,6 +12,19 @@
 //! ```sh
 //! cargo run --release --example session_server
 //! ```
+//!
+//! With `--serve <addr>` it additionally binds the HTTP/NDJSON transport
+//! on a real port and blocks, so you can drive the same engine with curl:
+//!
+//! ```sh
+//! cargo run --release --example session_server -- --serve 127.0.0.1:7878
+//! # in another shell:
+//! curl -s -X POST localhost:7878/sessions -d '{"table": "hollywood"}'
+//! curl -s -X POST localhost:7878/sessions/1/commands -d '{"cmd": "themes"}'
+//! curl -s -X POST localhost:7878/sessions/1/commands/batch --data-binary $'{"cmd": "select_theme", "theme": 0}\n{"cmd": "depth"}\n'
+//! curl -s localhost:7878/stats
+//! curl -s -X DELETE localhost:7878/sessions/1
+//! ```
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -22,6 +35,16 @@ use blaeu::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (table, _) = hollywood(&HollywoodConfig::default())?;
     let table = Arc::new(table);
+
+    // `--serve ADDR`: expose this engine over the wire instead of (only)
+    // driving it in-process.
+    let args: Vec<String> = std::env::args().collect();
+    let serve_addr = args.iter().position(|a| a == "--serve").map(|at| {
+        args.get(at + 1)
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7878".into())
+    });
+
     let server = AsyncSessionServer::new(ServerConfig::default());
 
     // Four clients connect; each gets an isolated session over the SAME
@@ -101,5 +124,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         server.close(id)?;
     }
     println!("\nall sessions closed; server empty: {}", server.is_empty());
+
+    if let Some(addr) = serve_addr {
+        let net = NetServer::bind(addr.as_str(), Arc::new(server), NetConfig::default())?;
+        net.register_table("hollywood", Arc::clone(&table));
+        println!("\nserving HTTP/NDJSON on http://{}", net.local_addr());
+        println!("  POST /sessions               {{\"table\": \"hollywood\"}}");
+        println!("  POST /sessions/:id/commands  {{\"cmd\": \"themes\"}} …");
+        println!("  POST /sessions/:id/commands/batch   (NDJSON, streamed)");
+        println!("  GET  /healthz | GET /stats | DELETE /sessions/:id");
+        println!("press Ctrl-C to stop");
+        net.join();
+    }
     Ok(())
 }

@@ -46,6 +46,7 @@ pub mod repl;
 pub use blaeu_cluster as cluster;
 pub use blaeu_core as core;
 pub use blaeu_exec as exec;
+pub use blaeu_net as net;
 pub use blaeu_server as server;
 pub use blaeu_stats as stats;
 pub use blaeu_store as store;
@@ -64,6 +65,7 @@ pub mod prelude {
         ThemeConfig, ThemeSet,
     };
     pub use blaeu_exec::{JobHandle, JobPool, JobStatus};
+    pub use blaeu_net::{NetConfig, NetServer};
     pub use blaeu_server::{AnalysisCache, AsyncSessionServer, CacheStats, ServerConfig};
     pub use blaeu_stats::{
         chi2_test, dependency_matrix, describe, histogram, DependencyMeasure, DependencyOptions,

@@ -23,6 +23,7 @@ fn server_with(threads: usize, cache_capacity: usize) -> AsyncSessionServer {
         threads,
         queue_capacity: 64,
         cache_capacity,
+        ..ServerConfig::default()
     })
 }
 

@@ -1,0 +1,133 @@
+//! Property tests for the command wire surface: every valid command
+//! survives a text round-trip bit-for-bit, and *no* mutated, truncated or
+//! adversarial wire body can do anything worse than return a typed
+//! [`BlaeuError`] — the contract the network transport's 400-path relies
+//! on.
+
+use proptest::prelude::*;
+
+use blaeu::core::{BlaeuError, Command};
+
+/// A lowercase identifier of bounded length — the shape of real column
+/// names on the wire.
+fn ident(seed: u64, len: usize) -> String {
+    let alphabet = b"abcdefghijklmnopqrstuvwxyz_";
+    let mut s = String::new();
+    let mut state = seed | 1;
+    for _ in 0..len.max(1) {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        s.push(alphabet[(state >> 33) as usize % alphabet.len()] as char);
+    }
+    s
+}
+
+/// Strategy over every command variant, with representative payloads.
+fn command_strategy() -> impl Strategy<Value = Command> {
+    (0usize..14, any::<u64>(), 1usize..24, 0usize..4096).prop_map(|(variant, seed, len, number)| {
+        match variant {
+            0 => Command::SelectTheme(number),
+            1 => Command::Zoom(number),
+            2 => Command::Map,
+            3 => Command::Project(
+                (0..(number % 8))
+                    .map(|i| ident(seed.wrapping_add(i as u64), len))
+                    .collect(),
+            ),
+            4 => Command::ProjectTheme(number),
+            5 => Command::Highlight(ident(seed, len)),
+            6 => Command::Scatter {
+                x: ident(seed, len),
+                y: ident(seed.wrapping_add(1), len),
+                bins: number,
+            },
+            7 => Command::RegionDetail {
+                region: number,
+                sample_rows: number / 2,
+            },
+            8 => Command::Rollback,
+            9 => Command::RollbackTo(number),
+            10 => Command::Themes,
+            11 => Command::Sql,
+            12 => Command::Breadcrumbs,
+            _ => Command::Depth,
+        }
+    })
+}
+
+proptest! {
+    /// Serialize → text → parse → deserialize is the identity for every
+    /// command the engine can express.
+    #[test]
+    fn wire_round_trip_is_identity(cmd in command_strategy()) {
+        let text = serde_json::to_string(&cmd.to_json()).unwrap();
+        let back = Command::from_json_str(&text).unwrap();
+        prop_assert_eq!(back, cmd);
+    }
+
+    /// Every strict prefix of a valid wire body is invalid JSON (the
+    /// closing brace is load-bearing), and the parser reports it as a
+    /// typed error — truncated uploads can never half-apply.
+    #[test]
+    fn truncated_wire_bodies_error(cmd in command_strategy(), cut_seed in any::<u64>()) {
+        let text = serde_json::to_string(&cmd.to_json()).unwrap();
+        for i in 0..8u64 {
+            let cut = 1 + (cut_seed.wrapping_add(i.wrapping_mul(0x9e3779b97f4a7c15)) as usize)
+                % (text.len() - 1);
+            let truncated = &text[..cut];
+            prop_assert!(
+                matches!(Command::from_json_str(truncated), Err(BlaeuError::Invalid(_))),
+                "accepted truncation {:?}", truncated
+            );
+        }
+    }
+
+    /// Byte-level mutations either still parse to a valid command or fail
+    /// with a typed error — never a panic. (A flipped digit can legally
+    /// produce a different valid command; what must not happen is a
+    /// crash.)
+    #[test]
+    fn mutated_wire_bodies_never_panic(cmd in command_strategy(), mutation in any::<u64>()) {
+        let text = serde_json::to_string(&cmd.to_json()).unwrap();
+        let mut bytes = text.clone().into_bytes();
+        let at = (mutation as usize) % bytes.len();
+        let garble = b"{}[]\",:0x\\\0\x7f";
+        bytes[at] = garble[(mutation >> 32) as usize % garble.len()];
+        // Any outcome but a panic is acceptable; exercise both the lossy
+        // and strict entry points.
+        match String::from_utf8(bytes) {
+            Ok(s) => {
+                let _ = Command::from_json_str(&s);
+            }
+            Err(e) => {
+                let _ = Command::from_json_str(&String::from_utf8_lossy(e.as_bytes()));
+            }
+        }
+    }
+
+    /// Structurally hostile values — wrong top-level types, absurd
+    /// numbers, deep nesting in the wrong places — are all typed errors.
+    #[test]
+    fn hostile_shapes_are_typed_errors(n in any::<u64>(), depth in 2usize..600) {
+        // 20+ digits: beyond u64, so the parser stores an f64 the index
+        // reader must refuse to truncate.
+        let huge_number = format!("{{\"cmd\": \"zoom\", \"region\": {}99999999999999999999}}", n % 1000);
+        prop_assert!(Command::from_json_str(&huge_number).is_err());
+        let float_index = format!("{{\"cmd\": \"zoom\", \"region\": {}.5}}", n % 1000);
+        prop_assert!(Command::from_json_str(&float_index).is_err());
+        let mut nested = String::from("{\"cmd\": \"project\", \"columns\": ");
+        for _ in 0..depth {
+            nested.push('[');
+        }
+        nested.push_str("\"c\"");
+        for _ in 0..depth {
+            nested.push(']');
+        }
+        nested.push('}');
+        // Under the parser depth cap this is well-formed JSON but the
+        // wrong shape; over it, a parse error. Either way: typed Err.
+        prop_assert!(matches!(
+            Command::from_json_str(&nested),
+            Err(BlaeuError::Invalid(_))
+        ));
+    }
+}
