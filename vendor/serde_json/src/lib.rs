@@ -1,10 +1,16 @@
 //! Vendored stand-in for the `serde_json` crate.
 //!
 //! Provides the document model ([`Value`], [`Number`], [`Map`]), the
-//! [`json!`] construction macro and the [`to_string`] /
-//! [`to_string_pretty`] serializers — the subset blaeu's renderers use.
-//! There is no serde integration and no parser; values are built with
-//! `json!` and serialized to RFC 8259-conformant text.
+//! [`json!`] construction macro, the [`to_string`] /
+//! [`to_string_pretty`] serializers and the [`from_str`] / [`from_slice`]
+//! parsers — the subset blaeu's renderers and network transport use.
+//! There is no serde derive integration; values are built with `json!`
+//! or parsed from RFC 8259 text into [`Value`] trees.
+//!
+//! The parser is hardened for wire input: nesting depth is capped (a
+//! hostile `[[[[…]]]]` body errors instead of overflowing the stack),
+//! numbers must be finite, and every error carries the 1-based line and
+//! column where parsing failed (as upstream's `Error::line`/`column`).
 
 use std::fmt;
 
@@ -373,14 +379,47 @@ macro_rules! json {
     ($other:expr) => { $crate::ToJson::to_json(&($other)) };
 }
 
-/// Serialization error (the shim's serializers are infallible in practice;
-/// the type exists for signature compatibility).
+/// Serialization or parse error. Serialization never fails in practice
+/// (the variant exists for signature compatibility); parse errors carry
+/// the 1-based position where the input stopped being valid JSON.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error {
+    message: String,
+    line: usize,
+    column: usize,
+}
+
+impl Error {
+    fn parse(message: impl Into<String>, line: usize, column: usize) -> Self {
+        Error {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    /// 1-based line of the parse failure (0 for serialization errors).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column of the parse failure (0 for serialization errors).
+    pub fn column(&self) -> usize {
+        self.column
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON serialization error")
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(
+                f,
+                "{} at line {} column {}",
+                self.message, self.line, self.column
+            )
+        }
     }
 }
 
@@ -388,6 +427,322 @@ impl std::error::Error for Error {}
 
 /// Serialization result.
 pub type Result<T> = std::result::Result<T, Error>;
+
+/// Maximum container nesting [`from_str`] accepts. Wire input beyond
+/// this depth is adversarial (or broken) and errors instead of risking
+/// a stack overflow in the recursive-descent parser.
+const MAX_PARSE_DEPTH: usize = 128;
+
+/// 1-based (line, column) of byte offset `pos` within `bytes` — shared
+/// by the parser's error path and [`from_slice`]'s UTF-8 rejection.
+fn text_position(bytes: &[u8], pos: usize) -> (usize, usize) {
+    let upto = &bytes[..pos.min(bytes.len())];
+    let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+    let column = 1 + upto.iter().rev().take_while(|&&b| b != b'\n').count();
+    (line, column)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// 1-based (line, column) of the current cursor, computed only on
+    /// the error path — the happy path never pays for position tracking.
+    fn position(&self) -> (usize, usize) {
+        text_position(self.bytes, self.pos)
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T> {
+        let (line, column) = self.position();
+        Err(Error::parse(message, line, column))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.error(format!("expected {:?}", char::from(byte)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_PARSE_DEPTH {
+            return self.error(format!(
+                "recursion limit exceeded (depth {MAX_PARSE_DEPTH})"
+            ));
+        }
+        self.skip_whitespace();
+        match self.peek() {
+            None => self.error("expected value"),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => self.error("expected value"),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            self.error("expected value")
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.error("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_whitespace();
+            if self.peek() != Some(b'"') {
+                return self.error("expected object key string");
+            }
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value(depth + 1)?;
+            map.insert(key, value); // duplicate keys: last one wins
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return self.error("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.error("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.parse_hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&unit) {
+                                // High surrogate: a low surrogate escape
+                                // must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return self.error("unpaired surrogate");
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return self.error("unpaired surrogate");
+                                }
+                                self.pos += 1;
+                                let low = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return self.error("unpaired surrogate");
+                                }
+                                let combined = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(unit)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return self.error("invalid unicode escape"),
+                            }
+                            continue; // parse_hex4 already advanced past the digits
+                        }
+                        _ => return self.error("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return self.error("control character in string"),
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences are valid already (the
+                    // input is a &str); copy the whole scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest).expect("input was a str");
+                    let c = text.chars().next().expect("peek saw a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Consumes exactly four hex digits and returns their value. The
+    /// cursor ends past the digits.
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return self.error("invalid hex escape"),
+            };
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return self.error("expected digit"),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return self.error("expected fraction digit");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return self.error("expected exponent digit");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(v)));
+            }
+            // Integer out of 64-bit range: fall through to f64 like
+            // upstream's arbitrary_precision-less behavior.
+        }
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Value::Number(Number::F64(v))),
+            _ => self.error("number out of range"),
+        }
+    }
+}
+
+/// Parses JSON text into a [`Value`] (shim for
+/// `serde_json::from_str::<Value>`). Rejects trailing non-whitespace,
+/// nesting deeper than 128 containers, and non-finite numbers; errors
+/// report the 1-based line/column of the failure.
+///
+/// # Errors
+/// [`Error`] with position info when the input is not valid JSON.
+pub fn from_str(text: &str) -> Result<Value> {
+    let mut parser = Parser::new(text);
+    let value = parser.parse_value(0)?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return parser.error("trailing characters");
+    }
+    Ok(value)
+}
+
+/// Parses JSON bytes into a [`Value`] (shim for
+/// `serde_json::from_slice::<Value>`). Invalid UTF-8 is a parse error,
+/// not a panic.
+///
+/// # Errors
+/// As [`from_str`], plus a positioned error for invalid UTF-8.
+pub fn from_slice(bytes: &[u8]) -> Result<Value> {
+    match std::str::from_utf8(bytes) {
+        Ok(text) => from_str(text),
+        Err(e) => {
+            let (line, column) = text_position(bytes, e.valid_up_to());
+            Err(Error::parse("invalid UTF-8", line, column))
+        }
+    }
+}
 
 fn escape_into(out: &mut String, s: &str) {
     out.push('"');
@@ -509,6 +864,99 @@ mod tests {
         assert_eq!(compact, "{\"a\":[1,2],\"s\":\"he said \\\"hi\\\"\\n\"}");
         let pretty = to_string_pretty(&v).unwrap();
         assert!(pretty.contains("\n  \"a\": ["));
+    }
+
+    #[test]
+    fn parses_scalars_containers_and_escapes() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), true);
+        assert_eq!(from_str(" -3 ").unwrap(), -3i64);
+        assert_eq!(from_str("42").unwrap(), 42u64);
+        assert_eq!(from_str("2.5e1").unwrap(), 25.0);
+        assert!(from_str("1e400").unwrap_err().to_string().contains("range"));
+        let v = from_str(r#"{"a": [1, {"b": "x\ny \u00e9 \ud83d\ude00"}], "a": 2}"#).unwrap();
+        assert_eq!(v["a"], 2, "duplicate keys: last wins");
+        let nested = from_str(r#"[{"k": "he said \"hi\"/\\"}]"#).unwrap();
+        assert_eq!(nested[0]["k"], "he said \"hi\"/\\");
+        let uni = from_str(r#""x\ny \u00e9 \ud83d\ude00""#).unwrap();
+        assert_eq!(uni, "x\ny é 😀");
+    }
+
+    #[test]
+    fn parse_roundtrips_serialized_values() {
+        let v = json!({
+            "name": "blaeu \"quoted\"\n",
+            "count": 3usize,
+            "neg": -7i64,
+            "score": 0.5,
+            "tags": json!(["a", "b", Value::Null]),
+            "nested": json!({"deep": [true, false]}),
+        });
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str(&text).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let e = from_str("{\"a\": }").unwrap_err();
+        assert_eq!((e.line(), e.column()), (1, 7), "{e}");
+        let e = from_str("[1,\n 2,\n x]").unwrap_err();
+        assert_eq!(e.line(), 3, "{e}");
+        assert!(e.to_string().contains("line 3"), "{e}");
+        for bad in [
+            "",
+            "tru",
+            "nul ",
+            "{",
+            "[1,",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "\"unterminated",
+            "01",
+            "1.",
+            "1e",
+            "-",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "\"\\ud800x\"",
+            "[1],",
+            "1 2",
+            "NaN",
+            "Infinity",
+            "+1",
+            "'single'",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_depth_is_capped_not_a_stack_overflow() {
+        let mut hostile = String::new();
+        for _ in 0..10_000 {
+            hostile.push('[');
+        }
+        let e = from_str(&hostile).unwrap_err();
+        assert!(e.to_string().contains("recursion limit"), "{e}");
+        // A merely deep-but-legal document under the cap still parses.
+        let mut legal = String::new();
+        for _ in 0..100 {
+            legal.push('[');
+        }
+        for _ in 0..100 {
+            legal.push(']');
+        }
+        assert!(from_str(&legal).is_ok());
+    }
+
+    #[test]
+    fn from_slice_rejects_invalid_utf8() {
+        assert_eq!(from_slice(b"{\"a\": 1}").unwrap()["a"], 1);
+        let e = from_slice(&[b'"', 0xff, b'"']).unwrap_err();
+        assert!(e.to_string().contains("UTF-8"), "{e}");
     }
 
     #[test]
