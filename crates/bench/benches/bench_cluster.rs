@@ -49,6 +49,22 @@ fn bench_distance_matrix(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_assign(c: &mut Criterion) {
+    // Whole-dataset nearest-medoid sweeps (the step after CLARA samples):
+    // bounded by the blocked distance kernel, not by clustering logic.
+    let mut group = c.benchmark_group("cluster/assign");
+    group.sample_size(10);
+    for &n in &[20_000usize, 100_000] {
+        let (table, truth) = blobs(n, 3);
+        let points = as_points(&table.into(), &blob_columns(&truth));
+        let medoids = [5usize, n / 3, 2 * n / 3];
+        group.bench_with_input(BenchmarkId::new("k3", n), &points, |b, p| {
+            b.iter(|| blaeu_cluster::assign_points(black_box(p), black_box(&medoids)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_silhouette(c: &mut Criterion) {
     let (table, truth) = blobs(2000, 3);
     let points = as_points(&table.into(), &blob_columns(&truth));
@@ -119,6 +135,7 @@ criterion_group!(
     bench_pam,
     bench_clara,
     bench_distance_matrix,
+    bench_assign,
     bench_silhouette,
     bench_kselect,
     bench_hierarchical

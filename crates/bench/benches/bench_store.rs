@@ -6,7 +6,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use blaeu_bench::{blob_columns, blobs, SEED};
 use blaeu_store::{
-    read_csv_str, uniform_sample, write_csv_string, CsvOptions, MultiScaleSampler, Predicate,
+    read_csv_str, read_snapshot_bytes, uniform_sample, write_csv_string, write_snapshot_bytes,
+    Bitmap, CsvOptions, MultiScaleSampler, Predicate,
 };
 
 fn bench_predicates(c: &mut Criterion) {
@@ -61,11 +62,58 @@ fn bench_csv(c: &mut Criterion) {
     });
 }
 
+fn bench_snapshot(c: &mut Criterion) {
+    // Same 50k-row table through both load paths: parsing the rendered
+    // CSV (type inference, float parsing, dictionary building) vs
+    // decoding the column snapshot (validated memcpy of column blobs).
+    let (table, _) = blobs(50_000, 3);
+    let rendered = write_csv_string(&table, &CsvOptions::default()).expect("in-memory");
+    let blob = write_snapshot_bytes(&table);
+    let mut group = c.benchmark_group("store/snapshot");
+    group.sample_size(20);
+    group.bench_function("csv_parse_50k", |b| {
+        b.iter(|| read_csv_str("t", black_box(&rendered), &CsvOptions::default()).expect("valid"))
+    });
+    group.bench_function("read_50k", |b| {
+        b.iter(|| read_snapshot_bytes(black_box(&blob)).expect("valid"))
+    });
+    group.bench_function("write_50k", |b| {
+        b.iter(|| write_snapshot_bytes(black_box(&table)))
+    });
+    group.finish();
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    // Word-wise validity kernels at the 1M-bit scale a large column's
+    // null mask reaches. ~43% density with runs, so `iter_ones` exercises
+    // both skipping empty words and draining dense ones.
+    const N: usize = 1 << 20;
+    let bits_a: Vec<bool> = (0..N)
+        .map(|i| (i.wrapping_mul(2654435761)) % 7 < 3)
+        .collect();
+    let bits_b: Vec<bool> = (0..N).map(|i| (i.wrapping_mul(40503)) % 5 < 3).collect();
+    let a = Bitmap::from_bools(&bits_a);
+    let b = Bitmap::from_bools(&bits_b);
+    let mut group = c.benchmark_group("store/bitmap");
+    group.bench_function("and_count_1m", |bch| {
+        bch.iter(|| black_box(&a).and(black_box(&b)).count_ones())
+    });
+    group.bench_function("iter_ones_sum_1m", |bch| {
+        bch.iter(|| black_box(&a).iter_ones().map(|i| i as u64).sum::<u64>())
+    });
+    group.bench_function("count_ones_range_1m", |bch| {
+        bch.iter(|| black_box(&a).count_ones_range(black_box(1234), black_box(N - 4321)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_predicates,
     bench_take,
     bench_sampling,
-    bench_csv
+    bench_csv,
+    bench_snapshot,
+    bench_bitmap
 );
 criterion_main!(benches);

@@ -12,6 +12,12 @@
 //! CLARA medoids/deviations — floats as exact bit patterns, never
 //! wall-clock timings), byte-identical for every `BLAEU_THREADS` value.
 //! CI diffs the digest across thread counts.
+//!
+//! `--export-oecd <dir>` writes the small Countries & Work table as both
+//! `oecd_small.csv` and `oecd_small.snap` (the column snapshot format).
+//! `--table <path>` makes `--json` load the OECD table from that file
+//! instead of regenerating it — CI diffs the CSV-loaded digest against
+//! the snapshot-loaded one, proving the two load paths are equivalent.
 
 use std::time::Instant;
 
@@ -30,7 +36,9 @@ use blaeu_store::generate::{
     hollywood, lofar, planted, ColumnShape, HollywoodConfig, LofarConfig, PlantedConfig,
     PlantedTruth, ThemeSpec,
 };
-use blaeu_store::{Column, TableBuilder, TableView};
+use blaeu_store::{
+    read_csv, write_csv, Column, ColumnRole, CsvOptions, Table, TableBuilder, TableView,
+};
 use blaeu_tree::{accuracy, CartConfig, DecisionTree};
 
 fn header(id: &str, title: &str) {
@@ -943,18 +951,78 @@ fn a4() {
     );
 }
 
+/// Loads the Countries & Work table from `path`: the snapshot format
+/// when the extension is `.snap`, CSV otherwise.
+///
+/// CSV carries no column roles, so the generator's label columns
+/// (`region`, `country`) are re-tagged after parsing; the snapshot
+/// format preserves roles natively. Both paths must hand the digest a
+/// table indistinguishable from the generated one.
+fn load_oecd_table(path: &str) -> Table {
+    if path.ends_with(".snap") {
+        return Table::read_snapshot(path)
+            .unwrap_or_else(|e| panic!("cannot read snapshot {path}: {e}"));
+    }
+    let file = std::fs::File::open(path).unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+    let parsed = read_csv(
+        "countries_work",
+        std::io::BufReader::new(file),
+        &CsvOptions::default(),
+    )
+    .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+    let mut builder = TableBuilder::new("countries_work");
+    for (field, col) in parsed.schema().fields().iter().zip(parsed.columns()) {
+        let role = if field.name == "region" || field.name == "country" {
+            ColumnRole::Label
+        } else {
+            field.role
+        };
+        builder = builder
+            .column_with_role(&field.name, col.clone(), role)
+            .expect("fresh names from a parsed header");
+    }
+    builder.build().expect("parsed columns are consistent")
+}
+
+/// Writes the small OECD table under `dir` as both CSV and snapshot, so
+/// the two `--table` load paths can be diffed against each other.
+fn export_oecd(dir: &str) {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir}: {e}"));
+    let (table, _) = oecd_small();
+    let csv_path = format!("{dir}/oecd_small.csv");
+    let snap_path = format!("{dir}/oecd_small.snap");
+    let file = std::fs::File::create(&csv_path)
+        .unwrap_or_else(|e| panic!("cannot create {csv_path}: {e}"));
+    write_csv(
+        &table,
+        std::io::BufWriter::new(file),
+        &CsvOptions::default(),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {csv_path}: {e}"));
+    table
+        .write_snapshot(&snap_path)
+        .unwrap_or_else(|e| panic!("cannot write {snap_path}: {e}"));
+    println!("wrote {csv_path} and {snap_path}");
+}
+
 /// Writes the determinism digest to `path` (see the module docs).
 ///
 /// Every value here must be a pure function of the input data and seeds:
 /// f64s are recorded as hex bit patterns so "close enough" can never
 /// mask a thread-count-dependent rounding, and nothing derived from
-/// wall-clock time or thread identity is allowed in.
-fn json_digest(path: &str) {
+/// wall-clock time or thread identity is allowed in. With `table_source`
+/// set, the OECD table is loaded from that file instead of regenerated —
+/// the digest must not change.
+fn json_digest(path: &str, table_source: Option<&str>) {
     use serde_json::{json, Value};
     let bits = |v: f64| format!("{:016x}", v.to_bits());
 
     // Themes and the labor map over the small OECD table (F1a/F1b).
-    let (mut ex, _) = oecd_explorer();
+    let oecd_table: Table = match table_source {
+        Some(src) => load_oecd_table(src),
+        None => oecd_small().0,
+    };
+    let mut ex = Explorer::open(oecd_table.clone(), ExplorerConfig::default()).expect("openable");
     let themes: Vec<Value> = ex
         .themes()
         .iter()
@@ -982,8 +1050,7 @@ fn json_digest(path: &str) {
     });
 
     // The F2 dependency matrix, cell-exact (sharded pairwise sweep).
-    let (table, _) = oecd_small();
-    let table = TableView::from(table);
+    let table = TableView::from(oecd_table);
     let columns = [
         "unemployment_rate",
         "long_term_unemployment",
@@ -1085,6 +1152,28 @@ fn json_digest(path: &str) {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--export-oecd <dir>` writes the digest table to disk in both
+    // formats and exits.
+    if let Some(pos) = args.iter().position(|a| a == "--export-oecd") {
+        args.remove(pos);
+        let dir = if pos < args.len() {
+            args.remove(pos)
+        } else {
+            ".".to_owned()
+        };
+        export_oecd(&dir);
+        return;
+    }
+    // `--table <path>` redirects the digest's OECD input to a file
+    // (CSV or `.snap` snapshot); only meaningful together with `--json`.
+    let table_source = args.iter().position(|a| a == "--table").map(|pos| {
+        args.remove(pos);
+        if pos < args.len() {
+            args.remove(pos)
+        } else {
+            panic!("--table requires a path operand")
+        }
+    });
     // `--json <path>` is recognized anywhere in the argument list; it
     // consumes its path operand and replaces the experiment run with the
     // determinism digest.
@@ -1095,7 +1184,7 @@ fn main() {
         } else {
             "figures.json".to_owned()
         };
-        json_digest(&path);
+        json_digest(&path, table_source.as_deref());
         return;
     }
     let all: Vec<(&str, fn())> = vec![

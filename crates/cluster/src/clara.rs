@@ -45,21 +45,51 @@ impl Default for ClaraConfig {
 /// `points`), computing distances on the fly.
 ///
 /// The dataset is partitioned into row shards (sized to the executor's
-/// reduce grain) that workers claim adaptively; per-shard labels and
-/// deviation sums are combined in shard order. The shard layout depends
-/// only on `points.len()`, so the deviation total is bit-identical across
+/// reduce grain) that workers claim adaptively; each worker sweeps its rows
+/// through the point set's [`blocked kernel`](Points::block_kernel) (the
+/// medoid rows stay cache-hot across consecutive points) and per-shard
+/// labels and deviation sums are combined in shard order. The kernel is
+/// bitwise identical to [`Points::dist`] and the shard layout depends only
+/// on `points.len()`, so the deviation total is bit-identical across
 /// thread counts.
 pub fn assign_points(points: &Points, medoids: &[usize]) -> (Vec<usize>, f64) {
     let n = points.len();
+    let kernel = points.block_kernel();
     let shards = blaeu_exec::ShardSpec::with_shard_size(n, blaeu_exec::REDUCE_GRAIN);
     let parts = blaeu_exec::par_shards(&shards, 0, |_, rows| {
         let mut labels = Vec::with_capacity(rows.len());
         let mut total = 0.0f64;
-        for j in rows {
+        let mut dists = vec![0.0f64; medoids.len()];
+        // Four rows at a time against each medoid: the medoid-anchored
+        // four-lane kernel is bitwise equal to the scalar per-row sweep,
+        // and the per-lane argmin replays the same ascending-slot strict
+        // comparisons, so labels and the deviation total are unchanged.
+        let mut j = rows.start;
+        while j + 4 <= rows.end {
+            let quad = [j, j + 1, j + 2, j + 3];
+            let mut best_slot = [0usize; 4];
+            let mut best_d = [f64::INFINITY; 4];
+            let mut d4 = [0.0f64; 4];
+            for (slot, &m) in medoids.iter().enumerate() {
+                kernel.dists_tile4(quad, m, &mut d4);
+                for l in 0..4 {
+                    if d4[l] < best_d[l] {
+                        best_d[l] = d4[l];
+                        best_slot[l] = slot;
+                    }
+                }
+            }
+            for l in 0..4 {
+                labels.push(best_slot[l]);
+                total += best_d[l];
+            }
+            j += 4;
+        }
+        for j in j..rows.end {
+            kernel.dists_to(j, medoids, &mut dists);
             let mut best_slot = 0usize;
             let mut best_d = f64::INFINITY;
-            for (slot, &m) in medoids.iter().enumerate() {
-                let d = points.dist(j, m);
+            for (slot, &d) in dists.iter().enumerate() {
                 if d < best_d {
                     best_d = d;
                     best_slot = slot;

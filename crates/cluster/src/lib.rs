@@ -34,7 +34,7 @@ pub mod pam;
 pub mod silhouette;
 
 pub use clara::{assign_points, clara, ClaraConfig};
-pub use distance::{Metric, Points};
+pub use distance::{BlockKernel, CatBlock, Metric, Points, CODE_NULL};
 pub use eval::{accuracy, adjusted_rand_index, label_nmi, purity};
 pub use hierarchical::{agglomerative, Dendrogram, Linkage, Merge};
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};

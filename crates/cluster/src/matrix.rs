@@ -38,19 +38,28 @@ impl DistanceMatrix {
         Self::BAND_ROWS.min(blaeu_exec::adaptive_grain(n, blaeu_exec::thread_budget()))
     }
 
+    /// Column-tile width of the blocked fill: a tile of `J_TILE` point
+    /// rows stays resident in cache while every row of a band sweeps it.
+    const J_TILE: usize = 256;
+
     /// Builds a matrix from a point set, parallelizing across row bands
     /// when the set is large.
     ///
     /// The condensed buffer is split into fixed-height row bands
     /// ([`Self::BAND_ROWS`]) that executor workers claim adaptively; each
-    /// worker fills its band in place. Every cell's value depends only on
-    /// its position, so the matrix is identical for any thread count (and
-    /// the build degrades to sequential inside an outer parallel region,
-    /// e.g. CLARA replicates).
+    /// worker fills its band in place through the point set's
+    /// [`blocked kernel`](Points::block_kernel), sweeping column tiles of
+    /// [`Self::J_TILE`] rows so the j-side data is reused from cache
+    /// across the whole band. Every cell's value depends only on its
+    /// position (the kernel is bitwise identical to [`Points::dist`]), so
+    /// the matrix is identical for any thread count and any tile layout
+    /// (and the build degrades to sequential inside an outer parallel
+    /// region, e.g. CLARA replicates).
     pub fn from_points(points: &Points) -> Self {
         let n = points.len();
+        let kernel = points.block_kernel();
         if n < 256 {
-            return DistanceMatrix::from_fn(n, |i, j| points.dist(i, j));
+            return DistanceMatrix::from_fn(n, |i, j| kernel.dist(i, j));
         }
         let mut data = vec![0.0f64; n * (n - 1) / 2];
         // Split the condensed buffer where each row band starts.
@@ -61,12 +70,19 @@ impl DistanceMatrix {
             .collect();
         blaeu_exec::par_chunks_mut(&mut data, &boundaries, |band, slice| {
             let rows = bands.range(band);
-            let mut idx = 0usize;
-            for i in rows {
-                for j in (i + 1)..n {
-                    slice[idx] = points.dist(i, j);
-                    idx += 1;
+            let base = row_start(rows.start);
+            let mut tile = rows.start + 1;
+            while tile < n {
+                let tile_end = (tile + Self::J_TILE).min(n);
+                for i in rows.clone() {
+                    let j0 = tile.max(i + 1);
+                    if j0 >= tile_end {
+                        continue;
+                    }
+                    let off = row_start(i) - base + (j0 - i - 1);
+                    kernel.fill_strip(i, j0, &mut slice[off..off + (tile_end - j0)]);
                 }
+                tile = tile_end;
             }
         });
         DistanceMatrix { n, data }

@@ -11,7 +11,7 @@
 //! `NaN` (the distance metrics average over observed dimensions) or are
 //! imputed with mean / mode.
 
-use blaeu_cluster::{Metric, Points};
+use blaeu_cluster::{CatBlock, Metric, Points, CODE_NULL};
 use blaeu_store::{ColumnRead, ColumnRole, DataType, TableView};
 
 use crate::error::{BlaeuError, Result};
@@ -74,6 +74,11 @@ pub struct FeatureInfo {
 }
 
 /// The vector form of a table sample: `n × dims` features plus provenance.
+///
+/// Categorical source columns additionally keep their dictionary codes
+/// beside the dummy-coded floats (`cat_blocks` / `cat_codes`), so the
+/// distance kernels compare one `u32` per block instead of round-tripping
+/// through the dummy floats.
 #[derive(Debug, Clone)]
 pub struct FeatureMatrix {
     /// Per-feature metadata, in dimension order.
@@ -82,6 +87,12 @@ pub struct FeatureMatrix {
     pub data: Vec<f64>,
     /// Number of rows.
     pub nrows: usize,
+    /// Dummy-dimension blocks of the categorical source columns, in
+    /// dimension order.
+    pub cat_blocks: Vec<CatBlock>,
+    /// `nrows × cat_blocks.len()` row-major mapped codes (position among
+    /// the block's dummies; [`CODE_NULL`] for propagated missing values).
+    pub cat_codes: Vec<u32>,
 }
 
 impl FeatureMatrix {
@@ -106,7 +117,14 @@ impl FeatureMatrix {
             // Fit ranges straight from the flat matrix.
             MetricChoice::Gower => Metric::fit_gower_flat(&self.data, nrows, dims, categorical),
         };
-        Points::from_flat(self.data, nrows, dims, metric)
+        Points::from_flat_coded(
+            self.data,
+            nrows,
+            dims,
+            metric,
+            self.cat_blocks,
+            self.cat_codes,
+        )
     }
 }
 
@@ -255,9 +273,14 @@ pub fn preprocess(
         }
     }
 
-    // Pass 2: stream cells straight into the row-major matrix.
+    // Pass 2: stream cells straight into the row-major matrix. Categorical
+    // columns also emit one mapped code per row (position among the
+    // block's dummies), collected block-major first and interleaved into
+    // the row-major `cat_codes` sidecar below.
     let dims = features.len();
     let mut data = vec![0.0f64; n * dims];
+    let mut cat_blocks: Vec<CatBlock> = Vec::new();
+    let mut block_codes: Vec<Vec<u32>> = Vec::new();
     let mut d = 0usize;
     for (&name, plan) in columns.iter().zip(&plans) {
         let col = view.col_by_name(name).expect("validated in pass 1");
@@ -279,6 +302,7 @@ pub fn preprocess(
                 overflow,
                 mode,
             } => {
+                let start = d;
                 for &cat in kept {
                     for i in 0..n {
                         data[i * dims + d] = match col.code_at(i) {
@@ -303,15 +327,50 @@ pub fn preprocess(
                     }
                     d += 1;
                 }
+                let len = d - start;
+                if len > 0 {
+                    // Dictionary code → position among this block's dummies
+                    // (kept levels in order, overflow collapsing to one
+                    // trailing slot). Equal mapped codes ⟺ equal dummy
+                    // sub-vectors, the invariant the coded kernels need.
+                    let overflow_slot = kept.len() as u32;
+                    let mut code_map = vec![overflow_slot; col.dictionary().len()];
+                    for (pos, &c) in kept.iter().enumerate() {
+                        code_map[c] = pos as u32;
+                    }
+                    let codes: Vec<u32> = (0..n)
+                        .map(|i| match col.code_at(i) {
+                            Some(c) => code_map[c as usize],
+                            None => match config.missing {
+                                MissingPolicy::Propagate => CODE_NULL,
+                                // Imputation writes the mode's dummy, which
+                                // is the most frequent kept level: slot 0.
+                                MissingPolicy::Impute => 0,
+                            },
+                        })
+                        .collect();
+                    cat_blocks.push(CatBlock { start, len });
+                    block_codes.push(codes);
+                }
             }
         }
     }
     debug_assert_eq!(d, dims, "every feature dimension filled");
 
+    let nblocks = cat_blocks.len();
+    let mut cat_codes = vec![0u32; n * nblocks];
+    for (b, codes) in block_codes.iter().enumerate() {
+        for (i, &c) in codes.iter().enumerate() {
+            cat_codes[i * nblocks + b] = c;
+        }
+    }
+
     Ok(FeatureMatrix {
         features,
         data,
         nrows: n,
+        cat_blocks,
+        cat_codes,
     })
 }
 
@@ -483,6 +542,35 @@ mod tests {
             for j in 0..6 {
                 let d = points.dist(i, j);
                 assert!((0.0..=1.0 + 1e-12).contains(&d), "d({i},{j}) = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn categorical_codes_mirror_dummies() {
+        let t = table();
+        let fm = preprocess(&t, &["income", "city"], &PreprocessConfig::default()).unwrap();
+        // One categorical source: block covers the two city dummies.
+        assert_eq!(fm.cat_blocks, vec![CatBlock { start: 1, len: 2 }]);
+        assert_eq!(fm.cat_codes.len(), 6);
+        // ams → slot 0, nyc → slot 1, NULL → sentinel.
+        assert_eq!(fm.cat_codes[0], 0);
+        assert_eq!(fm.cat_codes[2], 1);
+        assert_eq!(fm.cat_codes[5], CODE_NULL);
+        // Imputation replaces the sentinel with the mode's slot.
+        let config = PreprocessConfig {
+            missing: MissingPolicy::Impute,
+            ..PreprocessConfig::default()
+        };
+        let fm = preprocess(&t, &["income", "city"], &config).unwrap();
+        assert_eq!(fm.cat_codes[5], 0, "mode 'ams' sits at slot 0");
+        // Coded distances agree with evaluating the raw dummy floats.
+        let points = fm.into_points(MetricChoice::Gower);
+        for i in 0..points.len() {
+            for j in 0..points.len() {
+                let coded = points.dist(i, j);
+                let dummy = points.metric().dist(points.row(i), points.row(j));
+                assert!((coded - dummy).abs() < 1e-12, "({i},{j})");
             }
         }
     }

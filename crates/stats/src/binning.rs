@@ -4,7 +4,7 @@
 //! columns are discretized with equal-width or equal-frequency bins;
 //! categorical and boolean columns already carry discrete codes.
 
-use blaeu_store::{ColumnRead, DataType};
+use blaeu_store::{Bitmap, ColumnRead, DataType};
 
 /// Rule for choosing the number of bins when the caller does not fix it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,14 +95,60 @@ impl Discretizer {
     }
 }
 
-/// Discrete view of a column: per-row `Option<u32>` codes plus the code
-/// cardinality. This is the common currency of the entropy/MI machinery.
+/// Discrete view of a column: a dense `u32` code per row plus a validity
+/// bitmap (set = non-NULL), the layout the count-table kernels scan
+/// directly. This is the common currency of the entropy/MI machinery.
 #[derive(Debug, Clone)]
 pub struct DiscreteColumn {
-    /// Per-row code; `None` where the source cell is NULL.
-    pub codes: Vec<Option<u32>>,
+    /// Per-row code, meaningful only where `validity` is set (NULL rows
+    /// carry 0).
+    pub codes: Vec<u32>,
+    /// Set bits mark non-NULL rows.
+    pub validity: Bitmap,
     /// Number of distinct codes (`codes` values are `< cardinality`).
     pub cardinality: usize,
+}
+
+impl DiscreteColumn {
+    /// Builds from per-row optional codes (the pre-kernel representation;
+    /// handy in tests and for callers holding `Option<u32>` rows).
+    pub fn from_options(
+        codes: impl IntoIterator<Item = Option<u32>>,
+        cardinality: usize,
+    ) -> DiscreteColumn {
+        let opts: Vec<Option<u32>> = codes.into_iter().collect();
+        let mut validity = Bitmap::new_clear(opts.len());
+        let mut dense = Vec::with_capacity(opts.len());
+        for (i, c) in opts.iter().enumerate() {
+            match c {
+                Some(v) => {
+                    validity.set(i);
+                    dense.push(*v);
+                }
+                None => dense.push(0),
+            }
+        }
+        DiscreteColumn {
+            codes: dense,
+            validity,
+            cardinality,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Code at `row`, `None` where the source cell was NULL.
+    pub fn get(&self, row: usize) -> Option<u32> {
+        self.validity.get(row).then(|| self.codes[row])
+    }
 }
 
 /// Discretizes any column (owned or view-selected — any [`ColumnRead`])
@@ -110,7 +156,9 @@ pub struct DiscreteColumn {
 ///
 /// * Numeric columns are binned with `strategy` / `rule` (fitted on their
 ///   own non-NULL values).
-/// * Categorical columns reuse their dictionary codes.
+/// * Categorical columns reuse their dictionary codes — columns exposing
+///   [`ColumnRead::code_parts`] (owned columns, identity views) are
+///   copied wholesale, no per-row accessor calls.
 /// * Boolean columns map to codes {0, 1}.
 pub fn discretize<C: ColumnRead>(
     column: &C,
@@ -119,33 +167,29 @@ pub fn discretize<C: ColumnRead>(
 ) -> DiscreteColumn {
     match column.data_type() {
         DataType::Categorical => {
-            let codes = (0..column.len()).map(|i| column.code_at(i)).collect();
-            DiscreteColumn {
-                codes,
-                cardinality: column.dictionary().len().max(1),
+            let cardinality = column.dictionary().len().max(1);
+            if let Some((codes, validity)) = column.code_parts() {
+                return DiscreteColumn {
+                    codes: codes.to_vec(),
+                    validity: validity.clone(),
+                    cardinality,
+                };
             }
+            DiscreteColumn::from_options((0..column.len()).map(|i| column.code_at(i)), cardinality)
         }
-        DataType::Bool => {
-            let codes = (0..column.len())
-                .map(|i| column.numeric_at(i).map(|v| v as u32))
-                .collect();
-            DiscreteColumn {
-                codes,
-                cardinality: 2,
-            }
-        }
+        DataType::Bool => DiscreteColumn::from_options(
+            (0..column.len()).map(|i| column.numeric_at(i).map(|v| v as u32)),
+            2,
+        ),
         DataType::Float64 | DataType::Int64 => {
             let valid: Vec<f64> = (0..column.len())
                 .filter_map(|i| column.numeric_at(i))
                 .collect();
             let disc = Discretizer::fit(&valid, strategy, rule.bins(valid.len()));
-            let codes = (0..column.len())
-                .map(|i| column.numeric_at(i).map(|v| disc.code(v)))
-                .collect();
-            DiscreteColumn {
-                codes,
-                cardinality: disc.nbins(),
-            }
+            DiscreteColumn::from_options(
+                (0..column.len()).map(|i| column.numeric_at(i).map(|v| disc.code(v))),
+                disc.nbins(),
+            )
         }
     }
 }
@@ -221,10 +265,10 @@ mod tests {
     fn discretize_numeric_column() {
         let col = Column::from_f64s((0..50).map(|i| Some(i as f64)).chain([None]));
         let dc = discretize(&col, BinStrategy::EqualFrequency, BinRule::Fixed(5));
-        assert_eq!(dc.codes.len(), 51);
+        assert_eq!(dc.len(), 51);
         assert_eq!(dc.cardinality, 5);
-        assert_eq!(dc.codes[50], None);
-        assert!(dc.codes[..50].iter().all(|c| c.unwrap() < 5));
+        assert_eq!(dc.get(50), None);
+        assert!((0..50).all(|i| dc.get(i).unwrap() < 5));
     }
 
     #[test]
@@ -232,7 +276,46 @@ mod tests {
         let col = Column::from_strs([Some("a"), Some("b"), None, Some("a")]);
         let dc = discretize(&col, BinStrategy::EqualFrequency, BinRule::Fixed(5));
         assert_eq!(dc.cardinality, 2);
-        assert_eq!(dc.codes, vec![Some(0), Some(1), None, Some(0)]);
+        let got: Vec<Option<u32>> = (0..dc.len()).map(|i| dc.get(i)).collect();
+        assert_eq!(got, vec![Some(0), Some(1), None, Some(0)]);
+    }
+
+    #[test]
+    fn discretize_categorical_matches_per_row_on_views() {
+        // The code_parts wholesale copy (identity) and the per-row mapped
+        // path must agree on the same selection.
+        use blaeu_store::{TableBuilder, TableView};
+        let labels: Vec<Option<&str>> = (0..40)
+            .map(|i| match i % 5 {
+                0 => Some("a"),
+                1 => Some("b"),
+                2 => None,
+                3 => Some("c"),
+                _ => Some("a"),
+            })
+            .collect();
+        let t = TableBuilder::new("t")
+            .column("cat", Column::from_strs(labels))
+            .unwrap()
+            .build()
+            .unwrap();
+        let rows: Vec<u32> = (0..40u32).rev().collect();
+        let taken = t.take(&rows).unwrap();
+        let view = TableView::with_rows(std::sync::Arc::new(t), rows).unwrap();
+        let from_identity = discretize(
+            taken.column_by_name("cat").unwrap(),
+            BinStrategy::EqualFrequency,
+            BinRule::Fixed(4),
+        );
+        let from_mapped = discretize(
+            &view.col_by_name("cat").unwrap(),
+            BinStrategy::EqualFrequency,
+            BinRule::Fixed(4),
+        );
+        assert_eq!(from_identity.cardinality, from_mapped.cardinality);
+        for i in 0..from_mapped.len() {
+            assert_eq!(from_identity.get(i), from_mapped.get(i), "row {i}");
+        }
     }
 
     #[test]
@@ -240,7 +323,19 @@ mod tests {
         let col = Column::from_bools([Some(true), Some(false), None]);
         let dc = discretize(&col, BinStrategy::EqualWidth, BinRule::Sturges);
         assert_eq!(dc.cardinality, 2);
-        assert_eq!(dc.codes, vec![Some(1), Some(0), None]);
+        let got: Vec<Option<u32>> = (0..dc.len()).map(|i| dc.get(i)).collect();
+        assert_eq!(got, vec![Some(1), Some(0), None]);
+    }
+
+    #[test]
+    fn from_options_roundtrip() {
+        let dc = DiscreteColumn::from_options([Some(2), None, Some(0)], 3);
+        assert_eq!(dc.len(), 3);
+        assert!(!dc.is_empty());
+        assert_eq!(dc.get(0), Some(2));
+        assert_eq!(dc.get(1), None);
+        assert_eq!(dc.get(2), Some(0));
+        assert_eq!(dc.validity.count_ones(), 2);
     }
 
     #[test]

@@ -161,7 +161,7 @@ mod tests {
     use crate::binning::DiscreteColumn;
 
     fn dc(codes: Vec<Option<u32>>, cardinality: usize) -> DiscreteColumn {
-        DiscreteColumn { codes, cardinality }
+        DiscreteColumn::from_options(codes, cardinality)
     }
 
     #[test]

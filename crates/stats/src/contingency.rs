@@ -17,6 +17,10 @@ pub struct ContingencyTable {
 impl ContingencyTable {
     /// Cross-tabulates two discrete columns of equal length.
     ///
+    /// The pairwise-complete row set is the word-wise AND of the two
+    /// validity bitmaps; counting then walks only its set bits, reading
+    /// the dense code slices directly.
+    ///
     /// # Panics
     /// Panics if lengths differ or a code exceeds its declared cardinality.
     pub fn from_codes(x: &DiscreteColumn, y: &DiscreteColumn) -> Self {
@@ -24,20 +28,17 @@ impl ContingencyTable {
         let nx = x.cardinality.max(1);
         let ny = y.cardinality.max(1);
         let mut counts = vec![0u64; nx * ny];
-        let mut total = 0u64;
-        for (cx, cy) in x.codes.iter().zip(&y.codes) {
-            if let (Some(a), Some(b)) = (cx, cy) {
-                let (a, b) = (*a as usize, *b as usize);
-                assert!(a < nx && b < ny, "code out of declared cardinality");
-                counts[a * ny + b] += 1;
-                total += 1;
-            }
+        let both = x.validity.and(&y.validity);
+        for row in both.iter_ones() {
+            let (a, b) = (x.codes[row] as usize, y.codes[row] as usize);
+            assert!(a < nx && b < ny, "code out of declared cardinality");
+            counts[a * ny + b] += 1;
         }
         ContingencyTable {
             counts,
             nx,
             ny,
-            total,
+            total: both.count_ones() as u64,
         }
     }
 
@@ -92,7 +93,7 @@ mod tests {
     use super::*;
 
     fn dc(codes: Vec<Option<u32>>, cardinality: usize) -> DiscreteColumn {
-        DiscreteColumn { codes, cardinality }
+        DiscreteColumn::from_options(codes, cardinality)
     }
 
     #[test]

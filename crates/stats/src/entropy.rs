@@ -23,11 +23,12 @@ pub fn entropy_from_counts(counts: &[u64]) -> f64 {
     h.max(0.0)
 }
 
-/// Entropy (in nats) of a discrete column, ignoring NULL rows.
+/// Entropy (in nats) of a discrete column, ignoring NULL rows (the count
+/// pass walks the validity bitmap word-wise over the dense code slice).
 pub fn entropy(column: &DiscreteColumn) -> f64 {
     let mut counts = vec![0u64; column.cardinality.max(1)];
-    for code in column.codes.iter().flatten() {
-        counts[*code as usize] += 1;
+    for row in column.validity.iter_ones() {
+        counts[column.codes[row] as usize] += 1;
     }
     entropy_from_counts(&counts)
 }
@@ -52,7 +53,7 @@ mod tests {
     use super::*;
 
     fn dc(codes: Vec<Option<u32>>, cardinality: usize) -> DiscreteColumn {
-        DiscreteColumn { codes, cardinality }
+        DiscreteColumn::from_options(codes, cardinality)
     }
 
     #[test]

@@ -304,7 +304,7 @@ mod tests {
     use blaeu_store::{Column, TableBuilder};
 
     fn dc(codes: Vec<Option<u32>>, cardinality: usize) -> DiscreteColumn {
-        DiscreteColumn { codes, cardinality }
+        DiscreteColumn::from_options(codes, cardinality)
     }
 
     #[test]

@@ -184,6 +184,132 @@ impl Bitmap {
         }
         bm
     }
+
+    /// The backing words, least-significant bit first within each word.
+    ///
+    /// Bits at positions `>= len` in the last word are guaranteed zero, so
+    /// the slice can be hashed, checksummed or written out verbatim.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bitmap of `len` bits from backing words (the inverse of
+    /// [`Bitmap::words`], e.g. when decoding a snapshot blob).
+    ///
+    /// Returns `None` when the word count does not match `len` or when any
+    /// bit beyond `len` is set — both indicate a corrupt or foreign blob,
+    /// and silently masking would hide that.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Option<Self> {
+        if words.len() != len.div_ceil(WORD_BITS) {
+            return None;
+        }
+        let tail = len % WORD_BITS;
+        if tail != 0 {
+            let last = words.last().copied().unwrap_or(0);
+            if last & !((1u64 << tail) - 1) != 0 {
+                return None;
+            }
+        }
+        Some(Bitmap { words, len })
+    }
+
+    /// Word-wise intersection into a new bitmap.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        Bitmap {
+            words,
+            len: self.len,
+        }
+    }
+
+    /// Word-wise union into a new bitmap.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        Bitmap {
+            words,
+            len: self.len,
+        }
+    }
+
+    /// Number of set bits in `start..end`, counted word-at-a-time with edge
+    /// masks (no per-bit probing).
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end > len`.
+    pub fn count_ones_range(&self, start: usize, end: usize) -> usize {
+        assert!(start <= end, "inverted range {start}..{end}");
+        assert!(
+            end <= self.len,
+            "range end {end} out of bounds ({})",
+            self.len
+        );
+        if start == end {
+            return 0;
+        }
+        let (first, last) = (start / WORD_BITS, (end - 1) / WORD_BITS);
+        let head_mask = u64::MAX << (start % WORD_BITS);
+        let tail_bits = end - last * WORD_BITS; // 1..=64 bits used in `last`
+        let tail_mask = if tail_bits == WORD_BITS {
+            u64::MAX
+        } else {
+            (1u64 << tail_bits) - 1
+        };
+        if first == last {
+            return (self.words[first] & head_mask & tail_mask).count_ones() as usize;
+        }
+        let mut total = (self.words[first] & head_mask).count_ones() as usize;
+        for w in &self.words[first + 1..last] {
+            total += w.count_ones() as usize;
+        }
+        total + (self.words[last] & tail_mask).count_ones() as usize
+    }
+
+    /// Counts how many of the given row indices carry a set bit.
+    ///
+    /// The hot loop caches the current backing word, so runs of indices that
+    /// fall in the same word (the common case for sorted selection vectors)
+    /// cost one shift each instead of a bounds-checked [`Bitmap::get`].
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn count_ones_at(&self, rows: &[u32]) -> usize {
+        let mut total = 0usize;
+        let mut cached_idx = usize::MAX;
+        let mut cached_word = 0u64;
+        for &row in rows {
+            let row = row as usize;
+            assert!(
+                row < self.len,
+                "bit index {row} out of bounds ({})",
+                self.len
+            );
+            let w = row / WORD_BITS;
+            if w != cached_idx {
+                cached_idx = w;
+                cached_word = self.words[w];
+            }
+            total += ((cached_word >> (row % WORD_BITS)) & 1) as usize;
+        }
+        total
+    }
 }
 
 impl std::fmt::Debug for Bitmap {
@@ -322,5 +448,67 @@ mod tests {
         for (i, &b) in bools.iter().enumerate() {
             assert_eq!(bm.get(i), b);
         }
+    }
+
+    #[test]
+    fn words_roundtrip_and_tail_validation() {
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 200] {
+            let mut bm = Bitmap::new_clear(len);
+            for i in (0..len).step_by(3) {
+                bm.set(i);
+            }
+            let back = Bitmap::from_words(bm.words().to_vec(), len).expect("valid words");
+            assert_eq!(back, bm, "len={len}");
+        }
+        // Wrong word count is rejected.
+        assert!(Bitmap::from_words(vec![0, 0], 64).is_none());
+        // Stray tail bits are rejected, not masked.
+        assert!(Bitmap::from_words(vec![1u64 << 63], 63).is_none());
+        assert!(Bitmap::from_words(vec![1u64 << 62], 63).is_some());
+    }
+
+    #[test]
+    fn binary_and_or_match_assign_forms() {
+        let a = Bitmap::from_bools(&[true, true, false, false, true]);
+        let b = Bitmap::from_bools(&[true, false, true, false, true]);
+        let mut and_ref = a.clone();
+        and_ref.and_assign(&b);
+        assert_eq!(a.and(&b), and_ref);
+        let mut or_ref = a.clone();
+        or_ref.or_assign(&b);
+        assert_eq!(a.or(&b), or_ref);
+    }
+
+    #[test]
+    fn count_ones_range_matches_per_bit() {
+        let mut bm = Bitmap::new_clear(200);
+        for i in (0..200).step_by(7) {
+            bm.set(i);
+        }
+        for &(s, e) in &[
+            (0usize, 0usize),
+            (0, 200),
+            (0, 1),
+            (63, 64),
+            (63, 65),
+            (64, 128),
+            (1, 199),
+            (130, 130),
+        ] {
+            let naive = (s..e).filter(|&i| bm.get(i)).count();
+            assert_eq!(bm.count_ones_range(s, e), naive, "range {s}..{e}");
+        }
+    }
+
+    #[test]
+    fn count_ones_at_matches_per_bit() {
+        let mut bm = Bitmap::new_clear(150);
+        for i in (0..150).step_by(2) {
+            bm.set(i);
+        }
+        let rows: Vec<u32> = vec![0, 1, 2, 64, 65, 63, 149, 10, 10];
+        let naive = rows.iter().filter(|&&r| bm.get(r as usize)).count();
+        assert_eq!(bm.count_ones_at(&rows), naive);
+        assert_eq!(bm.count_ones_at(&[]), 0);
     }
 }

@@ -56,6 +56,55 @@ pub trait ColumnRead {
         (0..self.len()).filter(|&i| !self.is_valid(i)).count()
     }
 
+    /// Number of distinct non-NULL values (floats by bit pattern, ints by
+    /// value, categoricals by code, bools by truth value).
+    ///
+    /// The default is driven off the typed per-row accessors — it never
+    /// materializes the column (`to_f64_vec`); implementors with payload
+    /// access override it with slice/bitmap fast paths.
+    fn distinct_count(&self) -> usize {
+        match self.data_type() {
+            DataType::Float64 => {
+                let set: std::collections::HashSet<u64> = (0..self.len())
+                    .filter_map(|i| self.numeric_at(i).map(f64::to_bits))
+                    .collect();
+                set.len()
+            }
+            DataType::Int64 => {
+                let set: std::collections::HashSet<i64> = (0..self.len())
+                    .filter_map(|i| match self.get(i) {
+                        Value::Int(v) => Some(v),
+                        _ => None,
+                    })
+                    .collect();
+                set.len()
+            }
+            DataType::Categorical => {
+                let set: std::collections::HashSet<u32> =
+                    (0..self.len()).filter_map(|i| self.code_at(i)).collect();
+                set.len()
+            }
+            DataType::Bool => {
+                let mut seen = [false, false];
+                for i in 0..self.len() {
+                    if let Some(v) = self.numeric_at(i) {
+                        seen[(v != 0.0) as usize] = true;
+                    }
+                }
+                usize::from(seen[0]) + usize::from(seen[1])
+            }
+        }
+    }
+
+    /// Dense dictionary codes plus validity bitmap, available zero-copy
+    /// when the implementor is a categorical column covering every row in
+    /// order (`None` otherwise). Statistics kernels use this to build
+    /// count tables straight from code slices instead of probing
+    /// `code_at` row by row.
+    fn code_parts(&self) -> Option<(&[u32], &Bitmap)> {
+        None
+    }
+
     /// Materializes all rows as numeric values (see
     /// [`ColumnRead::numeric_at`]).
     fn to_f64_vec(&self) -> Vec<Option<f64>> {
@@ -94,6 +143,19 @@ impl ColumnRead for Column {
 
     fn null_count(&self) -> usize {
         Column::null_count(self)
+    }
+
+    fn distinct_count(&self) -> usize {
+        Column::distinct_count(self)
+    }
+
+    fn code_parts(&self) -> Option<(&[u32], &Bitmap)> {
+        match self {
+            Column::Categorical {
+                codes, validity, ..
+            } => Some((codes, validity)),
+            _ => None,
+        }
     }
 }
 

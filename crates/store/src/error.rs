@@ -45,6 +45,14 @@ pub enum StoreError {
     InvalidArgument(String),
     /// An I/O error, carried as a string to keep the error type `Clone`.
     Io(String),
+    /// A snapshot file was malformed: bad magic, unsupported version,
+    /// checksum mismatch, truncation, or an inconsistent section.
+    Snapshot {
+        /// Byte offset at which decoding failed (0 for header problems).
+        offset: usize,
+        /// Description of the problem.
+        message: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -76,6 +84,9 @@ impl fmt::Display for StoreError {
             }
             StoreError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             StoreError::Io(msg) => write!(f, "I/O error: {msg}"),
+            StoreError::Snapshot { offset, message } => {
+                write!(f, "snapshot error at byte {offset}: {message}")
+            }
         }
     }
 }

@@ -175,6 +175,29 @@ impl Predicate {
                     });
                 }
                 let mut out = Bitmap::new_clear(n);
+                // Identity views expose the column's borrowed payload, so the
+                // scan walks set validity bits word-wise over a dense slice
+                // instead of calling `numeric_at` per row.
+                if col.rows().is_none() {
+                    if let Some((data, validity)) = col.column().f64_slice() {
+                        for row in validity.iter_ones() {
+                            let v = data[row];
+                            if lo.admits_lower(v) && hi.admits_upper(v) {
+                                out.set(row);
+                            }
+                        }
+                        return Ok(out);
+                    }
+                    if let Some((data, validity)) = col.column().i64_slice() {
+                        for row in validity.iter_ones() {
+                            let v = data[row] as f64;
+                            if lo.admits_lower(v) && hi.admits_upper(v) {
+                                out.set(row);
+                            }
+                        }
+                        return Ok(out);
+                    }
+                }
                 for row in 0..n {
                     if let Some(v) = col.numeric_at(row) {
                         if lo.admits_lower(v) && hi.admits_upper(v) {
@@ -202,6 +225,18 @@ impl Predicate {
                     }
                 }
                 let mut out = Bitmap::new_clear(n);
+                // Identity views compare dictionary codes straight off the
+                // borrowed slice, walking only set validity bits.
+                if col.rows().is_none() {
+                    if let Some((codes, _, validity)) = col.column().categorical_parts() {
+                        for row in validity.iter_ones() {
+                            if accepted[codes[row] as usize] {
+                                out.set(row);
+                            }
+                        }
+                        return Ok(out);
+                    }
+                }
                 for row in 0..n {
                     if let Some(code) = col.code_at(row) {
                         if accepted[code as usize] {

@@ -410,31 +410,40 @@ impl<'a> ColumnView<'a> {
         }
     }
 
+    /// The row selection this view maps through (`None` = identity).
+    pub fn rows(&self) -> Option<&'a [u32]> {
+        self.rows
+    }
+
     /// Number of NULL rows inside the view.
+    ///
+    /// The mapped path counts set validity bits word-at-a-time through
+    /// [`Bitmap::count_ones_at`] instead of probing `get` per row.
     pub fn null_count(&self) -> usize {
         match self.rows {
             None => self.column.null_count(),
-            Some(rows) => {
-                let validity = self.column.validity();
-                rows.iter().filter(|&&i| !validity.get(i as usize)).count()
-            }
+            Some(rows) => rows.len() - self.column.validity().count_ones_at(rows),
         }
     }
 
     /// Number of distinct non-NULL values inside the view (same
     /// semantics as [`Column::distinct_count`]: floats by bit pattern,
     /// categoricals by code).
+    ///
+    /// The mapped path reads validity through a word-caching probe, so
+    /// runs of selected rows in the same bitmap word pay one word load
+    /// instead of a bounds-checked `get` each.
     pub fn distinct_count(&self) -> usize {
         match self.rows {
             None => self.column.distinct_count(),
             Some(rows) => {
-                let validity = self.column.validity();
+                let mut valid = WordProbe::new(self.column.validity());
                 match self.column {
                     Column::Float64 { data, .. } => {
                         let mut set = std::collections::HashSet::new();
                         for &i in rows {
                             let i = i as usize;
-                            if validity.get(i) {
+                            if valid.get(i) {
                                 set.insert(data[i].to_bits());
                             }
                         }
@@ -444,7 +453,7 @@ impl<'a> ColumnView<'a> {
                         let mut set = std::collections::HashSet::new();
                         for &i in rows {
                             let i = i as usize;
-                            if validity.get(i) {
+                            if valid.get(i) {
                                 set.insert(data[i]);
                             }
                         }
@@ -454,19 +463,20 @@ impl<'a> ColumnView<'a> {
                         let mut set = std::collections::HashSet::new();
                         for &i in rows {
                             let i = i as usize;
-                            if validity.get(i) {
+                            if valid.get(i) {
                                 set.insert(codes[i]);
                             }
                         }
                         set.len()
                     }
                     Column::Bool { data, .. } => {
+                        let mut values = WordProbe::new(data);
                         let mut seen_true = false;
                         let mut seen_false = false;
                         for &i in rows {
                             let i = i as usize;
-                            if validity.get(i) {
-                                if data.get(i) {
+                            if valid.get(i) {
+                                if values.get(i) {
                                     seen_true = true;
                                 } else {
                                     seen_false = true;
@@ -478,6 +488,43 @@ impl<'a> ColumnView<'a> {
                 }
             }
         }
+    }
+}
+
+/// Word-caching bitmap reader for mapped selections: consecutive probes
+/// that land in the same backing word reuse the loaded word instead of
+/// paying a bounds-checked [`Bitmap::get`] each time. Selection vectors
+/// are usually sorted runs, so the cache hits almost always.
+struct WordProbe<'a> {
+    words: &'a [u64],
+    len: usize,
+    cached_idx: usize,
+    cached_word: u64,
+}
+
+impl<'a> WordProbe<'a> {
+    fn new(bitmap: &'a Bitmap) -> Self {
+        WordProbe {
+            words: bitmap.words(),
+            len: bitmap.len(),
+            cached_idx: usize::MAX,
+            cached_word: 0,
+        }
+    }
+
+    #[inline]
+    fn get(&mut self, index: usize) -> bool {
+        assert!(
+            index < self.len,
+            "bit index {index} out of bounds ({})",
+            self.len
+        );
+        let w = index / 64;
+        if w != self.cached_idx {
+            self.cached_idx = w;
+            self.cached_word = self.words[w];
+        }
+        (self.cached_word >> (index % 64)) & 1 == 1
     }
 }
 
@@ -512,6 +559,22 @@ impl ColumnRead for ColumnView<'_> {
 
     fn null_count(&self) -> usize {
         ColumnView::null_count(self)
+    }
+
+    fn distinct_count(&self) -> usize {
+        ColumnView::distinct_count(self)
+    }
+
+    fn code_parts(&self) -> Option<(&[u32], &Bitmap)> {
+        match (self.rows, self.column) {
+            (
+                None,
+                Column::Categorical {
+                    codes, validity, ..
+                },
+            ) => Some((codes, validity)),
+            _ => None,
+        }
     }
 }
 
@@ -644,6 +707,75 @@ mod tests {
         assert_eq!(cat.dictionary(), &["a", "b", "c"]);
         assert!(cat.is_valid(1));
         assert!(!x.is_valid(1));
+    }
+
+    #[test]
+    fn mapped_counts_match_naive_loops() {
+        // Out-of-order selection with duplicates across word boundaries:
+        // the word-cached count paths must agree with the per-row naive
+        // loop exactly.
+        let n = 150usize;
+        let t = Arc::new(
+            TableBuilder::new("wide")
+                .column(
+                    "f",
+                    Column::from_f64s((0..n).map(|i| (i % 3 != 0).then_some((i % 7) as f64))),
+                )
+                .unwrap()
+                .column(
+                    "i",
+                    Column::from_i64s((0..n).map(|i| (i % 4 != 1).then_some((i % 5) as i64))),
+                )
+                .unwrap()
+                .column(
+                    "c",
+                    Column::from_strs(
+                        (0..n)
+                            .map(|i| (i % 5 != 2).then(|| format!("v{}", i % 6)))
+                            .collect::<Vec<_>>()
+                            .iter()
+                            .map(Option::as_deref),
+                    ),
+                )
+                .unwrap()
+                .column(
+                    "b",
+                    Column::from_bools((0..n).map(|i| (i % 6 != 3).then_some(i % 2 == 0))),
+                )
+                .unwrap()
+                .build()
+                .unwrap(),
+        );
+        let rows: Vec<u32> = (0..n as u32)
+            .rev()
+            .chain((0..n as u32).step_by(3))
+            .collect();
+        let v = TableView::with_rows(Arc::clone(&t), rows.clone()).unwrap();
+        for name in ["f", "i", "c", "b"] {
+            let col = v.col_by_name(name).unwrap();
+            let naive_nulls = (0..col.len()).filter(|&r| !col.is_valid(r)).count();
+            assert_eq!(col.null_count(), naive_nulls, "{name} null_count");
+            let taken = t.take(&rows).unwrap();
+            let owned = taken.column_by_name(name).unwrap();
+            assert_eq!(
+                col.distinct_count(),
+                owned.distinct_count(),
+                "{name} distinct"
+            );
+        }
+    }
+
+    #[test]
+    fn code_parts_only_on_identity_categorical_views() {
+        let t = base();
+        let identity = TableView::new(Arc::clone(&t));
+        let cat = identity.col_by_name("cat").unwrap();
+        let (codes, validity) = ColumnRead::code_parts(&cat).expect("identity categorical");
+        assert_eq!(codes.len(), 5);
+        assert_eq!(validity.count_zeros(), 1);
+        assert!(ColumnRead::code_parts(&identity.col_by_name("x").unwrap()).is_none());
+        let mapped = TableView::with_rows(t, vec![0, 1]).unwrap();
+        assert!(ColumnRead::code_parts(&mapped.col_by_name("cat").unwrap()).is_none());
     }
 
     #[test]

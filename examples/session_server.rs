@@ -16,6 +16,11 @@
 //! With `--serve <addr>` it additionally binds the HTTP/NDJSON transport
 //! on a real port and blocks, so you can drive the same engine with curl:
 //!
+//! With `--snapshot <path>` the demo table is served from the column
+//! snapshot format: the first run generates it and writes the file, and
+//! every later run decodes the snapshot instead of regenerating — the
+//! fast path a long-lived server uses to restart without re-ingesting.
+//!
 //! ```sh
 //! cargo run --release --example session_server -- --serve 127.0.0.1:7878
 //! # in another shell:
@@ -33,12 +38,41 @@ use blaeu::core::render::state_to_json;
 use blaeu::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (table, _) = hollywood(&HollywoodConfig::default())?;
+    let args: Vec<String> = std::env::args().collect();
+
+    // `--snapshot PATH`: decode the table from the column snapshot when
+    // the file exists; otherwise generate it once and persist it so the
+    // next start takes the fast path.
+    let snapshot_path = args
+        .iter()
+        .position(|a| a == "--snapshot")
+        .and_then(|at| args.get(at + 1).filter(|a| !a.starts_with("--")).cloned());
+    let table = match &snapshot_path {
+        Some(path) if std::path::Path::new(path).exists() => {
+            let t0 = Instant::now();
+            let table = Table::read_snapshot(path)?;
+            println!(
+                "loaded {} ({} x {}) from snapshot {path} in {:?}",
+                table.name(),
+                table.nrows(),
+                table.ncols(),
+                t0.elapsed()
+            );
+            table
+        }
+        _ => {
+            let (table, _) = hollywood(&HollywoodConfig::default())?;
+            if let Some(path) = &snapshot_path {
+                table.write_snapshot(path)?;
+                println!("wrote snapshot {path}; later runs skip generation");
+            }
+            table
+        }
+    };
     let table = Arc::new(table);
 
     // `--serve ADDR`: expose this engine over the wire instead of (only)
     // driving it in-process.
-    let args: Vec<String> = std::env::args().collect();
     let serve_addr = args.iter().position(|a| a == "--serve").map(|at| {
         args.get(at + 1)
             .cloned()

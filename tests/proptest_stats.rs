@@ -29,14 +29,10 @@ proptest! {
         ys in prop::collection::vec(0u32..4, 4..200),
     ) {
         let n = xs.len().min(ys.len());
-        let x = blaeu::stats::DiscreteColumn {
-            codes: xs[..n].iter().map(|&c| Some(c)).collect(),
-            cardinality: 5,
-        };
-        let y = blaeu::stats::DiscreteColumn {
-            codes: ys[..n].iter().map(|&c| Some(c)).collect(),
-            cardinality: 4,
-        };
+        let x = blaeu::stats::DiscreteColumn::from_options(
+            xs[..n].iter().map(|&c| Some(c)), 5);
+        let y = blaeu::stats::DiscreteColumn::from_options(
+            ys[..n].iter().map(|&c| Some(c)), 4);
         let ct = ContingencyTable::from_codes(&x, &y);
         let mi = mutual_information(&ct);
         let hx = entropy(&x);
@@ -96,11 +92,12 @@ proptest! {
     ) {
         let col = Column::from_f64s(vals.iter().copied());
         let dc = discretize(&col, BinStrategy::EqualFrequency, BinRule::Fixed(bins));
-        prop_assert_eq!(dc.codes.len(), vals.len());
-        for (code, v) in dc.codes.iter().zip(&vals) {
+        prop_assert_eq!(dc.len(), vals.len());
+        for (i, v) in vals.iter().enumerate() {
+            let code = dc.get(i);
             prop_assert_eq!(code.is_some(), v.is_some());
             if let Some(c) = code {
-                prop_assert!((*c as usize) < dc.cardinality);
+                prop_assert!((c as usize) < dc.cardinality);
             }
         }
     }

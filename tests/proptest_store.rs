@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use blaeu::store::{
-    read_csv_str, uniform_sample, write_csv_string, Bitmap, Column, CsvOptions, MultiScaleSampler,
-    Predicate, Table, TableBuilder,
+    read_csv_str, read_snapshot_bytes, uniform_sample, write_csv_string, write_snapshot_bytes,
+    Bitmap, Column, CsvOptions, MultiScaleSampler, Predicate, StoreError, Table, TableBuilder,
 };
 
 fn table_from(values: &[Option<f64>], cats: &[Option<u8>]) -> Table {
@@ -60,6 +60,107 @@ proptest! {
         let mut rhs = na;
         rhs.or_assign(&nb);
         prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bitmap_word_ops_match_per_bit(
+        len_class in 0usize..8,
+        arbitrary_len in 1usize..200,
+        seed in any::<u64>(),
+        lo_sel in any::<u64>(),
+        hi_sel in any::<u64>(),
+    ) {
+        // Word-wise and/or/count/iter must agree with the per-bit
+        // reference at every length class: empty, one-under/at/one-over
+        // a word boundary, and arbitrary non-aligned tails.
+        let len = match len_class {
+            0 => 0,
+            1 => 63,
+            2 => 64,
+            3 => 65,
+            _ => arbitrary_len,
+        };
+        let mut state = seed;
+        let mut next_bit = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) & 1 == 1
+        };
+        let a: Vec<bool> = (0..len).map(|_| next_bit()).collect();
+        let b: Vec<bool> = (0..len).map(|_| next_bit()).collect();
+        let (ba, bb) = (Bitmap::from_bools(&a), Bitmap::from_bools(&b));
+        let and = ba.and(&bb);
+        let or = ba.or(&bb);
+        prop_assert_eq!(and.len(), len);
+        prop_assert_eq!(or.len(), len);
+        for i in 0..len {
+            prop_assert_eq!(and.get(i), a[i] && b[i]);
+            prop_assert_eq!(or.get(i), a[i] || b[i]);
+        }
+        let ones: Vec<usize> = ba.iter_ones().collect();
+        let expect: Vec<usize> = (0..len).filter(|&i| a[i]).collect();
+        prop_assert_eq!(ones, expect);
+        prop_assert_eq!(ba.count_ones(), a.iter().filter(|&&x| x).count());
+        // An arbitrary (possibly empty, possibly word-straddling) subrange.
+        let lo = if len == 0 { 0 } else { (lo_sel as usize) % (len + 1) };
+        let hi = lo + if len == lo { 0 } else { (hi_sel as usize) % (len - lo + 1) };
+        prop_assert_eq!(
+            ba.count_ones_range(lo, hi),
+            a[lo..hi].iter().filter(|&&x| x).count()
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_corruption(
+        nums in prop::collection::vec(prop::option::of(-1e6f64..1e6), 0..60),
+        ints in prop::collection::vec(prop::option::of(any::<i64>()), 0..60),
+        bools in prop::collection::vec(prop::option::of(any::<bool>()), 0..60),
+        cats in prop::collection::vec(prop::option::of(0u8..6), 0..60),
+    ) {
+        // All four dtypes, nulls everywhere, possibly zero rows.
+        let n = nums.len().min(ints.len()).min(bools.len()).min(cats.len());
+        let cat_strings: Vec<Option<String>> = cats[..n]
+            .iter()
+            .map(|o| o.map(|c| format!("level-{c}")))
+            .collect();
+        let t = TableBuilder::new("snap")
+            .column("f", Column::from_f64s(nums[..n].iter().copied()))
+            .unwrap()
+            .column("i", Column::from_i64s(ints[..n].iter().copied()))
+            .unwrap()
+            .column("b", Column::from_bools(bools[..n].iter().copied()))
+            .unwrap()
+            .column("c", Column::from_strs(cat_strings.iter().map(|o| o.as_deref())))
+            .unwrap()
+            .build()
+            .unwrap();
+        let bytes = write_snapshot_bytes(&t);
+        let back = read_snapshot_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, t);
+
+        // A corrupt header is a typed error, not a panic.
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        prop_assert!(matches!(
+            read_snapshot_bytes(&bad_magic),
+            Err(StoreError::Snapshot { .. })
+        ));
+        // A flipped body byte fails the checksum.
+        if bytes.len() > 32 {
+            let mut bad_body = bytes.clone();
+            let last = bad_body.len() - 1;
+            bad_body[last] ^= 0x01;
+            prop_assert!(matches!(
+                read_snapshot_bytes(&bad_body),
+                Err(StoreError::Snapshot { .. })
+            ));
+        }
+        // Truncation anywhere is detected (the header states the length).
+        prop_assert!(matches!(
+            read_snapshot_bytes(&bytes[..bytes.len() / 2]),
+            Err(StoreError::Snapshot { .. })
+        ));
     }
 
     #[test]
