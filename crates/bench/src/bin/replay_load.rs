@@ -1,0 +1,125 @@
+//! `replay_load` — drive recorded session journals back over the wire.
+//!
+//! Points the replay harness ([`blaeu_bench::replay`]) at a journal
+//! directory written by a journaled engine and replays every recorded
+//! session as a concurrent wire client, verifying each response digest
+//! against the recorded one. Exits non-zero if any command's outcome
+//! diverges — a failed run means the stack is no longer bit-identical
+//! with the run that wrote the journal.
+//!
+//! ```sh
+//! # replay against a self-hosted server (demo tables registered):
+//! cargo run --release -p blaeu-bench --bin replay_load -- --journal /tmp/journals
+//! # replay against an already-running server:
+//! cargo run --release -p blaeu-bench --bin replay_load -- \
+//!     --journal /tmp/journals --addr 127.0.0.1:7878
+//! ```
+//!
+//! Options: `--journal DIR` (required) · `--addr HOST:PORT` (target an
+//! external server instead of self-hosting) · `--sessions N` (replay at
+//! most N recorded sessions) · `--concurrency N` (wire clients in
+//! flight; default one per session) · `--rows N` (self-hosted demo
+//! table size; must match what the journals were recorded against).
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use blaeu_bench::replay::{load_corpus, replay_corpus};
+use blaeu_net::{NetConfig, NetServer};
+use blaeu_server::{AsyncSessionServer, ServerConfig};
+use blaeu_store::generate::{hollywood, HollywoodConfig};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|at| args.get(at + 1))
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(journal_dir) = flag_value(&args, "--journal").map(PathBuf::from) else {
+        eprintln!(
+            "usage: replay_load --journal DIR [--addr HOST:PORT] [--sessions N] \
+             [--concurrency N] [--rows N]"
+        );
+        std::process::exit(2);
+    };
+    let sessions_cap: usize = flag_value(&args, "--sessions")
+        .map(|v| v.parse().expect("--sessions takes a count"))
+        .unwrap_or(usize::MAX);
+    let concurrency: usize = flag_value(&args, "--concurrency")
+        .map(|v| v.parse().expect("--concurrency takes a count"))
+        .unwrap_or(0);
+    let rows: usize = flag_value(&args, "--rows")
+        .map(|v| v.parse().expect("--rows takes a count"))
+        .unwrap_or_else(|| HollywoodConfig::default().nrows);
+
+    let mut corpus = match load_corpus(&journal_dir) {
+        Ok(corpus) => corpus,
+        Err(e) => {
+            eprintln!("cannot read journal dir {}: {e}", journal_dir.display());
+            std::process::exit(2);
+        }
+    };
+    if corpus.is_empty() {
+        eprintln!("no session journals under {}", journal_dir.display());
+        std::process::exit(2);
+    }
+    corpus.truncate(sessions_cap);
+    let total_commands: usize = corpus.iter().map(|s| s.commands.len()).sum();
+    println!(
+        "corpus: {} sessions, {} commands from {}",
+        corpus.len(),
+        total_commands,
+        journal_dir.display()
+    );
+
+    // Either target a running server, or self-host one over the demo
+    // table (recorded digests only match if the journals were recorded
+    // against the same table — size it with --rows).
+    let (addr, hosted): (SocketAddr, Option<NetServer>) = match flag_value(&args, "--addr") {
+        Some(addr) => (addr.parse().expect("--addr takes HOST:PORT"), None),
+        None => {
+            let (table, _) = hollywood(&HollywoodConfig {
+                nrows: rows,
+                ..HollywoodConfig::default()
+            })
+            .expect("generator cannot fail on valid config");
+            let engine = Arc::new(AsyncSessionServer::new(ServerConfig::default()));
+            let net = NetServer::bind("127.0.0.1:0", engine, NetConfig::default())
+                .expect("loopback bind");
+            net.register_table("hollywood", Arc::new(table));
+            println!(
+                "self-hosting on {} (hollywood, {rows} rows)",
+                net.local_addr()
+            );
+            (net.local_addr(), Some(net))
+        }
+    };
+
+    let report = replay_corpus(addr, &corpus, concurrency);
+    if let Some(net) = hosted {
+        net.shutdown();
+    }
+
+    let secs = report.elapsed.as_secs_f64();
+    println!(
+        "replayed {} sessions / {} commands in {:.2}s ({:.0} cmd/s)",
+        report.sessions,
+        report.commands,
+        secs,
+        report.commands as f64 / secs.max(1e-9),
+    );
+    println!("latency: {}", report.latency.summary());
+    if report.mismatches > 0 {
+        eprintln!(
+            "FAIL: {} of {} commands diverged from their recorded outcome",
+            report.mismatches, report.commands
+        );
+        std::process::exit(1);
+    }
+    println!("all {} outcomes matched the recording", report.commands);
+}

@@ -6,6 +6,10 @@
 
 #![warn(missing_docs)]
 
+pub mod replay;
+
+pub use replay::{load_corpus, replay_corpus, LatencyHistogram, RecordedSession, ReplayReport};
+
 use blaeu_cluster::Points;
 use blaeu_core::{preprocess, MetricChoice, PreprocessConfig};
 use blaeu_store::generate::{oecd, planted, OecdConfig, PlantedConfig, PlantedTruth, ThemeSpec};

@@ -1,0 +1,440 @@
+//! Replay load harness: recorded command journals driven back over the
+//! wire against a live [`blaeu_net::NetServer`].
+//!
+//! A journal directory written by [`blaeu_server::SessionJournal`] is a
+//! complete, self-verifying record of an exploration workload: which
+//! table each session opened (and with what seed), every command it ran,
+//! and the digest of every response. This module turns such a directory
+//! into a load generator — N concurrent raw-`TcpStream` clients, one per
+//! recorded session, replaying the recorded commands in order and
+//! checking every returned digest against the recorded one — plus a
+//! dependency-free [`LatencyHistogram`] (log2 microsecond buckets) for
+//! the latency report.
+//!
+//! The digest check is the point: a replay run is not just a throughput
+//! number, it is an end-to-end determinism audit of the whole stack
+//! (storage, analysis, session tier, wire encoding) against a past run.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use blaeu_core::Command;
+use blaeu_exec::JobPool;
+use blaeu_server::{journal_file_id, read_journal, JournalRecord, RecordedOutcome};
+use serde_json::{json, Value};
+
+/// One recorded session: the open parameters plus the ordered command
+/// stream with its verified outcomes.
+#[derive(Debug, Clone)]
+pub struct RecordedSession {
+    /// Session id the journal file was written under (informational —
+    /// replay opens fresh sessions and gets fresh ids).
+    pub id: u64,
+    /// Registered table name the session ran over.
+    pub table: String,
+    /// Mapper seed the session was opened with.
+    pub seed: u64,
+    /// The commands in execution order, each with its recorded outcome.
+    pub commands: Vec<(Command, RecordedOutcome)>,
+}
+
+/// Loads every parseable session journal under `dir`, sorted by session
+/// id. Files with a corrupt head (no leading `open` record) are skipped;
+/// a torn tail only truncates that session's command stream — replay
+/// drives exactly the valid prefix recovery would accept.
+pub fn load_corpus(dir: &Path) -> std::io::Result<Vec<RecordedSession>> {
+    let mut sessions = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(id) = name.to_str().and_then(journal_file_id) else {
+            continue;
+        };
+        let read = read_journal(&entry.path())?;
+        let mut records = read.records.into_iter();
+        let Some(JournalRecord::Open { table, seed, .. }) = records.next() else {
+            continue;
+        };
+        let commands: Vec<(Command, RecordedOutcome)> = records
+            .filter_map(|record| match record {
+                JournalRecord::Command {
+                    command, outcome, ..
+                } => Some((command, outcome)),
+                _ => None,
+            })
+            .collect();
+        sessions.push(RecordedSession {
+            id,
+            table,
+            seed,
+            commands,
+        });
+    }
+    sessions.sort_by_key(|s| s.id);
+    Ok(sessions)
+}
+
+/// Number of log2 microsecond buckets — bucket `i` holds latencies in
+/// `[2^i, 2^(i+1))` µs, so 40 buckets cover up to ~12.7 days.
+const BUCKETS: usize = 40;
+
+/// A fixed-size latency histogram over log2 microsecond buckets: cheap
+/// to record into, mergeable across threads, good enough for p50/p99 on
+/// wire latencies (quantiles resolve to within a factor of two, plus
+/// exact min/max).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            max: Duration::ZERO,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Duration) {
+        let micros = sample.as_micros().max(1) as u64;
+        let bucket = (63 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+
+    /// Smallest recorded sample (zero when empty).
+    pub fn min(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Duration {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper edge of the bucket
+    /// holding that rank, clamped to the observed max. Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = Duration::from_micros(1u64 << (bucket + 1).min(63));
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// One-line latency summary: count, mean, p50/p99, max.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={} p50={} p99={} max={}",
+            self.count,
+            crate::fmt_duration(self.mean()),
+            crate::fmt_duration(self.quantile(0.50)),
+            crate::fmt_duration(self.quantile(0.99)),
+            crate::fmt_duration(self.max()),
+        )
+    }
+}
+
+/// What one replay run observed.
+#[derive(Debug)]
+pub struct ReplayReport {
+    /// Sessions replayed to completion.
+    pub sessions: usize,
+    /// Commands sent over the wire.
+    pub commands: u64,
+    /// Commands whose wire outcome did not match the recorded one —
+    /// **any non-zero value is a determinism violation**.
+    pub mismatches: u64,
+    /// Per-command wire latencies (request write → response parsed).
+    pub latency: LatencyHistogram,
+    /// Wall-clock time of the whole replay.
+    pub elapsed: Duration,
+}
+
+/// A minimal keep-alive HTTP/1.1 client over one raw `TcpStream` — the
+/// same dumb-on-purpose framing the loopback tests use, so the harness
+/// measures the server, not a client library.
+struct WireClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl WireClient {
+    fn connect(addr: SocketAddr) -> std::io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        Ok(WireClient {
+            writer: stream.try_clone()?,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// One request/response round-trip; returns `(status, body JSON)`.
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, Value)> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: replay\r\n");
+        if let Some(body) = body {
+            head.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+        self.writer.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            self.writer.write_all(body.as_bytes())?;
+        }
+        self.writer.flush()?;
+
+        let bad =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_owned());
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header)?;
+            if header.trim().is_empty() {
+                break;
+            }
+            if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().map_err(|_| bad("bad content-length"))?;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let value = serde_json::from_slice(&body).map_err(|_| bad("unparseable body"))?;
+        Ok((status, value))
+    }
+}
+
+/// True when the wire response to a replayed command matches its
+/// recorded outcome: a `2xx` whose `digest` hex equals the recorded
+/// digest, or an error body whose `error.code` equals the recorded kind.
+fn wire_matches(status: u16, body: &Value, recorded: &RecordedOutcome) -> bool {
+    match recorded {
+        RecordedOutcome::Digest(digest) => {
+            status == 200
+                && body["digest"]
+                    .as_str()
+                    .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+                    == Some(*digest)
+        }
+        RecordedOutcome::Error(kind) => {
+            status != 200 && body["error"]["code"].as_str() == Some(kind.as_str())
+        }
+    }
+}
+
+/// Replays one recorded session over its own connection: open (with the
+/// recorded seed), run every command in order checking outcomes, close.
+fn replay_one(
+    addr: SocketAddr,
+    recorded: &RecordedSession,
+) -> std::io::Result<(u64, u64, LatencyHistogram)> {
+    let mut client = WireClient::connect(addr)?;
+    let open = serde_json::to_string(&json!({"table": recorded.table, "seed": recorded.seed}))
+        .expect("serialization is infallible");
+    let (status, body) = client.request("POST", "/sessions", Some(&open))?;
+    if status != 201 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("open of recorded session {} answered {status}", recorded.id),
+        ));
+    }
+    let session = body["session"].as_u64().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "open body without session id",
+        )
+    })?;
+    let path = format!("/sessions/{session}/commands");
+    let mut latency = LatencyHistogram::new();
+    let mut commands = 0u64;
+    let mut mismatches = 0u64;
+    for (command, outcome) in &recorded.commands {
+        let payload =
+            serde_json::to_string(&command.to_json()).expect("serialization is infallible");
+        let start = Instant::now();
+        let (status, body) = client.request("POST", &path, Some(&payload))?;
+        latency.record(start.elapsed());
+        commands += 1;
+        if !wire_matches(status, &body, outcome) {
+            mismatches += 1;
+        }
+    }
+    let _ = client.request("DELETE", &format!("/sessions/{session}"), None)?;
+    Ok((commands, mismatches, latency))
+}
+
+/// Replays a whole corpus against a live server: one wire session per
+/// recorded session, up to `concurrency` in flight at once (0 = one
+/// worker per recorded session). Sessions that fail at the transport
+/// level (connect refused, torn socket) count every remaining command
+/// as a mismatch rather than aborting the run.
+pub fn replay_corpus(
+    addr: SocketAddr,
+    corpus: &[RecordedSession],
+    concurrency: usize,
+) -> ReplayReport {
+    let started = Instant::now();
+    let workers = if concurrency == 0 {
+        corpus.len().max(1)
+    } else {
+        concurrency
+    };
+    let pool = JobPool::new(workers);
+    let handles: Vec<_> = corpus
+        .iter()
+        .map(|recorded| {
+            let recorded = Arc::new(recorded.clone());
+            pool.submit(move || {
+                let total = recorded.commands.len() as u64;
+                replay_one(addr, &recorded)
+                    .unwrap_or_else(|_| (total, total, LatencyHistogram::new()))
+            })
+        })
+        .collect();
+    let mut report = ReplayReport {
+        sessions: 0,
+        commands: 0,
+        mismatches: 0,
+        latency: LatencyHistogram::new(),
+        elapsed: Duration::ZERO,
+    };
+    for handle in handles {
+        if let Some((commands, mismatches, latency)) = handle.join() {
+            report.sessions += 1;
+            report.commands += commands;
+            report.mismatches += mismatches;
+            report.latency.merge(&latency);
+        }
+    }
+    report.elapsed = started.elapsed();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let mut h = LatencyHistogram::new();
+        for micros in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 5000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.min(), Duration::from_micros(10));
+        assert_eq!(h.max(), Duration::from_micros(5000));
+        // p50 lands in a bucket whose upper edge is within 2x of the
+        // true median (50 µs → bucket [32,64) µs → edge 64 µs).
+        let p50 = h.quantile(0.50);
+        assert!(
+            p50 >= Duration::from_micros(50) && p50 <= Duration::from_micros(128),
+            "{p50:?}"
+        );
+        // p99+ resolves to the max tail sample's bucket, clamped to max.
+        assert_eq!(h.quantile(1.0), Duration::from_micros(5000));
+        assert!(h.mean() >= Duration::from_micros(500));
+    }
+
+    #[test]
+    fn histograms_merge_like_one_stream() {
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for (i, micros) in [3u64, 17, 90, 1200, 7, 45, 300, 9000].iter().enumerate() {
+            let d = Duration::from_micros(*micros);
+            if i % 2 == 0 {
+                left.record(d);
+            } else {
+                right.record(d);
+            }
+            all.record(d);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+        assert_eq!(left.quantile(0.5), all.quantile(0.5));
+        assert_eq!(left.quantile(0.99), all.quantile(0.99));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.min(), Duration::ZERO);
+    }
+}

@@ -74,7 +74,23 @@ pub enum Command {
     Depth,
 }
 
+/// Stamps `"v": WIRE_VERSION` onto an object — the versioned envelope
+/// every wire and journal record carries, so the on-disk and on-wire
+/// contracts are one schema and can evolve without guesswork.
+fn with_envelope(mut value: Value) -> Value {
+    if let Value::Object(map) = &mut value {
+        map.insert("v".to_owned(), json!(Command::WIRE_VERSION));
+    }
+    value
+}
+
 impl Command {
+    /// Version of the wire schema this build emits and accepts. Objects
+    /// without a `"v"` field are legacy v1 bodies; objects with any
+    /// other version are rejected with a typed error instead of being
+    /// half-parsed.
+    pub const WIRE_VERSION: u64 = 1;
+
     /// Longest string any wire field may carry (column names in practice
     /// are tens of bytes; anything bigger is hostile or broken input).
     pub const MAX_WIRE_STRING: usize = 4096;
@@ -108,9 +124,10 @@ impl Command {
         )
     }
 
-    /// Serializes the command to its wire form.
+    /// Serializes the command to its wire form (a v1 envelope: the
+    /// command object plus `"v": 1`).
     pub fn to_json(&self) -> Value {
-        match self {
+        with_envelope(match self {
             Command::SelectTheme(idx) => json!({"cmd": "select_theme", "theme": *idx}),
             Command::Zoom(region) => json!({"cmd": "zoom", "region": *region}),
             Command::Map => json!({"cmd": "map"}),
@@ -130,7 +147,7 @@ impl Command {
             Command::Sql => json!({"cmd": "sql"}),
             Command::Breadcrumbs => json!({"cmd": "breadcrumbs"}),
             Command::Depth => json!({"cmd": "depth"}),
-        }
+        })
     }
 
     /// Parses a command from its wire form.
@@ -151,6 +168,17 @@ impl Command {
             return Err(BlaeuError::Invalid(
                 "a command must be a JSON object".into(),
             ));
+        }
+        // Envelope check first: a bare object (no "v") is a legacy v1
+        // body; anything claiming a different — or mistyped — version is
+        // rejected before its fields are looked at.
+        if let Some(v) = value.get("v") {
+            if v.as_u64() != Some(Self::WIRE_VERSION) {
+                return Err(BlaeuError::Invalid(format!(
+                    "unsupported wire version {v:?} (this build speaks v{})",
+                    Self::WIRE_VERSION
+                )));
+            }
         }
         let cmd = value
             .get("cmd")
@@ -280,9 +308,10 @@ impl Response {
         fnv.0
     }
 
-    /// Serializes the response to the JSON a web client would render.
+    /// Serializes the response to the JSON a web client would render
+    /// (same v1 envelope as [`Command::to_json`]).
     pub fn to_json(&self) -> Value {
-        match self {
+        with_envelope(match self {
             Response::Map(map) => json!({"response": "map", "map": map_to_json(map)}),
             Response::Themes(themes) => {
                 json!({"response": "themes", "themes": themes_to_json(themes)})
@@ -311,7 +340,7 @@ impl Response {
                 json!({"response": "breadcrumbs", "breadcrumbs": crumbs.clone()})
             }
             Response::Depth(depth) => json!({"response": "depth", "depth": *depth}),
-        }
+        })
     }
 }
 
@@ -351,6 +380,51 @@ mod tests {
             let wire = cmd.to_json();
             let back = Command::from_json(&wire).unwrap();
             assert_eq!(cmd, back, "wire {wire:?}");
+        }
+    }
+
+    #[test]
+    fn wire_envelope_versioned_and_legacy_accepted() {
+        // Every emitted object carries the envelope.
+        for cmd in all_commands() {
+            let wire = cmd.to_json();
+            assert_eq!(
+                wire.get("v").and_then(Value::as_u64),
+                Some(Command::WIRE_VERSION),
+                "missing envelope on {wire:?}"
+            );
+        }
+        let depth = Response::Depth(3).to_json();
+        assert_eq!(
+            depth.get("v").and_then(Value::as_u64),
+            Some(Command::WIRE_VERSION)
+        );
+        // Bare legacy objects (no "v") parse as v1.
+        assert_eq!(
+            Command::from_json(&json!({"cmd": "depth"})).unwrap(),
+            Command::Depth
+        );
+        // Explicit v1 parses; unknown and mistyped versions are typed
+        // Invalid errors, not half-parsed commands.
+        assert_eq!(
+            Command::from_json(&json!({"v": 1, "cmd": "depth"})).unwrap(),
+            Command::Depth
+        );
+        for bad in [
+            json!({"v": 2, "cmd": "depth"}),
+            json!({"v": 0, "cmd": "depth"}),
+            json!({"v": -1i64, "cmd": "depth"}),
+            json!({"v": "1", "cmd": "depth"}),
+            json!({"v": 1.5, "cmd": "depth"}),
+            json!({"v": Value::Null, "cmd": "depth"}),
+        ] {
+            let err = Command::from_json(&bad).unwrap_err();
+            match err {
+                BlaeuError::Invalid(message) => {
+                    assert!(message.contains("wire version"), "{message}")
+                }
+                other => panic!("wrong error for {bad:?}: {other:?}"),
+            }
         }
     }
 

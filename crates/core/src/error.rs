@@ -83,6 +83,23 @@ impl BlaeuError {
     pub fn from_io(e: std::io::Error) -> Self {
         BlaeuError::Store(StoreError::from(e))
     }
+
+    /// Stable machine-readable tag for this error variant — the `code`
+    /// the wire tier puts in its error bodies and the journal records in
+    /// replay-verified error outcomes. One tag per variant, never reused.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BlaeuError::Store(_) => "store",
+            BlaeuError::UnknownTheme(_) => "unknown_theme",
+            BlaeuError::UnknownRegion(_) => "unknown_region",
+            BlaeuError::NoActiveMap => "no_active_map",
+            BlaeuError::EmptySelection => "empty_selection",
+            BlaeuError::HistoryEmpty => "history_empty",
+            BlaeuError::UnknownSession(_) => "unknown_session",
+            BlaeuError::QueueFull { .. } => "queue_full",
+            BlaeuError::Invalid(_) => "invalid",
+        }
+    }
 }
 
 /// Result alias for the core crate.
@@ -105,6 +122,29 @@ mod tests {
         assert!(full.to_string().contains("16 pending of 16"));
         let e: BlaeuError = StoreError::ColumnNotFound("x".into()).into();
         assert!(e.to_string().contains("storage error"));
+    }
+
+    #[test]
+    fn kinds_are_distinct_per_variant() {
+        let variants = [
+            BlaeuError::Store(StoreError::ColumnNotFound("x".into())),
+            BlaeuError::UnknownTheme(0),
+            BlaeuError::UnknownRegion(0),
+            BlaeuError::NoActiveMap,
+            BlaeuError::EmptySelection,
+            BlaeuError::HistoryEmpty,
+            BlaeuError::UnknownSession(0),
+            BlaeuError::QueueFull {
+                session: 0,
+                pending: 1,
+                capacity: 1,
+            },
+            BlaeuError::Invalid("x".into()),
+        ];
+        let kinds: std::collections::HashSet<&str> =
+            variants.iter().map(BlaeuError::kind).collect();
+        assert_eq!(kinds.len(), variants.len(), "kind tags must be unique");
+        assert_eq!(BlaeuError::NoActiveMap.kind(), "no_active_map");
     }
 
     #[test]

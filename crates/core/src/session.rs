@@ -78,6 +78,34 @@ impl SessionManager {
         Ok(id)
     }
 
+    /// Re-opens a session under an *explicit* id — the journal-recovery
+    /// path: a restarted server re-creates each journaled session under
+    /// the id its clients already hold. Future [`SessionManager::create*`]
+    /// ids are bumped past `id`, so restored and fresh sessions never
+    /// collide.
+    ///
+    /// # Errors
+    /// [`BlaeuError::Invalid`] when `id` is already live;
+    /// explorer-open failures as [`SessionManager::create_shared_memoized`].
+    pub fn restore_shared_memoized(
+        &self,
+        id: SessionId,
+        table: Arc<Table>,
+        config: ExplorerConfig,
+        memo: Option<Arc<dyn AnalysisMemo>>,
+    ) -> Result<()> {
+        let explorer = Explorer::open_shared_memoized(table, config, memo)?;
+        let mut sessions = self.sessions.write();
+        if sessions.contains_key(&id) {
+            return Err(BlaeuError::Invalid(format!(
+                "cannot restore session {id}: the id is already live"
+            )));
+        }
+        sessions.insert(id, Arc::new(Mutex::new(explorer)));
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Runs `f` with exclusive access to the session's explorer.
     ///
     /// # Errors
@@ -281,6 +309,29 @@ mod tests {
             assert_eq!(depth.unwrap(), 2);
         }
         assert!(!blaeu_exec::in_parallel_region());
+    }
+
+    #[test]
+    fn restore_pins_id_and_bumps_allocator() {
+        let mgr = SessionManager::new();
+        let base = Arc::new(table());
+        mgr.restore_shared_memoized(7, Arc::clone(&base), ExplorerConfig::default(), None)
+            .unwrap();
+        assert_eq!(mgr.ids(), vec![7]);
+        // Restoring over a live id is a typed error, not an overwrite.
+        assert!(matches!(
+            mgr.restore_shared_memoized(7, Arc::clone(&base), ExplorerConfig::default(), None),
+            Err(BlaeuError::Invalid(_))
+        ));
+        // Fresh sessions allocate past every restored id.
+        let fresh = mgr
+            .create_shared(Arc::clone(&base), ExplorerConfig::default())
+            .unwrap();
+        assert!(fresh > 7, "fresh id {fresh} must not collide with restored");
+        // Restoring below the allocator is fine as long as the id is free.
+        mgr.restore_shared_memoized(3, base, ExplorerConfig::default(), None)
+            .unwrap();
+        assert_eq!(mgr.ids(), vec![3, 7, fresh]);
     }
 
     #[test]

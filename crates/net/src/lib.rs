@@ -9,12 +9,21 @@
 //!
 //! | Method & path                       | Meaning |
 //! |-------------------------------------|---------|
-//! | `POST /sessions`                    | open a session over a registered table (`{"table": "name", "seed"?: n}`) |
-//! | `POST /sessions/:id/commands`       | run one command (body = `Command` wire JSON) |
+//! | `POST /sessions`                    | open a session over a registered table (`{"table": "name", "seed"?: n}`) — journaled when the engine has a journal |
+//! | `GET /sessions`                     | list live sessions (id, queue depth, journal sequence, idle ms) |
+//! | `POST /sessions/:id/commands`       | run one command (body = `Command` wire JSON, v1 envelope or bare legacy) |
 //! | `POST /sessions/:id/commands/batch` | NDJSON pipeline: one command per line in, one response line out per resolved command (streamed chunked) |
+//! | `GET /sessions/:id/history`         | the session's journal, streamed as NDJSON (one record per line) |
 //! | `DELETE /sessions/:id`              | close the session |
 //! | `GET /healthz`                      | liveness + session count |
-//! | `GET /stats`                        | cache hit/miss/bytes, queue depths, request counters |
+//! | `GET /stats`                        | aggregates only: cache hit/miss/bytes, journal counters, request counters |
+//!
+//! Every non-2xx response has one body shape:
+//! `{"error": {"code", "message", "detail"?}}` — `code` is a stable
+//! machine tag ([`BlaeuError::kind`] for engine errors), `message` is
+//! human-readable, and `detail` carries code-specific structure (e.g.
+//! `pending`/`capacity` for `queue_full`, `limit` for
+//! `payload_too_large`).
 //!
 //! ## Contract with the engine
 //!
@@ -303,7 +312,7 @@ fn handle_connection(shared: &Arc<NetShared>, stream: TcpStream) {
             Err(HttpError::BadRequest(why)) => {
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 shared.rejected.fetch_add(1, Ordering::Relaxed);
-                let body = serde_json::to_string(&json!({"error": why, "kind": "bad_request"}))
+                let body = serde_json::to_string(&error_body("bad_request", &why, None))
                     .expect("serialization is infallible");
                 let _ = write_response(
                     &mut writer,
@@ -319,7 +328,12 @@ fn handle_connection(shared: &Arc<NetShared>, stream: TcpStream) {
             Err(HttpError::LengthRequired) => {
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 shared.rejected.fetch_add(1, Ordering::Relaxed);
-                let body = r#"{"error":"POST requires Content-Length","kind":"length_required"}"#;
+                let body = serde_json::to_string(&error_body(
+                    "length_required",
+                    "POST requires Content-Length",
+                    None,
+                ))
+                .expect("serialization is infallible");
                 let _ = write_response(
                     &mut writer,
                     411,
@@ -334,11 +348,11 @@ fn handle_connection(shared: &Arc<NetShared>, stream: TcpStream) {
             Err(HttpError::PayloadTooLarge { limit, announced }) => {
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 shared.rejected.fetch_add(1, Ordering::Relaxed);
-                let body = serde_json::to_string(&json!({
-                    "error": format!("body of {announced} bytes exceeds the {limit}-byte limit"),
-                    "kind": "payload_too_large",
-                    "limit": limit,
-                }))
+                let body = serde_json::to_string(&error_body(
+                    "payload_too_large",
+                    format!("body of {announced} bytes exceeds the {limit}-byte limit"),
+                    Some(json!({"limit": limit, "announced": announced})),
+                ))
                 .expect("serialization is infallible");
                 // The unread body makes the connection unusable; close.
                 let _ = write_response(
@@ -364,6 +378,7 @@ enum Route {
     Session(u64),
     SessionCommands(u64),
     SessionBatch(u64),
+    SessionHistory(u64),
     Unknown,
 }
 
@@ -378,6 +393,7 @@ fn route(path: &str) -> Route {
         ["sessions", id, "commands", "batch"] => {
             id.parse().map_or(Route::Unknown, Route::SessionBatch)
         }
+        ["sessions", id, "history"] => id.parse().map_or(Route::Unknown, Route::SessionHistory),
         _ => Route::Unknown,
     }
 }
@@ -396,37 +412,36 @@ fn envelope(response: &Response) -> Value {
     value
 }
 
-/// Maps an engine error to `(status, reason, kind)`.
-fn status_of(error: &BlaeuError) -> (u16, &'static str, &'static str) {
+/// The one error body shape every non-2xx response carries:
+/// `{"error": {"code", "message", "detail"?}}`.
+fn error_body(code: &str, message: impl AsRef<str>, detail: Option<Value>) -> Value {
+    let mut inner = json!({"code": code, "message": message.as_ref()});
+    if let (Some(detail), Value::Object(map)) = (detail, &mut inner) {
+        map.insert("detail".to_owned(), detail);
+    }
+    json!({"error": inner})
+}
+
+/// Maps an engine error to `(status, reason)`; the body `code` is
+/// [`BlaeuError::kind`] — one tag registry across wire and journal.
+fn status_of(error: &BlaeuError) -> (u16, &'static str) {
     match error {
-        BlaeuError::UnknownSession(_) => (404, "Not Found", "unknown_session"),
-        BlaeuError::QueueFull { .. } => (429, "Too Many Requests", "queue_full"),
-        BlaeuError::UnknownTheme(_) => (422, "Unprocessable Entity", "unknown_theme"),
-        BlaeuError::UnknownRegion(_) => (422, "Unprocessable Entity", "unknown_region"),
-        BlaeuError::NoActiveMap => (422, "Unprocessable Entity", "no_active_map"),
-        BlaeuError::EmptySelection => (422, "Unprocessable Entity", "empty_selection"),
-        BlaeuError::HistoryEmpty => (422, "Unprocessable Entity", "history_empty"),
-        BlaeuError::Store(_) => (422, "Unprocessable Entity", "store"),
-        BlaeuError::Invalid(_) => (422, "Unprocessable Entity", "invalid"),
+        BlaeuError::UnknownSession(_) => (404, "Not Found"),
+        BlaeuError::QueueFull { .. } => (429, "Too Many Requests"),
+        _ => (422, "Unprocessable Entity"),
     }
 }
 
-/// JSON body for an engine error; `QueueFull` carries the occupancy the
-/// client needs to back off intelligently.
+/// Error body for an engine error; `QueueFull`'s detail carries the
+/// occupancy the client needs to back off intelligently.
 fn error_json(error: &BlaeuError) -> Value {
-    let (_, _, kind) = status_of(error);
-    let mut value = json!({"error": error.to_string(), "kind": kind});
-    if let (
+    let detail = match error {
         BlaeuError::QueueFull {
             pending, capacity, ..
-        },
-        Value::Object(map),
-    ) = (error, &mut value)
-    {
-        map.insert("pending".to_owned(), json!(*pending));
-        map.insert("capacity".to_owned(), json!(*capacity));
-    }
-    value
+        } => Some(json!({"pending": *pending, "capacity": *capacity})),
+        _ => None,
+    };
+    error_body(error.kind(), error.to_string(), detail)
 }
 
 fn send_json<W: Write>(
@@ -459,7 +474,7 @@ fn send_engine_error<W: Write>(
     error: &BlaeuError,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let (status, reason, _) = status_of(error);
+    let (status, reason) = status_of(error);
     let retry: Vec<(&str, String)> = if status == 429 {
         vec![("Retry-After", "1".to_owned())]
     } else {
@@ -492,6 +507,7 @@ fn respond<W: Write>(
             send_json(shared, writer, 200, "OK", &body, keep_alive, &[])
         }
         ("GET", Route::Stats) => {
+            // Aggregates only — per-session rows live at GET /sessions.
             let cache = shared.engine.cache_stats().map(|stats| {
                 json!({
                     "hits": stats.hits,
@@ -503,17 +519,20 @@ fn respond<W: Write>(
                     "theme_bytes": stats.theme_bytes,
                 })
             });
-            let depths: Vec<Value> = shared
-                .engine
-                .queue_depths()
-                .into_iter()
-                .map(|(session, pending)| json!({"session": session, "pending": pending}))
-                .collect();
+            let journal = shared.engine.journal_stats().map(|stats| {
+                json!({
+                    "sessions": stats.sessions,
+                    "records": stats.records,
+                    "bytes": stats.bytes,
+                    "fsyncs": stats.fsyncs,
+                    "append_failures": stats.append_failures,
+                })
+            });
             let body = json!({
                 "sessions": shared.engine.len(),
                 "queue_capacity": shared.engine.queue_capacity(),
-                "queue_depths": depths,
                 "cache": cache,
+                "journal": journal,
                 "requests": shared.requests.load(Ordering::Relaxed),
                 "rejected": shared.rejected.load(Ordering::Relaxed),
                 "conn_workers": shared.conn_workers,
@@ -521,6 +540,24 @@ fn respond<W: Write>(
             });
             send_json(shared, writer, 200, "OK", &body, keep_alive, &[])
         }
+        ("GET", Route::Sessions) => {
+            let sessions: Vec<Value> = shared
+                .engine
+                .session_infos()
+                .into_iter()
+                .map(|info| {
+                    json!({
+                        "session": info.id,
+                        "pending": info.pending,
+                        "journal_seq": info.journal_seq,
+                        "idle_ms": info.idle.as_millis() as u64,
+                    })
+                })
+                .collect();
+            let body = json!({"sessions": sessions});
+            send_json(shared, writer, 200, "OK", &body, keep_alive, &[])
+        }
+        ("GET", Route::SessionHistory(id)) => session_history(shared, id, writer, keep_alive),
         ("POST", Route::Sessions) => open_session(shared, request, writer, keep_alive),
         ("POST", Route::SessionCommands(id)) => {
             run_command(shared, id, request, writer, keep_alive)
@@ -543,7 +580,11 @@ fn respond<W: Write>(
             writer,
             404,
             "Not Found",
-            &json!({"error": format!("no route {} {}", request.method, request.path), "kind": "unknown_route"}),
+            &error_body(
+                "unknown_route",
+                format!("no route {} {}", request.method, request.path),
+                None,
+            ),
             keep_alive,
             &[],
         ),
@@ -552,11 +593,68 @@ fn respond<W: Write>(
             writer,
             405,
             "Method Not Allowed",
-            &json!({"error": format!("{} not allowed on {}", request.method, request.path), "kind": "method_not_allowed"}),
+            &error_body(
+                "method_not_allowed",
+                format!("{} not allowed on {}", request.method, request.path),
+                None,
+            ),
             keep_alive,
             &[],
         ),
     }
+}
+
+/// `GET /sessions/:id/history`: the session's journal streamed as
+/// NDJSON — one record payload per line, exactly the bytes recovery
+/// replays (minus the integrity framing). `404 no_journal` when the
+/// engine runs without a journal; `404 unknown_session` when no journal
+/// file exists for the id.
+fn session_history<W: Write>(
+    shared: &Arc<NetShared>,
+    id: u64,
+    writer: &mut W,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let Some(journal) = shared.engine.journal() else {
+        return send_json(
+            shared,
+            writer,
+            404,
+            "Not Found",
+            &error_body(
+                "no_journal",
+                "this server runs without a command journal",
+                None,
+            ),
+            keep_alive,
+            &[],
+        );
+    };
+    let path = blaeu_server::journal_path(journal.dir(), id);
+    let read = match blaeu_server::read_journal(&path) {
+        Ok(read) => read,
+        Err(_) => {
+            return send_json(
+                shared,
+                writer,
+                404,
+                "Not Found",
+                &error_body(
+                    "unknown_session",
+                    format!("no journal for session {id}"),
+                    None,
+                ),
+                keep_alive,
+                &[],
+            )
+        }
+    };
+    let mut stream = ChunkedWriter::start(writer, 200, "OK", "application/x-ndjson", keep_alive)?;
+    for line in &read.lines {
+        stream.write_chunk(line.as_bytes())?;
+        stream.write_chunk(b"\n")?;
+    }
+    stream.finish()
 }
 
 /// `POST /sessions`: `{"table": "<registered name>", "seed"?: n}` →
@@ -577,7 +675,7 @@ fn open_session<W: Write>(
                 writer,
                 400,
                 "Bad Request",
-                &json!({"error": format!("malformed JSON: {e}"), "kind": "bad_request"}),
+                &error_body("bad_request", format!("malformed JSON: {e}"), None),
                 keep_alive,
                 &[],
             )
@@ -589,7 +687,11 @@ fn open_session<W: Write>(
             writer,
             400,
             "Bad Request",
-            &json!({"error": "body needs a \"table\" field naming a registered table", "kind": "bad_request"}),
+            &error_body(
+                "bad_request",
+                "body needs a \"table\" field naming a registered table",
+                None,
+            ),
             keep_alive,
             &[],
         );
@@ -611,7 +713,11 @@ fn open_session<W: Write>(
                 writer,
                 404,
                 "Not Found",
-                &json!({"error": format!("unknown table {name:?}"), "kind": "unknown_table", "tables": known}),
+                &error_body(
+                    "unknown_table",
+                    format!("unknown table {name:?}"),
+                    Some(json!({"tables": known})),
+                ),
                 keep_alive,
                 &[],
             )
@@ -630,14 +736,20 @@ fn open_session<W: Write>(
                     writer,
                     400,
                     "Bad Request",
-                    &json!({"error": "\"seed\" must be a non-negative integer", "kind": "bad_request"}),
+                    &error_body(
+                        "bad_request",
+                        "\"seed\" must be a non-negative integer",
+                        None,
+                    ),
                     keep_alive,
                     &[],
                 )
             }
         },
     }
-    match shared.engine.open_session(table, config) {
+    // Named open: with a journal configured, this writes the session's
+    // `open` record so it survives restart.
+    match shared.engine.open_named_session(name, table, config) {
         Ok(id) => send_json(
             shared,
             writer,
@@ -672,7 +784,7 @@ fn run_command<W: Write>(
                 writer,
                 400,
                 "Bad Request",
-                &json!({"error": error.to_string(), "kind": "bad_request"}),
+                &error_body("bad_request", error.to_string(), None),
                 keep_alive,
                 &[],
             )
@@ -719,7 +831,7 @@ fn run_batch<W: Write>(
             writer,
             400,
             "Bad Request",
-            &json!({"error": "body is not UTF-8", "kind": "bad_request"}),
+            &error_body("bad_request", "body is not UTF-8", None),
             keep_alive,
             &[],
         );
@@ -737,11 +849,11 @@ fn run_batch<W: Write>(
                     writer,
                     400,
                     "Bad Request",
-                    &json!({
-                        "error": format!("line {}: {error}", lineno + 1),
-                        "kind": "bad_request",
-                        "line": lineno + 1,
-                    }),
+                    &error_body(
+                        "bad_request",
+                        format!("line {}: {error}", lineno + 1),
+                        Some(json!({"line": lineno + 1})),
+                    ),
                     keep_alive,
                     &[],
                 )
@@ -786,11 +898,17 @@ fn run_batch<W: Write>(
         stream.write_chunk(text.as_bytes())?;
     }
     if let Some(error) = submit_error {
-        let mut line = error_json(&error);
-        if let Value::Object(map) = &mut line {
+        let mut detail = match &error {
+            BlaeuError::QueueFull {
+                pending, capacity, ..
+            } => json!({"pending": *pending, "capacity": *capacity}),
+            _ => json!({}),
+        };
+        if let Value::Object(map) = &mut detail {
             map.insert("submitted".to_owned(), json!(false));
             map.insert("not_attempted".to_owned(), json!(not_attempted));
         }
+        let line = error_body(error.kind(), error.to_string(), Some(detail));
         let mut text = serde_json::to_string(&line).expect("serialization is infallible");
         text.push('\n');
         stream.write_chunk(text.as_bytes())?;

@@ -33,10 +33,16 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod journal;
 
 pub use cache::{AnalysisCache, CacheStats};
+pub use journal::{
+    journal_file_id, journal_path, read_journal, FsyncPolicy, JournalDefect, JournalRecord,
+    JournalStats, ReadJournal, RecordedOutcome, SessionJournal,
+};
 
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -66,6 +72,15 @@ pub struct ServerConfig {
     /// maps and tiny theme sets are weighed, not merely counted (`0` =
     /// unlimited — entry count is the only bound).
     pub cache_bytes: usize,
+    /// Directory for the write-ahead command journal (`None` = no
+    /// durability: sessions die with the process, exactly the pre-journal
+    /// behavior). With a journal, sessions opened via
+    /// [`AsyncSessionServer::open_named_session`] survive restart through
+    /// [`AsyncSessionServer::recover`].
+    pub journal_dir: Option<PathBuf>,
+    /// When journal appends reach the disk (ignored without
+    /// `journal_dir`).
+    pub journal_fsync: FsyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +90,8 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             cache_capacity: 256,
             cache_bytes: cache::DEFAULT_CACHE_BYTES,
+            journal_dir: None,
+            journal_fsync: FsyncPolicy::Never,
         }
     }
 }
@@ -177,6 +194,9 @@ struct QueueState {
     /// that is what serializes a session.
     active: bool,
     closed: bool,
+    /// Last time a command was accepted or completed (open counts) —
+    /// `GET /sessions` reports its age.
+    last_activity: Instant,
 }
 
 struct SessionQueue {
@@ -192,12 +212,26 @@ struct SessionQueue {
 /// pin all N workers and starve every later session.
 const DRAIN_BATCH: usize = 4;
 
+/// One session's monitoring snapshot — the `GET /sessions` resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// Session id.
+    pub id: SessionId,
+    /// Commands queued, not yet executing.
+    pub pending: usize,
+    /// Last journal sequence number (`None` for unjournaled sessions).
+    pub journal_seq: Option<u64>,
+    /// Time since the last command was accepted or completed.
+    pub idle: std::time::Duration,
+}
+
 /// The asynchronous session server (see the [crate docs](self)).
 pub struct AsyncSessionServer {
     manager: Arc<SessionManager>,
     pool: Arc<JobPool>,
     queues: Mutex<HashMap<SessionId, Arc<SessionQueue>>>,
     cache: Option<Arc<AnalysisCache>>,
+    journal: Option<Arc<SessionJournal>>,
     queue_capacity: usize,
 }
 
@@ -214,20 +248,39 @@ impl std::fmt::Debug for AsyncSessionServer {
 impl AsyncSessionServer {
     /// Spawns a server: a worker pool plus (unless disabled) a shared
     /// analysis cache.
+    ///
+    /// # Panics
+    /// When `config.journal_dir` is set but the directory cannot be
+    /// created — use [`AsyncSessionServer::try_new`] to handle journal
+    /// setup failures without a panic.
     pub fn new(config: ServerConfig) -> Self {
+        Self::try_new(config).expect("journal directory setup failed")
+    }
+
+    /// [`AsyncSessionServer::new`], surfacing journal-setup failures
+    /// instead of panicking. Infallible when `journal_dir` is `None`.
+    ///
+    /// # Errors
+    /// Journal-directory creation failures.
+    pub fn try_new(config: ServerConfig) -> std::io::Result<Self> {
         let cache = (config.cache_capacity > 0).then(|| {
             Arc::new(AnalysisCache::with_byte_budget(
                 config.cache_capacity,
                 config.cache_bytes,
             ))
         });
-        AsyncSessionServer {
+        let journal = match &config.journal_dir {
+            Some(dir) => Some(Arc::new(SessionJournal::open(dir, config.journal_fsync)?)),
+            None => None,
+        };
+        Ok(AsyncSessionServer {
             manager: Arc::new(SessionManager::new()),
             pool: Arc::new(JobPool::new(config.threads)),
             queues: Mutex::new(HashMap::new()),
             cache,
+            journal,
             queue_capacity: config.queue_capacity.max(1),
-        }
+        })
     }
 
     /// Opens a session over a shared table (the zero-copy path: every
@@ -246,6 +299,44 @@ impl AsyncSessionServer {
             )?,
             None => self.manager.create_shared(table, config)?,
         };
+        self.install_queue(id);
+        Ok(id)
+    }
+
+    /// [`AsyncSessionServer::open_session`] under a registered table
+    /// *name* — the durable path: with a journal configured, the session
+    /// writes an `open` record (name + seed) and every executed command
+    /// after it, so [`AsyncSessionServer::recover`] can rebuild it after
+    /// a restart. The wire tier opens all its sessions through this.
+    ///
+    /// Only `config.mapper.seed` is journaled — it is the one config
+    /// knob the wire contract exposes; recovery re-opens with defaults
+    /// plus that seed.
+    ///
+    /// # Errors
+    /// Explorer-open failures, plus journal I/O failures (a session
+    /// whose open record cannot be written must not pretend to be
+    /// durable).
+    pub fn open_named_session(
+        &self,
+        name: &str,
+        table: Arc<Table>,
+        config: ExplorerConfig,
+    ) -> Result<SessionId> {
+        let seed = config.mapper.seed;
+        let id = self.open_session(table, config)?;
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.open_session(id, name, seed) {
+                // Roll the half-open session back — better refused than
+                // silently undurable.
+                let _ = self.close(id);
+                return Err(BlaeuError::from_io(e));
+            }
+        }
+        Ok(id)
+    }
+
+    fn install_queue(&self, id: SessionId) {
         self.queues.lock().insert(
             id,
             Arc::new(SessionQueue {
@@ -254,10 +345,10 @@ impl AsyncSessionServer {
                     pending: VecDeque::new(),
                     active: false,
                     closed: false,
+                    last_activity: Instant::now(),
                 }),
             }),
         );
-        Ok(id)
     }
 
     /// Enqueues `command` on the session's pipeline and returns a handle
@@ -293,6 +384,7 @@ impl AsyncSessionServer {
                 });
             }
             st.pending.push_back((command, Arc::clone(&slot)));
+            st.last_activity = Instant::now();
             if st.active {
                 false
             } else {
@@ -303,6 +395,7 @@ impl AsyncSessionServer {
         if schedule {
             schedule_drain(
                 Arc::clone(&self.manager),
+                self.journal.clone(),
                 Arc::downgrade(&self.pool),
                 queue,
                 &self.pool,
@@ -341,6 +434,9 @@ impl AsyncSessionServer {
         };
         for (_command, slot) in rejected {
             slot.fulfil(Err(BlaeuError::UnknownSession(id)));
+        }
+        if let Some(journal) = &self.journal {
+            journal.close_session(id);
         }
         self.manager.close(id)
     }
@@ -407,6 +503,275 @@ impl AsyncSessionServer {
     pub fn cache(&self) -> Option<&AnalysisCache> {
         self.cache.as_deref()
     }
+
+    /// The write-ahead command journal (`None` when not configured).
+    pub fn journal(&self) -> Option<&SessionJournal> {
+        self.journal.as_deref()
+    }
+
+    /// Journal depth/bytes/fsync counters (`None` when not configured).
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        self.journal.as_ref().map(|j| j.stats())
+    }
+
+    /// Monitoring snapshot of every live session, ascending by id — the
+    /// `GET /sessions` resource.
+    pub fn session_infos(&self) -> Vec<SessionInfo> {
+        let queues: Vec<Arc<SessionQueue>> = self.queues.lock().values().cloned().collect();
+        let now = Instant::now();
+        let mut infos: Vec<SessionInfo> = queues
+            .iter()
+            .map(|q| {
+                let st = q.state.lock();
+                SessionInfo {
+                    id: q.id,
+                    pending: st.pending.len(),
+                    journal_seq: self.journal.as_ref().and_then(|j| j.seq_of(q.id)),
+                    idle: now.saturating_duration_since(st.last_activity),
+                }
+            })
+            .collect();
+        infos.sort_unstable_by_key(|info| info.id);
+        infos
+    }
+
+    /// Replays every journal file in the configured directory over
+    /// `tables` (registered name → table), rebuilding each journaled
+    /// session under its original id and warming the analysis cache
+    /// bit-identically — every replayed response is digest-checked
+    /// against the recorded digest, so divergence is a typed
+    /// [`RecoveryError`], never silent.
+    ///
+    /// Damage is contained per session: a corrupt or truncated tail is
+    /// cleanly cut back to the longest valid prefix (the file is
+    /// physically truncated, and the session lives on at the prefix
+    /// state); a file whose head is unreadable is set aside as
+    /// `*.jnl.corrupt`; a cleanly closed journal is removed. All of it
+    /// is reported in the [`RecoveryReport`].
+    ///
+    /// # Errors
+    /// [`BlaeuError::Invalid`] when no journal is configured; journal
+    /// directory scan failures as [`BlaeuError::Store`]. Per-session
+    /// problems are report entries, not errors.
+    pub fn recover(&self, tables: &HashMap<String, Arc<Table>>) -> Result<RecoveryReport> {
+        let journal = self
+            .journal
+            .as_ref()
+            .ok_or_else(|| BlaeuError::Invalid("no journal directory configured".into()))?;
+        let mut report = RecoveryReport::default();
+        for id in journal.scan().map_err(BlaeuError::from_io)? {
+            self.recover_session(journal, id, tables, &mut report);
+        }
+        Ok(report)
+    }
+
+    /// Replays one journal file; all failure modes land in `report`.
+    fn recover_session(
+        &self,
+        journal: &Arc<SessionJournal>,
+        id: SessionId,
+        tables: &HashMap<String, Arc<Table>>,
+        report: &mut RecoveryReport,
+    ) {
+        let path = journal_path(journal.dir(), id);
+        let read = match read_journal(&path) {
+            Ok(read) => read,
+            Err(e) => {
+                report.errors.push(RecoveryError::Io {
+                    session: id,
+                    detail: e.to_string(),
+                });
+                return;
+            }
+        };
+        // A close record anywhere means the session ended cleanly (the
+        // delete just never happened); drop the file.
+        if read
+            .records
+            .iter()
+            .any(|r| matches!(r, JournalRecord::Close { .. }))
+        {
+            let _ = std::fs::remove_file(&path);
+            report.closed += 1;
+            return;
+        }
+        let Some(JournalRecord::Open { table, seed, .. }) = read.records.first() else {
+            // Head unreadable (or first record is not `open`): nothing
+            // recoverable. Set the file aside so the next restart does
+            // not trip over it again.
+            let detail = read.defect.as_ref().map_or_else(
+                || "journal does not start with an open record".to_owned(),
+                |d| d.detail.clone(),
+            );
+            let _ = std::fs::rename(&path, path.with_extension("jnl.corrupt"));
+            report.errors.push(RecoveryError::CorruptHead {
+                session: id,
+                detail,
+            });
+            return;
+        };
+        if let Some(defect) = &read.defect {
+            // Torn/corrupt tail: physically truncate to the valid
+            // prefix, report it, and replay what survived.
+            if let Ok(file) = std::fs::OpenOptions::new().write(true).open(&path) {
+                let _ = file.set_len(read.valid_bytes);
+            }
+            report.errors.push(RecoveryError::TruncatedTail {
+                session: id,
+                valid_records: read.records.len(),
+                detail: defect.detail.clone(),
+            });
+        }
+        let Some(table_arc) = tables.get(table) else {
+            report.errors.push(RecoveryError::UnknownTable {
+                session: id,
+                table: table.clone(),
+            });
+            return;
+        };
+        let config = {
+            let mut config = ExplorerConfig::default();
+            config.mapper.seed = *seed;
+            config
+        };
+        let memo = self
+            .cache
+            .as_ref()
+            .map(|c| Arc::clone(c) as Arc<dyn AnalysisMemo>);
+        if let Err(error) =
+            self.manager
+                .restore_shared_memoized(id, Arc::clone(table_arc), config, memo)
+        {
+            report.errors.push(RecoveryError::Replay {
+                session: id,
+                seq: 0,
+                detail: error.to_string(),
+            });
+            return;
+        }
+        // Replay, digest-checking every step. On divergence: cut the
+        // journal back to the last verified record and keep the session
+        // at that state — same containment as a torn tail.
+        let mut verified_bytes = 0u64;
+        let mut last_seq = 0u64;
+        for (index, record) in read.records.iter().enumerate() {
+            let record_end = read.record_ends[index];
+            let JournalRecord::Command {
+                seq,
+                command,
+                outcome,
+            } = record
+            else {
+                verified_bytes = record_end;
+                continue;
+            };
+            let result = run_guarded(|| {
+                self.manager
+                    .with(id, |explorer| explorer.execute(command))
+                    .and_then(|inner| inner)
+            });
+            if outcome.matches(&result) {
+                verified_bytes = record_end;
+                last_seq = *seq;
+                report.replayed += 1;
+            } else {
+                report.errors.push(RecoveryError::DigestMismatch {
+                    session: id,
+                    seq: *seq,
+                    expected: outcome.clone(),
+                    detail: match &result {
+                        Ok(response) => format!("replay digest {:016x}", response.digest()),
+                        Err(error) => format!("replay error kind {:?}", error.kind()),
+                    },
+                });
+                if let Ok(file) = std::fs::OpenOptions::new().write(true).open(&path) {
+                    let _ = file.set_len(verified_bytes);
+                }
+                break;
+            }
+        }
+        if let Err(e) = journal.adopt_session(id, last_seq) {
+            report.errors.push(RecoveryError::Io {
+                session: id,
+                detail: e.to_string(),
+            });
+        }
+        self.install_queue(id);
+        report.sessions.push(id);
+    }
+}
+
+/// One contained per-session problem [`AsyncSessionServer::recover`]
+/// hit (the rest of the directory still recovers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryError {
+    /// The journal head is unreadable — file set aside as
+    /// `*.jnl.corrupt`, session not restored.
+    CorruptHead {
+        /// Session id from the file name.
+        session: SessionId,
+        /// What failed.
+        detail: String,
+    },
+    /// A corrupt/torn tail was cut back to the valid prefix; the
+    /// session recovered up to it.
+    TruncatedTail {
+        /// Session id.
+        session: SessionId,
+        /// Records that survived.
+        valid_records: usize,
+        /// What the checksum/framing check reported.
+        detail: String,
+    },
+    /// A replayed command's outcome did not match the recorded one —
+    /// the table or build changed under the journal. The journal was
+    /// cut back to the last verified record.
+    DigestMismatch {
+        /// Session id.
+        session: SessionId,
+        /// Sequence of the diverging command.
+        seq: u64,
+        /// The recorded outcome.
+        expected: RecordedOutcome,
+        /// What replay produced instead.
+        detail: String,
+    },
+    /// The journal names a table that is not registered.
+    UnknownTable {
+        /// Session id.
+        session: SessionId,
+        /// The missing table name.
+        table: String,
+    },
+    /// Session restore itself failed (id collision, explorer open).
+    Replay {
+        /// Session id.
+        session: SessionId,
+        /// Sequence at failure (0 = before any command).
+        seq: u64,
+        /// The engine error.
+        detail: String,
+    },
+    /// Filesystem failure reading or re-attaching the journal.
+    Io {
+        /// Session id.
+        session: SessionId,
+        /// The I/O error.
+        detail: String,
+    },
+}
+
+/// What [`AsyncSessionServer::recover`] rebuilt.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Sessions restored (live again under their original ids).
+    pub sessions: Vec<SessionId>,
+    /// Commands replayed with verified outcomes, across all sessions.
+    pub replayed: u64,
+    /// Journal files of cleanly closed sessions (removed, not restored).
+    pub closed: usize,
+    /// Contained per-session problems, in session order.
+    pub errors: Vec<RecoveryError>,
 }
 
 /// Runs one command to a `Result`, converting a panic in the analysis
@@ -433,6 +798,7 @@ fn run_guarded(f: impl FnOnce() -> Result<Response>) -> Result<Response> {
 /// `pool` is the strong handle of whoever is scheduling right now.
 fn schedule_drain(
     manager: Arc<SessionManager>,
+    journal: Option<Arc<SessionJournal>>,
     weak_pool: std::sync::Weak<JobPool>,
     queue: Arc<SessionQueue>,
     pool: &JobPool,
@@ -440,7 +806,7 @@ fn schedule_drain(
     // The handle is intentionally detached — every command's own
     // ResponseSlot is the join point, and drain never panics
     // (run_guarded converts command panics into errors).
-    let _detached = pool.submit(move || drain(&manager, &weak_pool, &queue));
+    let _detached = pool.submit(move || drain(&manager, journal.as_ref(), &weak_pool, &queue));
 }
 
 /// Drains one session's queue: pops and executes commands in FIFO order,
@@ -452,6 +818,7 @@ fn schedule_drain(
 /// re-enqueue degrades to draining inline, so every slot still resolves.
 fn drain(
     manager: &Arc<SessionManager>,
+    journal: Option<&Arc<SessionJournal>>,
     weak_pool: &std::sync::Weak<JobPool>,
     queue: &Arc<SessionQueue>,
 ) {
@@ -471,6 +838,7 @@ fn drain(
                 }
                 schedule_drain(
                     Arc::clone(manager),
+                    journal.cloned(),
                     std::sync::Weak::clone(weak_pool),
                     Arc::clone(queue),
                     &pool,
@@ -500,6 +868,13 @@ fn drain(
                 .with(queue.id, |explorer| explorer.execute(&command))
                 .and_then(|inner| inner)
         });
+        // Write-ahead of the *acknowledgement*: the record (command +
+        // outcome) is on disk before the client can observe the
+        // response, so every response a client saw is replayable.
+        if let Some(journal) = journal {
+            journal.append_command(queue.id, &command, &RecordedOutcome::of(&result));
+        }
+        queue.state.lock().last_activity = Instant::now();
         slot.fulfil(result);
         executed += 1;
     }

@@ -52,7 +52,7 @@ pub use sample::{
     bernoulli_sample, rng_from_seed, sample_table, uniform_sample, MultiScaleSampler, StoreRng,
 };
 pub use schema::{ColumnRole, Field, Schema};
-pub use snapshot::{read_snapshot_bytes, write_snapshot_bytes};
+pub use snapshot::{checksum64, read_snapshot_bytes, write_snapshot_bytes};
 pub use table::{Table, TableBuilder};
 pub use value::{DataType, Value};
 pub use view::{ColumnView, TableView};

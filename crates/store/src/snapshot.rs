@@ -46,7 +46,11 @@ const HEADER_LEN: usize = 32;
 /// FNV-1a folded over little-endian 8-byte words (the short tail is
 /// zero-padded). Word-at-a-time keeps validation cheap enough that the
 /// snapshot read path stays far under CSV parse cost.
-fn checksum64(bytes: &[u8]) -> u64 {
+///
+/// Public because the server tier's command journal frames its records
+/// with the same checksum — one integrity primitive across every durable
+/// artifact this workspace writes.
+pub fn checksum64(bytes: &[u8]) -> u64 {
     const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut hash = BASIS ^ bytes.len() as u64;

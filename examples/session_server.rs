@@ -21,6 +21,12 @@
 //! every later run decodes the snapshot instead of regenerating — the
 //! fast path a long-lived server uses to restart without re-ingesting.
 //!
+//! With `--journal <dir>` every accepted command is journaled and the
+//! server recovers past sessions on startup: the demo leaves one
+//! journaled session open on exit, and the next run with the same
+//! `--journal` replays it digest-checked and continues where it left
+//! off — kill the process however you like in between.
+//!
 //! ```sh
 //! cargo run --release --example session_server -- --serve 127.0.0.1:7878
 //! # in another shell:
@@ -79,7 +85,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or_else(|| "127.0.0.1:7878".into())
     });
 
-    let server = AsyncSessionServer::new(ServerConfig::default());
+    // `--journal DIR`: durable sessions — journal every command, recover
+    // whatever a previous run (or crash) left behind.
+    let journal_dir = args
+        .iter()
+        .position(|a| a == "--journal")
+        .and_then(|at| args.get(at + 1).filter(|a| !a.starts_with("--")).cloned());
+    let server = AsyncSessionServer::try_new(ServerConfig {
+        journal_dir: journal_dir.clone().map(Into::into),
+        ..ServerConfig::default()
+    })?;
+    if journal_dir.is_some() {
+        let tables =
+            std::collections::HashMap::from([("hollywood".to_owned(), Arc::clone(&table))]);
+        let report = server.recover(&tables)?;
+        if report.sessions.is_empty() && report.errors.is_empty() {
+            println!("journal: nothing to recover (first run)");
+        } else {
+            println!(
+                "journal: recovered sessions {:?} ({} commands replayed, digest-checked)",
+                report.sessions, report.replayed
+            );
+            for error in &report.errors {
+                println!("journal: contained recovery error: {error:?}");
+            }
+        }
+    }
 
     // Four clients connect; each gets an isolated session over the SAME
     // shared table — no per-session copy (the create_shared path).
@@ -158,6 +189,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         server.close(id)?;
     }
     println!("\nall sessions closed; server empty: {}", server.is_empty());
+
+    // With a journal: leave one session open (mapped, zoomed) so the
+    // NEXT run has something to recover — a restart demo in two runs.
+    if let Some(dir) = &journal_dir {
+        let id = server.open_named_session(
+            "hollywood",
+            Arc::clone(&table),
+            ExplorerConfig::default(),
+        )?;
+        server.request(id, Command::SelectTheme(0))?;
+        let digest = server.request(id, Command::Sql)?.digest();
+        println!(
+            "journal: session {id} left open in {dir} (sql digest {digest:016x}) — \
+             run again with --journal {dir} to watch it recover"
+        );
+    }
 
     if let Some(addr) = serve_addr {
         let net = NetServer::bind(addr.as_str(), Arc::new(server), NetConfig::default())?;

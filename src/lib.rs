@@ -66,7 +66,10 @@ pub mod prelude {
     };
     pub use blaeu_exec::{JobHandle, JobPool, JobStatus};
     pub use blaeu_net::{NetConfig, NetServer};
-    pub use blaeu_server::{AnalysisCache, AsyncSessionServer, CacheStats, ServerConfig};
+    pub use blaeu_server::{
+        AnalysisCache, AsyncSessionServer, CacheStats, FsyncPolicy, RecoveryReport, ServerConfig,
+        SessionJournal,
+    };
     pub use blaeu_stats::{
         chi2_test, dependency_matrix, describe, histogram, DependencyMeasure, DependencyOptions,
         ScatterGrid,

@@ -342,13 +342,14 @@ fn error_statuses_are_mapped_and_keep_alive_survives() {
 
     let bad_json = client.request("POST", "/sessions/0/commands", Some("{\"cmd\": "));
     assert_eq!(bad_json.status, 400);
+    let bad_json = bad_json.json();
+    assert_eq!(bad_json["error"]["code"].as_str(), Some("bad_request"));
     assert!(
-        bad_json.json()["error"]
+        bad_json["error"]["message"]
             .as_str()
             .unwrap()
             .contains("line 1"),
-        "parse position missing: {}",
-        bad_json.body
+        "parse position missing: {bad_json:?}"
     );
 
     let bad_shape = client.request("POST", "/sessions/0/commands", Some(r#"{"cmd": "warp"}"#));
@@ -360,17 +361,34 @@ fn error_statuses_are_mapped_and_keep_alive_survives() {
         Some(r#"{"cmd": "depth"}"#),
     );
     assert_eq!(no_session.status, 404);
-    assert_eq!(no_session.json()["kind"].as_str(), Some("unknown_session"));
+    assert_eq!(
+        no_session.json()["error"]["code"].as_str(),
+        Some("unknown_session")
+    );
 
     let no_table = client.request("POST", "/sessions", Some(r#"{"table": "nope"}"#));
     assert_eq!(no_table.status, 404);
-    assert_eq!(no_table.json()["kind"].as_str(), Some("unknown_table"));
+    let no_table = no_table.json();
+    assert_eq!(no_table["error"]["code"].as_str(), Some("unknown_table"));
+    assert_eq!(
+        no_table["error"]["detail"]["tables"][0].as_str(),
+        Some("hollywood"),
+        "detail lists the registered tables"
+    );
 
     let bad_method = client.request("DELETE", "/healthz", None);
     assert_eq!(bad_method.status, 405);
+    assert_eq!(
+        bad_method.json()["error"]["code"].as_str(),
+        Some("method_not_allowed")
+    );
 
     let no_route = client.request("GET", "/maps/7", None);
     assert_eq!(no_route.status, 404);
+    assert_eq!(
+        no_route.json()["error"]["code"].as_str(),
+        Some("unknown_route")
+    );
 
     // Domain errors from execution are 422, and the session survives.
     let opened = client.request("POST", "/sessions", Some(r#"{"table": "hollywood"}"#));
@@ -381,7 +399,7 @@ fn error_statuses_are_mapped_and_keep_alive_survives() {
         Some(r#"{"cmd": "zoom", "region": 0}"#),
     );
     assert_eq!(zoom.status, 422, "{}", zoom.body);
-    assert_eq!(zoom.json()["kind"].as_str(), Some("no_active_map"));
+    assert_eq!(zoom.json()["error"]["code"].as_str(), Some("no_active_map"));
     let depth = client.request(
         "POST",
         &format!("/sessions/{session}/commands"),
@@ -389,13 +407,30 @@ fn error_statuses_are_mapped_and_keep_alive_survives() {
     );
     assert_eq!(depth.status, 200);
 
-    // /stats reflects the traffic this test generated.
+    // /stats reflects the traffic this test generated — aggregates only,
+    // per-session detail lives on GET /sessions now.
     let stats = client.request("GET", "/stats", None);
     assert_eq!(stats.status, 200);
     let stats = stats.json();
     assert!(stats["requests"].as_u64().unwrap() >= 10);
     assert!(stats["rejected"].as_u64().unwrap() >= 5);
-    assert!(stats["queue_depths"].is_array());
+    assert!(stats.get("queue_depths").is_none(), "moved to /sessions");
+    assert!(stats["journal"].is_null(), "no journal configured");
+
+    let listed = client.request("GET", "/sessions", None);
+    assert_eq!(listed.status, 200);
+    let listed = listed.json();
+    let sessions = listed["sessions"].as_array().unwrap();
+    assert_eq!(sessions.len(), 1, "{listed:?}");
+    assert_eq!(sessions[0]["session"].as_u64(), Some(session));
+    assert_eq!(sessions[0]["pending"].as_u64(), Some(0));
+    assert!(sessions[0]["journal_seq"].is_null(), "journal off");
+    assert!(sessions[0]["idle_ms"].as_u64().is_some());
+
+    // A journal-less engine answers history with a typed 404.
+    let history = client.request("GET", &format!("/sessions/{session}/history"), None);
+    assert_eq!(history.status, 404);
+    assert_eq!(history.json()["error"]["code"].as_str(), Some("no_journal"));
     net.shutdown();
 }
 
@@ -425,7 +460,13 @@ fn oversized_bodies_rejected_with_413() {
     client.writer.flush().unwrap();
     let response = client.read_response();
     assert_eq!(response.status, 413);
-    assert_eq!(response.json()["limit"].as_u64(), Some(1024));
+    let body = response.json();
+    assert_eq!(body["error"]["code"].as_str(), Some("payload_too_large"));
+    assert_eq!(body["error"]["detail"]["limit"].as_u64(), Some(1024));
+    assert_eq!(
+        body["error"]["detail"]["announced"].as_u64(),
+        Some(10_000_000)
+    );
 
     // Fresh connection: the server is still serving.
     let mut next = WireClient::connect(net.local_addr());
@@ -506,9 +547,13 @@ fn queue_full_maps_to_429_with_occupancy() {
     assert_eq!(full.status, 429, "{}", full.body);
     assert_eq!(full.header("retry-after"), Some("1"));
     let body = full.json();
-    assert_eq!(body["kind"].as_str(), Some("queue_full"));
-    assert_eq!(body["pending"].as_u64(), Some(1));
-    assert_eq!(body["capacity"].as_u64(), Some(1), "clamped capacity");
+    assert_eq!(body["error"]["code"].as_str(), Some("queue_full"));
+    assert_eq!(body["error"]["detail"]["pending"].as_u64(), Some(1));
+    assert_eq!(
+        body["error"]["detail"]["capacity"].as_u64(),
+        Some(1),
+        "clamped capacity"
+    );
 
     gate.wait();
     parked.join().unwrap();
@@ -561,21 +606,23 @@ fn delete_racing_inflight_batch_resolves_every_line() {
     // close interrupted submission. The invariant under test: the stream
     // terminates and nothing is left unanswered.
     if streamed.status == 404 {
-        assert_eq!(streamed.json()["kind"].as_str(), Some("unknown_session"));
+        assert_eq!(
+            streamed.json()["error"]["code"].as_str(),
+            Some("unknown_session")
+        );
     } else {
         assert_eq!(streamed.status, 200);
         let lines = streamed.lines();
         assert!(!lines.is_empty() && lines.len() <= 5, "{lines:?}");
         for line in &lines {
             let ok = line.get("response").is_some_and(|r| !r.is_null());
-            let closed = line.get("kind").and_then(Value::as_str) == Some("unknown_session");
+            let closed = line["error"]["code"].as_str() == Some("unknown_session");
             assert!(ok || closed, "unexpected line {line:?}");
         }
         let interrupted = lines
             .last()
-            .and_then(|l| l.get("submitted"))
-            .and_then(Value::as_bool)
-            == Some(false);
+            .map(|l| l["error"]["detail"]["submitted"].as_bool())
+            == Some(Some(false));
         if !interrupted {
             assert_eq!(lines.len(), 5, "all submitted, all answered: {lines:?}");
         }

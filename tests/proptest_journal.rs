@@ -1,0 +1,239 @@
+//! Property tests for the durable-session contract: ANY random command
+//! stream, journaled and then recovered after a simulated crash,
+//! replays bit-identically — at engine pool sizes 1 and 8, cache on and
+//! off — and a recovered server continues exactly where a never-crashed
+//! one would. Corruption cases (flipped byte, torn tail, garbage head)
+//! must recover the valid prefix with a typed error, never panic or
+//! replay wrong state.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use blaeu::prelude::*;
+use blaeu::server::{read_journal, RecoveryError};
+
+/// A unique scratch directory per call (removed by the caller).
+fn scratch() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "blaeu-proptest-journal-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn shared_table() -> Arc<Table> {
+    Arc::new(
+        hollywood(&HollywoodConfig {
+            nrows: 300,
+            ..HollywoodConfig::default()
+        })
+        .unwrap()
+        .0,
+    )
+}
+
+fn tables(table: &Arc<Table>) -> HashMap<String, Arc<Table>> {
+    HashMap::from([("hollywood".to_owned(), Arc::clone(table))])
+}
+
+fn engine(dir: Option<&PathBuf>, threads: usize, cache: usize) -> AsyncSessionServer {
+    AsyncSessionServer::try_new(ServerConfig {
+        threads,
+        queue_capacity: 64,
+        cache_capacity: cache,
+        journal_dir: dir.cloned(),
+        ..ServerConfig::default()
+    })
+    .expect("journal dir is writable")
+}
+
+/// Strategy over short random command streams. Some commands will fail
+/// (zoom with no map, rollback at depth 1) — that is the point: error
+/// outcomes are journaled and must replay as the same error kind.
+fn stream_strategy() -> impl Strategy<Value = Vec<Command>> {
+    prop::collection::vec((0usize..8, 0usize..3), 1..8).prop_map(|picks| {
+        picks
+            .into_iter()
+            .map(|(variant, n)| match variant {
+                0 => Command::Themes,
+                1 => Command::SelectTheme(n % 2),
+                2 => Command::Highlight("film".into()),
+                3 => Command::Zoom(n),
+                4 => Command::Rollback,
+                5 => Command::Depth,
+                6 => Command::Sql,
+                _ => Command::Breadcrumbs,
+            })
+            .collect()
+    })
+}
+
+/// Runs `stream` on a journal-less engine and returns the outcome
+/// stream (digest on success, error kind on failure).
+fn reference_outcomes(
+    table: &Arc<Table>,
+    threads: usize,
+    cache: usize,
+    stream: &[Command],
+    trailer: &[Command],
+) -> Vec<Result<u64, &'static str>> {
+    let server = engine(None, threads, cache);
+    let id = server
+        .open_session(Arc::clone(table), ExplorerConfig::default())
+        .unwrap();
+    stream
+        .iter()
+        .chain(trailer)
+        .map(|cmd| match server.request(id, cmd.clone()) {
+            Ok(response) => Ok(response.digest()),
+            Err(error) => Err(error.kind()),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole property: journal → crash → recover replays every
+    /// command bit-identically (recovery digest-checks each record), and
+    /// the recovered session CONTINUES identically to a never-crashed
+    /// server — same digests for post-recovery commands, whatever the
+    /// pool size, cache on or off.
+    #[test]
+    fn recovery_is_bit_identical_across_pools_and_cache_modes(stream in stream_strategy()) {
+        let table = shared_table();
+        let trailer = [Command::Depth, Command::Sql, Command::Themes];
+        for threads in [1usize, 8] {
+            for cache in [0usize, 64] {
+                let expected = reference_outcomes(&table, threads, cache, &stream, &trailer);
+                let dir = scratch();
+
+                // Run the stream journaled, then "crash" (drop, no close).
+                let first = engine(Some(&dir), threads, cache);
+                let id = first
+                    .open_named_session("hollywood", Arc::clone(&table), ExplorerConfig::default())
+                    .unwrap();
+                let mut observed: Vec<Result<u64, &'static str>> = stream
+                    .iter()
+                    .map(|cmd| match first.request(id, cmd.clone()) {
+                        Ok(response) => Ok(response.digest()),
+                        Err(error) => Err(error.kind()),
+                    })
+                    .collect();
+                drop(first);
+
+                // Recover on a fresh engine over the same directory.
+                let second = engine(Some(&dir), threads, cache);
+                let report = second.recover(&tables(&table)).unwrap();
+                prop_assert!(report.errors.is_empty(), "{:?}", report.errors);
+                prop_assert_eq!(&report.sessions, &vec![id]);
+                prop_assert_eq!(report.replayed, stream.len() as u64);
+
+                // The recovered session continues exactly where the
+                // reference (never-crashed) run would.
+                for cmd in &trailer {
+                    observed.push(match second.request(id, cmd.clone()) {
+                        Ok(response) => Ok(response.digest()),
+                        Err(error) => Err(error.kind()),
+                    });
+                }
+                prop_assert_eq!(
+                    &observed, &expected,
+                    "diverged at threads={} cache={}", threads, cache
+                );
+                drop(second);
+                std::fs::remove_dir_all(&dir).unwrap();
+            }
+        }
+    }
+
+    /// Corruption cases: a flipped payload byte and a torn tail both
+    /// recover exactly the valid prefix with a typed error; a garbage
+    /// head recovers nothing, renames the file aside, and still reports
+    /// a typed error. Never a panic, never wrong state.
+    #[test]
+    fn corrupted_journals_recover_the_valid_prefix(stream in stream_strategy(), damage in any::<u64>()) {
+        let table = shared_table();
+        let dir = scratch();
+        let first = engine(Some(&dir), 2, 0);
+        let id = first
+            .open_named_session("hollywood", Arc::clone(&table), ExplorerConfig::default())
+            .unwrap();
+        for cmd in &stream {
+            let _ = first.request(id, cmd.clone());
+        }
+        drop(first);
+
+        let path = blaeu::server::journal_path(&dir, id);
+        let pristine = std::fs::read(&path).unwrap();
+        let clean = read_journal(&path).unwrap();
+        prop_assert!(clean.defect.is_none());
+        let records = clean.records.len(); // open + commands
+
+        match damage % 3 {
+            0 => {
+                // Flip one byte inside the LAST record's payload: every
+                // earlier record must survive, the last must not.
+                let start = clean.record_ends[records - 2] as usize;
+                let mut bytes = pristine.clone();
+                // Skip frame header + space, land in the payload.
+                let at = start + 29 + (damage as usize % 8);
+                bytes[at] ^= 0x01;
+                std::fs::write(&path, &bytes).unwrap();
+
+                let second = engine(Some(&dir), 2, 0);
+                let report = second.recover(&tables(&table)).unwrap();
+                prop_assert_eq!(report.errors.len(), 1, "{:?}", report.errors);
+                prop_assert!(matches!(
+                    report.errors[0],
+                    RecoveryError::TruncatedTail { session, valid_records, .. }
+                        if session == id && valid_records == records - 1
+                ), "{:?}", report.errors);
+                prop_assert_eq!(report.replayed, stream.len() as u64 - 1);
+                // The file was physically truncated to the valid prefix.
+                let len = std::fs::metadata(&path).unwrap().len();
+                prop_assert_eq!(len, clean.record_ends[records - 2]);
+            }
+            1 => {
+                // Tear mid-record (a crash mid-write): same contract.
+                let keep = clean.record_ends[records - 2] as usize;
+                let cut = keep + 1 + (damage as usize % (pristine.len() - keep - 1).max(1));
+                std::fs::write(&path, &pristine[..cut]).unwrap();
+
+                let second = engine(Some(&dir), 2, 0);
+                let report = second.recover(&tables(&table)).unwrap();
+                prop_assert_eq!(report.errors.len(), 1, "{:?}", report.errors);
+                prop_assert!(matches!(
+                    report.errors[0],
+                    RecoveryError::TruncatedTail { session, .. } if session == id
+                ), "{:?}", report.errors);
+                // Replays some prefix; the session is live and usable.
+                prop_assert!(report.replayed <= stream.len() as u64);
+                let second_depth = second.request(id, Command::Depth);
+                prop_assert!(second_depth.is_ok());
+            }
+            _ => {
+                // Garbage head: nothing recoverable; the file is moved
+                // aside so a later restart does not trip on it again.
+                std::fs::write(&path, b"not a journal at all\n").unwrap();
+                let second = engine(Some(&dir), 2, 0);
+                let report = second.recover(&tables(&table)).unwrap();
+                prop_assert!(matches!(
+                    report.errors[0],
+                    RecoveryError::CorruptHead { session, .. } if session == id
+                ), "{:?}", report.errors);
+                prop_assert!(report.sessions.is_empty());
+                prop_assert!(!path.exists(), "corrupt head must be moved aside");
+                prop_assert!(path.with_extension("jnl.corrupt").exists());
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
