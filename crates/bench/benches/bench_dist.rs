@@ -1,0 +1,108 @@
+//! Distributed fan-out benches — what shipping shards over loopback
+//! costs against the in-process floor.
+//!
+//! `dist_fanout/depmatrix/inproc` runs the dependency-matrix sketch
+//! start-to-finish in one process (the floor). `dist_fanout/depmatrix/
+//! workersN` fans the same op out over N loopback worker servers via a
+//! [`ShardCoordinator`] — same table replica in every worker, real
+//! sockets, shard-order merge. The spread between the two is the
+//! transport + merge overhead; the trend across N is the fan-out
+//! scaling on one machine (which loopback caps — the point is that the
+//! wall-clock *shrinks or holds* as workers are added, not socket
+//! perfection).
+//!
+//! The workload is a 2 000-row, 24-numeric-column planted table: 276
+//! column pairs dominate the cost, the shape where fan-out pays.
+//!
+//! Refresh the committed baseline with the same thread budget the CI
+//! gate uses:
+//! `CRITERION_SAVE_BASELINE=$PWD/.github/bench-baseline.json BLAEU_THREADS=8 cargo bench -p blaeu-bench --bench bench_dist`
+
+use std::sync::Arc;
+
+use blaeu_bench::SEED;
+use blaeu_core::{Response, SketchOp};
+use blaeu_net::{NetConfig, NetServer};
+use blaeu_server::{AsyncSessionServer, ServerConfig, ShardCoordinator};
+use blaeu_store::generate::{planted, PlantedConfig, ThemeSpec};
+use blaeu_store::{Table, TableView};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const TABLE: &str = "planted";
+
+/// 24 numeric columns: the dependency matrix walks 276 pairs, enough
+/// work per shard range that a fan-out is not pure socket overhead.
+fn fixture() -> (Arc<Table>, Vec<String>) {
+    let (table, truth) = planted(&PlantedConfig {
+        name: TABLE.to_owned(),
+        nrows: 2000,
+        themes: vec![ThemeSpec::numeric("m", 24)],
+        clusters: 4,
+        cluster_sep: 5.0,
+        cluster_weights: Vec::new(),
+        noise: 0.4,
+        missing_rate: 0.0,
+        seed: SEED,
+    })
+    .expect("generator cannot fail on valid config");
+    let columns = truth
+        .theme_of_column
+        .iter()
+        .map(|(c, _)| c.clone())
+        .collect();
+    (Arc::new(table), columns)
+}
+
+fn worker(table: &Arc<Table>) -> NetServer {
+    let engine = Arc::new(AsyncSessionServer::new(ServerConfig::default()));
+    let net = NetServer::bind("127.0.0.1:0", engine, NetConfig::default()).expect("loopback bind");
+    net.register_table(TABLE, Arc::clone(table));
+    net
+}
+
+fn bench_dist(c: &mut Criterion) {
+    let (table, columns) = fixture();
+    let op = SketchOp::DepMatrix { columns };
+    let nrows = table.nrows();
+
+    let mut group = c.benchmark_group("dist_fanout");
+    group.sample_size(10);
+
+    // The in-process floor: plan + full-range run + finalize.
+    let view = TableView::new(Arc::clone(&table));
+    let reference = {
+        let plan = op.plan(&view).expect("fixture columns exist");
+        let partial = plan.run_range(0..plan.spec().shard_count(), 0);
+        Response::Sketch(Box::new(op.finalize(partial).expect("well-formed"))).digest()
+    };
+    group.bench_function("depmatrix/inproc", |b| {
+        b.iter(|| {
+            let plan = op.plan(&view).expect("fixture columns exist");
+            let partial = plan.run_range(0..plan.spec().shard_count(), 0);
+            Response::Sketch(Box::new(op.finalize(partial).expect("well-formed"))).digest()
+        })
+    });
+
+    for workers in [1usize, 2, 4] {
+        let nets: Vec<NetServer> = (0..workers).map(|_| worker(&table)).collect();
+        let coordinator =
+            ShardCoordinator::new(nets.iter().map(|n| n.local_addr().to_string()).collect());
+        group.bench_function(format!("depmatrix/workers{workers}"), |b| {
+            b.iter(|| {
+                let digest = coordinator
+                    .run(TABLE, &op, nrows)
+                    .expect("fan-out succeeds")
+                    .digest();
+                assert_eq!(digest, reference, "fan-out must stay bit-identical");
+                digest
+            })
+        });
+        for net in nets {
+            net.shutdown();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dist);
+criterion_main!(benches);

@@ -1,0 +1,235 @@
+//! `dist_check` — multi-process digest parity for the shard fan-out.
+//!
+//! The distributed tier's one promise is bit-identity: a coordinator
+//! merging worker partials in shard order must produce byte-for-byte
+//! the response an in-process run produces. This binary checks that
+//! promise across real process boundaries (separate address spaces,
+//! real sockets — not threads in one test binary):
+//!
+//! ```sh
+//! # self-orchestrating: spawn N worker processes on loopback,
+//! # coordinate the canonical op set, diff digests vs in-process,
+//! # exit non-zero on any mismatch (what CI runs):
+//! cargo run --release -p blaeu-bench --bin dist_check -- --check 2
+//!
+//! # by hand: one worker per terminal, then coordinate against them:
+//! cargo run --release -p blaeu-bench --bin dist_check -- --worker
+//! cargo run --release -p blaeu-bench --bin dist_check -- \
+//!     --coordinate 127.0.0.1:41001,127.0.0.1:41002
+//!
+//! # the single-process reference digests:
+//! cargo run --release -p blaeu-bench --bin dist_check -- --inprocess
+//! ```
+//!
+//! Every process builds the same seeded OECD table (`blaeu_bench::
+//! oecd_small`), so workers are full replicas and the shard layout —
+//! a pure function of op and row count — agrees everywhere by
+//! construction.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command as ProcessCommand, Stdio};
+use std::sync::Arc;
+
+use blaeu_bench::oecd_small;
+use blaeu_core::{Response, SketchOp};
+use blaeu_net::{NetConfig, NetServer};
+use blaeu_server::{AsyncSessionServer, ServerConfig, ShardCoordinator};
+use blaeu_store::{Table, TableView};
+
+/// Name every worker registers the replica under.
+const TABLE: &str = "oecd";
+
+/// The shared fixture: deterministic seeded generator, so every
+/// process holds a bit-identical replica.
+fn table() -> Arc<Table> {
+    Arc::new(oecd_small().0)
+}
+
+/// The canonical op set: one op per mergeable analysis family. The
+/// CLARA medoids are fixed, evenly spaced row indices so every process
+/// (and every run) assigns against the same centers.
+fn ops() -> Vec<(&'static str, SketchOp)> {
+    let numeric: Vec<String> = [
+        "unemployment_rate",
+        "long_term_unemployment",
+        "female_unemployment",
+        "pct_health_insurance",
+        "life_expectancy",
+        "health_spending_pct_gdp",
+    ]
+    .iter()
+    .map(|c| (*c).to_owned())
+    .collect();
+    vec![
+        (
+            "dep_matrix",
+            SketchOp::DepMatrix {
+                columns: numeric.clone(),
+            },
+        ),
+        (
+            "describe_numeric",
+            SketchOp::Describe {
+                column: "life_expectancy".to_owned(),
+                top_k: 5,
+            },
+        ),
+        (
+            "describe_categorical",
+            SketchOp::Describe {
+                column: "country".to_owned(),
+                top_k: 5,
+            },
+        ),
+        (
+            "histogram",
+            SketchOp::Histogram {
+                column: "unemployment_rate".to_owned(),
+                bins: 16,
+            },
+        ),
+        (
+            "clara_assign",
+            SketchOp::ClaraAssign {
+                columns: numeric,
+                medoids: vec![5, 400, 800, 1100],
+            },
+        ),
+    ]
+}
+
+/// Runs `op` start-to-finish in this process — the reference digest.
+fn in_process_digest(table: &Arc<Table>, op: &SketchOp) -> u64 {
+    let view = TableView::new(Arc::clone(table));
+    let plan = op.plan(&view).expect("fixture columns exist");
+    let partial = plan.run_range(0..plan.spec().shard_count(), 0);
+    let result = op.finalize(partial).expect("partial is well-formed");
+    Response::Sketch(Box::new(result)).digest()
+}
+
+/// `--worker`: bind a worker on an ephemeral loopback port, announce
+/// the address on stdout, serve until killed.
+fn run_worker() -> ! {
+    let engine = Arc::new(AsyncSessionServer::new(ServerConfig::default()));
+    let net = NetServer::bind("127.0.0.1:0", engine, NetConfig::default())
+        .expect("loopback bind cannot fail");
+    net.register_table(TABLE, table());
+    println!("listening {}", net.local_addr());
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Coordinates the op set against `workers`, printing one digest line
+/// per op; returns the digests for the caller to diff.
+fn coordinate(workers: Vec<String>) -> Vec<(&'static str, u64)> {
+    let nrows = table().nrows();
+    let coordinator = ShardCoordinator::new(workers);
+    let digests: Vec<(&'static str, u64)> = ops()
+        .iter()
+        .map(|(name, op)| {
+            let response = coordinator
+                .run(TABLE, op, nrows)
+                .unwrap_or_else(|e| panic!("fan-out of {name} failed: {e}"));
+            (*name, response.digest())
+        })
+        .collect();
+    for (name, digest) in &digests {
+        println!("{name:<20} {digest:016x}");
+    }
+    digests
+}
+
+/// `--check N`: spawn N worker subprocesses, coordinate against them,
+/// and diff every digest against the in-process reference.
+fn run_check(workers: usize) -> i32 {
+    let exe = std::env::current_exe().expect("own path");
+    let mut children: Vec<Child> = Vec::new();
+    let mut addrs = Vec::new();
+    for _ in 0..workers {
+        let mut child = ProcessCommand::new(&exe)
+            .arg("--worker")
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn worker");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("worker announces its address");
+        let addr = line
+            .trim()
+            .strip_prefix("listening ")
+            .unwrap_or_else(|| panic!("unexpected worker banner {line:?}"))
+            .to_owned();
+        println!("worker {} on {addr}", children.len() + 1);
+        addrs.push(addr);
+        children.push(child);
+    }
+
+    let fixture = table();
+    let fanned = coordinate(addrs);
+    let mut failures = 0;
+    for (name, got) in &fanned {
+        let op = ops()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .expect("op set is stable")
+            .1;
+        let expected = in_process_digest(&fixture, &op);
+        if *got == expected {
+            println!("OK   {name}: {got:016x}");
+        } else {
+            println!("FAIL {name}: fan-out {got:016x} != in-process {expected:016x}");
+            failures += 1;
+        }
+    }
+    for mut child in children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    if failures == 0 {
+        println!(
+            "all {} ops bit-identical across {} worker processes",
+            fanned.len(),
+            workers
+        );
+        0
+    } else {
+        eprintln!("{failures} of {} ops diverged", fanned.len());
+        1
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|at| args.get(at + 1))
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--worker") {
+        run_worker();
+    }
+    if let Some(n) = flag_value(&args, "--check") {
+        let workers: usize = n.parse().expect("--check takes a worker count");
+        std::process::exit(run_check(workers.max(1)));
+    }
+    if let Some(list) = flag_value(&args, "--coordinate") {
+        let workers: Vec<String> = list.split(',').map(|a| a.trim().to_owned()).collect();
+        coordinate(workers);
+        return;
+    }
+    if args.iter().any(|a| a == "--inprocess") {
+        let fixture = table();
+        for (name, op) in ops() {
+            println!("{name:<20} {:016x}", in_process_digest(&fixture, &op));
+        }
+        return;
+    }
+    eprintln!("usage: dist_check --check N | --worker | --coordinate ADDR[,ADDR...] | --inprocess");
+    std::process::exit(2);
+}

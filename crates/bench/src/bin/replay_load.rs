@@ -13,22 +13,30 @@
 //! # replay against an already-running server:
 //! cargo run --release -p blaeu-bench --bin replay_load -- \
 //!     --journal /tmp/journals --addr 127.0.0.1:7878
+//! # synthesize a corpus instead of reading journals — thousands of
+//! # concurrent wire sessions from a handful of in-process runs:
+//! cargo run --release -p blaeu-bench --bin replay_load -- \
+//!     --generate 2000 --seeds 8 --concurrency 64
 //! ```
 //!
-//! Options: `--journal DIR` (required) · `--addr HOST:PORT` (target an
-//! external server instead of self-hosting) · `--sessions N` (replay at
-//! most N recorded sessions) · `--concurrency N` (wire clients in
-//! flight; default one per session) · `--rows N` (self-hosted demo
-//! table size; must match what the journals were recorded against).
+//! Options: `--journal DIR` or `--generate N` (required; journals from
+//! disk, or a synthesized corpus of N sessions) · `--seeds K` (distinct
+//! mapper seeds in a generated corpus; default 8) · `--addr HOST:PORT`
+//! (target an external server instead of self-hosting) · `--sessions N`
+//! (replay at most N recorded sessions) · `--concurrency N` (wire
+//! clients in flight; default one per session) · `--rows N`
+//! (self-hosted demo table size; must match what the journals were
+//! recorded against).
 
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use blaeu_bench::replay::{load_corpus, replay_corpus};
+use blaeu_bench::replay::{generate_corpus, load_corpus, replay_corpus};
 use blaeu_net::{NetConfig, NetServer};
 use blaeu_server::{AsyncSessionServer, ServerConfig};
 use blaeu_store::generate::{hollywood, HollywoodConfig};
+use blaeu_store::Table;
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -40,13 +48,16 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let Some(journal_dir) = flag_value(&args, "--journal").map(PathBuf::from) else {
+    let journal_dir = flag_value(&args, "--journal").map(PathBuf::from);
+    let generate: Option<usize> =
+        flag_value(&args, "--generate").map(|v| v.parse().expect("--generate takes a count"));
+    if journal_dir.is_none() && generate.is_none() {
         eprintln!(
-            "usage: replay_load --journal DIR [--addr HOST:PORT] [--sessions N] \
-             [--concurrency N] [--rows N]"
+            "usage: replay_load (--journal DIR | --generate N) [--seeds K] \
+             [--addr HOST:PORT] [--sessions N] [--concurrency N] [--rows N]"
         );
         std::process::exit(2);
-    };
+    }
     let sessions_cap: usize = flag_value(&args, "--sessions")
         .map(|v| v.parse().expect("--sessions takes a count"))
         .unwrap_or(usize::MAX);
@@ -56,25 +67,55 @@ fn main() {
     let rows: usize = flag_value(&args, "--rows")
         .map(|v| v.parse().expect("--rows takes a count"))
         .unwrap_or_else(|| HollywoodConfig::default().nrows);
+    let seeds: u64 = flag_value(&args, "--seeds")
+        .map(|v| v.parse().expect("--seeds takes a count"))
+        .unwrap_or(8);
 
-    let mut corpus = match load_corpus(&journal_dir) {
-        Ok(corpus) => corpus,
-        Err(e) => {
-            eprintln!("cannot read journal dir {}: {e}", journal_dir.display());
-            std::process::exit(2);
-        }
+    // The demo table — hosted locally unless --addr targets an external
+    // server, and always the substrate a generated corpus records its
+    // digests against.
+    let table: Arc<Table> = {
+        let (table, _) = hollywood(&HollywoodConfig {
+            nrows: rows,
+            ..HollywoodConfig::default()
+        })
+        .expect("generator cannot fail on valid config");
+        Arc::new(table)
     };
-    if corpus.is_empty() {
-        eprintln!("no session journals under {}", journal_dir.display());
-        std::process::exit(2);
-    }
+
+    let mut corpus = match (&journal_dir, generate) {
+        (Some(dir), _) => {
+            let corpus = match load_corpus(dir) {
+                Ok(corpus) => corpus,
+                Err(e) => {
+                    eprintln!("cannot read journal dir {}: {e}", dir.display());
+                    std::process::exit(2);
+                }
+            };
+            if corpus.is_empty() {
+                eprintln!("no session journals under {}", dir.display());
+                std::process::exit(2);
+            }
+            corpus
+        }
+        (None, Some(n)) => {
+            println!(
+                "generating {n} sessions from {seeds} distinct seeds (hollywood, {rows} rows)"
+            );
+            generate_corpus(&table, "hollywood", n, seeds)
+        }
+        (None, None) => unreachable!("usage check above"),
+    };
     corpus.truncate(sessions_cap);
     let total_commands: usize = corpus.iter().map(|s| s.commands.len()).sum();
     println!(
         "corpus: {} sessions, {} commands from {}",
         corpus.len(),
         total_commands,
-        journal_dir.display()
+        journal_dir
+            .as_ref()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "generator".to_owned()),
     );
 
     // Either target a running server, or self-host one over the demo
@@ -83,15 +124,10 @@ fn main() {
     let (addr, hosted): (SocketAddr, Option<NetServer>) = match flag_value(&args, "--addr") {
         Some(addr) => (addr.parse().expect("--addr takes HOST:PORT"), None),
         None => {
-            let (table, _) = hollywood(&HollywoodConfig {
-                nrows: rows,
-                ..HollywoodConfig::default()
-            })
-            .expect("generator cannot fail on valid config");
             let engine = Arc::new(AsyncSessionServer::new(ServerConfig::default()));
             let net = NetServer::bind("127.0.0.1:0", engine, NetConfig::default())
                 .expect("loopback bind");
-            net.register_table("hollywood", Arc::new(table));
+            net.register_table("hollywood", Arc::clone(&table));
             println!(
                 "self-hosting on {} (hollywood, {rows} rows)",
                 net.local_addr()

@@ -8,7 +8,9 @@
 
 pub mod replay;
 
-pub use replay::{load_corpus, replay_corpus, LatencyHistogram, RecordedSession, ReplayReport};
+pub use replay::{
+    generate_corpus, load_corpus, replay_corpus, LatencyHistogram, RecordedSession, ReplayReport,
+};
 
 use blaeu_cluster::Points;
 use blaeu_core::{preprocess, MetricChoice, PreprocessConfig};

@@ -21,9 +21,12 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use blaeu_core::Command;
+use blaeu_core::{Command, ExplorerConfig};
 use blaeu_exec::JobPool;
-use blaeu_server::{journal_file_id, read_journal, JournalRecord, RecordedOutcome};
+use blaeu_server::{
+    journal_file_id, read_journal, AsyncSessionServer, JournalRecord, RecordedOutcome, ServerConfig,
+};
+use blaeu_store::Table;
 use serde_json::{json, Value};
 
 /// One recorded session: the open parameters plus the ordered command
@@ -75,6 +78,69 @@ pub fn load_corpus(dir: &Path) -> std::io::Result<Vec<RecordedSession>> {
     }
     sessions.sort_by_key(|s| s.id);
     Ok(sessions)
+}
+
+/// The exploration script every synthesized session runs: themes, a
+/// map, cheap reads, a rollback — the mix a real front-end generates,
+/// heavy enough to exercise the analysis path, cheap enough to scale
+/// to thousands of wire sessions.
+fn synthetic_script() -> Vec<Command> {
+    vec![
+        Command::Themes,
+        Command::SelectTheme(0),
+        Command::Map,
+        Command::Sql,
+        Command::Depth,
+        Command::Rollback,
+        Command::Depth,
+    ]
+}
+
+/// Synthesizes a replay corpus of `sessions` recorded sessions without
+/// needing journal files on disk: the script runs once in-process per
+/// distinct mapper seed (capturing real digests), then each prototype
+/// is replicated round-robin across the corpus. Because digests are a
+/// pure function of (table, seed, command history), thousands of
+/// sessions cost `distinct_seeds` in-process runs to generate — which
+/// is what lets the load harness scale to corpus sizes no hand-recorded
+/// journal directory would reach.
+pub fn generate_corpus(
+    table: &Arc<Table>,
+    table_name: &str,
+    sessions: usize,
+    distinct_seeds: u64,
+) -> Vec<RecordedSession> {
+    let distinct = distinct_seeds.max(1);
+    let engine = AsyncSessionServer::new(ServerConfig::default());
+    let prototypes: Vec<Vec<(Command, RecordedOutcome)>> = (0..distinct)
+        .map(|seed| {
+            let mut config = ExplorerConfig::default();
+            config.mapper.seed = seed;
+            let id = engine
+                .open_session(Arc::clone(table), config)
+                .expect("session opens over the generation table");
+            let commands = synthetic_script()
+                .into_iter()
+                .map(|command| {
+                    let outcome = RecordedOutcome::of(&engine.request(id, command.clone()));
+                    (command, outcome)
+                })
+                .collect();
+            engine.close(id).expect("session closes");
+            commands
+        })
+        .collect();
+    (0..sessions)
+        .map(|i| {
+            let seed = i as u64 % distinct;
+            RecordedSession {
+                id: i as u64 + 1,
+                table: table_name.to_owned(),
+                seed,
+                commands: prototypes[seed as usize].clone(),
+            }
+        })
+        .collect()
 }
 
 /// Number of log2 microsecond buckets — bucket `i` holds latencies in
@@ -436,5 +502,45 @@ mod tests {
         assert_eq!(h.quantile(0.99), Duration::ZERO);
         assert_eq!(h.mean(), Duration::ZERO);
         assert_eq!(h.min(), Duration::ZERO);
+    }
+
+    /// A generated corpus replays cleanly against a live server hosting
+    /// the same table: every synthesized digest matches over the wire,
+    /// sessions with the same seed share outcomes, and the replicated
+    /// tail costs no extra in-process runs.
+    #[test]
+    fn generated_corpus_replays_bit_identical() {
+        use blaeu_net::{NetConfig, NetServer};
+        use blaeu_store::generate::{hollywood, HollywoodConfig};
+
+        let (table, _) = hollywood(&HollywoodConfig {
+            nrows: 200,
+            ..HollywoodConfig::default()
+        })
+        .expect("generator cannot fail on valid config");
+        let table = Arc::new(table);
+
+        let corpus = generate_corpus(&table, "hollywood", 9, 3);
+        assert_eq!(corpus.len(), 9);
+        assert!(corpus.iter().all(|s| !s.commands.is_empty()));
+        // Replicas of the same seed carry identical recorded outcomes.
+        let debug = |s: &RecordedSession| format!("{:?}", s.commands);
+        assert_eq!(debug(&corpus[0]), debug(&corpus[3]));
+        assert_eq!(corpus[0].seed, corpus[3].seed);
+        assert_ne!(corpus[0].seed, corpus[1].seed);
+
+        let engine = AsyncSessionServer::new(ServerConfig::default());
+        let net = NetServer::bind("127.0.0.1:0", Arc::new(engine), NetConfig::default())
+            .expect("loopback bind");
+        net.register_table("hollywood", Arc::clone(&table));
+        let report = replay_corpus(net.local_addr(), &corpus, 4);
+        net.shutdown();
+
+        assert_eq!(report.sessions, 9);
+        assert_eq!(report.mismatches, 0, "generated digests must replay");
+        assert_eq!(
+            report.commands,
+            corpus.iter().map(|s| s.commands.len()).sum::<usize>() as u64
+        );
     }
 }

@@ -10,9 +10,108 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::distance::Points;
+use crate::distance::{BlockKernel, Points};
 use crate::matrix::DistanceMatrix;
 use crate::pam::{pam, PamConfig, PamResult};
+
+/// A mergeable partial of the CLARA assignment sketch over contiguous
+/// row shards.
+///
+/// Labels concatenate in shard order; per-shard deviation sums stay
+/// *unsummed* so the final left-fold replays the exact shard-order
+/// float additions of the in-process combine loop — bit-identical
+/// whatever the shard grouping, since f64 addition is not associative
+/// but the fold order is fixed by the canonical shard layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignPartial {
+    /// Medoid slot per row, concatenated in shard order.
+    pub labels: Vec<usize>,
+    /// One deviation sum per shard, in shard order.
+    pub totals: Vec<f64>,
+}
+
+impl AssignPartial {
+    /// The identity partial — what a worker returns for an empty range.
+    pub fn empty() -> AssignPartial {
+        AssignPartial {
+            labels: Vec::new(),
+            totals: Vec::new(),
+        }
+    }
+
+    /// Merges the next shard range's partial into this one: labels and
+    /// shard totals both concatenate, so merging is shard-order
+    /// associative by construction.
+    pub fn merge(&mut self, mut other: AssignPartial) {
+        self.labels.append(&mut other.labels);
+        self.totals.append(&mut other.totals);
+    }
+}
+
+/// Finalizes a fully merged assignment partial: the labels are complete
+/// and the deviation total left-folds over the shard sums in shard
+/// order — the same `total += shard_total` loop the in-process combine
+/// runs. Needs no point data.
+pub fn finalize_assign(partial: AssignPartial) -> (Vec<usize>, f64) {
+    let mut total = 0.0f64;
+    for t in partial.totals {
+        total += t;
+    }
+    (partial.labels, total)
+}
+
+/// Sweeps one contiguous row range through the blocked kernel, labeling
+/// each row with its nearest medoid slot — the unit of work a worker
+/// executes per canonical shard. Bitwise identical to the scalar
+/// per-row sweep (see [`assign_points`]).
+pub fn assign_shard(
+    kernel: &BlockKernel<'_>,
+    medoids: &[usize],
+    rows: std::ops::Range<usize>,
+) -> (Vec<usize>, f64) {
+    let mut labels = Vec::with_capacity(rows.len());
+    let mut total = 0.0f64;
+    let mut dists = vec![0.0f64; medoids.len()];
+    // Four rows at a time against each medoid: the medoid-anchored
+    // four-lane kernel is bitwise equal to the scalar per-row sweep,
+    // and the per-lane argmin replays the same ascending-slot strict
+    // comparisons, so labels and the deviation total are unchanged.
+    let mut j = rows.start;
+    while j + 4 <= rows.end {
+        let quad = [j, j + 1, j + 2, j + 3];
+        let mut best_slot = [0usize; 4];
+        let mut best_d = [f64::INFINITY; 4];
+        let mut d4 = [0.0f64; 4];
+        for (slot, &m) in medoids.iter().enumerate() {
+            kernel.dists_tile4(quad, m, &mut d4);
+            for l in 0..4 {
+                if d4[l] < best_d[l] {
+                    best_d[l] = d4[l];
+                    best_slot[l] = slot;
+                }
+            }
+        }
+        for l in 0..4 {
+            labels.push(best_slot[l]);
+            total += best_d[l];
+        }
+        j += 4;
+    }
+    for j in j..rows.end {
+        kernel.dists_to(j, medoids, &mut dists);
+        let mut best_slot = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (slot, &d) in dists.iter().enumerate() {
+            if d < best_d {
+                best_d = d;
+                best_slot = slot;
+            }
+        }
+        labels.push(best_slot);
+        total += best_d;
+    }
+    (labels, total)
+}
 
 /// Configuration for [`clara`].
 #[derive(Debug, Clone)]
@@ -57,55 +156,17 @@ pub fn assign_points(points: &Points, medoids: &[usize]) -> (Vec<usize>, f64) {
     let kernel = points.block_kernel();
     let shards = blaeu_exec::ShardSpec::with_shard_size(n, blaeu_exec::REDUCE_GRAIN);
     let parts = blaeu_exec::par_shards(&shards, 0, |_, rows| {
-        let mut labels = Vec::with_capacity(rows.len());
-        let mut total = 0.0f64;
-        let mut dists = vec![0.0f64; medoids.len()];
-        // Four rows at a time against each medoid: the medoid-anchored
-        // four-lane kernel is bitwise equal to the scalar per-row sweep,
-        // and the per-lane argmin replays the same ascending-slot strict
-        // comparisons, so labels and the deviation total are unchanged.
-        let mut j = rows.start;
-        while j + 4 <= rows.end {
-            let quad = [j, j + 1, j + 2, j + 3];
-            let mut best_slot = [0usize; 4];
-            let mut best_d = [f64::INFINITY; 4];
-            let mut d4 = [0.0f64; 4];
-            for (slot, &m) in medoids.iter().enumerate() {
-                kernel.dists_tile4(quad, m, &mut d4);
-                for l in 0..4 {
-                    if d4[l] < best_d[l] {
-                        best_d[l] = d4[l];
-                        best_slot[l] = slot;
-                    }
-                }
-            }
-            for l in 0..4 {
-                labels.push(best_slot[l]);
-                total += best_d[l];
-            }
-            j += 4;
+        let (labels, total) = assign_shard(&kernel, medoids, rows);
+        AssignPartial {
+            labels,
+            totals: vec![total],
         }
-        for j in j..rows.end {
-            kernel.dists_to(j, medoids, &mut dists);
-            let mut best_slot = 0usize;
-            let mut best_d = f64::INFINITY;
-            for (slot, &d) in dists.iter().enumerate() {
-                if d < best_d {
-                    best_d = d;
-                    best_slot = slot;
-                }
-            }
-            labels.push(best_slot);
-            total += best_d;
-        }
-        (labels, total)
     });
-    let mut labels = Vec::with_capacity(n);
-    let mut total = 0.0f64;
-    for (shard_labels, shard_total) in parts {
-        labels.extend(shard_labels);
-        total += shard_total;
+    let mut merged = AssignPartial::empty();
+    for part in parts {
+        merged.merge(part);
     }
+    let (labels, total) = finalize_assign(merged);
     debug_assert_eq!(labels.len(), n);
     (labels, total)
 }

@@ -22,6 +22,7 @@ use crate::error::{BlaeuError, Result};
 use crate::explorer::{Highlight, RegionDetail};
 use crate::map::DataMap;
 use crate::render::json::{highlight_to_json, map_to_json, themes_to_json};
+use crate::sketch::{SketchOp, SketchPartial, SketchResult};
 use crate::themes::ThemeSet;
 
 /// One queued explorer action.
@@ -72,6 +73,10 @@ pub enum Command {
     Breadcrumbs,
     /// Current history depth (fast, read-only).
     Depth,
+    /// Run a mergeable sketch analysis over the current view (slow:
+    /// sweeps the data). In-process sessions run every shard locally; a
+    /// worker node runs only the shard range its coordinator assigned.
+    Sketch(SketchOp),
 }
 
 /// Stamps `"v": WIRE_VERSION` onto an object — the versioned envelope
@@ -121,6 +126,7 @@ impl Command {
                 | Command::Map
                 | Command::Project(_)
                 | Command::ProjectTheme(_)
+                | Command::Sketch(_)
         )
     }
 
@@ -147,6 +153,7 @@ impl Command {
             Command::Sql => json!({"cmd": "sql"}),
             Command::Breadcrumbs => json!({"cmd": "breadcrumbs"}),
             Command::Depth => json!({"cmd": "depth"}),
+            Command::Sketch(op) => json!({"cmd": "sketch", "op": op.to_json()}),
         })
     }
 
@@ -256,6 +263,12 @@ impl Command {
             "sql" => Command::Sql,
             "breadcrumbs" => Command::Breadcrumbs,
             "depth" => Command::Depth,
+            "sketch" => {
+                let op = value.get("op").ok_or_else(|| {
+                    BlaeuError::Invalid("command \"sketch\" needs an \"op\" object".into())
+                })?;
+                Command::Sketch(SketchOp::from_json(op)?)
+            }
             other => return Err(BlaeuError::Invalid(format!("unknown command {other:?}"))),
         })
     }
@@ -281,6 +294,12 @@ pub enum Response {
     Breadcrumbs(Vec<String>),
     /// History depth after the action.
     Depth(usize),
+    /// A finalized sketch analysis (boxed: assignment labels and
+    /// dependency matrices are large).
+    Sketch(Box<SketchResult>),
+    /// A worker's partial sketch over its assigned shard range — merged
+    /// by a coordinator, never shown to an end client.
+    SketchPartial(Box<SketchPartial>),
 }
 
 impl Response {
@@ -340,6 +359,22 @@ impl Response {
                 json!({"response": "breadcrumbs", "breadcrumbs": crumbs.clone()})
             }
             Response::Depth(depth) => json!({"response": "depth", "depth": *depth}),
+            Response::Sketch(result) => {
+                // A compact client-facing summary; the bit-exact payload
+                // lives in the partial form coordinators exchange.
+                let summary = match result.as_ref() {
+                    SketchResult::Dep(dm) => json!({"kind": "dep", "columns": dm.len()}),
+                    SketchResult::Describe(s) => json!({"kind": "describe", "count": s.count()}),
+                    SketchResult::Histogram(h) => json!({"kind": "histogram", "total": h.total()}),
+                    SketchResult::Assign { labels, .. } => {
+                        json!({"kind": "assign", "rows": labels.len()})
+                    }
+                };
+                json!({"response": "sketch", "sketch": summary})
+            }
+            Response::SketchPartial(partial) => {
+                json!({"response": "sketch_partial", "sketch_partial": partial.to_json()})
+            }
         })
     }
 }
@@ -371,6 +406,21 @@ mod tests {
             Command::Sql,
             Command::Breadcrumbs,
             Command::Depth,
+            Command::Sketch(SketchOp::DepMatrix {
+                columns: vec!["a".into(), "b".into()],
+            }),
+            Command::Sketch(SketchOp::Describe {
+                column: "c".into(),
+                top_k: 5,
+            }),
+            Command::Sketch(SketchOp::Histogram {
+                column: "c".into(),
+                bins: 8,
+            }),
+            Command::Sketch(SketchOp::ClaraAssign {
+                columns: vec!["a".into()],
+                medoids: vec![0, 9],
+            }),
         ]
     }
 
@@ -450,6 +500,9 @@ mod tests {
             json!("depth"),
             json!(null),
             json!({"cmd": "scatter", "x": "a", "y": "b", "bins": -1i64}),
+            json!({"cmd": "sketch"}),
+            json!({"cmd": "sketch", "op": json!({"op": "warp"})}),
+            json!({"cmd": "sketch", "op": json!({"op": "describe", "column": "c"})}),
         ] {
             assert!(
                 matches!(Command::from_json(&bad), Err(BlaeuError::Invalid(_))),
@@ -511,6 +564,11 @@ mod tests {
         assert!(Command::SelectTheme(0).is_slow());
         assert!(Command::Map.is_slow());
         assert!(Command::Zoom(0).is_slow());
+        assert!(Command::Sketch(SketchOp::Describe {
+            column: "c".into(),
+            top_k: 1,
+        })
+        .is_slow());
         assert!(!Command::Highlight("c".into()).is_slow());
         assert!(!Command::Rollback.is_slow());
         assert!(!Command::Depth.is_slow());

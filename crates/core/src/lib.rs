@@ -47,6 +47,7 @@ pub mod mapper;
 pub mod preprocess;
 pub mod render;
 pub mod session;
+pub mod sketch;
 pub mod themes;
 
 pub use cache::{AnalysisMemo, MapKey, ThemesKey, ViewFingerprint};
@@ -63,4 +64,5 @@ pub use preprocess::{
     PreprocessConfig,
 };
 pub use session::{SessionId, SessionManager};
+pub use sketch::{SketchOp, SketchPartial, SketchPlan, SketchResult};
 pub use themes::{detect_themes, detect_themes_on, Theme, ThemeConfig, ThemeSet};

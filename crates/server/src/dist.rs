@@ -1,0 +1,420 @@
+//! # Distributed shard fan-out — the coordinator side
+//!
+//! A [`ShardCoordinator`] ships contiguous shard ranges of a mergeable
+//! sketch ([`SketchOp`]) to N worker processes over the `blaeu-net`
+//! wire (`POST /shards/:table/commands`), collects the partial sketches,
+//! and merges them **in shard order** — replaying the exact combine
+//! sequence of the in-process `par_shards` path, so the finalized result
+//! is bit-identical to a single-node run by construction:
+//!
+//! - The shard layout is a **pure function** of the op and the row count
+//!   ([`SketchOp::shard_spec`]); coordinator and workers derive identical
+//!   boundaries without exchanging data.
+//! - Partials travel with every `f64` as its 16-hex-digit bit pattern,
+//!   so the wire round-trip is lossless.
+//! - [`SketchPartial::merge`] is shard-order-associative: grouping
+//!   shards into worker ranges and merging range partials left-to-right
+//!   produces the same value as merging the per-shard partials one by
+//!   one.
+//!
+//! ## Failure handling
+//!
+//! Worker errors are sorted by their typed wire code: connection
+//! failures, 5xx, and `queue_full` are **retryable** — the range is
+//! reassigned round-robin to the next worker (a range never silently
+//! disappears); `invalid`, `unknown_table` and other 4xx codes are
+//! **fatal** — they signal a misconfigured replica (wrong table, wrong
+//! layout) that retrying cannot fix, so the typed error propagates to
+//! the caller unchanged.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde_json::{json, Value};
+
+use blaeu_core::{BlaeuError, Response, Result, SketchOp, SketchPartial};
+
+/// How many full passes over the worker list a range may make before
+/// the coordinator gives up and reports the last error.
+const MAX_PASSES: usize = 3;
+
+/// A deliberately simple HTTP/1.1 client for one worker connection:
+/// raw `TcpStream`, blocking reads, `Content-Length` framing — the
+/// mirror image of the server's own minimal parser.
+pub struct WorkerClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl WorkerClient {
+    /// Connects to a worker at `addr` (e.g. `"127.0.0.1:7171"`).
+    pub fn connect(addr: &str) -> std::io::Result<WorkerClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        stream.set_nodelay(true)?;
+        Ok(WorkerClient {
+            writer: stream.try_clone()?,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// One request/response exchange; returns `(status, body bytes)`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: blaeu\r\n");
+        if let Some(body) = body {
+            head.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+        self.writer.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            self.writer.write_all(body.as_bytes())?;
+        }
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "worker closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_owned())
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let bad = |what: String| std::io::Error::new(std::io::ErrorKind::InvalidData, what);
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(format!("bad status line {status_line:?}")))?;
+        let mut content_length = None;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse::<usize>().ok();
+                }
+            }
+        }
+        let len =
+            content_length.ok_or_else(|| bad("response without Content-Length".to_owned()))?;
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|text| (status, text))
+            .map_err(|e| bad(format!("non-UTF-8 body: {e}")))
+    }
+}
+
+/// Coordinator-side counters, all monotonic; serialized into the
+/// aggregate picture by [`ShardCoordinator::stats_json`].
+#[derive(Debug, Default)]
+pub struct CoordStats {
+    /// Fan-outs completed (one per [`ShardCoordinator::run`]).
+    pub fan_outs: AtomicU64,
+    /// Partial sketches fetched from workers (includes retried fetches).
+    pub partials_merged: AtomicU64,
+    /// Range attempts retried on the *same* worker (`queue_full`).
+    pub retries: AtomicU64,
+    /// Range attempts moved to a *different* worker (connection loss,
+    /// 5xx).
+    pub reassignments: AtomicU64,
+    /// Partial-sketch bytes received from workers.
+    pub merge_bytes_in: AtomicU64,
+}
+
+/// Outcome classification for one range attempt against one worker.
+enum Attempt {
+    Ok(SketchPartial, usize),
+    /// Try again (possibly on another worker): connection trouble, 5xx,
+    /// or backpressure.
+    Retry(String),
+    /// A typed engine error retrying cannot fix.
+    Fatal(BlaeuError),
+}
+
+/// Ships shard ranges of a [`SketchOp`] to workers and merges the
+/// partials in shard order. See the module docs for the bit-identity
+/// argument.
+pub struct ShardCoordinator {
+    workers: Vec<String>,
+    stats: CoordStats,
+}
+
+impl ShardCoordinator {
+    /// A coordinator over `workers` (socket addresses of `blaeu-net`
+    /// servers that registered the target table). Panics if `workers`
+    /// is empty — a coordinator with nobody to coordinate is a bug at
+    /// the call site, not a runtime condition.
+    pub fn new(workers: Vec<String>) -> ShardCoordinator {
+        assert!(!workers.is_empty(), "coordinator needs at least one worker");
+        ShardCoordinator {
+            workers,
+            stats: CoordStats::default(),
+        }
+    }
+
+    /// The worker addresses, in fan-out order.
+    pub fn workers(&self) -> &[String] {
+        &self.workers
+    }
+
+    /// The coordinator-side counters.
+    pub fn stats(&self) -> &CoordStats {
+        &self.stats
+    }
+
+    /// Fans `op` out over the workers and returns the finalized
+    /// response — bit-identical to running the op in one process.
+    ///
+    /// `nrows` is the registered table's row count (the coordinator is
+    /// data-free; the caller supplies the one number the shard layout
+    /// needs). Ranges that fail on every worker across [`MAX_PASSES`]
+    /// passes surface the last error.
+    pub fn run(&self, table: &str, op: &SketchOp, nrows: usize) -> Result<Response> {
+        let spec = op.shard_spec(nrows);
+        let shard_count = spec.shard_count();
+        let items = spec.items();
+        let ranges = split_ranges(shard_count, self.workers.len());
+        let mut partials: Vec<Option<SketchPartial>> = Vec::new();
+        partials.resize_with(ranges.len(), || None);
+        let mut first_error: Option<BlaeuError> = None;
+        // One scoped thread per range: fan-out latency is the slowest
+        // worker, not the sum.
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (index, range) in ranges.iter().enumerate() {
+                let range = range.clone();
+                handles.push(scope.spawn(move || self.fetch_range(table, op, items, index, range)));
+            }
+            for (slot, handle) in partials.iter_mut().zip(handles) {
+                match handle.join().expect("range fetcher never panics") {
+                    Ok(partial) => *slot = Some(partial),
+                    Err(error) => {
+                        if first_error.is_none() {
+                            first_error = Some(error);
+                        }
+                    }
+                }
+            }
+        });
+        if let Some(error) = first_error {
+            return Err(error);
+        }
+        // Shard-order merge: range partials arrive indexed, so the fold
+        // below replays exactly the in-process combine sequence.
+        let mut merged: Option<SketchPartial> = None;
+        for partial in partials.into_iter().flatten() {
+            match &mut merged {
+                None => merged = Some(partial),
+                Some(acc) => acc.merge(partial)?,
+            }
+        }
+        let merged =
+            merged.ok_or_else(|| BlaeuError::Invalid("fan-out produced no partials".to_owned()))?;
+        let result = op.finalize(merged)?;
+        self.stats.fan_outs.fetch_add(1, Ordering::Relaxed);
+        Ok(Response::Sketch(Box::new(result)))
+    }
+
+    /// Fetches one shard range, retrying/reassigning per the policy in
+    /// the module docs. `home` picks the starting worker so ranges
+    /// spread across the fleet.
+    fn fetch_range(
+        &self,
+        table: &str,
+        op: &SketchOp,
+        items: usize,
+        home: usize,
+        range: std::ops::Range<usize>,
+    ) -> Result<SketchPartial> {
+        let body = serde_json::to_string(&json!({
+            "v": 1,
+            "cmd": "sketch",
+            "op": op.to_json(),
+            "shard": json!({"start": range.start, "end": range.end, "items": items}),
+        }))
+        .expect("serialization is infallible");
+        let mut last_error = String::new();
+        for attempt in 0..self.workers.len() * MAX_PASSES {
+            let worker = &self.workers[(home + attempt) % self.workers.len()];
+            match self.attempt(worker, table, &body) {
+                Attempt::Ok(partial, bytes) => {
+                    self.stats.partials_merged.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .merge_bytes_in
+                        .fetch_add(bytes as u64, Ordering::Relaxed);
+                    return Ok(partial);
+                }
+                Attempt::Fatal(error) => return Err(error),
+                Attempt::Retry(why) => {
+                    last_error = why;
+                    if self.workers.len() > 1 {
+                        self.stats.reassignments.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        Err(BlaeuError::Invalid(format!(
+            "shard range {}..{} failed on every worker after {} attempts; last error: {last_error}",
+            range.start,
+            range.end,
+            self.workers.len() * MAX_PASSES,
+        )))
+    }
+
+    /// One attempt against one worker, classified for the retry loop.
+    fn attempt(&self, worker: &str, table: &str, body: &str) -> Attempt {
+        let mut client = match WorkerClient::connect(worker) {
+            Ok(client) => client,
+            Err(e) => return Attempt::Retry(format!("{worker}: connect failed: {e}")),
+        };
+        let (status, text) =
+            match client.request("POST", &format!("/shards/{table}/commands"), Some(body)) {
+                Ok(response) => response,
+                Err(e) => return Attempt::Retry(format!("{worker}: request failed: {e}")),
+            };
+        let value: Value = match serde_json::from_str(&text) {
+            Ok(value) => value,
+            Err(e) => return Attempt::Retry(format!("{worker}: unparseable body: {e}")),
+        };
+        if status == 200 {
+            let partial = value
+                .get("sketch_partial")
+                .ok_or_else(|| {
+                    BlaeuError::Invalid(format!("{worker}: 200 without a sketch_partial"))
+                })
+                .and_then(SketchPartial::from_json);
+            return match partial {
+                Ok(partial) => Attempt::Ok(partial, text.len()),
+                // A 200 whose partial does not parse is a hostile or
+                // corrupt worker — not retryable on that worker, but
+                // another replica may answer correctly.
+                Err(error) => Attempt::Retry(format!("{worker}: {error}")),
+            };
+        }
+        let code = value["error"]["code"].as_str().unwrap_or("unknown");
+        let message = value["error"]["message"].as_str().unwrap_or(&text);
+        if status >= 500 || code == "queue_full" {
+            return Attempt::Retry(format!("{worker}: {status} {code}: {message}"));
+        }
+        // Typed 4xx: the replica rejected the request for a reason a
+        // retry cannot change (wrong table, layout disagreement, bad
+        // op). Keep the worker's own code where the registry has it.
+        Attempt::Fatal(match code {
+            "unknown_session" => BlaeuError::UnknownSession(0),
+            _ => BlaeuError::Invalid(format!("worker {worker}: {code}: {message}")),
+        })
+    }
+
+    /// `GET /stats` from every worker, aggregated with the
+    /// coordinator's own counters: per-worker shard-role rows plus
+    /// fleet totals (partials served, merge bytes out).
+    pub fn stats_json(&self) -> Value {
+        let mut rows = Vec::new();
+        let mut partials_served = 0u64;
+        let mut merge_bytes_out = 0u64;
+        for worker in &self.workers {
+            let shard = WorkerClient::connect(worker)
+                .and_then(|mut client| client.request("GET", "/stats", None))
+                .ok()
+                .and_then(|(status, text)| {
+                    (status == 200).then(|| serde_json::from_str(&text).ok())?
+                })
+                .map(|stats| stats["shard"].clone());
+            match shard {
+                Some(shard) => {
+                    partials_served += shard["partials_served"].as_u64().unwrap_or(0);
+                    merge_bytes_out += shard["merge_bytes_out"].as_u64().unwrap_or(0);
+                    rows.push(json!({"worker": worker.clone(), "shard": shard}));
+                }
+                None => rows.push(json!({"worker": worker.clone(), "shard": Value::Null})),
+            }
+        }
+        let load = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
+        json!({
+            "coordinator": json!({
+                "fan_outs": load(&self.stats.fan_outs),
+                "partials_merged": load(&self.stats.partials_merged),
+                "retries": load(&self.stats.retries),
+                "reassignments": load(&self.stats.reassignments),
+                "merge_bytes_in": load(&self.stats.merge_bytes_in),
+            }),
+            "fleet": json!({
+                "workers": self.workers.len(),
+                "partials_served": partials_served,
+                "merge_bytes_out": merge_bytes_out,
+            }),
+            "workers": rows,
+        })
+    }
+}
+
+/// Splits `shard_count` shards into at most `parts` contiguous,
+/// balanced ranges covering `0..shard_count` in order. Zero shards
+/// yield one empty range so the fan-out still produces a (typed,
+/// empty) partial; fewer shards than parts yield one range per shard.
+pub fn split_ranges(shard_count: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(parts > 0, "need at least one part");
+    if shard_count == 0 {
+        return std::iter::once(0..0).collect();
+    }
+    let parts = parts.min(shard_count);
+    let base = shard_count / parts;
+    let extra = shard_count % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, shard_count);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::split_ranges;
+
+    #[test]
+    fn ranges_are_contiguous_balanced_and_cover() {
+        for shard_count in [0usize, 1, 2, 3, 7, 8, 100, 101] {
+            for parts in [1usize, 2, 3, 4, 8] {
+                let ranges = split_ranges(shard_count, parts);
+                assert_eq!(ranges.first().map(|r| r.start), Some(0));
+                assert_eq!(ranges.last().map(|r| r.end), Some(shard_count));
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start, "contiguous");
+                }
+                let lens: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
+                let (lo, hi) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(hi - lo <= 1, "balanced: {lens:?}");
+                if shard_count > 0 {
+                    assert!(ranges.len() <= parts.min(shard_count));
+                    assert!(lens.iter().all(|&l| l > 0), "no empty ranges: {lens:?}");
+                }
+            }
+        }
+    }
+}

@@ -53,7 +53,11 @@ pub enum FsyncPolicy {
     Never,
     /// fsync after every record (slowest, zero-loss on machine crash).
     Always,
-    /// fsync after every `n` records per session.
+    /// Group commit: once `n` records have accumulated **across all
+    /// sessions** since the last sweep, one sweep `sync_data`s every
+    /// dirty file. Under concurrent sessions this batches what would be
+    /// one fsync per session per `n` records into one sweep per `n`
+    /// records fleet-wide.
     EveryN(u64),
 }
 
@@ -368,8 +372,18 @@ struct JournalFile {
     file: File,
     /// Last sequence number appended (0 = only the open record).
     seq: u64,
-    /// Records appended since the last fsync (for `EveryN`).
+    /// Records appended since this file was last fsynced — what a
+    /// group-commit sweep looks at to skip clean files.
     unsynced: u64,
+}
+
+/// Everything behind the journal's one lock: the open files plus the
+/// fleet-wide dirty-record counter that triggers group-commit sweeps.
+struct JournalFiles {
+    files: HashMap<SessionId, JournalFile>,
+    /// Records appended across all sessions since the last sweep
+    /// (meaningful under [`FsyncPolicy::EveryN`]).
+    unsynced_total: u64,
 }
 
 /// Journal effectiveness/observability counters (`GET /stats`).
@@ -383,6 +397,14 @@ pub struct JournalStats {
     pub bytes: u64,
     /// fsync calls issued.
     pub fsyncs: u64,
+    /// Group-commit sweeps completed (`EveryN` only): each sweep syncs
+    /// every dirty file once.
+    pub group_commits: u64,
+    /// Dirty files synced by group-commit sweeps — `fsyncs` issued
+    /// *because* a sweep fired rather than per-record. When this grows
+    /// slower than `records / n`, batching across sessions is saving
+    /// syncs.
+    pub batched_syncs: u64,
     /// Appends that failed at the filesystem (the command still
     /// answered; durability for that record is lost and this counter is
     /// the operator's signal).
@@ -396,10 +418,12 @@ pub struct JournalStats {
 pub struct SessionJournal {
     dir: PathBuf,
     fsync: FsyncPolicy,
-    files: Mutex<HashMap<SessionId, JournalFile>>,
+    files: Mutex<JournalFiles>,
     records: AtomicU64,
     bytes: AtomicU64,
     fsyncs: AtomicU64,
+    group_commits: AtomicU64,
+    batched_syncs: AtomicU64,
     append_failures: AtomicU64,
 }
 
@@ -408,7 +432,7 @@ impl std::fmt::Debug for SessionJournal {
         f.debug_struct("SessionJournal")
             .field("dir", &self.dir)
             .field("fsync", &self.fsync)
-            .field("sessions", &self.files.lock().len())
+            .field("sessions", &self.files.lock().files.len())
             .finish()
     }
 }
@@ -424,10 +448,15 @@ impl SessionJournal {
         Ok(SessionJournal {
             dir,
             fsync,
-            files: Mutex::new(HashMap::new()),
+            files: Mutex::new(JournalFiles {
+                files: HashMap::new(),
+                unsynced_total: 0,
+            }),
             records: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
+            group_commits: AtomicU64::new(0),
+            batched_syncs: AtomicU64::new(0),
             append_failures: AtomicU64::new(0),
         })
     }
@@ -450,18 +479,28 @@ impl SessionJournal {
             .write(true)
             .truncate(true)
             .open(path)?;
-        let mut entry = JournalFile {
-            file,
-            seq: 0,
-            unsynced: 0,
-        };
+        let mut inner = self.files.lock();
+        inner.files.insert(
+            id,
+            JournalFile {
+                file,
+                seq: 0,
+                unsynced: 0,
+            },
+        );
         let record = JournalRecord::Open {
             session: id,
             table: table.to_owned(),
             seed,
         };
-        self.write_record(&mut entry, &record.to_json(id))?;
-        self.files.lock().insert(id, entry);
+        if let Err(e) = self.write_record(&mut inner, id, &record.to_json(id)) {
+            // A session whose open record is not durable must not open —
+            // and must not leave a dirty entry behind.
+            if let Some(entry) = inner.files.remove(&id) {
+                inner.unsynced_total = inner.unsynced_total.saturating_sub(entry.unsynced);
+            }
+            return Err(e);
+        }
         Ok(())
     }
 
@@ -473,7 +512,7 @@ impl SessionJournal {
     pub fn adopt_session(&self, id: SessionId, seq: u64) -> std::io::Result<()> {
         let path = journal_path(&self.dir, id);
         let file = OpenOptions::new().append(true).open(path)?;
-        self.files.lock().insert(
+        self.files.lock().files.insert(
             id,
             JournalFile {
                 file,
@@ -492,8 +531,8 @@ impl SessionJournal {
     /// the response — a torn or missing tail is exactly what recovery's
     /// checksum truncation is built to absorb.
     pub fn append_command(&self, id: SessionId, command: &Command, outcome: &RecordedOutcome) {
-        let mut files = self.files.lock();
-        let Some(entry) = files.get_mut(&id) else {
+        let mut inner = self.files.lock();
+        let Some(entry) = inner.files.get(&id) else {
             return; // session not journaled (opened before the journal)
         };
         let seq = entry.seq + 1;
@@ -502,8 +541,12 @@ impl SessionJournal {
             command: command.clone(),
             outcome: outcome.clone(),
         };
-        match self.write_record(entry, &record.to_json(id)) {
-            Ok(()) => entry.seq = seq,
+        match self.write_record(&mut inner, id, &record.to_json(id)) {
+            Ok(()) => {
+                if let Some(entry) = inner.files.get_mut(&id) {
+                    entry.seq = seq;
+                }
+            }
             Err(_) => {
                 self.append_failures.fetch_add(1, Ordering::Relaxed);
             }
@@ -515,30 +558,39 @@ impl SessionJournal {
     /// dies between the append and the delete, recovery sees the close
     /// record and removes the file itself.)
     pub fn close_session(&self, id: SessionId) {
-        let Some(mut entry) = self.files.lock().remove(&id) else {
+        let mut inner = self.files.lock();
+        let Some(entry) = inner.files.get(&id) else {
             return;
         };
         let seq = entry.seq + 1;
         let record = JournalRecord::Close { seq };
-        if self.write_record(&mut entry, &record.to_json(id)).is_err() {
+        if self
+            .write_record(&mut inner, id, &record.to_json(id))
+            .is_err()
+        {
             self.append_failures.fetch_add(1, Ordering::Relaxed);
         }
-        drop(entry);
+        if let Some(entry) = inner.files.remove(&id) {
+            inner.unsynced_total = inner.unsynced_total.saturating_sub(entry.unsynced);
+        }
+        drop(inner);
         let _ = std::fs::remove_file(journal_path(&self.dir, id));
     }
 
     /// Last sequence number of session `id` (`None` when unjournaled).
     pub fn seq_of(&self, id: SessionId) -> Option<u64> {
-        self.files.lock().get(&id).map(|entry| entry.seq)
+        self.files.lock().files.get(&id).map(|entry| entry.seq)
     }
 
     /// Observability counters.
     pub fn stats(&self) -> JournalStats {
         JournalStats {
-            sessions: self.files.lock().len(),
+            sessions: self.files.lock().files.len(),
             records: self.records.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
             fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            group_commits: self.group_commits.load(Ordering::Relaxed),
+            batched_syncs: self.batched_syncs.load(Ordering::Relaxed),
             append_failures: self.append_failures.load(Ordering::Relaxed),
         }
     }
@@ -560,24 +612,80 @@ impl SessionJournal {
         Ok(ids)
     }
 
-    fn write_record(&self, entry: &mut JournalFile, payload: &Value) -> std::io::Result<()> {
+    fn write_record(
+        &self,
+        inner: &mut JournalFiles,
+        id: SessionId,
+        payload: &Value,
+    ) -> std::io::Result<()> {
         let text = serde_json::to_string(payload).expect("serialization is infallible");
         let line = frame(&text);
+        let entry = inner
+            .files
+            .get_mut(&id)
+            .expect("write_record only runs for an open journal file");
         entry.file.write_all(line.as_bytes())?;
         self.records.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(line.len() as u64, Ordering::Relaxed);
         entry.unsynced += 1;
-        let sync = match self.fsync {
-            FsyncPolicy::Never => false,
-            FsyncPolicy::Always => true,
-            FsyncPolicy::EveryN(n) => entry.unsynced >= n.max(1),
-        };
-        if sync {
-            entry.file.sync_data()?;
-            entry.unsynced = 0;
-            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        inner.unsynced_total += 1;
+        match self.fsync {
+            FsyncPolicy::Never => Ok(()),
+            FsyncPolicy::Always => {
+                let entry = inner.files.get_mut(&id).expect("entry still present");
+                entry.file.sync_data()?;
+                entry.unsynced = 0;
+                inner.unsynced_total = inner.unsynced_total.saturating_sub(1);
+                self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            FsyncPolicy::EveryN(n) => {
+                if inner.unsynced_total >= n.max(1) {
+                    self.group_commit(inner)
+                } else {
+                    Ok(())
+                }
+            }
         }
-        Ok(())
+    }
+
+    /// Group commit: one sweep over every dirty file. `n` records
+    /// accumulated *fleet-wide* cost one sweep, not one fsync per
+    /// session — with S busy sessions and policy `EveryN(n)`, the sweep
+    /// issues at most S syncs per `n` records total, where per-session
+    /// counting would issue S syncs per `n` records *each*. A file
+    /// whose sync fails keeps its dirty count (the next sweep retries
+    /// it) and the first error propagates to the append that triggered
+    /// the sweep.
+    fn group_commit(&self, inner: &mut JournalFiles) -> std::io::Result<()> {
+        let mut first_error = None;
+        let mut remaining = 0u64;
+        let mut synced = 0u64;
+        for entry in inner.files.values_mut() {
+            if entry.unsynced == 0 {
+                continue;
+            }
+            match entry.file.sync_data() {
+                Ok(()) => {
+                    entry.unsynced = 0;
+                    synced += 1;
+                }
+                Err(e) => {
+                    remaining += entry.unsynced;
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        inner.unsynced_total = remaining;
+        self.fsyncs.fetch_add(synced, Ordering::Relaxed);
+        self.batched_syncs.fetch_add(synced, Ordering::Relaxed);
+        self.group_commits.fetch_add(1, Ordering::Relaxed);
+        match first_error {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 }
 
@@ -733,12 +841,55 @@ mod tests {
         assert!(stats.bytes > 0);
         assert_eq!(stats.append_failures, 0);
         assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.group_commits, 0, "Always never sweeps");
+        assert_eq!(stats.batched_syncs, 0);
         let _ = std::fs::remove_dir_all(&dir);
 
         let dir = tempdir("fsync-n");
         let journal = SessionJournal::open(&dir, FsyncPolicy::EveryN(2)).unwrap();
         write_demo(&journal);
-        assert_eq!(journal.stats().fsyncs, 1, "3 records, sync every 2");
+        let stats = journal.stats();
+        assert_eq!(stats.fsyncs, 1, "3 records, sync every 2");
+        assert_eq!(stats.group_commits, 1, "one sweep at the second record");
+        assert_eq!(stats.batched_syncs, 1, "one dirty file in the sweep");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The group-commit point: `n` records *across* sessions trigger one
+    /// sweep syncing every dirty file — not one fsync per session per
+    /// `n` of its own records.
+    #[test]
+    fn group_commit_sweeps_all_dirty_sessions() {
+        let dir = tempdir("group");
+        let journal = SessionJournal::open(&dir, FsyncPolicy::EveryN(4)).unwrap();
+        // Two sessions, interleaved appends: open(1), open(2) are
+        // records 1 and 2; two commands land records 3 and 4 → the
+        // fourth record fires one sweep over both dirty files.
+        journal.open_session(1, "oecd", 0).unwrap();
+        journal.open_session(2, "oecd", 0).unwrap();
+        journal.append_command(1, &Command::Depth, &RecordedOutcome::Digest(1));
+        assert_eq!(journal.stats().fsyncs, 0, "three records: below the bar");
+        journal.append_command(2, &Command::Depth, &RecordedOutcome::Digest(2));
+        let stats = journal.stats();
+        assert_eq!(stats.group_commits, 1, "fourth record fires the sweep");
+        assert_eq!(stats.batched_syncs, 2, "both dirty files synced");
+        assert_eq!(stats.fsyncs, 2);
+        // The sweep reset every dirty counter: the next three appends
+        // stay below the bar again.
+        journal.append_command(1, &Command::Depth, &RecordedOutcome::Digest(3));
+        journal.append_command(1, &Command::Depth, &RecordedOutcome::Digest(4));
+        journal.append_command(2, &Command::Depth, &RecordedOutcome::Digest(5));
+        assert_eq!(journal.stats().group_commits, 1, "counter was reset");
+        // The close record is the window's fourth append: the sweep
+        // fires while both files are dirty (session 1 with two records,
+        // session 2 with its last command plus the close).
+        journal.close_session(2);
+        let stats = journal.stats();
+        assert_eq!(stats.group_commits, 2, "close record completed the window");
+        assert_eq!(stats.batched_syncs, 4, "both files dirty again");
+        // The departed session left nothing behind in the dirty count.
+        journal.append_command(1, &Command::Depth, &RecordedOutcome::Digest(6));
+        assert_eq!(journal.stats().group_commits, 2, "window restarted at zero");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -78,16 +78,148 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     }
 }
 
-/// Summarizes a column (owned or view-selected — any [`ColumnRead`]).
-/// `top_k` caps the categorical top-list.
-pub fn describe<C: ColumnRead>(column: &C, top_k: usize) -> ColumnSummary {
+/// The canonical row shard layout for row-sharded column sketches
+/// (describe, histogram, CLARA assignment): a pure function of the row
+/// count — never of the thread or worker count — so every node agrees
+/// on shard boundaries.
+pub fn row_shard_spec(rows: usize) -> blaeu_exec::ShardSpec {
+    blaeu_exec::ShardSpec::with_shard_size(rows, blaeu_exec::REDUCE_GRAIN)
+}
+
+/// Which describe accumulator a column feeds — numeric and categorical
+/// columns build different partials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DescribeKind {
+    /// Float/int column: the partial gathers raw values.
+    Numeric,
+    /// Categorical/bool column: the partial gathers label counts.
+    Categorical,
+}
+
+/// The describe kind of a column, from its data type.
+pub fn describe_kind<C: ColumnRead>(column: &C) -> DescribeKind {
     match column.data_type() {
-        DataType::Float64 | DataType::Int64 => {
-            let mut vals: Vec<f64> = (0..column.len())
-                .filter_map(|i| column.numeric_at(i))
-                .collect();
-            let nulls = column.len() - vals.len();
-            if vals.is_empty() {
+        DataType::Float64 | DataType::Int64 => DescribeKind::Numeric,
+        DataType::Categorical | DataType::Bool => DescribeKind::Categorical,
+    }
+}
+
+/// A mergeable partial of a describe sketch over a contiguous row shard.
+///
+/// Exact quantiles need order statistics, so the numeric partial is a
+/// value gather (values in row order); merging concatenates in shard
+/// order, which rebuilds the exact full-column collection sequence —
+/// the final sort, mean and quantiles are then bit-identical to the
+/// sequential [`describe`] whatever the shard grouping. Categorical
+/// counts are integer adds, exact under any association.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DescribePartial {
+    /// Gathered numeric values (row order) and the shard's NULL count.
+    Numeric {
+        /// Non-NULL values in row order.
+        values: Vec<f64>,
+        /// NULL rows in the shard.
+        nulls: usize,
+    },
+    /// Label counts and the shard's NULL count.
+    Categorical {
+        /// Per-label observation counts.
+        counts: std::collections::BTreeMap<String, usize>,
+        /// NULL rows in the shard.
+        nulls: usize,
+    },
+}
+
+impl DescribePartial {
+    /// The identity partial for a kind — what a worker returns for an
+    /// empty shard range.
+    pub fn empty(kind: DescribeKind) -> DescribePartial {
+        match kind {
+            DescribeKind::Numeric => DescribePartial::Numeric {
+                values: Vec::new(),
+                nulls: 0,
+            },
+            DescribeKind::Categorical => DescribePartial::Categorical {
+                counts: std::collections::BTreeMap::new(),
+                nulls: 0,
+            },
+        }
+    }
+
+    /// The kind of column this partial summarizes.
+    pub fn kind(&self) -> DescribeKind {
+        match self {
+            DescribePartial::Numeric { .. } => DescribeKind::Numeric,
+            DescribePartial::Categorical { .. } => DescribeKind::Categorical,
+        }
+    }
+
+    /// Merges the next shard range's partial into this one. Shard-order
+    /// associative: values concatenate, counts add.
+    ///
+    /// # Panics
+    /// Panics if the two partials are of different kinds.
+    pub fn merge(&mut self, other: DescribePartial) {
+        match (self, other) {
+            (
+                DescribePartial::Numeric { values, nulls },
+                DescribePartial::Numeric {
+                    values: mut ov,
+                    nulls: on,
+                },
+            ) => {
+                values.append(&mut ov);
+                *nulls += on;
+            }
+            (
+                DescribePartial::Categorical { counts, nulls },
+                DescribePartial::Categorical {
+                    counts: oc,
+                    nulls: on,
+                },
+            ) => {
+                for (label, c) in oc {
+                    *counts.entry(label).or_insert(0) += c;
+                }
+                *nulls += on;
+            }
+            _ => panic!("cannot merge describe partials of different kinds"),
+        }
+    }
+}
+
+/// Builds the describe partial for one contiguous row range of a column
+/// — the unit of work a worker executes per canonical shard.
+pub fn describe_shard<C: ColumnRead>(column: &C, rows: std::ops::Range<usize>) -> DescribePartial {
+    match describe_kind(column) {
+        DescribeKind::Numeric => {
+            let values: Vec<f64> = rows.clone().filter_map(|i| column.numeric_at(i)).collect();
+            let nulls = rows.len() - values.len();
+            DescribePartial::Numeric { values, nulls }
+        }
+        DescribeKind::Categorical => {
+            let mut counts = std::collections::BTreeMap::new();
+            let mut nulls = 0usize;
+            for i in rows {
+                let v = column.get(i);
+                if v.is_null() {
+                    nulls += 1;
+                } else {
+                    *counts.entry(v.to_string()).or_insert(0) += 1;
+                }
+            }
+            DescribePartial::Categorical { counts, nulls }
+        }
+    }
+}
+
+/// Finalizes a fully merged describe partial into the column summary.
+/// Needs no column data, so a coordinator can finalize merged worker
+/// partials.
+pub fn finalize_describe(partial: DescribePartial, top_k: usize) -> ColumnSummary {
+    match partial {
+        DescribePartial::Numeric { mut values, nulls } => {
+            if values.is_empty() {
                 return ColumnSummary::Numeric(NumericSummary {
                     count: 0,
                     nulls,
@@ -100,11 +232,11 @@ pub fn describe<C: ColumnRead>(column: &C, top_k: usize) -> ColumnSummary {
                     max: f64::NAN,
                 });
             }
-            vals.sort_by(f64::total_cmp);
-            let n = vals.len();
-            let mean = vals.iter().sum::<f64>() / n as f64;
+            values.sort_by(f64::total_cmp);
+            let n = values.len();
+            let mean = values.iter().sum::<f64>() / n as f64;
             let std = if n > 1 {
-                (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+                (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
             } else {
                 0.0
             };
@@ -113,24 +245,15 @@ pub fn describe<C: ColumnRead>(column: &C, top_k: usize) -> ColumnSummary {
                 nulls,
                 mean,
                 std,
-                min: vals[0],
-                q1: quantile_sorted(&vals, 0.25),
-                median: quantile_sorted(&vals, 0.5),
-                q3: quantile_sorted(&vals, 0.75),
-                max: vals[n - 1],
+                min: values[0],
+                q1: quantile_sorted(&values, 0.25),
+                median: quantile_sorted(&values, 0.5),
+                q3: quantile_sorted(&values, 0.75),
+                max: values[n - 1],
             })
         }
-        DataType::Categorical | DataType::Bool => {
-            let mut counts: std::collections::HashMap<String, usize> =
-                std::collections::HashMap::new();
-            let mut count = 0usize;
-            for i in 0..column.len() {
-                let v = column.get(i);
-                if !v.is_null() {
-                    count += 1;
-                    *counts.entry(v.to_string()).or_insert(0) += 1;
-                }
-            }
+        DescribePartial::Categorical { counts, nulls } => {
+            let count = counts.values().sum();
             let distinct = counts.len();
             let mut top: Vec<(String, usize)> = counts.into_iter().collect();
             // Order by count descending, then label for determinism.
@@ -138,12 +261,28 @@ pub fn describe<C: ColumnRead>(column: &C, top_k: usize) -> ColumnSummary {
             top.truncate(top_k);
             ColumnSummary::Categorical(CategoricalSummary {
                 count,
-                nulls: column.len() - count,
+                nulls,
                 distinct,
                 top,
             })
         }
     }
+}
+
+/// Summarizes a column (owned or view-selected — any [`ColumnRead`]).
+/// `top_k` caps the categorical top-list.
+///
+/// Routed through the describe sketch: the column is cut into canonical
+/// row shards, per-shard partials merge in shard order, and the merged
+/// partial finalizes — the same combine a distributed run performs, so
+/// the result is bit-identical whether shards run here or on workers.
+pub fn describe<C: ColumnRead>(column: &C, top_k: usize) -> ColumnSummary {
+    let spec = row_shard_spec(column.len());
+    let mut partial = DescribePartial::empty(describe_kind(column));
+    for s in 0..spec.shard_count() {
+        partial.merge(describe_shard(column, spec.range(s)));
+    }
+    finalize_describe(partial, top_k)
 }
 
 #[cfg(test)]

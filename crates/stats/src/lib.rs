@@ -39,11 +39,18 @@ pub use binning::{discretize, BinRule, BinStrategy, DiscreteColumn, Discretizer}
 pub use chi2::{chi2_p_value, chi2_test, Chi2Test};
 pub use contingency::ContingencyTable;
 pub use correlation::{pearson, ranks, spearman};
-pub use describe::{describe, CategoricalSummary, ColumnSummary, NumericSummary};
+pub use describe::{
+    describe, describe_kind, describe_shard, finalize_describe, row_shard_spec, CategoricalSummary,
+    ColumnSummary, DescribeKind, DescribePartial, NumericSummary,
+};
 pub use entropy::{entropy, entropy_from_counts, joint_entropy};
-pub use histogram::{histogram, Histogram};
+pub use histogram::{
+    finalize_histogram, histogram, histogram_prepare, histogram_shard, Histogram, HistogramMode,
+    HistogramPartial, HistogramSketch,
+};
 pub use mi::{
-    dependency_matrix, mutual_information, normalized_mutual_information, DependencyMatrix,
+    dep_matrix_shard_spec, dependency_matrix, finalize_dep_cells, merge_dep_cells,
+    mutual_information, normalized_mutual_information, DepMatrixSketch, DependencyMatrix,
     DependencyMeasure, DependencyOptions, MiNormalization,
 };
 pub use scatter::ScatterGrid;

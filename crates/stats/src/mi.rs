@@ -124,6 +124,15 @@ fn pair_shard_size(npairs: usize) -> usize {
     npairs.div_ceil(PAIR_SHARD_TARGET).clamp(1, PAIR_SHARD)
 }
 
+/// The canonical shard layout of an `m`-column dependency sweep — a pure
+/// function of the column count, computable without data, so a
+/// coordinator can carve the pair space into worker ranges and every
+/// node agrees on shard boundaries.
+pub fn dep_matrix_shard_spec(m: usize) -> blaeu_exec::ShardSpec {
+    let npairs = m * m.saturating_sub(1) / 2;
+    blaeu_exec::ShardSpec::with_shard_size(npairs, pair_shard_size(npairs))
+}
+
 /// Symmetric matrix of pairwise column dependencies in `[0, 1]`.
 #[derive(Debug, Clone)]
 pub struct DependencyMatrix {
@@ -181,6 +190,136 @@ impl DependencyMatrix {
     }
 }
 
+/// One-time preparation for the sharded dependency sweep: validated
+/// names, per-column discretizations and numeric views over the (possibly
+/// sampled) rows, and the canonical pair shard layout. Preparing is a
+/// pure function of the view contents and the options, so every replica
+/// of the data builds an identical sketch.
+#[derive(Debug, Clone)]
+pub struct DepMatrixSketch {
+    names: Vec<String>,
+    discs: Vec<DiscreteColumn>,
+    numerics: Vec<Option<Vec<Option<f64>>>>,
+    pairs: Vec<(usize, usize)>,
+    opts: DependencyOptions,
+    spec: blaeu_exec::ShardSpec,
+}
+
+impl DepMatrixSketch {
+    /// Prepares the sweep: validates names, samples rows once (a
+    /// selection, not a copy), discretizes each column once and keeps
+    /// numeric views for the correlation measures.
+    ///
+    /// # Errors
+    /// Returns an error for unknown column names.
+    pub fn prepare(view: &TableView, columns: &[&str], opts: &DependencyOptions) -> Result<Self> {
+        let m = columns.len();
+        for &c in columns {
+            view.col_by_name(c)?;
+        }
+        let sampled: TableView = match opts.sample {
+            Some(cap) if view.nrows() > cap => {
+                let rows = uniform_sample(view.nrows(), cap, opts.seed);
+                view.select(&rows)?
+            }
+            _ => view.clone(),
+        };
+        let mut discs = Vec::with_capacity(m);
+        let mut numerics: Vec<Option<Vec<Option<f64>>>> = Vec::with_capacity(m);
+        for &c in columns {
+            let col = sampled.col_by_name(c)?;
+            discs.push(discretize(&col, opts.strategy, opts.rule));
+            numerics.push(if col.data_type().is_numeric() {
+                Some(col.to_f64_vec())
+            } else {
+                None
+            });
+        }
+        let pairs: Vec<(usize, usize)> = (0..m)
+            .flat_map(|i| ((i + 1)..m).map(move |j| (i, j)))
+            .collect();
+        Ok(DepMatrixSketch {
+            names: columns.iter().map(|&s| s.to_owned()).collect(),
+            discs,
+            numerics,
+            pairs,
+            opts: opts.clone(),
+            spec: dep_matrix_shard_spec(m),
+        })
+    }
+
+    /// Column names, in matrix order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The canonical pair shard layout (matches
+    /// [`dep_matrix_shard_spec`] for the sketch's column count).
+    pub fn shard_spec(&self) -> &blaeu_exec::ShardSpec {
+        &self.spec
+    }
+
+    /// Measures one canonical shard of the pair sweep, returning its cell
+    /// values in pair order — the unit of work a worker executes.
+    pub fn run_shard(&self, s: usize) -> Vec<f64> {
+        self.pairs[self.spec.range(s)]
+            .iter()
+            .map(|&(i, j)| {
+                measure_pair(
+                    &self.discs[i],
+                    &self.discs[j],
+                    self.numerics[i].as_deref(),
+                    self.numerics[j].as_deref(),
+                    &self.opts,
+                )
+            })
+            .collect()
+    }
+
+    /// Runs a contiguous range of shards in parallel and merges their
+    /// partials in shard order. `run_range(0..shard_count)` is the full
+    /// single-node sweep; a worker runs its assigned sub-range.
+    pub fn run_range(&self, shards: std::ops::Range<usize>, threads: usize) -> Vec<f64> {
+        let start = shards.start;
+        let parts = blaeu_exec::par_map_range_grained(shards.len(), threads, 1, |i| {
+            self.run_shard(start + i)
+        });
+        let mut cells = Vec::new();
+        for part in parts {
+            merge_dep_cells(&mut cells, part);
+        }
+        cells
+    }
+}
+
+/// Merges two dependency-cell partials produced by adjacent shard
+/// ranges: cells are kept in pair order, so the merge is concatenation —
+/// associative in shard order by construction.
+pub fn merge_dep_cells(a: &mut Vec<f64>, mut b: Vec<f64>) {
+    a.append(&mut b);
+}
+
+/// Assembles the symmetric matrix from the fully merged cell run (one
+/// value per `i < j` pair in pair order, diagonal fixed at 1). Needs no
+/// column data, so a coordinator can finalize merged worker partials.
+///
+/// # Panics
+/// Panics if `cells.len()` is not the pair count for `names.len()`.
+pub fn finalize_dep_cells(names: Vec<String>, cells: &[f64]) -> DependencyMatrix {
+    let m = names.len();
+    assert_eq!(cells.len(), m * m.saturating_sub(1) / 2, "cell count");
+    let mut values = vec![0.0f64; m * m];
+    for i in 0..m {
+        values[i * m + i] = 1.0;
+    }
+    let pairs = (0..m).flat_map(|i| ((i + 1)..m).map(move |j| (i, j)));
+    for ((i, j), &v) in pairs.zip(cells) {
+        values[i * m + j] = v;
+        values[j * m + i] = v;
+    }
+    DependencyMatrix { names, values }
+}
+
 fn measure_pair(
     x: &DiscreteColumn,
     y: &DiscreteColumn,
@@ -229,73 +368,15 @@ pub fn dependency_matrix(
     columns: &[&str],
     opts: &DependencyOptions,
 ) -> Result<DependencyMatrix> {
-    let m = columns.len();
-    // Validate all names up front.
-    for &c in columns {
-        view.col_by_name(c)?;
-    }
-
-    // Sample rows once, shared by every pair — a selection, not a copy.
-    let sampled: TableView = match opts.sample {
-        Some(cap) if view.nrows() > cap => {
-            let rows = uniform_sample(view.nrows(), cap, opts.seed);
-            view.select(&rows)?
-        }
-        _ => view.clone(),
-    };
-
-    // Discretize each column once; keep numeric views for correlation modes.
-    let mut discs = Vec::with_capacity(m);
-    let mut numerics: Vec<Option<Vec<Option<f64>>>> = Vec::with_capacity(m);
-    for &c in columns {
-        let col = sampled.col_by_name(c)?;
-        discs.push(discretize(&col, opts.strategy, opts.rule));
-        numerics.push(if col.data_type().is_numeric() {
-            Some(col.to_f64_vec())
-        } else {
-            None
-        });
-    }
-
-    let pairs: Vec<(usize, usize)> = (0..m)
-        .flat_map(|i| ((i + 1)..m).map(move |j| (i, j)))
-        .collect();
-
-    let mut values = vec![0.0f64; m * m];
-    for i in 0..m {
-        values[i * m + i] = 1.0;
-    }
-
     // The pairwise sweep is sharded over the pair list: each shard is one
     // steal-queue grain, so expensive pairs (high-cardinality contingency
     // tables) do not pin a worker while its siblings idle. Per-shard
-    // results come back in shard order — the flattened sequence is the
-    // pair order — so the matrix is bit-identical for any parallelism
-    // level.
-    let shards = blaeu_exec::ShardSpec::with_shard_size(pairs.len(), pair_shard_size(pairs.len()));
-    let measured = blaeu_exec::par_shards(&shards, opts.threads, |_, range| {
-        pairs[range]
-            .iter()
-            .map(|&(i, j)| {
-                measure_pair(
-                    &discs[i],
-                    &discs[j],
-                    numerics[i].as_deref(),
-                    numerics[j].as_deref(),
-                    opts,
-                )
-            })
-            .collect::<Vec<f64>>()
-    });
-    for (&(i, j), v) in pairs.iter().zip(measured.into_iter().flatten()) {
-        values[i * m + j] = v;
-        values[j * m + i] = v;
-    }
-
-    Ok(DependencyMatrix {
-        names: columns.iter().map(|&s| s.to_owned()).collect(),
-        values,
-    })
+    // partials merge in shard order — the flattened sequence is the pair
+    // order — so the matrix is bit-identical for any parallelism level
+    // and for any grouping of shards into worker ranges.
+    let sketch = DepMatrixSketch::prepare(view, columns, opts)?;
+    let cells = sketch.run_range(0..sketch.shard_spec().shard_count(), opts.threads);
+    Ok(finalize_dep_cells(sketch.names.clone(), &cells))
 }
 
 #[cfg(test)]

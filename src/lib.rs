@@ -61,14 +61,14 @@ pub mod prelude {
     };
     pub use blaeu_core::{
         build_map, detect_themes, render, BlaeuError, Command, DataMap, DependencyGraph, Explorer,
-        ExplorerConfig, Highlight, KChoice, MapperConfig, Region, Response, SessionManager, Theme,
-        ThemeConfig, ThemeSet,
+        ExplorerConfig, Highlight, KChoice, MapperConfig, Region, Response, SessionManager,
+        SketchOp, SketchPartial, SketchPlan, SketchResult, Theme, ThemeConfig, ThemeSet,
     };
     pub use blaeu_exec::{JobHandle, JobPool, JobStatus};
     pub use blaeu_net::{NetConfig, NetServer};
     pub use blaeu_server::{
-        AnalysisCache, AsyncSessionServer, CacheStats, FsyncPolicy, RecoveryReport, ServerConfig,
-        SessionJournal,
+        split_ranges, AnalysisCache, AsyncSessionServer, CacheStats, CoordStats, FsyncPolicy,
+        RecoveryReport, ServerConfig, SessionJournal, ShardCoordinator, WorkerClient,
     };
     pub use blaeu_stats::{
         chi2_test, dependency_matrix, describe, histogram, DependencyMeasure, DependencyOptions,

@@ -1,0 +1,265 @@
+//! Loopback acceptance tests for the distributed shard fan-out: real
+//! `NetServer` workers on loopback sockets, a [`ShardCoordinator`]
+//! fanning sketch ops over them, and the tier's one promise checked
+//! end to end — coordinator-merged digests bit-identical to the
+//! in-process run across worker counts and thread budgets — plus the
+//! failure contract: dead workers reassign, layout disagreement is a
+//! typed fatal error, and the shard surface rejects malformed input
+//! with the same status mapping the session surface uses.
+
+use std::sync::Arc;
+
+use blaeu::prelude::*;
+use serde_json::{json, Value};
+
+/// The shared fixture: mixed numeric/categorical table every worker
+/// registers a full replica of.
+fn fixture() -> Arc<Table> {
+    let n = 600;
+    let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).sin() * 8.0).collect();
+    let ys: Vec<f64> = xs.iter().map(|v| v * 1.5 - 2.0).collect();
+    let labels: Vec<String> = (0..n).map(|i| format!("g{}", i % 6)).collect();
+    Arc::new(
+        TableBuilder::new("t")
+            .column("x", Column::dense_f64(xs))
+            .unwrap()
+            .column("y", Column::dense_f64(ys))
+            .unwrap()
+            .column(
+                "g",
+                Column::from_strs(labels.iter().map(|s| Some(s.as_str()))),
+            )
+            .unwrap()
+            .build()
+            .unwrap(),
+    )
+}
+
+fn serve(table: &Arc<Table>) -> NetServer {
+    let engine = Arc::new(AsyncSessionServer::new(ServerConfig::default()));
+    let net = NetServer::bind("127.0.0.1:0", engine, NetConfig::default()).expect("loopback bind");
+    net.register_table("t", Arc::clone(table));
+    net
+}
+
+/// One op per mergeable analysis family.
+fn ops() -> Vec<SketchOp> {
+    vec![
+        SketchOp::DepMatrix {
+            columns: vec!["x".into(), "y".into(), "g".into()],
+        },
+        SketchOp::Describe {
+            column: "x".into(),
+            top_k: 5,
+        },
+        SketchOp::Describe {
+            column: "g".into(),
+            top_k: 4,
+        },
+        SketchOp::Histogram {
+            column: "y".into(),
+            bins: 12,
+        },
+        SketchOp::ClaraAssign {
+            columns: vec!["x".into(), "y".into(), "g".into()],
+            medoids: vec![7, 300, 590],
+        },
+    ]
+}
+
+/// The single-process reference at an explicit thread budget.
+fn in_process_digest(table: &Arc<Table>, op: &SketchOp, threads: usize) -> u64 {
+    let view = TableView::new(Arc::clone(table));
+    let plan = op.plan(&view).expect("fixture columns exist");
+    let partial = plan.run_range(0..plan.spec().shard_count(), threads);
+    let result = op.finalize(partial).expect("well-formed partial");
+    Response::Sketch(Box::new(result)).digest()
+}
+
+/// The acceptance criterion: coordinator-merged digests equal the
+/// in-process digests for every op family, at worker counts {1, 2, 4},
+/// and the in-process reference itself is thread-budget-invariant
+/// ({1, 8}) — so the whole cross: workers × threads agrees on one
+/// digest per op.
+#[test]
+fn coordinator_digests_match_in_process_across_workers_and_threads() {
+    let table = fixture();
+    let nrows = table.nrows();
+    let expected: Vec<u64> = ops()
+        .iter()
+        .map(|op| {
+            let d1 = in_process_digest(&table, op, 1);
+            let d8 = in_process_digest(&table, op, 8);
+            assert_eq!(d1, d8, "{op:?}: thread budget changed the digest");
+            d1
+        })
+        .collect();
+    for workers in [1usize, 2, 4] {
+        let nets: Vec<NetServer> = (0..workers).map(|_| serve(&table)).collect();
+        let coordinator =
+            ShardCoordinator::new(nets.iter().map(|n| n.local_addr().to_string()).collect());
+        for (op, want) in ops().iter().zip(&expected) {
+            let response = coordinator
+                .run("t", op, nrows)
+                .unwrap_or_else(|e| panic!("{op:?} over {workers} workers: {e}"));
+            assert_eq!(
+                response.digest(),
+                *want,
+                "{op:?} diverged over {workers} workers"
+            );
+        }
+        let stats = coordinator.stats_json();
+        assert_eq!(
+            stats["coordinator"]["fan_outs"].as_u64(),
+            Some(ops().len() as u64)
+        );
+        assert!(
+            stats["fleet"]["partials_served"].as_u64().unwrap() > 0,
+            "workers counted served partials: {stats:?}"
+        );
+        assert!(stats["fleet"]["merge_bytes_out"].as_u64().unwrap() > 0);
+        for net in nets {
+            net.shutdown();
+        }
+    }
+}
+
+/// A dead worker does not kill the fan-out: its ranges reassign to the
+/// survivor and the digest still matches the in-process run.
+#[test]
+fn dead_worker_reassigns_to_survivor() {
+    let table = fixture();
+    let nrows = table.nrows();
+    let alive = serve(&table);
+    let dead = serve(&table);
+    let dead_addr = dead.local_addr().to_string();
+    dead.shutdown();
+    let coordinator = ShardCoordinator::new(vec![alive.local_addr().to_string(), dead_addr]);
+    let op = &ops()[0];
+    let response = coordinator
+        .run("t", op, nrows)
+        .expect("survivor covers the dead worker's ranges");
+    assert_eq!(response.digest(), in_process_digest(&table, op, 1));
+    assert!(
+        coordinator
+            .stats()
+            .reassignments
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "the dead worker's range must have been reassigned"
+    );
+    alive.shutdown();
+}
+
+/// A replica whose shard layout disagrees with the coordinator answers
+/// a typed `invalid` error — fatal, not retried into a wrong merge.
+#[test]
+fn layout_disagreement_is_a_typed_fatal_error() {
+    let table = fixture();
+    let net = serve(&table);
+    let coordinator = ShardCoordinator::new(vec![net.local_addr().to_string()]);
+    // Lying about the row count changes `items` for row-sharded ops.
+    let op = SketchOp::Describe {
+        column: "x".into(),
+        top_k: 5,
+    };
+    let error = coordinator
+        .run("t", &op, table.nrows() * 2)
+        .expect_err("layout mismatch must fail");
+    assert_eq!(error.kind(), "invalid", "{error}");
+    assert!(
+        error.to_string().contains("disagrees on shard layout"),
+        "{error}"
+    );
+    net.shutdown();
+}
+
+fn raw(net: &NetServer, body: &Value) -> (u16, Value) {
+    let mut client = WorkerClient::connect(&net.local_addr().to_string()).expect("connect");
+    let text = serde_json::to_string(body).expect("serialization is infallible");
+    let (status, answer) = client
+        .request("POST", "/shards/t/commands", Some(&text))
+        .expect("request");
+    (
+        status,
+        serde_json::from_str(&answer).expect("worker answers JSON"),
+    )
+}
+
+/// The shard surface's error contract: only sketch commands, only
+/// well-formed shard ranges, only registered tables — each rejection
+/// typed and mapped to the same statuses the session surface uses.
+#[test]
+fn shard_surface_rejects_malformed_requests_with_typed_errors() {
+    let table = fixture();
+    let net = serve(&table);
+    let shard = json!({"start": 0u64, "end": 1u64, "items": table.nrows()});
+
+    // A non-sketch command on the shard surface: typed 422.
+    let (status, body) = raw(&net, &json!({"cmd": "depth", "shard": shard.clone()}));
+    assert_eq!(status, 422, "{body:?}");
+    assert_eq!(body["error"]["code"].as_str(), Some("invalid"));
+
+    // Missing shard range: 400 before anything executes.
+    let op = json!({"op": "describe", "column": "x", "top_k": 5u64});
+    let (status, body) = raw(&net, &json!({"cmd": "sketch", "op": op.clone()}));
+    assert_eq!(status, 400, "{body:?}");
+    assert_eq!(body["error"]["code"].as_str(), Some("bad_request"));
+
+    // Unknown table: 404 with the sorted registry, like POST /sessions.
+    let mut client = WorkerClient::connect(&net.local_addr().to_string()).expect("connect");
+    let text = serde_json::to_string(&json!({
+        "cmd": "sketch", "op": op.clone(), "shard": shard.clone(),
+    }))
+    .expect("serialization is infallible");
+    let (status, answer) = client
+        .request("POST", "/shards/nope/commands", Some(&text))
+        .expect("request");
+    let body: Value = serde_json::from_str(&answer).unwrap();
+    assert_eq!(status, 404, "{body:?}");
+    assert_eq!(body["error"]["code"].as_str(), Some("unknown_table"));
+    assert_eq!(body["error"]["detail"]["tables"][0].as_str(), Some("t"));
+
+    // Range past the shard count: typed 422.
+    let (status, body) = raw(
+        &net,
+        &json!({
+            "cmd": "sketch", "op": op.clone(),
+            "shard": json!({"start": 0u64, "end": 10_000u64, "items": table.nrows()}),
+        }),
+    );
+    assert_eq!(status, 422, "{body:?}");
+    assert_eq!(body["error"]["code"].as_str(), Some("invalid"));
+
+    // A good request after all those rejections still works, and the
+    // worker's shard counters saw exactly the served partials.
+    let (status, body) = raw(
+        &net,
+        &json!({"cmd": "sketch", "op": op.clone(), "shard": shard.clone()}),
+    );
+    assert_eq!(status, 200, "{body:?}");
+    assert_eq!(body["response"].as_str(), Some("sketch_partial"));
+    assert!(
+        body["digest"].as_str().is_some(),
+        "partial carries a digest"
+    );
+    // Same op again: the plan cache answers the second request.
+    let (status, _) = raw(&net, &json!({"cmd": "sketch", "op": op, "shard": shard}));
+    assert_eq!(status, 200);
+
+    let mut client = WorkerClient::connect(&net.local_addr().to_string()).expect("connect");
+    let (status, answer) = client.request("GET", "/stats", None).expect("stats");
+    assert_eq!(status, 200);
+    let stats: Value = serde_json::from_str(&answer).unwrap();
+    assert_eq!(stats["shard"]["partials_served"].as_u64(), Some(2));
+    assert!(stats["shard"]["merge_bytes_out"].as_u64().unwrap() > 0);
+    // Planning precedes range validation, so the rejected out-of-range
+    // request primed the cache (one miss) and both good requests hit.
+    assert_eq!(stats["shard"]["plan_hits"].as_u64(), Some(2));
+    assert_eq!(stats["shard"]["plan_misses"].as_u64(), Some(1));
+    assert!(
+        stats["shard"]["latency"]["count"].as_u64() == Some(2),
+        "per-shard latency recorded: {stats:?}"
+    );
+    net.shutdown();
+}

@@ -169,6 +169,14 @@ impl Value {
         }
     }
 
+    /// The entries, when this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
     /// The string slice, when this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
