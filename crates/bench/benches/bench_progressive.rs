@@ -1,0 +1,77 @@
+//! Progressive-analysis benches on the wide 48-column × 50 000-row
+//! table: the latency of the coarse level-0 answer, the full refinement
+//! ladder run to exactness, and the exact one-shot map it must converge
+//! to. The acceptance gap is `first_level` ≥ 10× faster than
+//! `exact_map` — progressiveness only earns its complexity if the first
+//! answer is interactive where the exact one is not.
+//!
+//! Refresh the committed baseline with the same thread budget the CI
+//! gate uses:
+//! `CRITERION_SAVE_BASELINE=$PWD/.github/bench-baseline.json BLAEU_THREADS=8 cargo bench -p blaeu-bench --bench bench_progressive`
+
+use std::sync::Arc;
+
+use blaeu_bench::wide;
+use blaeu_core::{Command, ExplorerConfig, Response};
+use blaeu_server::{AsyncSessionServer, ServerConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn server() -> AsyncSessionServer {
+    // Cache off: every iteration measures real work, not a memo clone.
+    AsyncSessionServer::new(ServerConfig {
+        threads: 0,
+        queue_capacity: 64,
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    })
+}
+
+fn bench_progressive(c: &mut Criterion) {
+    let table = Arc::new(wide().0);
+    let srv = server();
+    let id = srv
+        .open_session(Arc::clone(&table), ExplorerConfig::default())
+        .expect("session opens");
+    srv.request(id, Command::SelectTheme(0)).expect("theme 0");
+
+    let mut group = c.benchmark_group("progressive");
+    group.sample_size(10);
+
+    // The plain submit path runs only the coarse level-0 rung (no
+    // refinement is scheduled without a delta stream) — exactly the
+    // "first answer" latency a client sees.
+    group.bench_function("first_level", |b| {
+        b.iter(|| {
+            let response = srv
+                .request(id, Command::MapProgressive)
+                .expect("level 0 builds");
+            assert!(matches!(response, Response::MapDelta { .. }));
+        })
+    });
+
+    // The whole ladder, coarse to exact: level 0 from the handle, every
+    // refinement rung drained from the delta stream.
+    group.bench_function("full_ladder", |b| {
+        b.iter(|| {
+            let (handle, stream) = srv.submit_progressive(id).expect("submits");
+            handle.join().expect("level 0 builds");
+            let mut last = None;
+            while let Some(result) = stream.next() {
+                last = Some(result.expect("rung builds"));
+            }
+            match last {
+                Some(Response::MapDelta { delta, .. }) => assert!(delta.final_level),
+                other => panic!("ladder ended without a final rung: {other:?}"),
+            }
+        })
+    });
+
+    // The exact one-shot map the final rung must match bit for bit.
+    group.bench_function("exact_map", |b| {
+        b.iter(|| srv.request(id, Command::Map).expect("map builds"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_progressive);
+criterion_main!(benches);

@@ -7,7 +7,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use blaeu_bench::{blob_columns, blobs, SEED};
 use blaeu_store::{
     read_csv_str, read_snapshot_bytes, uniform_sample, write_csv_string, write_snapshot_bytes,
-    Bitmap, CsvOptions, MultiScaleSampler, Predicate,
+    Bitmap, CsvOptions, MultiScaleSampler, Predicate, Table,
 };
 
 fn bench_predicates(c: &mut Criterion) {
@@ -77,6 +77,16 @@ fn bench_snapshot(c: &mut Criterion) {
     group.bench_function("read_50k", |b| {
         b.iter(|| read_snapshot_bytes(black_box(&blob)).expect("valid"))
     });
+    // The file path end to end (page-cache hot): on 64-bit Unix this is
+    // the memory-mapped read — decode straight out of the page cache,
+    // no intermediate copy of the payload — vs `read_50k`'s pure
+    // in-memory decode, isolating what the file layer costs on top.
+    let path = std::env::temp_dir().join("blaeu_bench_snapshot.snap");
+    table.write_snapshot(&path).expect("writable");
+    group.bench_function("file_read_50k", |b| {
+        b.iter(|| Table::read_snapshot(black_box(&path)).expect("valid"))
+    });
+    let _ = std::fs::remove_file(&path);
     group.bench_function("write_50k", |b| {
         b.iter(|| write_snapshot_bytes(black_box(&table)))
     });

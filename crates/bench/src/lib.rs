@@ -58,6 +58,27 @@ pub fn blobs(nrows: usize, clusters: usize) -> (Table, PlantedTruth) {
     .expect("generator cannot fail on valid config")
 }
 
+/// The wide table the progressive benches run on: 48 columns
+/// (8 planted numeric themes × 6 columns) over 50 000 rows — big enough
+/// that an exact map is far from interactive while the level-0 coarse
+/// map stays in the single-digit-millisecond regime.
+pub fn wide() -> (Table, PlantedTruth) {
+    planted(&PlantedConfig {
+        name: "wide".to_owned(),
+        nrows: 50_000,
+        themes: (0..8)
+            .map(|t| ThemeSpec::numeric(format!("t{t}"), 6))
+            .collect(),
+        clusters: 4,
+        cluster_sep: 5.0,
+        cluster_weights: Vec::new(),
+        noise: 0.4,
+        missing_rate: 0.0,
+        seed: SEED,
+    })
+    .expect("generator cannot fail on valid config")
+}
+
 /// Names of the `blobs` measure columns.
 pub fn blob_columns(truth: &PlantedTruth) -> Vec<&str> {
     truth

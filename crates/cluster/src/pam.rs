@@ -5,7 +5,10 @@
 //! picks k data points as cluster centers (medoids) minimizing the total
 //! distance from every point to its medoid. Implemented as the classic
 //! BUILD (greedy seeding) + SWAP (steepest-descent exchange) with cached
-//! nearest / second-nearest medoid distances.
+//! nearest / second-nearest medoid distances. The SWAP search evaluates
+//! all k replacement slots in a single pass over the matrix row of each
+//! candidate (the FastPAM1 decomposition), so one descent step costs
+//! O(n² + nk²) distance lookups instead of the textbook O(kn²).
 
 use crate::matrix::DistanceMatrix;
 
@@ -139,46 +142,55 @@ pub fn pam(matrix: &DistanceMatrix, k: usize, config: &PamConfig) -> PamResult {
     let mut swaps = 0usize;
     let mut converged = false;
 
-    let is_medoid = |medoids: &[usize], j: usize| medoids.contains(&j);
+    let mut medoid_mask = vec![false; n];
+    for &m in &medoids {
+        medoid_mask[m] = true;
+    }
+
+    // Scratch for the per-candidate slot corrections, reused across rounds.
+    let mut corr = vec![0.0f64; medoids.len()];
 
     for _ in 0..config.max_iter {
         // Find the best (medoid, candidate) swap by total-deviation delta.
+        // FastPAM1: for a candidate h, the delta of swapping it into slot s
+        // splits into a slot-independent part (points that defect to h no
+        // matter which medoid leaves) plus a per-slot correction for the
+        // points currently assigned to s — so one pass over j prices all k
+        // slots at once.
         let mut best_delta = -1e-12;
         let mut best_swap: Option<(usize, usize)> = None; // (medoid slot, candidate)
-        for slot in 0..medoids.len() {
-            for h in 0..n {
-                if is_medoid(&medoids, h) {
+        for h in 0..n {
+            if medoid_mask[h] {
+                continue;
+            }
+            let mut shared = 0.0f64;
+            corr.fill(0.0);
+            for j in 0..n {
+                if j == h || medoid_mask[j] {
                     continue;
                 }
-                let mut delta = 0.0;
-                for j in 0..n {
-                    if j == h || is_medoid(&medoids, j) {
-                        continue;
-                    }
-                    let d_jh = matrix.get(j, h);
-                    if cache.nearest[j] == slot {
-                        // j loses its medoid: moves to h or its second choice.
-                        delta += d_jh.min(cache.d_second[j]) - cache.d_nearest[j];
-                    } else if d_jh < cache.d_nearest[j] {
-                        // j defects to the new medoid h.
-                        delta += d_jh - cache.d_nearest[j];
-                    }
-                }
+                let d_jh = matrix.get(j, h);
+                // Slot-independent: j defects to h when h is closer than
+                // j's current medoid (0 otherwise).
+                let defect = (d_jh - cache.d_nearest[j]).min(0.0);
+                shared += defect;
+                // If j's own medoid is the one leaving, j moves to h or to
+                // its second choice instead; record the difference.
+                let own = d_jh.min(cache.d_second[j]) - cache.d_nearest[j];
+                corr[cache.nearest[j]] += own - defect;
+            }
+            for (slot, &old_m) in medoids.iter().enumerate() {
                 // h itself: was a regular point at d_nearest[h], becomes a
-                // medoid at distance 0. The outgoing medoid becomes a regular
-                // point assigned to its nearest remaining medoid.
-                delta -= cache.d_nearest[h];
-                let old_m = medoids[slot];
-                let mut d_old = f64::INFINITY;
+                // medoid at distance 0. The outgoing medoid becomes a
+                // regular point assigned to its nearest remaining medoid
+                // (possibly h).
+                let mut d_old = matrix.get(old_m, h);
                 for (s2, &m2) in medoids.iter().enumerate() {
                     if s2 != slot {
                         d_old = d_old.min(matrix.get(old_m, m2));
                     }
                 }
-                d_old = d_old.min(matrix.get(old_m, h));
-                if d_old.is_finite() {
-                    delta += d_old;
-                }
+                let delta = shared + corr[slot] - cache.d_nearest[h] + d_old;
                 if delta < best_delta {
                     best_delta = delta;
                     best_swap = Some((slot, h));
@@ -187,6 +199,8 @@ pub fn pam(matrix: &DistanceMatrix, k: usize, config: &PamConfig) -> PamResult {
         }
         match best_swap {
             Some((slot, h)) => {
+                medoid_mask[medoids[slot]] = false;
+                medoid_mask[h] = true;
                 medoids[slot] = h;
                 cache = rebuild_cache(matrix, &medoids);
                 swaps += 1;

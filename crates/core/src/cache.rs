@@ -260,6 +260,35 @@ mod tests {
     }
 
     #[test]
+    fn progressive_levels_get_distinct_keys_and_the_final_shares_maps() {
+        // The progressive ladder keys its levels by (view, per-level
+        // config): intermediate levels differ only in sample_size — which
+        // is enough for a distinct key — while the final level passes the
+        // base config verbatim and therefore shares the exact
+        // Command::Map cache entry.
+        let t = table("t");
+        let view = TableView::new(Arc::clone(&t));
+        let base = crate::mapper::MapperConfig::default();
+        let ladder = crate::progressive::ProgressiveMap::new(50_000, &base);
+        let exact = MapKey::new(&view, &["x"], &base);
+        let mut keys = Vec::new();
+        for level in 0..ladder.levels() {
+            keys.push(MapKey::new(
+                &view,
+                &["x"],
+                &ladder.config_for(level).unwrap(),
+            ));
+        }
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "levels must not collide");
+            }
+        }
+        assert_eq!(keys.last().unwrap(), &exact);
+        assert_eq!(hash_of(keys.last().unwrap()), hash_of(&exact));
+    }
+
+    #[test]
     fn themes_key_tracks_config() {
         let t = table("t");
         let view = TableView::new(Arc::clone(&t));

@@ -38,6 +38,20 @@ pub enum Command {
     /// canonical cacheable request — repeated `Map`s of the same state
     /// hit the analysis cache).
     Map,
+    /// Progressive re-map: build level 0 of the deterministic sample
+    /// ladder and answer immediately with its [`Response::MapDelta`];
+    /// the remaining rungs run as [`Command::MapRefine`] follow-ups
+    /// (re-enqueued by the session server) until the final level equals
+    /// the exact [`Command::Map`] result bit-for-bit.
+    MapProgressive,
+    /// Run one pending rung of an in-flight progressive ladder. Issued
+    /// by the session server's drain loop (and by journal replay), not
+    /// normally by clients; refining out of order or without an active
+    /// ladder is a typed error.
+    MapRefine {
+        /// The ladder level to build (must be the next pending rung).
+        level: usize,
+    },
     /// Project the current rows onto explicit columns (slow).
     Project(Vec<String>),
     /// Project onto the columns of theme `idx` (slow).
@@ -124,6 +138,8 @@ impl Command {
             Command::SelectTheme(_)
                 | Command::Zoom(_)
                 | Command::Map
+                | Command::MapProgressive
+                | Command::MapRefine { .. }
                 | Command::Project(_)
                 | Command::ProjectTheme(_)
                 | Command::Sketch(_)
@@ -137,6 +153,8 @@ impl Command {
             Command::SelectTheme(idx) => json!({"cmd": "select_theme", "theme": *idx}),
             Command::Zoom(region) => json!({"cmd": "zoom", "region": *region}),
             Command::Map => json!({"cmd": "map"}),
+            Command::MapProgressive => json!({"cmd": "map_progressive"}),
+            Command::MapRefine { level } => json!({"cmd": "map_refine", "level": *level}),
             Command::Project(columns) => json!({"cmd": "project", "columns": columns.clone()}),
             Command::ProjectTheme(idx) => json!({"cmd": "project_theme", "theme": *idx}),
             Command::Highlight(column) => json!({"cmd": "highlight", "column": column.clone()}),
@@ -218,6 +236,10 @@ impl Command {
             "select_theme" => Command::SelectTheme(index("theme")?),
             "zoom" => Command::Zoom(index("region")?),
             "map" => Command::Map,
+            "map_progressive" => Command::MapProgressive,
+            "map_refine" => Command::MapRefine {
+                level: index("level")?,
+            },
             "project" => {
                 let entries = value
                     .get("columns")
@@ -279,6 +301,16 @@ impl Command {
 pub enum Response {
     /// A (re)built map — shared, never copied per client.
     Map(Arc<DataMap>),
+    /// One completed level of a progressive ladder: the level's full map
+    /// (shared) plus the typed delta against the previous level. The
+    /// final level's `delta.map_digest` equals the exact
+    /// [`Response::Map`] digest verbatim.
+    MapDelta {
+        /// The map as of this level.
+        map: Arc<DataMap>,
+        /// What changed, which level, whether this is the exact one.
+        delta: crate::progressive::RefinementDelta,
+    },
     /// The detected themes.
     Themes(Arc<ThemeSet>),
     /// Per-region distributions of one column (boxed: the payload is an
@@ -332,6 +364,29 @@ impl Response {
     pub fn to_json(&self) -> Value {
         with_envelope(match self {
             Response::Map(map) => json!({"response": "map", "map": map_to_json(map)}),
+            Response::MapDelta { map, delta } => json!({
+                // `kind: delta` is the stream discriminator the NDJSON
+                // batch channel documents; clients patch the listed
+                // regions in place instead of re-rendering the map.
+                "response": "map_delta",
+                "kind": "delta",
+                "level": delta.level,
+                "levels": delta.levels,
+                "final": delta.final_level,
+                "sample_size": delta.sample_size,
+                "assigned_rows": map.assigned_rows,
+                "n_regions": delta.n_regions,
+                "map_digest": format!("{:016x}", delta.map_digest),
+                "changed": delta.changed_regions.iter().map(|&id| {
+                    match map.region(id) {
+                        Ok(region) => crate::render::json::region_flat_json(region),
+                        // A removed region: present in the previous
+                        // level, absent now — the id alone tells the
+                        // client to drop it.
+                        Err(_) => json!({"id": id, "removed": true}),
+                    }
+                }).collect::<Vec<_>>(),
+            }),
             Response::Themes(themes) => {
                 json!({"response": "themes", "themes": themes_to_json(themes)})
             }
@@ -388,6 +443,8 @@ mod tests {
             Command::SelectTheme(2),
             Command::Zoom(5),
             Command::Map,
+            Command::MapProgressive,
+            Command::MapRefine { level: 2 },
             Command::Project(vec!["a".into(), "b".into()]),
             Command::ProjectTheme(1),
             Command::Highlight("country".into()),
@@ -563,6 +620,8 @@ mod tests {
     fn slow_commands_classified() {
         assert!(Command::SelectTheme(0).is_slow());
         assert!(Command::Map.is_slow());
+        assert!(Command::MapProgressive.is_slow());
+        assert!(Command::MapRefine { level: 0 }.is_slow());
         assert!(Command::Zoom(0).is_slow());
         assert!(Command::Sketch(SketchOp::Describe {
             column: "c".into(),

@@ -24,6 +24,7 @@ use crate::command::{Command, Response};
 use crate::error::{BlaeuError, Result};
 use crate::map::DataMap;
 use crate::mapper::{build_map, MapperConfig};
+use crate::progressive::ProgressiveMap;
 use crate::themes::{detect_themes, Theme, ThemeConfig, ThemeSet};
 
 /// Explorer configuration.
@@ -109,6 +110,10 @@ pub struct Explorer {
     /// Optional analysis memoizer (the server tier's cache); `None`
     /// builds every analysis directly — observationally identical.
     memo: Option<Arc<dyn AnalysisMemo>>,
+    /// The in-flight progressive ladder, if a [`Command::MapProgressive`]
+    /// is mid-refinement. Any other command invalidates it: the ladder
+    /// was planned for a state the session has since navigated away from.
+    ladder: Option<ProgressiveMap>,
 }
 
 impl Explorer {
@@ -169,17 +174,31 @@ impl Explorer {
             config,
             stack: vec![initial],
             memo,
+            ladder: None,
         })
     }
 
     /// Builds (or memo-fetches) the map of `columns` over `view`.
     fn map_for(&self, view: &TableView, columns: &[&str]) -> Result<Arc<DataMap>> {
+        self.map_for_config(view, columns, &self.config.mapper)
+    }
+
+    /// [`Explorer::map_for`] under an explicit mapper configuration — the
+    /// progressive ladder's per-level entry point. Each level's config
+    /// renders a distinct `Debug`, hence its own [`MapKey`]; the final
+    /// level passes the session config verbatim and therefore shares the
+    /// plain `Command::Map` cache entry.
+    fn map_for_config(
+        &self,
+        view: &TableView,
+        columns: &[&str],
+        config: &MapperConfig,
+    ) -> Result<Arc<DataMap>> {
         match &self.memo {
-            Some(memo) => memo
-                .memo_map(MapKey::new(view, columns, &self.config.mapper), &mut || {
-                    build_map(view, columns, &self.config.mapper)
-                }),
-            None => Ok(Arc::new(build_map(view, columns, &self.config.mapper)?)),
+            Some(memo) => memo.memo_map(MapKey::new(view, columns, config), &mut || {
+                build_map(view, columns, config)
+            }),
+            None => Ok(Arc::new(build_map(view, columns, config)?)),
         }
     }
 
@@ -279,7 +298,10 @@ impl Explorer {
         let state = self.current();
         let map = state.map.as_deref().ok_or(BlaeuError::NoActiveMap)?;
         let region = map.region(region_id)?.clone();
-        let rows = map.rows_of(region_id)?;
+        // Zoom narrows the data itself, so a preview map (mid-ladder) must
+        // not leak its routed subset into the new selection: resolve the
+        // region's rows exactly through the tree.
+        let rows = map.exact_rows_of(&state.view, region_id)?;
         if rows.is_empty() {
             return Err(BlaeuError::EmptySelection);
         }
@@ -348,6 +370,66 @@ impl Explorer {
         let map = self.map_for(&view, &cols_ref)?;
         self.stack.last_mut().expect("stack never empty").map = Some(map);
         Ok(self.map().expect("just rebuilt"))
+    }
+
+    /// Starts a progressive re-map of the current selection: plans the
+    /// deterministic sample ladder for the current row count, builds
+    /// level 0 (sized to resolve in milliseconds), replaces the current
+    /// state's map in place and returns the level-0
+    /// [`Response::MapDelta`]. When the schedule has further rungs the
+    /// ladder stays armed and [`Explorer::map_refine`] runs them; the
+    /// final rung rebuilds under the session configuration verbatim, so
+    /// its map — and digest — equal a plain [`Explorer::remap`].
+    ///
+    /// # Errors
+    /// Returns [`BlaeuError::NoActiveMap`] before any theme is selected.
+    pub fn map_progressive(&mut self) -> Result<Response> {
+        if self.current().columns.is_empty() {
+            return Err(BlaeuError::NoActiveMap);
+        }
+        let mut ladder = ProgressiveMap::new(self.current().view.nrows(), &self.config.mapper);
+        let level = ladder.next_level().expect("schedule never empty");
+        self.run_rung(&mut ladder, level)
+    }
+
+    /// Runs one pending rung of the in-flight progressive ladder
+    /// (level `level` must be the next scheduled one). The session
+    /// server re-enqueues these between other work; any non-refine
+    /// command executed in between disarms the ladder.
+    ///
+    /// # Errors
+    /// Returns [`BlaeuError::Invalid`] when no ladder is armed or the
+    /// level is out of order.
+    pub fn map_refine(&mut self, level: usize) -> Result<Response> {
+        let mut ladder = self.ladder.take().ok_or_else(|| {
+            BlaeuError::Invalid(format!(
+                "refinement level {level} without an in-flight progressive map"
+            ))
+        })?;
+        self.run_rung(&mut ladder, level)
+    }
+
+    /// Builds one ladder level, folds it into the delta stream, and
+    /// replaces the current map in place (depth unchanged, like remap).
+    fn run_rung(&mut self, ladder: &mut ProgressiveMap, level: usize) -> Result<Response> {
+        if ladder.next_level() != Some(level) {
+            return Err(BlaeuError::Invalid(format!(
+                "refinement level {level} out of order (expected {:?})",
+                ladder.next_level()
+            )));
+        }
+        let state = self.current();
+        let view = state.view.clone();
+        let columns = state.columns.clone();
+        let cols_ref: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let config = ladder.config_for(level)?;
+        let map = self.map_for_config(&view, &cols_ref, &config)?;
+        let delta = ladder.complete(level, &map)?;
+        self.stack.last_mut().expect("stack never empty").map = Some(Arc::clone(&map));
+        if !ladder.is_finished() {
+            self.ladder = Some(ladder.clone());
+        }
+        Ok(Response::MapDelta { map, delta })
     }
 
     /// Projects onto the columns of theme `idx`.
@@ -551,6 +633,12 @@ impl Explorer {
     /// Exactly the errors of the underlying method (unknown theme/region,
     /// no active map, empty history, …).
     pub fn execute(&mut self, command: &Command) -> Result<Response> {
+        // Any command but a refine supersedes an in-flight ladder: its
+        // remaining rungs were planned for a state this command may
+        // navigate away from. (`MapProgressive` re-arms a fresh one.)
+        if !matches!(command, Command::MapRefine { .. }) {
+            self.ladder = None;
+        }
         match command {
             Command::SelectTheme(idx) => {
                 self.select_theme(*idx)?;
@@ -564,6 +652,8 @@ impl Explorer {
                 self.remap()?;
                 Ok(Response::Map(self.current_map_shared()?))
             }
+            Command::MapProgressive => self.map_progressive(),
+            Command::MapRefine { level } => self.map_refine(*level),
             Command::Project(columns) => {
                 let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
                 self.project(&cols)?;
@@ -768,6 +858,68 @@ mod tests {
         // rollback_to the current position is a no-op.
         ex.rollback_to(1).unwrap();
         assert_eq!(ex.depth(), 1);
+    }
+
+    #[test]
+    fn progressive_execute_refines_to_exact() {
+        let mut ex = small_explorer();
+        ex.select_theme(0).unwrap();
+        let exact = ex.execute(&Command::Map).unwrap().digest();
+
+        let first = ex.execute(&Command::MapProgressive).unwrap();
+        let Response::MapDelta { delta, .. } = &first else {
+            panic!("expected a delta, got {first:?}");
+        };
+        assert_eq!(delta.level, 0);
+        // 400 rows under the default 2000-row target: a real ladder.
+        assert!(delta.levels >= 2, "schedule {:?}", delta.levels);
+        let mut final_level = delta.final_level;
+        let mut final_digest = delta.map_digest;
+        let mut level = 1;
+        while !final_level {
+            let next = ex.execute(&Command::MapRefine { level }).unwrap();
+            let Response::MapDelta { delta, .. } = &next else {
+                panic!("expected a delta, got {next:?}");
+            };
+            assert_eq!(delta.level, level);
+            final_level = delta.final_level;
+            final_digest = delta.map_digest;
+            level += 1;
+        }
+        // The final rung is byte-identical to the exact Command::Map.
+        assert_eq!(final_digest, exact);
+        // The current state's map IS the exact map now.
+        assert_eq!(
+            Response::Map(ex.current().map.clone().unwrap()).digest(),
+            exact
+        );
+        // Refining past the end errors: the ladder is spent.
+        assert!(ex.execute(&Command::MapRefine { level }).is_err());
+    }
+
+    #[test]
+    fn superseding_command_disarms_the_ladder() {
+        let mut ex = small_explorer();
+        ex.select_theme(0).unwrap();
+        let first = ex.execute(&Command::MapProgressive).unwrap();
+        let Response::MapDelta { delta, .. } = &first else {
+            panic!("expected a delta");
+        };
+        assert!(!delta.final_level, "need a pending rung for this test");
+        // Any non-refine command invalidates the pending rungs…
+        ex.execute(&Command::Sql).unwrap();
+        assert!(matches!(
+            ex.execute(&Command::MapRefine { level: 1 }),
+            Err(BlaeuError::Invalid(_))
+        ));
+        // …and refining without ever starting a ladder errors too.
+        assert!(ex.execute(&Command::MapRefine { level: 0 }).is_err());
+        // Progressive before any theme: typed NoActiveMap.
+        let mut fresh = small_explorer();
+        assert!(matches!(
+            fresh.execute(&Command::MapProgressive),
+            Err(BlaeuError::NoActiveMap)
+        ));
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod explorer;
 pub mod map;
 pub mod mapper;
 pub mod preprocess;
+pub mod progressive;
 pub mod render;
 pub mod session;
 pub mod sketch;
@@ -62,6 +63,9 @@ pub use mapper::{build_map, KChoice, MapperConfig};
 pub use preprocess::{
     analyzable_columns, preprocess, FeatureInfo, FeatureMatrix, MetricChoice, MissingPolicy,
     PreprocessConfig,
+};
+pub use progressive::{
+    level_schedule, ProgressiveMap, RefinementDelta, FIRST_LEVEL, LADDER_FACTOR,
 };
 pub use session::{SessionId, SessionManager};
 pub use sketch::{SketchOp, SketchPartial, SketchPlan, SketchResult};

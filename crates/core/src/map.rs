@@ -59,6 +59,11 @@ pub struct DataMap {
     pub sample_size: usize,
     /// Rows of the view the map covers.
     pub view_rows: usize,
+    /// Rows actually routed through the tree to produce region counts and
+    /// memberships. Equal to `view_rows` for exact maps; smaller for
+    /// preview maps (intermediate progressive rungs), whose counts are
+    /// scaled estimates from this many assigned rows.
+    pub assigned_rows: usize,
     /// Fidelity of the tree to the raw clustering on the sample
     /// (fraction of sample rows whose tree class matches their cluster).
     pub tree_fidelity: f64,
@@ -82,6 +87,7 @@ impl DataMap {
         silhouette: f64,
         sample_size: usize,
         view_rows: usize,
+        assigned_rows: usize,
         tree_fidelity: f64,
         medoid_rows: Vec<u32>,
         regions: Vec<Region>,
@@ -95,6 +101,7 @@ impl DataMap {
             silhouette,
             sample_size,
             view_rows,
+            assigned_rows,
             tree_fidelity,
             medoid_rows,
             regions,
@@ -154,8 +161,70 @@ impl DataMap {
             .collect()
     }
 
+    /// Ids of regions that differ from `prev` (every id when `prev` is
+    /// `None`). Region ids are pre-order indices, so the comparison is
+    /// positional: an id is "changed" when its region was added, removed,
+    /// or renders a different `Debug` form — the same bit-exact float
+    /// discipline [`Response::digest`](crate::Response::digest) uses, so
+    /// an unchanged region here is unchanged in the digest sense too.
+    pub fn changed_region_ids(&self, prev: Option<&DataMap>) -> Vec<usize> {
+        let Some(prev) = prev else {
+            return (0..self.regions.len()).collect();
+        };
+        let longest = self.regions.len().max(prev.regions.len());
+        (0..longest)
+            .filter(|&id| match (self.regions.get(id), prev.regions.get(id)) {
+                (Some(a), Some(b)) => format!("{a:?}") != format!("{b:?}"),
+                _ => true,
+            })
+            .collect()
+    }
+
+    /// True when region counts and memberships were estimated from a
+    /// routed subset of the view rather than the full view.
+    pub fn is_preview(&self) -> bool {
+        self.assigned_rows < self.view_rows
+    }
+
+    /// Exact view-row indices inside a region, regardless of whether this
+    /// map is a preview. Exact maps answer from stored memberships; for
+    /// preview maps the full view is re-routed through the tree, so that
+    /// actions which *select data* (zoom) never silently operate on the
+    /// preview subset.
+    ///
+    /// # Errors
+    /// Returns [`BlaeuError::UnknownRegion`] for bad ids, or a store error
+    /// when `view` lacks the map's feature columns.
+    pub fn exact_rows_of(&self, view: &blaeu_store::TableView, id: usize) -> Result<Vec<u32>> {
+        if !self.is_preview() {
+            return self.rows_of(id);
+        }
+        let region = self.region(id)?;
+        // Leaves under this region, by left-to-right leaf index.
+        let mut wanted = vec![false; self.leaf_rows.len()];
+        let mut stack = vec![region];
+        while let Some(r) = stack.pop() {
+            if let Some(leaf) = r.leaf {
+                wanted[leaf] = true;
+            } else {
+                for &c in &r.children {
+                    stack.push(&self.regions[c]);
+                }
+            }
+        }
+        let assignments = self.tree.leaf_assignments(view)?;
+        Ok(assignments
+            .iter()
+            .enumerate()
+            .filter(|&(_, &leaf)| wanted[leaf])
+            .map(|(row, _)| row as u32)
+            .collect())
+    }
+
     /// View-row indices inside a region (leaf rows are stored; internal
-    /// regions concatenate their descendant leaves, ascending).
+    /// regions concatenate their descendant leaves, ascending). For
+    /// preview maps these are the routed preview rows only — use
+    /// [`DataMap::exact_rows_of`] when the result selects data.
     ///
     /// # Errors
     /// Returns [`BlaeuError::UnknownRegion`] for bad ids.
@@ -284,6 +353,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn changed_region_ids_diff_positionally() {
+        let map = toy_map();
+        // No base: every region counts as changed.
+        assert_eq!(
+            map.changed_region_ids(None),
+            (0..map.n_regions()).collect::<Vec<usize>>()
+        );
+        // Identical maps: nothing changed.
+        assert!(map.changed_region_ids(Some(&map)).is_empty());
+        // A coarser map (fewer regions) differs at the removed ids.
+        let smaller = build_map(
+            &TableBuilder::new("one")
+                .column("x", Column::dense_f64((0..60).map(f64::from).collect()))
+                .unwrap()
+                .build()
+                .unwrap()
+                .into(),
+            &["x"],
+            &MapperConfig {
+                k: crate::mapper::KChoice::Fixed(1),
+                ..MapperConfig::default()
+            },
+        )
+        .unwrap();
+        let changed = map.changed_region_ids(Some(&smaller));
+        assert_eq!(changed.len(), map.n_regions().max(smaller.n_regions()));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use blaeu_cluster::{
     clara, pam, select_k, silhouette_score, ClaraConfig, DistanceMatrix, KSelectConfig,
     McSilhouetteConfig, PamConfig, PamResult, Points,
 };
-use blaeu_store::{MultiScaleSampler, TableView};
+use blaeu_store::{prefix_sample, TableView};
 use blaeu_tree::{accuracy, CartConfig, DecisionTree, Node, PathConstraints};
 
 use crate::error::{BlaeuError, Result};
@@ -54,6 +54,14 @@ pub struct MapperConfig {
     pub cart: CartConfig,
     /// Seed for sampling.
     pub seed: u64,
+    /// When non-zero and smaller than the view, route only this many
+    /// sampled rows through the fitted tree (instead of the full view) and
+    /// scale region counts up from them. Produces a *preview* map
+    /// ([`DataMap::is_preview`]): counts are estimates and stored
+    /// memberships cover the preview rows only. Used by the intermediate
+    /// rungs of the progressive ladder, where paying a full-view pass per
+    /// rung would defeat the point of answering early. `0` = exact.
+    pub assign_preview: usize,
 }
 
 impl Default for MapperConfig {
@@ -69,6 +77,22 @@ impl Default for MapperConfig {
             mc: Some(McSilhouetteConfig::default()),
             cart: CartConfig::default(),
             seed: 42,
+            assign_preview: 0,
+        }
+    }
+}
+
+impl MapperConfig {
+    /// This configuration with only `sample_size` replaced — how the
+    /// progressive ladder derives its intermediate rungs (which then also
+    /// set `assign_preview`). Because every other field is untouched,
+    /// rung configs render distinct `Debug` forms (distinct cache keys),
+    /// and the final rung (which uses the base config verbatim) shares
+    /// its analysis-cache key with a plain `Command::Map`.
+    pub fn with_sample_size(&self, sample_size: usize) -> MapperConfig {
+        MapperConfig {
+            sample_size,
+            ..self.clone()
         }
     }
 }
@@ -223,8 +247,11 @@ pub fn build_map(view: &TableView, columns: &[&str], config: &MapperConfig) -> R
 
     // Stage 0: multi-scale sample of the view — a selection re-map, not a
     // gathered copy: the sampled rows are read through the index map.
-    let sampler = MultiScaleSampler::new(n, config.seed);
-    let sample_rows = sampler.sample(config.sample_size.max(1));
+    // Samples are nested (a k-sample is a prefix of one seeded shuffle
+    // stream), so the progressive ladder's coarse maps preview the exact
+    // one, and the O(k) prefix draw keeps small rungs from paying an
+    // O(n) shuffle of the whole view.
+    let sample_rows = prefix_sample(n, config.sample_size.max(1), config.seed);
     let sample = view.select(&sample_rows)?;
 
     // Stage 1: preprocess into vectors.
@@ -245,6 +272,7 @@ pub fn build_map(view: &TableView, columns: &[&str], config: &MapperConfig) -> R
             0.0,
             sample.nrows(),
             n,
+            n,
             1.0,
             Vec::new(),
             regions,
@@ -261,10 +289,28 @@ pub fn build_map(view: &TableView, columns: &[&str], config: &MapperConfig) -> R
     let tree = DecisionTree::fit(&sample, columns, &clustering.labels, &config.cart)?;
     let tree_fidelity = accuracy(&tree.predict(&sample)?, &clustering.labels);
 
-    // Route every row of the full view through the tree.
-    let assignments = tree.leaf_assignments(view)?;
-    let leaf_rows = split_rows(&assignments, tree.n_leaves());
-    let leaf_counts: Vec<usize> = leaf_rows.iter().map(Vec::len).collect();
+    // Route rows through the tree: the whole view for exact maps, or a
+    // larger prefix of the same sample stream for preview maps (so the
+    // preview is a superset of the training sample and region counts are
+    // scaled estimates rather than exact tallies).
+    let preview = config.assign_preview;
+    let (leaf_rows, leaf_counts, assigned_rows) = if preview > 0 && preview < n {
+        let preview_rows = prefix_sample(n, preview.max(sample_rows.len()), config.seed);
+        let preview_view = view.select(&preview_rows)?;
+        let assignments = tree.leaf_assignments(&preview_view)?;
+        let mut leaf_rows = vec![Vec::new(); tree.n_leaves()];
+        for (i, &leaf) in assignments.iter().enumerate() {
+            leaf_rows[leaf].push(preview_rows[i]);
+        }
+        let routed: Vec<usize> = leaf_rows.iter().map(Vec::len).collect();
+        let counts = scale_counts(&routed, preview_rows.len(), n);
+        (leaf_rows, counts, preview_rows.len())
+    } else {
+        let assignments = tree.leaf_assignments(view)?;
+        let leaf_rows = split_rows(&assignments, tree.n_leaves());
+        let counts: Vec<usize> = leaf_rows.iter().map(Vec::len).collect();
+        (leaf_rows, counts, n)
+    };
     let regions = build_regions(&tree, &leaf_counts, n);
 
     // Medoids: sample-local indices → view rows.
@@ -276,12 +322,35 @@ pub fn build_map(view: &TableView, columns: &[&str], config: &MapperConfig) -> R
         silhouette,
         sample.nrows(),
         n,
+        assigned_rows,
         tree_fidelity,
         medoid_rows,
         regions,
         leaf_rows,
         tree,
     ))
+}
+
+/// Scales per-leaf routed counts from `assigned` rows up to `total` view
+/// rows so they still sum to exactly `total`: integer floor shares first,
+/// then the shortfall goes to the largest remainders (ties toward the
+/// lower leaf index — deterministic).
+fn scale_counts(routed: &[usize], assigned: usize, total: usize) -> Vec<usize> {
+    if assigned == 0 || assigned == total {
+        return routed.to_vec();
+    }
+    let mut out: Vec<usize> = routed.iter().map(|&c| c * total / assigned).collect();
+    let shortfall = total - out.iter().sum::<usize>();
+    let mut by_remainder: Vec<(usize, usize)> = routed
+        .iter()
+        .enumerate()
+        .map(|(leaf, &c)| (leaf, (c * total) % assigned))
+        .collect();
+    by_remainder.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for &(leaf, _) in by_remainder.iter().take(shortfall) {
+        out[leaf] += 1;
+    }
+    out
 }
 
 fn split_rows(assignments: &[usize], n_leaves: usize) -> Vec<Vec<u32>> {

@@ -23,6 +23,26 @@ fn region_to_json(map: &DataMap, region: &Region) -> Value {
     })
 }
 
+/// Serializes one region *flat* — children as an id list instead of
+/// nested objects. Refinement delta lines use this: a delta patches
+/// individual regions in place, so each changed region must stand alone
+/// without dragging its whole subtree onto the wire again.
+pub fn region_flat_json(region: &Region) -> Value {
+    json!({
+        "id": region.id,
+        "parent": region.parent,
+        "depth": region.depth,
+        "edge": region.edge_label,
+        "description": region.description,
+        "predicate": region.predicate.to_string(),
+        "count": region.count,
+        "fraction": region.fraction,
+        "cluster": region.cluster,
+        "leaf": region.leaf,
+        "children": region.children,
+    })
+}
+
 /// Serializes a data map (nested region tree).
 pub fn map_to_json(map: &DataMap) -> Value {
     json!({
@@ -32,6 +52,7 @@ pub fn map_to_json(map: &DataMap) -> Value {
         "tree_fidelity": map.tree_fidelity,
         "sample_size": map.sample_size,
         "view_rows": map.view_rows,
+        "assigned_rows": map.assigned_rows,
         "root": region_to_json(map, map.root()),
     })
 }

@@ -12,12 +12,12 @@
 //! | `POST /sessions`                    | open a session over a registered table (`{"table": "name", "seed"?: n}`) — journaled when the engine has a journal |
 //! | `GET /sessions`                     | list live sessions (id, queue depth, journal sequence, idle ms) |
 //! | `POST /sessions/:id/commands`       | run one command (body = `Command` wire JSON, v1 envelope or bare legacy) |
-//! | `POST /sessions/:id/commands/batch` | NDJSON pipeline: one command per line in, one response line out per resolved command (streamed chunked) |
+//! | `POST /sessions/:id/commands/batch` | NDJSON pipeline: one command per line in, one response line out per resolved command (streamed chunked); a `map_progressive` line answers its coarse level-0 map first and then streams one `"kind":"delta"` line per refinement rung until `"final":true` |
 //! | `GET /sessions/:id/history`         | the session's journal, streamed as NDJSON (one record per line) |
 //! | `DELETE /sessions/:id`              | close the session |
 //! | `POST /shards/:table/commands`      | worker role: run a `sketch` command over a shard range of a registered table replica (body = `Command` envelope + `"shard": {"start", "end", "items"}`), answering the partial sketch with a digest |
 //! | `GET /healthz`                      | liveness + session count |
-//! | `GET /stats`                        | aggregates only: cache hit/miss/bytes, journal counters, request counters, shard-role counters |
+//! | `GET /stats`                        | aggregates only: cache hit/miss/bytes, journal counters, request counters, shard-role counters, progressive counters (`levels_streamed`, `rungs_cancelled`, `coarse_hits`) with a per-level latency histogram |
 //!
 //! Every non-2xx response has one body shape:
 //! `{"error": {"code", "message", "detail"?}}` — `code` is a stable
@@ -201,6 +201,10 @@ struct NetShared {
     rejected: AtomicU64,
     /// Shard-role counters.
     shard: ShardStats,
+    /// Wall clock from a `map_progressive` submit to each streamed
+    /// level (level 0 included) — "time to level k" in the same log2-µs
+    /// buckets the shard path uses.
+    progressive_latency: LatencyRecorder,
     /// One-entry plan cache keyed by `(table, op wire JSON)`: a
     /// coordinator fans the *same* op at a worker many times (one request
     /// per shard range), so the op's phase-1 (discretization, bin
@@ -256,6 +260,7 @@ impl NetServer {
             requests: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             shard: ShardStats::new(),
+            progressive_latency: LatencyRecorder::new(),
             plan_cache: Mutex::new(None),
         });
         let accept_pool = Arc::new(JobPool::new(1));
@@ -623,6 +628,7 @@ fn respond<W: Write>(
                     "append_failures": stats.append_failures,
                 })
             });
+            let progressive = shared.engine.progressive_stats();
             let body = json!({
                 "sessions": shared.engine.len(),
                 "queue_capacity": shared.engine.queue_capacity(),
@@ -633,6 +639,12 @@ fn respond<W: Write>(
                 "conn_workers": shared.conn_workers,
                 "engine_workers": shared.engine.pool().workers(),
                 "shard": shared.shard.to_json(),
+                "progressive": json!({
+                    "levels_streamed": progressive.levels_streamed,
+                    "rungs_cancelled": progressive.rungs_cancelled,
+                    "coarse_hits": progressive.coarse_hits,
+                    "latency": shared.progressive_latency.to_json(),
+                }),
             });
             send_json(shared, writer, 200, "OK", &body, keep_alive, &[])
         }
@@ -865,6 +877,12 @@ fn open_session<W: Write>(
 /// `POST /sessions/:id/commands`: one command in, one enveloped response
 /// out. Body parse/shape errors are `400` (the request never reached the
 /// engine); engine errors map per [`status_of`].
+///
+/// A `map_progressive` body answers only its coarse level-0 delta here —
+/// this endpoint is one-request-one-response by contract, so no rungs are
+/// scheduled behind it. The ladder stays armed in the session, letting a
+/// client refine rung-by-rung with explicit `map_refine` commands; the
+/// batch channel is the surface that streams refinement automatically.
 fn run_command<W: Write>(
     shared: &Arc<NetShared>,
     id: u64,
@@ -1085,6 +1103,16 @@ fn run_shard_command<W: Write>(
 /// If submission stops early (e.g. `QueueFull`), the accepted prefix
 /// still streams its responses, followed by one error line carrying how
 /// many commands were never attempted.
+///
+/// A `map_progressive` line goes through the engine's progressive
+/// surface: its coarse level-0 answer streams first (an ordinary
+/// enveloped response line with `"kind":"delta"`, `"level":0`), then one
+/// extra line per refinement rung as it lands, until `"final":true`.
+/// Each level's wall clock (submit → line) is recorded in the log2-µs
+/// progressive histogram. A later command in the same batch supersedes
+/// the refinement — the engine cancels pending rungs, the delta stream
+/// simply ends early (the last line may not be final), and the later
+/// command's response follows.
 fn run_batch<W: Write>(
     shared: &Arc<NetShared>,
     id: u64,
@@ -1131,8 +1159,20 @@ fn run_batch<W: Write>(
     let mut handles = Vec::new();
     let mut submit_error = None;
     for command in commands {
-        match shared.engine.submit(id, command) {
-            Ok(handle) => handles.push(handle),
+        let started = std::time::Instant::now();
+        let outcome = if matches!(command, Command::MapProgressive) {
+            shared
+                .engine
+                .submit_progressive(id)
+                .map(|(handle, stream)| (handle, Some((stream, started))))
+        } else {
+            shared
+                .engine
+                .submit(id, command)
+                .map(|handle| (handle, None))
+        };
+        match outcome {
+            Ok(entry) => handles.push(entry),
             Err(error) => {
                 submit_error = Some(error);
                 break;
@@ -1155,14 +1195,37 @@ fn run_batch<W: Write>(
         .map(|_| total - handles.len() - 1)
         .unwrap_or(0);
     let mut stream = ChunkedWriter::start(writer, 200, "OK", "application/x-ndjson", keep_alive)?;
-    for handle in handles {
-        let line = match handle.join() {
+    for (handle, deltas) in handles {
+        let joined = handle.join();
+        if let Some((_, started)) = &deltas {
+            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            shared.progressive_latency.record(micros);
+        }
+        let line = match joined {
             Ok(response) => envelope(&response),
             Err(error) => error_json(&error),
         };
         let mut text = serde_json::to_string(&line).expect("serialization is infallible");
         text.push('\n');
         stream.write_chunk(text.as_bytes())?;
+        // Refinement rungs ride the same chunked channel: one extra line
+        // per delta, in level order, blocking only this connection
+        // worker (the engine pool computing the rungs is distinct, so
+        // waiting here cannot starve the work that unblocks the wait).
+        let Some((delta_stream, started)) = deltas else {
+            continue;
+        };
+        while let Some(result) = delta_stream.next() {
+            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            shared.progressive_latency.record(micros);
+            let line = match result {
+                Ok(response) => envelope(&response),
+                Err(error) => error_json(&error),
+            };
+            let mut text = serde_json::to_string(&line).expect("serialization is infallible");
+            text.push('\n');
+            stream.write_chunk(text.as_bytes())?;
+        }
     }
     if let Some(error) = submit_error {
         let mut detail = match &error {

@@ -315,6 +315,13 @@ impl AnalysisCache {
         }
     }
 
+    /// The hit counter alone, without taking the cache lock — cheap
+    /// enough to read around every command (the drain loop samples it
+    /// to attribute progressive levels to warm entries).
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
     /// Drops every entry (counters survive). Used by benchmarks to
     /// measure the miss path and by operators to release memory.
     pub fn clear(&self) {

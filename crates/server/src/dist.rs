@@ -3,9 +3,13 @@
 //! A [`ShardCoordinator`] ships contiguous shard ranges of a mergeable
 //! sketch ([`SketchOp`]) to N worker processes over the `blaeu-net`
 //! wire (`POST /shards/:table/commands`), collects the partial sketches,
-//! and merges them **in shard order** — replaying the exact combine
-//! sequence of the in-process `par_shards` path, so the finalized result
-//! is bit-identical to a single-node run by construction:
+//! and merges them **in shard order, streaming** — each arriving partial
+//! extends the merged prefix as soon as its predecessors are in, rather
+//! than waiting for every worker to finish. The fold order is still
+//! strictly range order, replaying the exact combine sequence of the
+//! in-process `par_shards` path, so the finalized result is
+//! bit-identical to a single-node run (and to the former join-all
+//! coordinator) by construction:
 //!
 //! - The shard layout is a **pure function** of the op and the row count
 //!   ([`SketchOp::shard_spec`]); coordinator and workers derive identical
@@ -194,39 +198,68 @@ impl ShardCoordinator {
         let shard_count = spec.shard_count();
         let items = spec.items();
         let ranges = split_ranges(shard_count, self.workers.len());
-        let mut partials: Vec<Option<SketchPartial>> = Vec::new();
-        partials.resize_with(ranges.len(), || None);
-        let mut first_error: Option<BlaeuError> = None;
+        let mut slots: Vec<Option<SketchPartial>> = Vec::new();
+        slots.resize_with(ranges.len(), || None);
+        let mut merged: Option<SketchPartial> = None;
+        // Smallest-index fetch failure — kept in range order so the
+        // reported error does not depend on worker timing.
+        let mut fetch_error: Option<(usize, BlaeuError)> = None;
+        let mut merge_error: Option<BlaeuError> = None;
         // One scoped thread per range: fan-out latency is the slowest
-        // worker, not the sum.
+        // worker, not the sum. Results stream back over a channel and
+        // the contiguous prefix merges *as partials arrive* — by the
+        // time the slowest worker answers, everything before it is
+        // already folded, so the final merge costs one combine instead
+        // of N. Folding strictly in range-index order keeps the combine
+        // sequence — and therefore the digest — identical to the
+        // join-all path and to a single-node run.
         std::thread::scope(|scope| {
-            let mut handles = Vec::new();
+            let (tx, rx) = std::sync::mpsc::channel();
             for (index, range) in ranges.iter().enumerate() {
+                let tx = tx.clone();
                 let range = range.clone();
-                handles.push(scope.spawn(move || self.fetch_range(table, op, items, index, range)));
+                scope.spawn(move || {
+                    let result = self.fetch_range(table, op, items, index, range);
+                    // The receiver outlives every sender inside the
+                    // scope, so this send cannot fail.
+                    let _ = tx.send((index, result));
+                });
             }
-            for (slot, handle) in partials.iter_mut().zip(handles) {
-                match handle.join().expect("range fetcher never panics") {
-                    Ok(partial) => *slot = Some(partial),
+            drop(tx);
+            let mut next = 0usize;
+            for (index, result) in rx {
+                match result {
+                    Ok(partial) => slots[index] = Some(partial),
                     Err(error) => {
-                        if first_error.is_none() {
-                            first_error = Some(error);
+                        if fetch_error.as_ref().is_none_or(|(at, _)| index < *at) {
+                            fetch_error = Some((index, error));
                         }
                     }
                 }
+                while merge_error.is_none() && next < slots.len() {
+                    let Some(partial) = slots[next].take() else {
+                        break;
+                    };
+                    match &mut merged {
+                        None => merged = Some(partial),
+                        Some(acc) => {
+                            if let Err(error) = acc.merge(partial) {
+                                merge_error = Some(error);
+                            }
+                        }
+                    }
+                    next += 1;
+                }
             }
         });
-        if let Some(error) = first_error {
+        // Error precedence mirrors the join-all path: a failed fetch
+        // (smallest range first) outranks a merge failure — the merge
+        // would never have been attempted with a range missing.
+        if let Some((_, error)) = fetch_error {
             return Err(error);
         }
-        // Shard-order merge: range partials arrive indexed, so the fold
-        // below replays exactly the in-process combine sequence.
-        let mut merged: Option<SketchPartial> = None;
-        for partial in partials.into_iter().flatten() {
-            match &mut merged {
-                None => merged = Some(partial),
-                Some(acc) => acc.merge(partial)?,
-            }
+        if let Some(error) = merge_error {
+            return Err(error);
         }
         let merged =
             merged.ok_or_else(|| BlaeuError::Invalid("fan-out produced no partials".to_owned()))?;

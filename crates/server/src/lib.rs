@@ -45,6 +45,7 @@ pub use journal::{
 
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -189,8 +190,96 @@ impl ResponseHandle {
     }
 }
 
+/// A blocking stream of refinement responses — the channel
+/// [`AsyncSessionServer::submit_progressive`] hands back alongside the
+/// level-0 [`ResponseHandle`]. Each entry is one completed rung's
+/// [`Response::MapDelta`] (or the rung's error); the stream terminates
+/// when the final level lands, the ladder is superseded or cancelled,
+/// or the session closes — consumers simply read until `None`, and the
+/// server guarantees the stream always terminates.
+pub struct DeltaStream {
+    state: Mutex<DeltaStreamState>,
+    cv: Condvar,
+}
+
+struct DeltaStreamState {
+    ready: VecDeque<Result<Response>>,
+    done: bool,
+}
+
+impl std::fmt::Debug for DeltaStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("DeltaStream")
+            .field("ready", &st.ready.len())
+            .field("done", &st.done)
+            .finish()
+    }
+}
+
+impl DeltaStream {
+    fn new() -> Arc<Self> {
+        Arc::new(DeltaStream {
+            state: Mutex::new(DeltaStreamState {
+                ready: VecDeque::new(),
+                done: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn push(&self, result: Result<Response>) {
+        let mut st = self.state.lock();
+        st.ready.push_back(result);
+        self.cv.notify_all();
+    }
+
+    fn finish(&self) {
+        let mut st = self.state.lock();
+        st.done = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks for the next refinement result; `None` once the stream has
+    /// terminated (final level delivered, ladder cancelled, or session
+    /// closed) and every queued entry has been taken.
+    pub fn next(&self) -> Option<Result<Response>> {
+        let mut st = self.state.lock();
+        self.cv
+            .wait_while(&mut st, |s| s.ready.is_empty() && !s.done);
+        st.ready.pop_front()
+    }
+
+    /// True once the producer is done (queued entries may remain).
+    pub fn is_finished(&self) -> bool {
+        self.state.lock().done
+    }
+}
+
+/// One entry of a session's pending queue: a client command, or one
+/// self-requeued rung of an in-flight progressive ladder.
+enum QueueItem {
+    /// A submitted [`Command`]; `stream` is armed only for
+    /// [`Command::MapProgressive`] — the channel its follow-up rungs
+    /// report on.
+    User {
+        command: Command,
+        slot: Arc<ResponseSlot>,
+        stream: Option<Arc<DeltaStream>>,
+    },
+    /// One pending ladder rung, executed as `Command::MapRefine` and
+    /// reported on `stream` instead of a response slot. Rungs ride the
+    /// same queue and `DRAIN_BATCH` discipline as user commands, so a
+    /// refining session cannot starve any other session.
+    Rung {
+        level: usize,
+        levels: usize,
+        stream: Arc<DeltaStream>,
+    },
+}
+
 struct QueueState {
-    pending: VecDeque<(Command, Arc<ResponseSlot>)>,
+    pending: VecDeque<QueueItem>,
     /// True while a pool job owns this queue (drains it command by
     /// command). At most one drain job exists per session at any time —
     /// that is what serializes a session.
@@ -227,6 +316,41 @@ pub struct SessionInfo {
     pub idle: std::time::Duration,
 }
 
+/// Counters of the progressive execution mode, shared by every drain
+/// job.
+#[derive(Debug, Default)]
+struct ProgressiveCounters {
+    /// Completed ladder levels streamed to clients (level 0 included).
+    levels_streamed: AtomicU64,
+    /// Pending rungs dropped because a superseding command or a close
+    /// cancelled their ladder.
+    rungs_cancelled: AtomicU64,
+    /// Ladder levels answered from the analysis cache instead of a
+    /// fresh build — warm coarse entries a zoom issued mid-refinement
+    /// (or a second session) benefits from.
+    coarse_hits: AtomicU64,
+}
+
+/// Progressive-mode effectiveness counters — the `/stats` payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressiveStats {
+    /// Completed ladder levels streamed (level 0 included).
+    pub levels_streamed: u64,
+    /// Pending rungs cancelled by supersession or close.
+    pub rungs_cancelled: u64,
+    /// Ladder levels served from the analysis cache.
+    pub coarse_hits: u64,
+}
+
+/// Everything a drain job needs besides the queue itself — bundled so
+/// the job captures one `Arc` instead of four.
+struct DrainCtx {
+    manager: Arc<SessionManager>,
+    journal: Option<Arc<SessionJournal>>,
+    cache: Option<Arc<AnalysisCache>>,
+    progressive: Arc<ProgressiveCounters>,
+}
+
 /// The asynchronous session server (see the [crate docs](self)).
 pub struct AsyncSessionServer {
     manager: Arc<SessionManager>,
@@ -234,6 +358,7 @@ pub struct AsyncSessionServer {
     queues: Mutex<HashMap<SessionId, Arc<SessionQueue>>>,
     cache: Option<Arc<AnalysisCache>>,
     journal: Option<Arc<SessionJournal>>,
+    progressive: Arc<ProgressiveCounters>,
     queue_capacity: usize,
 }
 
@@ -281,7 +406,18 @@ impl AsyncSessionServer {
             queues: Mutex::new(HashMap::new()),
             cache,
             journal,
+            progressive: Arc::new(ProgressiveCounters::default()),
             queue_capacity: config.queue_capacity.max(1),
+        })
+    }
+
+    /// The drain context this server's jobs share.
+    fn drain_ctx(&self) -> Arc<DrainCtx> {
+        Arc::new(DrainCtx {
+            manager: Arc::clone(&self.manager),
+            journal: self.journal.clone(),
+            cache: self.cache.clone(),
+            progressive: Arc::clone(&self.progressive),
         })
     }
 
@@ -363,6 +499,33 @@ impl AsyncSessionServer {
     /// `queue_capacity` pending commands (backpressure — retry after
     /// some in-flight responses resolve).
     pub fn submit(&self, id: SessionId, command: Command) -> Result<ResponseHandle> {
+        self.submit_with_stream(id, command, None)
+    }
+
+    /// Submits a [`Command::MapProgressive`]: the returned handle
+    /// resolves with the level-0 [`Response::MapDelta`] (milliseconds),
+    /// and the returned [`DeltaStream`] carries every further rung's
+    /// delta until the final (exact) level — or until a superseding
+    /// command on the session, or a close, cancels the remaining rungs
+    /// (the stream always terminates). Rungs execute as ordinary queue
+    /// items under the `DRAIN_BATCH` discipline, so a refining session
+    /// never starves other sessions.
+    ///
+    /// # Errors
+    /// As [`AsyncSessionServer::submit`].
+    pub fn submit_progressive(&self, id: SessionId) -> Result<(ResponseHandle, Arc<DeltaStream>)> {
+        let stream = DeltaStream::new();
+        let handle =
+            self.submit_with_stream(id, Command::MapProgressive, Some(Arc::clone(&stream)))?;
+        Ok((handle, stream))
+    }
+
+    fn submit_with_stream(
+        &self,
+        id: SessionId,
+        command: Command,
+        stream: Option<Arc<DeltaStream>>,
+    ) -> Result<ResponseHandle> {
         let queue = self
             .queues
             .lock()
@@ -370,34 +533,66 @@ impl AsyncSessionServer {
             .cloned()
             .ok_or(BlaeuError::UnknownSession(id))?;
         let slot = Arc::new(ResponseSlot::new());
-        let schedule = {
+        let mut swept = Vec::new();
+        let outcome = {
             let mut st = queue.state.lock();
             if st.closed {
-                return Err(BlaeuError::UnknownSession(id));
-            }
-            if st.pending.len() >= self.queue_capacity {
-                // Report the occupancy actually observed and the *clamped*
-                // capacity (the bound being enforced), so clients can back
-                // off by exactly the right amount.
-                return Err(BlaeuError::QueueFull {
-                    session: id,
-                    pending: st.pending.len(),
-                    capacity: self.queue_capacity,
-                });
-            }
-            st.pending.push_back((command, Arc::clone(&slot)));
-            st.last_activity = Instant::now();
-            if st.active {
-                false
+                Err(BlaeuError::UnknownSession(id))
             } else {
-                st.active = true;
-                true
+                // A fresh client command supersedes any in-flight
+                // ladder: its pending rungs are swept here (their
+                // streams finish outside the lock, even when this
+                // submit itself is rejected), so refinement work the
+                // user no longer wants never runs.
+                let mut kept = VecDeque::with_capacity(st.pending.len() + 1);
+                for item in st.pending.drain(..) {
+                    match item {
+                        QueueItem::Rung { .. } => swept.push(item),
+                        user => kept.push_back(user),
+                    }
+                }
+                st.pending = kept;
+                if st.pending.len() >= self.queue_capacity {
+                    // Report the occupancy actually observed and the
+                    // *clamped* capacity (the bound being enforced), so
+                    // clients can back off by exactly the right amount.
+                    Err(BlaeuError::QueueFull {
+                        session: id,
+                        pending: st.pending.len(),
+                        capacity: self.queue_capacity,
+                    })
+                } else {
+                    st.pending.push_back(QueueItem::User {
+                        command,
+                        slot: Arc::clone(&slot),
+                        stream,
+                    });
+                    st.last_activity = Instant::now();
+                    if st.active {
+                        Ok(false)
+                    } else {
+                        st.active = true;
+                        Ok(true)
+                    }
+                }
             }
         };
-        if schedule {
+        for item in swept {
+            if let QueueItem::Rung {
+                level,
+                levels,
+                stream,
+            } = item
+            {
+                self.progressive
+                    .rungs_cancelled
+                    .fetch_add((levels - level) as u64, Ordering::Relaxed);
+                stream.finish();
+            }
+        }
+        if outcome? {
             schedule_drain(
-                Arc::clone(&self.manager),
-                self.journal.clone(),
+                self.drain_ctx(),
                 Arc::downgrade(&self.pool),
                 queue,
                 &self.pool,
@@ -417,8 +612,9 @@ impl AsyncSessionServer {
 
     /// Closes a session: already-queued commands are rejected with
     /// [`BlaeuError::UnknownSession`] (their handles resolve; nothing
-    /// deadlocks), an in-flight command finishes or rejects on its own,
-    /// and the session leaves the registry.
+    /// deadlocks), pending refinement rungs are cancelled (their delta
+    /// streams terminate), an in-flight command finishes or rejects on
+    /// its own, and the session leaves the registry.
     ///
     /// # Errors
     /// [`BlaeuError::UnknownSession`] when the id is unknown or already
@@ -429,18 +625,42 @@ impl AsyncSessionServer {
             .lock()
             .remove(&id)
             .ok_or(BlaeuError::UnknownSession(id))?;
-        let rejected: Vec<(Command, Arc<ResponseSlot>)> = {
+        let rejected: Vec<QueueItem> = {
             let mut st = queue.state.lock();
             st.closed = true;
             st.pending.drain(..).collect()
         };
-        for (_command, slot) in rejected {
-            slot.fulfil(Err(BlaeuError::UnknownSession(id)));
+        for item in rejected {
+            match item {
+                QueueItem::User { slot, .. } => {
+                    slot.fulfil(Err(BlaeuError::UnknownSession(id)));
+                }
+                QueueItem::Rung {
+                    level,
+                    levels,
+                    stream,
+                } => {
+                    self.progressive
+                        .rungs_cancelled
+                        .fetch_add((levels - level) as u64, Ordering::Relaxed);
+                    stream.finish();
+                }
+            }
         }
         if let Some(journal) = &self.journal {
             journal.close_session(id);
         }
         self.manager.close(id)
+    }
+
+    /// Progressive-mode counters: levels streamed, rungs cancelled,
+    /// coarse cache hits.
+    pub fn progressive_stats(&self) -> ProgressiveStats {
+        ProgressiveStats {
+            levels_streamed: self.progressive.levels_streamed.load(Ordering::Relaxed),
+            rungs_cancelled: self.progressive.rungs_cancelled.load(Ordering::Relaxed),
+            coarse_hits: self.progressive.coarse_hits.load(Ordering::Relaxed),
+        }
     }
 
     /// Ids of all live sessions, ascending.
@@ -799,8 +1019,7 @@ fn run_guarded(f: impl FnOnce() -> Result<Response>) -> Result<Response> {
 /// (a reference cycle whose last `Arc` could then drop on a worker).
 /// `pool` is the strong handle of whoever is scheduling right now.
 fn schedule_drain(
-    manager: Arc<SessionManager>,
-    journal: Option<Arc<SessionJournal>>,
+    ctx: Arc<DrainCtx>,
     weak_pool: std::sync::Weak<JobPool>,
     queue: Arc<SessionQueue>,
     pool: &JobPool,
@@ -808,22 +1027,86 @@ fn schedule_drain(
     // The handle is intentionally detached — every command's own
     // ResponseSlot is the join point, and drain never panics
     // (run_guarded converts command panics into errors).
-    let _detached = pool.submit(move || drain(&manager, journal.as_ref(), &weak_pool, &queue));
+    let _detached = pool.submit(move || drain(&ctx, &weak_pool, &queue));
+}
+
+/// Runs one command for `queue`'s session, journaling the acknowledgement
+/// write-ahead (the record is on disk before any client can observe the
+/// result) and counting a coarse cache hit when the command is a
+/// progressive level answered from the analysis cache.
+fn execute_one(ctx: &DrainCtx, queue: &SessionQueue, command: &Command) -> Result<Response> {
+    let progressive_level = matches!(command, Command::MapProgressive | Command::MapRefine { .. });
+    let hits_before = match (&ctx.cache, progressive_level) {
+        (Some(cache), true) => Some(cache.hit_count()),
+        _ => None,
+    };
+    let result = run_guarded(|| {
+        ctx.manager
+            .with(queue.id, |explorer| explorer.execute(command))
+            .and_then(|inner| inner)
+    });
+    if let Some(journal) = &ctx.journal {
+        journal.append_command(queue.id, command, &RecordedOutcome::of(&result));
+    }
+    if let (Some(before), Some(cache), Ok(_)) = (hits_before, &ctx.cache, &result) {
+        // Approximate by design: concurrent sessions' hits can land in
+        // the same window, so this can over-count under contention — a
+        // monitoring signal, not an invariant.
+        if cache.hit_count() > before {
+            ctx.progressive.coarse_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    queue.state.lock().last_activity = Instant::now();
+    result
+}
+
+/// Re-enqueues the next rung of an in-flight ladder — unless the session
+/// closed or a client command is already pending (which supersedes the
+/// ladder), in which case the stream terminates and the remaining rungs
+/// count as cancelled.
+fn enqueue_rung(
+    ctx: &DrainCtx,
+    queue: &SessionQueue,
+    level: usize,
+    levels: usize,
+    stream: Arc<DeltaStream>,
+) {
+    let cancelled = {
+        let mut st = queue.state.lock();
+        if st.closed
+            || st
+                .pending
+                .iter()
+                .any(|item| matches!(item, QueueItem::User { .. }))
+        {
+            true
+        } else {
+            st.pending.push_back(QueueItem::Rung {
+                level,
+                levels,
+                stream: Arc::clone(&stream),
+            });
+            false
+        }
+    };
+    if cancelled {
+        ctx.progressive
+            .rungs_cancelled
+            .fetch_add((levels - level) as u64, Ordering::Relaxed);
+        stream.finish();
+    }
 }
 
 /// Drains one session's queue: pops and executes commands in FIFO order,
-/// fulfilling each command's slot. Runs on a pool worker; at most one
-/// instance exists per session (the `active` flag), which is the whole
-/// serialization story. After [`DRAIN_BATCH`] commands the job re-enqueues
-/// itself at the back of the pool FIFO so one busy session cannot pin a
-/// worker; when the pool is gone or shutting down (server teardown), the
-/// re-enqueue degrades to draining inline, so every slot still resolves.
-fn drain(
-    manager: &Arc<SessionManager>,
-    journal: Option<&Arc<SessionJournal>>,
-    weak_pool: &std::sync::Weak<JobPool>,
-    queue: &Arc<SessionQueue>,
-) {
+/// fulfilling each command's slot (or pushing each rung's delta on its
+/// stream). Runs on a pool worker; at most one instance exists per
+/// session (the `active` flag), which is the whole serialization story.
+/// After [`DRAIN_BATCH`] items the job re-enqueues itself at the back of
+/// the pool FIFO so one busy session cannot pin a worker; when the pool
+/// is gone or shutting down (server teardown), the re-enqueue degrades
+/// to draining inline, so every slot still resolves and every stream
+/// terminates.
+fn drain(ctx: &Arc<DrainCtx>, weak_pool: &std::sync::Weak<JobPool>, queue: &Arc<SessionQueue>) {
     let mut executed = 0usize;
     loop {
         if executed == DRAIN_BATCH {
@@ -839,8 +1122,7 @@ fn drain(
                     }
                 }
                 schedule_drain(
-                    Arc::clone(manager),
-                    journal.cloned(),
+                    Arc::clone(ctx),
                     std::sync::Weak::clone(weak_pool),
                     Arc::clone(queue),
                     &pool,
@@ -864,20 +1146,69 @@ fn drain(
                 }
             }
         };
-        let (command, slot) = next;
-        let result = run_guarded(|| {
-            manager
-                .with(queue.id, |explorer| explorer.execute(&command))
-                .and_then(|inner| inner)
-        });
-        // Write-ahead of the *acknowledgement*: the record (command +
-        // outcome) is on disk before the client can observe the
-        // response, so every response a client saw is replayable.
-        if let Some(journal) = journal {
-            journal.append_command(queue.id, &command, &RecordedOutcome::of(&result));
+        match next {
+            QueueItem::User {
+                command,
+                slot,
+                stream,
+            } => {
+                let result = execute_one(ctx, queue, &command);
+                // A progressive command's follow-up rungs are decided
+                // *before* the handle resolves, off the delta the
+                // execution produced.
+                let continuation = match (&result, stream) {
+                    (Ok(Response::MapDelta { delta, .. }), Some(stream)) => {
+                        ctx.progressive
+                            .levels_streamed
+                            .fetch_add(1, Ordering::Relaxed);
+                        if delta.final_level {
+                            stream.finish();
+                            None
+                        } else {
+                            Some((delta.level + 1, delta.levels, stream))
+                        }
+                    }
+                    (_, Some(stream)) => {
+                        // The progressive command itself failed (or
+                        // answered a non-delta): nothing will refine.
+                        stream.finish();
+                        None
+                    }
+                    (_, None) => None,
+                };
+                slot.fulfil(result);
+                if let Some((level, levels, stream)) = continuation {
+                    enqueue_rung(ctx, queue, level, levels, stream);
+                }
+            }
+            QueueItem::Rung {
+                level,
+                levels: _,
+                stream,
+            } => {
+                let command = Command::MapRefine { level };
+                let result = execute_one(ctx, queue, &command);
+                let continuation = match &result {
+                    Ok(Response::MapDelta { delta, .. }) => {
+                        ctx.progressive
+                            .levels_streamed
+                            .fetch_add(1, Ordering::Relaxed);
+                        (!delta.final_level).then(|| (delta.level + 1, delta.levels))
+                    }
+                    // A failed rung (e.g. the session closed under it)
+                    // ends the ladder; the error is the stream's last
+                    // entry.
+                    _ => None,
+                };
+                let finished = continuation.is_none();
+                stream.push(result);
+                if finished {
+                    stream.finish();
+                } else if let Some((next_level, next_levels)) = continuation {
+                    enqueue_rung(ctx, queue, next_level, next_levels, stream);
+                }
+            }
         }
-        queue.state.lock().last_activity = Instant::now();
-        slot.fulfil(result);
         executed += 1;
     }
 }
@@ -1217,6 +1548,112 @@ mod tests {
         }
         let string_payload = run_guarded(|| panic!("{}", "formatted {} payload"));
         assert!(matches!(string_payload, Err(BlaeuError::Invalid(_))));
+    }
+
+    #[test]
+    fn progressive_streams_deltas_until_exact() {
+        let srv = server(2, 8, 64);
+        let id = srv
+            .open_session(shared_table(), ExplorerConfig::default())
+            .unwrap();
+        srv.request(id, Command::SelectTheme(0)).unwrap();
+        let exact = srv.request(id, Command::Map).unwrap().digest();
+
+        let (first, stream) = srv.submit_progressive(id).unwrap();
+        let first = first.join().unwrap();
+        let Response::MapDelta { delta, .. } = &first else {
+            panic!("expected level-0 delta, got {first:?}");
+        };
+        assert_eq!(delta.level, 0);
+        assert!(delta.levels >= 2, "250 rows must ladder");
+        let mut last_digest = delta.map_digest;
+        let mut saw_final = delta.final_level;
+        while let Some(result) = stream.next() {
+            let refined = result.unwrap();
+            let Response::MapDelta { delta, .. } = &refined else {
+                panic!("expected a delta, got {refined:?}");
+            };
+            last_digest = delta.map_digest;
+            saw_final = delta.final_level;
+        }
+        assert!(saw_final, "stream must end at the exact level");
+        // The final rung is byte-identical to the plain Command::Map.
+        assert_eq!(last_digest, exact);
+        let stats = srv.progressive_stats();
+        assert!(stats.levels_streamed >= 2, "{stats:?}");
+        assert_eq!(stats.rungs_cancelled, 0, "{stats:?}");
+        srv.close(id).unwrap();
+    }
+
+    #[test]
+    fn superseding_command_cancels_pending_rungs() {
+        let srv = server(1, 8, 0);
+        let id = srv
+            .open_session(shared_table(), ExplorerConfig::default())
+            .unwrap();
+        srv.request(id, Command::SelectTheme(0)).unwrap();
+        // Park the only worker, then line up [MapProgressive, Depth]:
+        // whatever the drain interleaving, the Depth command supersedes
+        // the ladder before any rung can run.
+        let gate = Arc::new(Barrier::new(2));
+        let parked = {
+            let gate = Arc::clone(&gate);
+            srv.pool().submit(move || {
+                gate.wait();
+            })
+        };
+        let (first, stream) = srv.submit_progressive(id).unwrap();
+        let superseder = srv.submit(id, Command::Depth).unwrap();
+        gate.wait();
+        parked.join().unwrap();
+        // Level 0 still resolves on its handle…
+        assert!(matches!(first.join(), Ok(Response::MapDelta { .. })));
+        assert!(superseder.join().is_ok());
+        // …but the stream terminates without any refinement.
+        assert!(stream.next().is_none());
+        let stats = srv.progressive_stats();
+        assert_eq!(stats.rungs_cancelled, 1, "{stats:?}");
+        assert_eq!(stats.levels_streamed, 1, "{stats:?}");
+        srv.close(id).unwrap();
+    }
+
+    #[test]
+    fn close_racing_refinement_cancels_rungs_and_resolves_handles() {
+        // Regression: a close racing an in-flight refinement must cancel
+        // the remaining rungs (the delta stream terminates — no consumer
+        // hangs) while still resolving every accepted handle. Loop a few
+        // times to hit different interleavings of close vs. level 0 vs.
+        // rung execution.
+        for _ in 0..5 {
+            let srv = server(2, 8, 16);
+            let id = srv
+                .open_session(shared_table(), ExplorerConfig::default())
+                .unwrap();
+            let select = srv.submit(id, Command::SelectTheme(0)).unwrap();
+            let (first, stream) = srv.submit_progressive(id).unwrap();
+            srv.close(id).unwrap();
+            // Every accepted handle resolves — executed or rejected.
+            match select.join() {
+                Ok(Response::Map(_)) | Err(BlaeuError::UnknownSession(_)) => {}
+                other => panic!("select handle resolution: {other:?}"),
+            }
+            match first.join() {
+                Ok(Response::MapDelta { .. }) | Err(BlaeuError::UnknownSession(_)) => {}
+                other => panic!("progressive handle resolution: {other:?}"),
+            }
+            // The stream terminates: rungs either refined before the
+            // close won, failed against the closed session, or were
+            // swept — in all cases `next` reaches None instead of
+            // blocking forever.
+            while let Some(result) = stream.next() {
+                match result {
+                    Ok(Response::MapDelta { .. }) | Err(BlaeuError::UnknownSession(_)) => {}
+                    other => panic!("rung resolution: {other:?}"),
+                }
+            }
+            assert!(stream.is_finished());
+            assert!(srv.is_empty());
+        }
     }
 
     #[test]

@@ -49,7 +49,8 @@ pub use error::{Result, StoreError};
 pub use predicate::{Bound, Predicate};
 pub use query::SelectProject;
 pub use sample::{
-    bernoulli_sample, rng_from_seed, sample_table, uniform_sample, MultiScaleSampler, StoreRng,
+    bernoulli_sample, prefix_sample, rng_from_seed, sample_table, uniform_sample,
+    MultiScaleSampler, StoreRng,
 };
 pub use schema::{ColumnRole, Field, Schema};
 pub use snapshot::{checksum64, read_snapshot_bytes, write_snapshot_bytes};

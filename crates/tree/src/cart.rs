@@ -99,11 +99,19 @@ fn best_numeric_split(
     for &(_, l) in &pairs {
         total[l] += 1;
     }
+    // The parent impurity is constant across thresholds; left/right counts
+    // shift by one row per step. Maintaining them incrementally keeps the
+    // scan allocation-free (this loop runs once per candidate threshold of
+    // every node × feature, so a per-candidate Vec is real churn).
+    let parent_impurity = config.criterion.impurity(&total);
     let mut left = vec![0usize; nclasses];
+    let mut right = total.clone();
     let mut best: Option<(f64, f64, bool)> = None; // (decrease, threshold, default_left)
     let n = pairs.len();
+    let nf = n as f64;
     for i in 0..n - 1 {
         left[pairs[i].1] += 1;
+        right[pairs[i].1] -= 1;
         if pairs[i].0 == pairs[i + 1].0 {
             continue; // can't split between equal values
         }
@@ -112,8 +120,9 @@ fn best_numeric_split(
         if nl < config.min_samples_leaf || nr < config.min_samples_leaf {
             continue;
         }
-        let right: Vec<usize> = total.iter().zip(&left).map(|(t, l)| t - l).collect();
-        let dec = config.criterion.decrease(&total, &left, &right);
+        let dec = parent_impurity
+            - (nl as f64 / nf) * config.criterion.impurity(&left)
+            - (nr as f64 / nf) * config.criterion.impurity(&right);
         let threshold = pairs[i].0.midpoint(pairs[i + 1].0);
         if best.is_none_or(|(bd, bt, _)| dec > bd + 1e-15 || (dec > bd - 1e-15 && threshold < bt)) {
             best = Some((dec, threshold, nl >= nr));
@@ -237,6 +246,98 @@ fn route(rule: &SplitRule, view: &TableView, row: usize) -> Option<bool> {
     }
 }
 
+/// A split rule bound to a view: the column handle is resolved and the
+/// categorical left-set is translated to a per-code table **once**, so
+/// routing a row costs one column access instead of a name lookup plus a
+/// string-set scan. This is what keeps bulk routing (fit partitions,
+/// [`DecisionTree::predict`], [`DecisionTree::leaf_assignments`]) linear
+/// in rows rather than rows × columns.
+enum BoundRule<'v> {
+    Numeric {
+        col: ColumnView<'v>,
+        threshold: f64,
+    },
+    Categorical {
+        col: ColumnView<'v>,
+        in_left: Vec<bool>,
+    },
+}
+
+impl<'v> BoundRule<'v> {
+    fn bind(rule: &SplitRule, view: &'v TableView) -> BoundRule<'v> {
+        let col = view
+            .col_by_name(rule.column())
+            .expect("feature validated at fit/predict time");
+        match rule {
+            SplitRule::Numeric { threshold, .. } => BoundRule::Numeric {
+                col,
+                threshold: *threshold,
+            },
+            SplitRule::Categorical {
+                left_categories, ..
+            } => {
+                let in_left = col
+                    .dictionary()
+                    .iter()
+                    .map(|label| left_categories.iter().any(|c| c == label))
+                    .collect();
+                BoundRule::Categorical { col, in_left }
+            }
+        }
+    }
+
+    /// `None` = missing test value (caller applies the node's default).
+    fn route(&self, row: usize) -> Option<bool> {
+        match self {
+            BoundRule::Numeric { col, threshold } => col.numeric_at(row).map(|v| v < *threshold),
+            BoundRule::Categorical { col, in_left } => {
+                col.code_at(row).map(|code| in_left[code as usize])
+            }
+        }
+    }
+}
+
+/// Recursively partitions `rows` down the tree, invoking `on_leaf` with
+/// each leaf node, its left-to-right leaf index, and the rows that landed
+/// on it. Columns are bound once per node, not once per row.
+fn partition_rows(
+    node: &Node,
+    view: &TableView,
+    rows: Vec<u32>,
+    leaf_base: usize,
+    on_leaf: &mut impl FnMut(&Node, usize, &[u32]),
+) {
+    match node {
+        Node::Leaf { .. } => on_leaf(node, leaf_base, &rows),
+        Node::Internal {
+            rule,
+            default_left,
+            left,
+            right,
+            ..
+        } => {
+            let bound = BoundRule::bind(rule, view);
+            let mut left_rows = Vec::new();
+            let mut right_rows = Vec::new();
+            for r in rows {
+                if bound.route(r as usize).unwrap_or(*default_left) {
+                    left_rows.push(r);
+                } else {
+                    right_rows.push(r);
+                }
+            }
+            partition_rows(left, view, left_rows, leaf_base, on_leaf);
+            partition_rows(
+                right,
+                view,
+                right_rows,
+                leaf_base + left.n_leaves(),
+                on_leaf,
+            );
+        }
+    }
+}
+
 fn build_node(
     view: &TableView,
     features: &[String],
@@ -304,10 +405,11 @@ fn build_node(
     }
 
     // Partition rows; missing test values follow the default direction.
+    let bound = BoundRule::bind(&split.rule, view);
     let mut left_rows = Vec::new();
     let mut right_rows = Vec::new();
     for &r in rows {
-        let goes_left = route(&split.rule, view, r as usize).unwrap_or(split.default_left);
+        let goes_left = bound.route(r as usize).unwrap_or(split.default_left);
         if goes_left {
             left_rows.push(r);
         } else {
@@ -462,9 +564,17 @@ impl DecisionTree {
         for f in &self.features {
             view.col_by_name(f)?;
         }
-        (0..view.nrows())
-            .map(|row| self.predict_row(view, row))
-            .collect()
+        let mut out = vec![0usize; view.nrows()];
+        let rows: Vec<u32> = (0..view.nrows() as u32).collect();
+        partition_rows(&self.root, view, rows, 0, &mut |leaf, _, leaf_rows| {
+            let Node::Leaf { class, .. } = leaf else {
+                unreachable!("partition_rows only reports leaves");
+            };
+            for &r in leaf_rows {
+                out[r as usize] = *class;
+            }
+        });
+        Ok(out)
     }
 
     /// Routes every view row to a leaf, returning per-row leaf indices in
@@ -476,32 +586,19 @@ impl DecisionTree {
         for f in &self.features {
             view.col_by_name(f)?;
         }
-        let mut out = Vec::with_capacity(view.nrows());
-        for row in 0..view.nrows() {
-            let mut node = &self.root;
-            let mut leaf_index = 0usize;
-            loop {
-                match node {
-                    Node::Leaf { .. } => break,
-                    Node::Internal {
-                        rule,
-                        default_left,
-                        left,
-                        right,
-                        ..
-                    } => {
-                        let goes_left = route(rule, view, row).unwrap_or(*default_left);
-                        if goes_left {
-                            node = left;
-                        } else {
-                            leaf_index += left.n_leaves();
-                            node = right;
-                        }
-                    }
+        let mut out = vec![0usize; view.nrows()];
+        let rows: Vec<u32> = (0..view.nrows() as u32).collect();
+        partition_rows(
+            &self.root,
+            view,
+            rows,
+            0,
+            &mut |_, leaf_index, leaf_rows| {
+                for &r in leaf_rows {
+                    out[r as usize] = leaf_index;
                 }
-            }
-            out.push(leaf_index);
-        }
+            },
+        );
         Ok(out)
     }
 }

@@ -327,6 +327,88 @@ fn batch_ndjson_streams_fifo_responses() {
     net.shutdown();
 }
 
+/// A `map_progressive` line on the batch channel streams its coarse
+/// level-0 answer first and then one `"kind":"delta"` line per
+/// refinement rung, ending on `"final":true` whose `map_digest` is
+/// bit-identical to a plain `map` of the same view — and `/stats` counts
+/// the streamed levels.
+#[test]
+fn batch_streams_progressive_deltas_until_exact() {
+    let table = shared_table();
+    let net = serve(&table, 4, 64, NetConfig::default());
+    let mut client = WireClient::connect(net.local_addr());
+
+    // Reference: the exact map's wire digest on its own session.
+    let opened = client.request("POST", "/sessions", Some(r#"{"table": "hollywood"}"#));
+    let reference = opened.json()["session"].as_u64().unwrap();
+    client.request(
+        "POST",
+        &format!("/sessions/{reference}/commands"),
+        Some(r#"{"cmd": "select_theme", "theme": 0}"#),
+    );
+    let exact = client.request(
+        "POST",
+        &format!("/sessions/{reference}/commands"),
+        Some(r#"{"cmd": "map"}"#),
+    );
+    assert_eq!(exact.status, 200, "{}", exact.body);
+    let exact_digest = exact.json()["digest"].as_str().unwrap().to_owned();
+
+    // Progressive: one batch line answers as a ladder of delta lines.
+    let opened = client.request("POST", "/sessions", Some(r#"{"table": "hollywood"}"#));
+    let session = opened.json()["session"].as_u64().unwrap();
+    let batch = concat!(
+        "{\"cmd\": \"select_theme\", \"theme\": 0}\n",
+        "{\"cmd\": \"map_progressive\"}\n",
+    );
+    let streamed = client.request(
+        "POST",
+        &format!("/sessions/{session}/commands/batch"),
+        Some(batch),
+    );
+    assert_eq!(streamed.status, 200, "{}", streamed.body);
+    let lines = streamed.lines();
+    let deltas: Vec<&Value> = lines
+        .iter()
+        .filter(|l| l["kind"].as_str() == Some("delta"))
+        .collect();
+    assert!(deltas.len() >= 2, "expected a ladder, got {lines:?}");
+    assert_eq!(lines.len(), 1 + deltas.len(), "select_theme + the ladder");
+    for (k, delta) in deltas.iter().enumerate() {
+        assert_eq!(delta["level"].as_u64(), Some(k as u64), "{delta:?}");
+        assert_eq!(
+            delta["final"].as_bool(),
+            Some(k == deltas.len() - 1),
+            "{delta:?}"
+        );
+        assert!(delta["changed"].is_array(), "{delta:?}");
+    }
+    // The ladder's sample sizes grow strictly — coarse first.
+    let sizes: Vec<u64> = deltas
+        .iter()
+        .map(|d| d["sample_size"].as_u64().unwrap())
+        .collect();
+    assert!(sizes.windows(2).all(|w| w[0] < w[1]), "{sizes:?}");
+    // The final rung IS the exact map, bit for bit.
+    assert_eq!(
+        deltas.last().unwrap()["map_digest"].as_str(),
+        Some(exact_digest.as_str()),
+        "final refinement must match a plain map"
+    );
+
+    let stats = client.request("GET", "/stats", None).json();
+    let progressive = &stats["progressive"];
+    assert!(
+        progressive["levels_streamed"].as_u64().unwrap() >= deltas.len() as u64 - 1,
+        "{progressive:?}"
+    );
+    assert!(
+        progressive["latency"]["count"].as_u64().unwrap() >= deltas.len() as u64,
+        "{progressive:?}"
+    );
+    net.shutdown();
+}
+
 /// Malformed bodies are 400 with the parse error, unknown sessions 404,
 /// unknown tables 404, wrong methods 405 — and the connection survives
 /// every one of them (keep-alive).

@@ -1,0 +1,127 @@
+//! Property tests for progressive refinement determinism: across random
+//! table sizes and generator seeds, the ladder streamed by
+//! `map_progressive` produces the *same per-level digest sequence* at
+//! thread budgets {1, 8} with the result cache on and off — and its
+//! final rung is bit-identical to a plain exact `map` of the same view.
+//! Progressiveness is presentation, never a result change.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use blaeu::prelude::*;
+
+/// Runs `select_theme 0; map_progressive` on a fresh engine and returns
+/// the ladder as `(level, sample_size, final, map_digest)` rows — the
+/// level-0 answer from the handle, every later rung from the stream.
+fn ladder(
+    table: &Arc<Table>,
+    threads: usize,
+    cache_capacity: usize,
+) -> Vec<(usize, usize, bool, u64)> {
+    let engine = AsyncSessionServer::new(ServerConfig {
+        threads,
+        queue_capacity: 64,
+        cache_capacity,
+        ..ServerConfig::default()
+    });
+    let id = engine
+        .open_session(Arc::clone(table), ExplorerConfig::default())
+        .expect("session opens");
+    engine
+        .submit(id, Command::SelectTheme(0))
+        .expect("submits")
+        .join()
+        .expect("theme 0 exists");
+    let (handle, stream) = engine.submit_progressive(id).expect("submits");
+    let mut rows = Vec::new();
+    let mut record = |response: Response| match response {
+        Response::MapDelta { delta, .. } => {
+            rows.push((
+                delta.level,
+                delta.sample_size,
+                delta.final_level,
+                delta.map_digest,
+            ));
+        }
+        other => panic!("expected a delta, got {other:?}"),
+    };
+    record(handle.join().expect("level 0 resolves"));
+    while let Some(result) = stream.next() {
+        record(result.expect("rungs resolve"));
+    }
+    engine.close(id).expect("closes");
+    rows
+}
+
+/// The exact map's digest for the same table and theme — the anchor the
+/// final rung must hit bit for bit.
+fn exact_digest(table: &Arc<Table>) -> u64 {
+    let engine = AsyncSessionServer::new(ServerConfig {
+        threads: 2,
+        queue_capacity: 64,
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    });
+    let id = engine
+        .open_session(Arc::clone(table), ExplorerConfig::default())
+        .expect("session opens");
+    engine
+        .submit(id, Command::SelectTheme(0))
+        .expect("submits")
+        .join()
+        .expect("theme 0 exists");
+    let digest = engine
+        .submit(id, Command::Map)
+        .expect("submits")
+        .join()
+        .expect("map builds")
+        .digest();
+    engine.close(id).expect("closes");
+    digest
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The satellite invariant, fuzzed: every refinement level's digest
+    /// is bit-identical across `BLAEU_THREADS` ∈ {1, 8} × cache on/off,
+    /// the schedule is a pure function of the row count (same shape
+    /// everywhere), and the final level equals the exact `map`.
+    #[test]
+    fn refinement_is_deterministic_across_threads_and_cache(
+        nrows in 150usize..420,
+        seed in 0u64..1000,
+    ) {
+        let table = Arc::new(
+            hollywood(&HollywoodConfig { nrows, seed })
+                .expect("generator succeeds")
+                .0,
+        );
+        let reference = ladder(&table, 1, 0);
+        prop_assert!(reference.len() >= 2, "expected a ladder, got {reference:?}");
+        // Schedule shape: strictly growing samples, exactly one final
+        // rung, levels numbered 0..k.
+        for (k, row) in reference.iter().enumerate() {
+            prop_assert_eq!(row.0, k);
+            prop_assert_eq!(row.2, k == reference.len() - 1);
+            if k > 0 {
+                prop_assert!(row.1 > reference[k - 1].1, "{reference:?}");
+            }
+        }
+        prop_assert_eq!(
+            reference.last().unwrap().3,
+            exact_digest(&table),
+            "final rung must be bit-identical to a plain map"
+        );
+        for threads in [1usize, 8] {
+            for cache_capacity in [0usize, 64] {
+                let got = ladder(&table, threads, cache_capacity);
+                prop_assert_eq!(
+                    &got, &reference,
+                    "ladder diverged at threads={} cache={}", threads, cache_capacity
+                );
+            }
+        }
+    }
+}
