@@ -122,6 +122,7 @@ impl Explorer {
     ///
     /// # Errors
     /// Propagates theme-detection failures (e.g. too few columns).
+    // lint: allow(view-discipline) — ownership transfer at the session boundary: the table moves into an Arc once, here
     pub fn open(table: Table, config: ExplorerConfig) -> Result<Self> {
         Explorer::open_shared(Arc::new(table), config)
     }

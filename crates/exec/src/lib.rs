@@ -110,6 +110,7 @@ fn effective_grain(n: usize, threads: usize, requested: usize) -> usize {
 /// Explicit budget override; 0 means "auto-detect".
 static BUDGET_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+#[allow(clippy::disallowed_methods)] // the one sanctioned available_parallelism site
 fn detected_parallelism() -> usize {
     static DETECTED: OnceLock<usize> = OnceLock::new();
     *DETECTED.get_or_init(|| {

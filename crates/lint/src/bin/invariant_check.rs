@@ -1,0 +1,78 @@
+//! `invariant_check` — run the workspace invariant linter.
+//!
+//! Usage: `invariant_check [--json] [--list-rules] [--root PATH]`
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use blaeu_lint::{lint_root, Rule};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list-rules" => {
+                for rule in Rule::all() {
+                    println!("{}", rule.id());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!(
+                    "invariant_check [--json] [--list-rules] [--root PATH]\n\n\
+                     Lints the workspace against the ROADMAP's standing invariants.\n\
+                     Findings print as `file:line rule-id message`; waive a single\n\
+                     line with `// lint: allow(rule-id) — reason` (a waiver that\n\
+                     suppresses nothing is itself an error)."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+
+    match lint_root(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.to_text());
+                eprintln!(
+                    "invariant_check: {} finding(s) across {} files, {} manifests ({} waiver(s) honored)",
+                    report.findings.len(),
+                    report.files_scanned,
+                    report.manifests_checked,
+                    report.waivers_used
+                );
+            }
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("invariant_check: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! A lightweight Rust tokenizer — just enough lexical structure for
+//! invariant checking: identifiers, punctuation, literals, and comments
+//! with line numbers. No `syn`, no grammar; rules match token
+//! sequences, so text inside strings and comments can never produce a
+//! false hit (`"thread::spawn"` in a doc string is a literal, not a
+//! call).
+
+/// One lexical token. Keywords are ordinary identifiers — rules match
+/// on text, not on grammar classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, …).
+    Ident(String),
+    /// A single punctuation character. Multi-character operators arrive
+    /// as consecutive tokens (`::` is two `:` tokens).
+    Punct(char),
+    /// String literal (normal, raw, or byte) with its *uncooked* body —
+    /// escape sequences are preserved verbatim, which is fine for the
+    /// simple names (bench ids, error tags) the rules compare.
+    Str(String),
+    /// Character literal, e.g. `'a'` or `'\n'`.
+    Char,
+    /// Numeric literal (any base, any suffix).
+    Num,
+    /// Lifetime or loop label, e.g. `'a`.
+    Lifetime,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl Token {
+    /// The identifier text, when this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// True when this token is exactly the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// True when this token is exactly the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// One `//`-style comment (line, doc, or inner-doc) with its text after
+/// the slashes, the 1-based line it sits on, and whether anything other
+/// than whitespace precedes it on that line (a *trailing* comment
+/// annotates its own line; a *standalone* one annotates the next).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based source line.
+    pub line: usize,
+    /// Comment text with the leading `//`, `///` or `//!` stripped.
+    pub text: String,
+    /// True when code precedes the comment on the same line.
+    pub trailing: bool,
+    /// True for doc comments (`///`, `//!`). Waivers live only in plain
+    /// `//` comments, so documentation *about* the waiver grammar can
+    /// never register as a waiver itself.
+    pub doc: bool,
+}
+
+/// The output of [`lex`]: tokens and comments, each with line numbers.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All `//`-style comments in source order. Block comments are
+    /// skipped entirely (the waiver and SAFETY grammars are line-comment
+    /// based, matching how the workspace writes them).
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `source`. The lexer is total: any byte sequence produces
+/// *some* token stream (unterminated literals run to end of input), so
+/// the linter never aborts on a file it half-understands.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    // Tracks whether any non-whitespace byte has appeared on the
+    // current line before position `i` — classifies trailing comments.
+    let mut code_on_line = false;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                code_on_line = false;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let raw = &source[start..i];
+                let slashes = raw.bytes().take_while(|&b| b == b'/').count();
+                let text = &raw[slashes..];
+                let inner_doc = text.starts_with('!');
+                let text = text.strip_prefix('!').unwrap_or(text);
+                out.comments.push(Comment {
+                    line,
+                    text: text.to_owned(),
+                    trailing: code_on_line,
+                    doc: slashes >= 3 || inner_doc,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comments, skipped wholesale.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        code_on_line = false;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 1;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 1;
+                    }
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let (body, consumed, newlines) = scan_string(&source[i..], 0);
+                out.tokens.push(Token {
+                    tok: Tok::Str(body),
+                    line,
+                });
+                line += newlines;
+                code_on_line = true;
+                i += consumed;
+            }
+            b'\'' => {
+                // Lifetime/label vs char literal: `'a` followed by
+                // anything but a closing quote is a lifetime.
+                let next = bytes.get(i + 1).copied();
+                let after = bytes.get(i + 2).copied();
+                let is_lifetime = next.is_some_and(|c| c.is_ascii_alphabetic() || c == b'_')
+                    && after != Some(b'\'');
+                if is_lifetime {
+                    i += 2;
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                } else {
+                    i += 1;
+                    // Consume to the closing quote, honoring escapes.
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => break, // unterminated; bail at EOL
+                            _ => i += 1,
+                        }
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                }
+                code_on_line = true;
+            }
+            b'0'..=b'9' => {
+                i += 1;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        // Exponent sign: `1e-3`, `2.5E+7`.
+                        if (c == b'e' || c == b'E')
+                            && matches!(bytes.get(i + 1), Some(b'+') | Some(b'-'))
+                            && bytes.get(i + 2).is_some_and(u8::is_ascii_digit)
+                        {
+                            i += 2;
+                        }
+                        i += 1;
+                    } else if c == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                        // `1.5` continues the number; `0..n` does not.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Num,
+                    line,
+                });
+                code_on_line = true;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                // String-literal prefixes: r"", r#""#, b"", br#""#.
+                let hashes_then_quote = |from: usize| -> Option<usize> {
+                    let mut n = 0usize;
+                    while bytes.get(from + n) == Some(&b'#') {
+                        n += 1;
+                    }
+                    (bytes.get(from + n) == Some(&b'"')).then_some(n)
+                };
+                let raw_prefix = matches!(word, "r" | "br");
+                let plain_prefix = matches!(word, "b");
+                if (raw_prefix || plain_prefix) && hashes_then_quote(i).is_some() {
+                    let hashes = if raw_prefix {
+                        hashes_then_quote(i).unwrap_or(0)
+                    } else {
+                        0
+                    };
+                    let (body, consumed, newlines) = if raw_prefix {
+                        scan_raw_string(&source[i..], hashes)
+                    } else {
+                        scan_string(&source[i..], 0)
+                    };
+                    out.tokens.push(Token {
+                        tok: Tok::Str(body),
+                        line,
+                    });
+                    line += newlines;
+                    i += consumed;
+                } else if word == "r" && bytes.get(i) == Some(&b'#') {
+                    // Raw identifier `r#ident`.
+                    i += 1;
+                    let rstart = i;
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Ident(source[rstart..i].to_owned()),
+                        line,
+                    });
+                } else {
+                    out.tokens.push(Token {
+                        tok: Tok::Ident(word.to_owned()),
+                        line,
+                    });
+                }
+                code_on_line = true;
+            }
+            other => {
+                out.tokens.push(Token {
+                    tok: Tok::Punct(other as char),
+                    line,
+                });
+                code_on_line = true;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans a normal (escaped) string starting at a `"`; returns the body,
+/// bytes consumed, and newlines crossed.
+fn scan_string(rest: &str, _hashes: usize) -> (String, usize, usize) {
+    let bytes = rest.as_bytes();
+    debug_assert_eq!(bytes.first(), Some(&b'"'));
+    let mut i = 1usize;
+    let mut newlines = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                return (rest[1..i].to_owned(), i + 1, newlines);
+            }
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (rest[1..].to_owned(), bytes.len(), newlines)
+}
+
+/// Scans a raw string starting at `#...#"` with `hashes` hash marks;
+/// returns the body, bytes consumed, and newlines crossed.
+fn scan_raw_string(rest: &str, hashes: usize) -> (String, usize, usize) {
+    let bytes = rest.as_bytes();
+    let open = hashes + 1; // hashes then the quote
+    let mut i = open;
+    let mut newlines = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut n = 0usize;
+            while n < hashes && bytes.get(i + 1 + n) == Some(&b'#') {
+                n += 1;
+            }
+            if n == hashes {
+                return (rest[open..i].to_owned(), i + 1 + hashes, newlines);
+            }
+        }
+        if bytes[i] == b'\n' {
+            newlines += 1;
+        }
+        i += 1;
+    }
+    (rest[open..].to_owned(), bytes.len(), newlines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r#"
+// thread::spawn in a comment
+let x = "thread::spawn in a string";
+/* block with thread::spawn */
+let y = call();
+"#;
+        let words = idents(src);
+        assert!(!words.contains(&"spawn".to_owned()), "{words:?}");
+        assert!(words.contains(&"call".to_owned()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("thread::spawn"));
+    }
+
+    #[test]
+    fn raw_strings_byte_strings_chars_lifetimes() {
+        let src = r##"let a = r#"spawn "quoted""#; let b = b"bytes"; let c = 'x'; fn f<'a>(v: &'a str) {} let d = '\n';"##;
+        let lexed = lex(src);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            strs,
+            vec!["spawn \"quoted\"".to_owned(), "bytes".to_owned()]
+        );
+        let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(chars, 2);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let src = "for i in 0..10 { let f = 1.5e-3; let h = 0xff_u32; }";
+        let lexed = lex(src);
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "the `..` survives as two dots");
+        let nums = lexed.tokens.iter().filter(|t| t.tok == Tok::Num).count();
+        assert_eq!(nums, 4);
+    }
+
+    #[test]
+    fn trailing_vs_standalone_comments() {
+        let src = "let x = 1; // trailing\n// standalone\nlet y = 2;\n";
+        let lexed = lex(src);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let src = "let s = \"one\ntwo\";\nlet after = 3;";
+        let lexed = lex(src);
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("after token");
+        assert_eq!(after.line, 3);
+    }
+}

@@ -1,0 +1,279 @@
+//! Per-file analysis context: the token stream plus derived facts every
+//! rule needs — which lines are test code, and which lines carry lint
+//! waivers.
+
+use crate::lexer::{lex, Comment, Token};
+
+/// Waiver comment grammar: `lint: allow(<rule-id>) — <reason>` inside a
+/// `//` comment (or a `#` comment in TOML). A standalone waiver
+/// suppresses findings on the next code line; a trailing waiver
+/// suppresses its own line. A waiver must carry a reason, must name a
+/// known rule, and must actually suppress something — anything else is
+/// itself a finding (`stale-waiver`), so waivers cannot rot in place.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Line the waiver comment sits on (1-based).
+    pub line: usize,
+    /// The rule id inside `allow(...)`, verbatim.
+    pub rule: String,
+    /// True when any text follows the `allow(...)` clause.
+    pub has_reason: bool,
+    /// The line whose findings this waiver suppresses.
+    pub target_line: usize,
+}
+
+/// One parsed source file with everything the rules consume.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Crate this file belongs to (`blaeu-<name>` directory stem for
+    /// `crates/<name>/…`, `"blaeu"` for the root facade's `src/`,
+    /// `tests/` and `examples/`).
+    pub crate_name: String,
+    /// Token stream (comments separated out).
+    pub tokens: Vec<Token>,
+    /// All `//` comments.
+    pub comments: Vec<Comment>,
+    /// Line ranges (inclusive) that are test code: bodies introduced by
+    /// `#[cfg(test)]` or `#[test]` attributes. Whole-file test context
+    /// (integration tests, benches) is the `file_is_test` flag instead.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// True when the whole file is test/bench scaffolding by location:
+    /// under a `tests/` or `benches/` directory.
+    pub file_is_test: bool,
+    /// Parsed waiver comments.
+    pub waivers: Vec<Waiver>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes one Rust file.
+    pub fn parse(rel_path: &str, source: &str) -> SourceFile {
+        let lexed = lex(source);
+        let test_ranges = find_test_ranges(&lexed.tokens);
+        let file_is_test = rel_path.starts_with("tests/")
+            || rel_path.contains("/tests/")
+            || rel_path.starts_with("benches/")
+            || rel_path.contains("/benches/");
+        let waivers = find_waivers(&lexed.comments, &lexed.tokens);
+        SourceFile {
+            rel_path: rel_path.to_owned(),
+            crate_name: crate_of(rel_path),
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            test_ranges,
+            file_is_test,
+            waivers,
+        }
+    }
+
+    /// True when `line` is inside test code — either a `#[cfg(test)]` /
+    /// `#[test]` region or a whole-file test location.
+    pub fn in_test(&self, line: usize) -> bool {
+        self.file_is_test
+            || self
+                .test_ranges
+                .iter()
+                .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+}
+
+/// Maps a workspace-relative path onto its owning crate name.
+fn crate_of(rel_path: &str) -> String {
+    if let Some(rest) = rel_path.strip_prefix("crates/") {
+        if let Some((name, _)) = rest.split_once('/') {
+            return name.to_owned();
+        }
+    }
+    "blaeu".to_owned()
+}
+
+/// Finds `{ … }` regions introduced by test attributes. The scan is
+/// token-shaped, not grammatical: for each `#[…]` attribute whose
+/// bracket group contains the identifier `test` *not* negated by
+/// `not(…)`, the next top-level `{` opens a test region that runs to
+/// its matching `}`. A semicolon before any `{` (e.g. `mod tests;`)
+/// cancels the pending region.
+fn find_test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Bracket-match the attribute.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut saw_test = false;
+            let mut saw_not = false;
+            while j < tokens.len() {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if tokens[j].is_ident("test") {
+                    saw_test = true;
+                } else if tokens[j].is_ident("not") {
+                    saw_not = true;
+                }
+                j += 1;
+            }
+            if saw_test && !saw_not {
+                // Find the body this attribute decorates: the first `{`
+                // before a `;` at nesting depth zero.
+                let mut k = j + 1;
+                let mut body = None;
+                let mut paren = 0isize;
+                while k < tokens.len() {
+                    match &tokens[k].tok {
+                        crate::lexer::Tok::Punct('(') | crate::lexer::Tok::Punct('[') => paren += 1,
+                        crate::lexer::Tok::Punct(')') | crate::lexer::Tok::Punct(']') => paren -= 1,
+                        crate::lexer::Tok::Punct('{') if paren == 0 => {
+                            body = Some(k);
+                            break;
+                        }
+                        crate::lexer::Tok::Punct(';') if paren == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if let Some(open) = body {
+                    if let Some(close) = match_brace(tokens, open) {
+                        ranges.push((tokens[open].line, tokens[close].line));
+                        // Continue scanning *inside* the region too so
+                        // overlapping attributes still parse; harmless.
+                    }
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Index of the `}` matching the `{` at `open`.
+pub fn match_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0isize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Extracts waivers from comments. See [`Waiver`] for the grammar.
+fn find_waivers(comments: &[Comment], tokens: &[Token]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for comment in comments {
+        if comment.doc {
+            continue;
+        }
+        let Some(waiver) = parse_waiver_text(&comment.text) else {
+            continue;
+        };
+        let target_line = if comment.trailing {
+            comment.line
+        } else {
+            // First code token strictly below the comment.
+            tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > comment.line)
+                .unwrap_or(0)
+        };
+        out.push(Waiver {
+            line: comment.line,
+            rule: waiver.0,
+            has_reason: waiver.1,
+            target_line,
+        });
+    }
+    out
+}
+
+/// Parses `lint: allow(<rule>) …reason` out of comment text. Returns
+/// `(rule, has_reason)`.
+pub fn parse_waiver_text(text: &str) -> Option<(String, bool)> {
+    let at = text.find("lint:")?;
+    let rest = text[at + "lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_owned();
+    let tail = rest[close + 1..]
+        .trim_start_matches([' ', '\t', '-', '—', ':', '–'])
+        .trim();
+    Some((rule, !tail.is_empty()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_regions_are_found_and_not_test_is_ignored() {
+        let src = r#"
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+    #[test]
+    fn case() {}
+}
+#[cfg(not(test))]
+fn also_live() {}
+"#;
+        let file = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(file.in_test(5), "inside mod tests");
+        assert!(file.in_test(7), "inside #[test] fn");
+        assert!(!file.in_test(2), "top-level fn is live");
+        assert!(!file.in_test(10), "cfg(not(test)) fn is live");
+    }
+
+    #[test]
+    fn mod_tests_without_body_is_not_a_region() {
+        let src = "#[cfg(test)]\nmod tests;\nfn live() {}\n";
+        let file = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(!file.in_test(3));
+    }
+
+    #[test]
+    fn file_location_marks_whole_file_tests() {
+        let file = SourceFile::parse("tests/end_to_end.rs", "fn anything() {}");
+        assert!(file.in_test(1));
+        let bench = SourceFile::parse("crates/bench/benches/bench_x.rs", "fn b() {}");
+        assert!(bench.in_test(1));
+    }
+
+    #[test]
+    fn waiver_targets_and_reasons() {
+        let src = "fn f() {\n    // lint: allow(panic-hygiene) — infallible by construction\n    g();\n    h(); // lint: allow(exec-parallelism) harness thread\n    i();\n}\n// lint: allow(bench-gate)\nfn j() {}\n";
+        let file = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(file.waivers.len(), 3);
+        assert_eq!(file.waivers[0].rule, "panic-hygiene");
+        assert_eq!(
+            file.waivers[0].target_line, 3,
+            "standalone waives next line"
+        );
+        assert!(file.waivers[0].has_reason);
+        assert_eq!(file.waivers[1].target_line, 4, "trailing waives own line");
+        assert!(file.waivers[1].has_reason);
+        assert!(!file.waivers[2].has_reason, "bare waiver has no reason");
+    }
+
+    #[test]
+    fn crate_attribution() {
+        assert_eq!(crate_of("crates/net/src/http.rs"), "net");
+        assert_eq!(crate_of("src/repl.rs"), "blaeu");
+        assert_eq!(crate_of("tests/end_to_end.rs"), "blaeu");
+    }
+}

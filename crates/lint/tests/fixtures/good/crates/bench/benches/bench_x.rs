@@ -1,0 +1,5 @@
+//! Bench group covered by baseline and CI gate.
+pub fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mygroup/fast");
+    let _ = &mut group;
+}

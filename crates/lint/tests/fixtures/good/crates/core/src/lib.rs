@@ -1,0 +1,9 @@
+//! Analysis fns borrow tables.
+pub mod command;
+
+pub struct Table;
+
+pub fn analyze(table: &Table, k: usize) -> usize {
+    let _ = table;
+    k
+}

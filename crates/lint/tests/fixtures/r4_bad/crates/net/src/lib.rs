@@ -1,0 +1,8 @@
+//! Fixture: unwrap/expect/panic on a serving path must trip R4.
+pub fn handle(body: Option<&str>) -> usize {
+    let text = body.unwrap();
+    if text.is_empty() {
+        panic!("empty body");
+    }
+    text.parse::<usize>().expect("numeric body")
+}

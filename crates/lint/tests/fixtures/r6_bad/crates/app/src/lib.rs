@@ -1,0 +1,1 @@
+//! Fixture body for the manifest rule.

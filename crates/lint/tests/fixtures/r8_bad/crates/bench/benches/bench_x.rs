@@ -1,0 +1,6 @@
+//! Fixture: a criterion group absent from baseline and CI trips R8.
+pub fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mygroup/fast");
+    let _ = &mut group;
+    c.bench_function("solo/one", |_| {});
+}

@@ -408,8 +408,7 @@ fn handle_connection(shared: &Arc<NetShared>, stream: TcpStream) {
             Err(HttpError::BadRequest(why)) => {
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 shared.rejected.fetch_add(1, Ordering::Relaxed);
-                let body = serde_json::to_string(&error_body("bad_request", &why, None))
-                    .expect("serialization is infallible");
+                let body = wire_text(&error_body("bad_request", &why, None));
                 let _ = write_response(
                     &mut writer,
                     400,
@@ -424,12 +423,11 @@ fn handle_connection(shared: &Arc<NetShared>, stream: TcpStream) {
             Err(HttpError::LengthRequired) => {
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 shared.rejected.fetch_add(1, Ordering::Relaxed);
-                let body = serde_json::to_string(&error_body(
+                let body = wire_text(&error_body(
                     "length_required",
                     "POST requires Content-Length",
                     None,
-                ))
-                .expect("serialization is infallible");
+                ));
                 let _ = write_response(
                     &mut writer,
                     411,
@@ -444,12 +442,11 @@ fn handle_connection(shared: &Arc<NetShared>, stream: TcpStream) {
             Err(HttpError::PayloadTooLarge { limit, announced }) => {
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 shared.rejected.fetch_add(1, Ordering::Relaxed);
-                let body = serde_json::to_string(&error_body(
+                let body = wire_text(&error_body(
                     "payload_too_large",
                     format!("body of {announced} bytes exceeds the {limit}-byte limit"),
                     Some(json!({"limit": limit, "announced": announced})),
-                ))
-                .expect("serialization is infallible");
+                ));
                 // The unread body makes the connection unusable; close.
                 let _ = write_response(
                     &mut writer,
@@ -510,6 +507,15 @@ fn envelope(response: &Response) -> Value {
     value
 }
 
+/// Serializes an already-built wire [`Value`] to its JSON text. No
+/// foreign `Serialize` impls are involved, so `to_string` cannot fail;
+/// every response path funnels through this one sanctioned site rather
+/// than scattering that infallibility claim across the crate.
+fn wire_text(value: &Value) -> String {
+    // lint: allow(panic-hygiene) — serializing an already-built Value cannot fail; sole sanctioned expect in blaeu-net
+    serde_json::to_string(value).expect("serialization of a built Value is infallible")
+}
+
 /// The one error body shape every non-2xx response carries:
 /// `{"error": {"code", "message", "detail"?}}`.
 fn error_body(code: &str, message: impl AsRef<str>, detail: Option<Value>) -> Value {
@@ -554,7 +560,7 @@ fn send_json<W: Write>(
     if status >= 400 {
         shared.rejected.fetch_add(1, Ordering::Relaxed);
     }
-    let text = serde_json::to_string(body).expect("serialization is infallible");
+    let text = wire_text(body);
     write_response(
         writer,
         status,
@@ -1032,7 +1038,7 @@ fn run_shard_command<W: Write>(
     // the expensive replicated step, so a one-entry cache keyed by
     // (table, op wire JSON) makes a coordinator's N range requests for
     // the same op plan once.
-    let key = serde_json::to_string(&op.to_json()).expect("serialization is infallible");
+    let key = wire_text(&op.to_json());
     let cached = {
         let cache = shared.plan_cache.lock();
         cache
@@ -1077,7 +1083,7 @@ fn run_shard_command<W: Write>(
     }
     let partial = plan.run_range(start..end, 0);
     let body = envelope(&Response::SketchPartial(Box::new(partial)));
-    let text = serde_json::to_string(&body).expect("serialization is infallible");
+    let text = wire_text(&body);
     shared.shard.partials_served.fetch_add(1, Ordering::Relaxed);
     shared
         .shard
@@ -1205,7 +1211,7 @@ fn run_batch<W: Write>(
             Ok(response) => envelope(&response),
             Err(error) => error_json(&error),
         };
-        let mut text = serde_json::to_string(&line).expect("serialization is infallible");
+        let mut text = wire_text(&line);
         text.push('\n');
         stream.write_chunk(text.as_bytes())?;
         // Refinement rungs ride the same chunked channel: one extra line
@@ -1222,7 +1228,7 @@ fn run_batch<W: Write>(
                 Ok(response) => envelope(&response),
                 Err(error) => error_json(&error),
             };
-            let mut text = serde_json::to_string(&line).expect("serialization is infallible");
+            let mut text = wire_text(&line);
             text.push('\n');
             stream.write_chunk(text.as_bytes())?;
         }
@@ -1239,7 +1245,7 @@ fn run_batch<W: Write>(
             map.insert("not_attempted".to_owned(), json!(not_attempted));
         }
         let line = error_body(error.kind(), error.to_string(), Some(detail));
-        let mut text = serde_json::to_string(&line).expect("serialization is infallible");
+        let mut text = wire_text(&line);
         text.push('\n');
         stream.write_chunk(text.as_bytes())?;
     }

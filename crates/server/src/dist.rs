@@ -213,6 +213,7 @@ impl ShardCoordinator {
         // of N. Folding strictly in range-index order keeps the combine
         // sequence — and therefore the digest — identical to the
         // join-all path and to a single-node run.
+        // lint: allow(exec-parallelism) — blocking socket fan-out must not occupy engine JobPool workers; scoped I/O threads are the documented exception (ROADMAP: distributed sketch fan-out)
         std::thread::scope(|scope| {
             let (tx, rx) = std::sync::mpsc::channel();
             for (index, range) in ranges.iter().enumerate() {
@@ -285,7 +286,7 @@ impl ShardCoordinator {
             "op": op.to_json(),
             "shard": json!({"start": range.start, "end": range.end, "items": items}),
         }))
-        .expect("serialization is infallible");
+        .expect("serialization is infallible"); // lint: allow(panic-hygiene) — serializing an already-built Value cannot fail (no foreign Serialize impls)
         let mut last_error = String::new();
         for attempt in 0..self.workers.len() * MAX_PASSES {
             let worker = &self.workers[(home + attempt) % self.workers.len()];

@@ -381,6 +381,7 @@ impl AsyncSessionServer {
     /// created — use [`AsyncSessionServer::try_new`] to handle journal
     /// setup failures without a panic.
     pub fn new(config: ServerConfig) -> Self {
+        // lint: allow(panic-hygiene) — documented panicking constructor (see # Panics); try_new is the fallible path
         Self::try_new(config).expect("journal directory setup failed")
     }
 

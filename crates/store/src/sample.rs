@@ -44,6 +44,7 @@ pub fn uniform_sample(n: usize, k: usize, seed: u64) -> Vec<u32> {
             chosen.insert(j as u32);
         }
     }
+    // lint: allow(digest-determinism) — hash order cannot leak: the indices are sorted on the next line before return
     let mut out: Vec<u32> = chosen.into_iter().collect();
     out.sort_unstable();
     out

@@ -669,6 +669,7 @@ fn delete_racing_inflight_batch_resolves_every_line() {
         Some(batch),
     );
     // …deleted from a second connection while the batch is in flight.
+    #[allow(clippy::disallowed_methods)] // test harness thread, not engine parallelism
     let deleter = std::thread::spawn(move || {
         let mut other = WireClient::connect(addr);
         other.request("DELETE", &format!("/sessions/{session}"), None)

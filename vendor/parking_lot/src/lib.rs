@@ -150,6 +150,7 @@ impl fmt::Debug for Condvar {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // test harness threads, not engine parallelism
 mod tests {
     use super::*;
     use std::sync::Arc;
